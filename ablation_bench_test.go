@@ -1,0 +1,206 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: what
+// each piece of the pipeline buys, measured against its alternative.
+package queryvis_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/inverse"
+	"repro/internal/logictree"
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+	"repro/internal/stats"
+	"repro/internal/trc"
+)
+
+func uniqueSetLT(b *testing.B, flatten bool) *logictree.LT {
+	b.Helper()
+	q := sqlparse.MustParse(corpus.Fig1UniqueSet)
+	r, err := sqlparse.Resolve(q, schema.Beers())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := trc.Convert(q, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lt := logictree.FromTRC(e)
+	if flatten {
+		lt.Flatten()
+	}
+	return lt
+}
+
+// BenchmarkAblationRecoveryValidated vs ...Relaxed: the non-degeneracy
+// filter (Properties 5.1/5.2) is what reduces candidate trees to exactly
+// one; the relaxed search both costs more (no pruning of survivors) and
+// returns ambiguous answers for degenerate inputs.
+func BenchmarkAblationRecoveryValidated(b *testing.B) {
+	d := core.MustBuild(uniqueSetLT(b, true))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sols, err := inverse.Solutions(d)
+		if err != nil || len(sols) != 1 {
+			b.Fatalf("sols=%d err=%v", len(sols), err)
+		}
+	}
+}
+
+func BenchmarkAblationRecoveryRelaxed(b *testing.B) {
+	d := core.MustBuild(uniqueSetLT(b, true))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sols, err := inverse.SolutionsRelaxed(d)
+		if err != nil || len(sols) == 0 {
+			b.Fatalf("sols=%d err=%v", len(sols), err)
+		}
+	}
+}
+
+// BenchmarkAblationSimplify measures the cost of the ∄∄ → ∀∃ rewrite
+// itself — the paper's claim is that it is a cheap LT transformation.
+func BenchmarkAblationSimplify(b *testing.B) {
+	lt := uniqueSetLT(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if lt.Simplified() == nil {
+			b.Fatal("nil")
+		}
+	}
+}
+
+// existsChainLT builds the Appendix-G "no red boats" logic tree, which
+// contains an ∃ block that flattening merges into its parent.
+func existsChainLT(b *testing.B, flatten bool) *logictree.LT {
+	b.Helper()
+	const src = `SELECT S.sname FROM Sailor S WHERE NOT EXISTS(
+		SELECT * FROM Reserves R WHERE R.sid = S.sid AND EXISTS(
+		  SELECT * FROM Boat B WHERE B.color = 'red' AND R.bid = B.bid))`
+	q := sqlparse.MustParse(src)
+	r, err := sqlparse.Resolve(q, schema.Sailors())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := trc.Convert(q, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lt := logictree.FromTRC(e)
+	if flatten {
+		lt.Flatten()
+	}
+	return lt
+}
+
+// BenchmarkAblationBuildFlattened vs ...Unflattened: flattening ∃ blocks
+// shrinks the tree the diagram builder walks (2 blocks instead of 3 for
+// the "no red boats" query) and is what makes diagram → LT recovery
+// exact.
+func BenchmarkAblationBuildFlattened(b *testing.B) {
+	lt := existsChainLT(b, true)
+	if lt.NodeCount() != 2 {
+		b.Fatalf("node count = %d, want 2", lt.NodeCount())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(lt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBuildUnflattened(b *testing.B) {
+	lt := existsChainLT(b, false)
+	if lt.NodeCount() != 3 {
+		b.Fatalf("node count = %d, want 3", lt.NodeCount())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(lt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationWilcoxonExact vs ...Approx: the exact null
+// distribution (used for n ≤ 25 without ties) against the normal
+// approximation with tie correction.
+func BenchmarkAblationWilcoxonExact(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	diffs := make([]float64, 24)
+	for i := range diffs {
+		diffs[i] = rng.NormFloat64() + float64(i)*1e-9 // tie-free
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.WilcoxonSignedRank(diffs, stats.Less)
+	}
+}
+
+func BenchmarkAblationWilcoxonApprox(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	diffs := make([]float64, 42)
+	for i := range diffs {
+		diffs[i] = float64(int(rng.NormFloat64() * 4)) // coarse: ties
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.WilcoxonSignedRank(diffs, stats.Less)
+	}
+}
+
+// BenchmarkAblationIsomorphismVsFingerprint: pairwise isomorphism testing
+// against the canonical PatternKey — the reason the catalog indexes by
+// fingerprint.
+func BenchmarkAblationIsomorphism(b *testing.B) {
+	var ds []*core.Diagram
+	for _, g := range corpus.AppendixG() {
+		q := sqlparse.MustParse(g.SQL)
+		r, err := sqlparse.Resolve(q, g.Schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := trc.Convert(q, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds = append(ds, core.MustBuild(logictree.FromTRC(e).Flatten()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for x := range ds {
+			for y := range ds {
+				core.Isomorphic(ds[x], ds[y], core.Pattern)
+			}
+		}
+	}
+}
+
+func BenchmarkAblationFingerprint(b *testing.B) {
+	var ds []*core.Diagram
+	for _, g := range corpus.AppendixG() {
+		q := sqlparse.MustParse(g.SQL)
+		r, err := sqlparse.Resolve(q, g.Schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := trc.Convert(q, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds = append(ds, core.MustBuild(logictree.FromTRC(e).Flatten()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keys := map[string]int{}
+		for _, d := range ds {
+			keys[core.PatternKey(d)]++
+		}
+		if len(keys) != 3 {
+			b.Fatalf("%d buckets, want 3", len(keys))
+		}
+	}
+}

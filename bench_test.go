@@ -1,0 +1,331 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured values). Run with:
+//
+//	go test -bench=. -benchmem
+package queryvis_test
+
+import (
+	"math/rand"
+	"testing"
+
+	queryvis "repro"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dot"
+	"repro/internal/inverse"
+	"repro/internal/logictree"
+	"repro/internal/rel"
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+	"repro/internal/stats"
+	"repro/internal/study"
+	"repro/internal/trc"
+	"repro/internal/viscomplex"
+)
+
+func mustResult(b *testing.B, sql string, schemaName string, simplify bool) *queryvis.Result {
+	b.Helper()
+	s, _ := queryvis.SchemaByName(schemaName)
+	res, err := queryvis.FromSQL(sql, s, queryvis.Options{Simplify: simplify})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig1UniqueSet runs the full SQL → diagram pipeline on the
+// paper's running example (Fig. 1).
+func BenchmarkFig1UniqueSet(b *testing.B) {
+	s, _ := queryvis.SchemaByName("beers")
+	for i := 0; i < b.N; i++ {
+		if _, err := queryvis.FromSQL(corpus.Fig1UniqueSet, s, queryvis.Options{Simplify: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Diagrams builds the three Fig. 2 diagrams (Qsome, Qonly,
+// Qonly with ∀).
+func BenchmarkFig2Diagrams(b *testing.B) {
+	s, _ := queryvis.SchemaByName("beers")
+	for i := 0; i < b.N; i++ {
+		for _, src := range []string{corpus.Fig3QSome, corpus.Fig3QOnly} {
+			if _, err := queryvis.FromSQL(src, s, queryvis.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := queryvis.FromSQL(corpus.Fig3QOnly, s, queryvis.Options{Simplify: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5LogicTree builds and simplifies the unique-set logic tree
+// (Fig. 5 / Fig. 10).
+func BenchmarkFig5LogicTree(b *testing.B) {
+	s := schema.Beers()
+	q := sqlparse.MustParse(corpus.Fig1UniqueSet)
+	r, err := sqlparse.Resolve(q, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := trc.Convert(q, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lt := logictree.FromTRC(e)
+		lt.Flatten().Simplify()
+		if lt.NodeCount() == 0 {
+			b.Fatal("empty tree")
+		}
+	}
+}
+
+// BenchmarkFig9TRC converts and renders the unique-set TRC expression.
+func BenchmarkFig9TRC(b *testing.B) {
+	s := schema.Beers()
+	q := sqlparse.MustParse(corpus.Fig1UniqueSet)
+	r, err := sqlparse.Resolve(q, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := trc.Convert(q, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if e.Indented() == "" {
+			b.Fatal("empty rendering")
+		}
+	}
+}
+
+// BenchmarkVisualComplexity reproduces the Section 4.8 element counts.
+func BenchmarkVisualComplexity(b *testing.B) {
+	some := mustResult(b, corpus.Fig3QSome, "beers", false)
+	only := mustResult(b, corpus.Fig3QOnly, "beers", false)
+	onlyAll := mustResult(b, corpus.Fig3QOnly, "beers", true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := viscomplex.Compare(some.Diagram, only.Diagram, onlyAll.Diagram,
+			corpus.Fig3QSome, corpus.Fig3QOnly)
+		if c.MarkGrowthPct < 13 || c.MarkGrowthPct > 14 {
+			b.Fatalf("growth %.1f%%, want the paper's 13%%", c.MarkGrowthPct)
+		}
+	}
+}
+
+// BenchmarkInverseRecovery measures diagram → logic-tree recovery on the
+// unique-set diagram (Proposition 5.1).
+func BenchmarkInverseRecovery(b *testing.B) {
+	res := mustResult(b, corpus.Fig1UniqueSet, "beers", false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inverse.Recover(res.Diagram); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPathPatternEnumeration enumerates and verifies the 16 valid
+// Appendix B.1 path patterns.
+func BenchmarkPathPatternEnumeration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		valid := inverse.ValidPathPatterns()
+		if len(valid) != 16 {
+			b.Fatalf("%d patterns, want 16", len(valid))
+		}
+		for _, p := range valid {
+			d := core.MustBuild(inverse.BuildPathLT(p))
+			if _, err := inverse.Recover(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchPool simulates the default cohort once per benchmark.
+func benchPool(b *testing.B) ([]*study.Participant, []corpus.Question) {
+	b.Helper()
+	qs := corpus.StudyQuestions()
+	pool := study.Simulate(study.DefaultConfig(), qs)
+	legit, _ := study.Exclude(pool)
+	if len(legit) != 42 {
+		b.Fatalf("legit = %d", len(legit))
+	}
+	return legit, qs
+}
+
+func nonGrouping(q corpus.Question) bool { return q.Category != corpus.Grouping }
+
+// BenchmarkFig7Study runs the full Fig. 7 pipeline: simulate, exclude,
+// analyse 9 questions with Wilcoxon + BH + BCa.
+func BenchmarkFig7Study(b *testing.B) {
+	qs := corpus.StudyQuestions()
+	for i := 0; i < b.N; i++ {
+		pool := study.Simulate(study.DefaultConfig(), qs)
+		legit, _ := study.Exclude(pool)
+		a := study.Analyze(rand.New(rand.NewSource(1)), legit, qs, nonGrouping)
+		if a.TimeQV.AdjP > 0.001 {
+			b.Fatalf("timeQV p = %v", a.TimeQV.AdjP)
+		}
+	}
+}
+
+// BenchmarkFig18Exclusion measures cohort generation plus the exclusion
+// procedure and scatter extraction.
+func BenchmarkFig18Exclusion(b *testing.B) {
+	qs := corpus.StudyQuestions()
+	for i := 0; i < b.N; i++ {
+		pool := study.Simulate(study.DefaultConfig(), qs)
+		pts := study.Scatter(pool)
+		if len(pts) != 80 {
+			b.Fatalf("%d points", len(pts))
+		}
+	}
+}
+
+// BenchmarkFig19Study analyses all 12 questions.
+func BenchmarkFig19Study(b *testing.B) {
+	legit, qs := benchPool(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := study.Analyze(rand.New(rand.NewSource(1)), legit, qs, nil)
+		if len(a.QuestionIDs) != 12 {
+			b.Fatal("wrong question count")
+		}
+	}
+}
+
+// BenchmarkFig20Deltas extracts the per-participant 9-question deltas.
+func BenchmarkFig20Deltas(b *testing.B) {
+	legit, qs := benchPool(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := study.Analyze(rand.New(rand.NewSource(1)), legit, qs, nonGrouping)
+		if a.TimeDeltaQV.FracFaster <= 0.5 {
+			b.Fatal("QV should be faster for most participants")
+		}
+	}
+}
+
+// BenchmarkFig21Deltas extracts the per-participant 12-question deltas.
+func BenchmarkFig21Deltas(b *testing.B) {
+	legit, qs := benchPool(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := study.Analyze(rand.New(rand.NewSource(1)), legit, qs, nil)
+		if a.TimeDeltaQV.FracFaster <= 0.5 {
+			b.Fatal("QV should be faster for most participants")
+		}
+	}
+}
+
+// BenchmarkPowerAnalysis reruns the Appendix C.2 pilot sizing.
+func BenchmarkPowerAnalysis(b *testing.B) {
+	qs := corpus.StudyQuestions()
+	cfg := study.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		pw := study.Power(cfg, qs, 12, 0.05, 0.90)
+		if pw.RequiredNRounded6%6 != 0 {
+			b.Fatal("not a multiple of 6")
+		}
+	}
+}
+
+// BenchmarkCorpusPipeline pushes all 18 paper questions through the full
+// pipeline (Appendices D and F).
+func BenchmarkCorpusPipeline(b *testing.B) {
+	ch, _ := queryvis.SchemaByName("chinook")
+	all := append(corpus.QualificationQuestions(), corpus.StudyQuestions()...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range all {
+			if _, err := queryvis.FromSQL(q.SQL, ch, queryvis.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPatternIsomorphism checks the Fig. 26 cross-schema pattern
+// equivalences.
+func BenchmarkPatternIsomorphism(b *testing.B) {
+	byPattern := map[corpus.GPattern][]*core.Diagram{}
+	for _, g := range corpus.AppendixG() {
+		res, err := queryvis.FromSQL(g.SQL, g.Schema, queryvis.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		byPattern[g.Pattern] = append(byPattern[g.Pattern], res.Diagram)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ds := range byPattern {
+			if !core.Isomorphic(ds[0], ds[1], core.Pattern) ||
+				!core.Isomorphic(ds[0], ds[2], core.Pattern) {
+				b.Fatal("pattern isomorphism lost")
+			}
+		}
+	}
+}
+
+// --- micro-benchmarks for the substrates ---
+
+func BenchmarkParseUniqueSet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlparse.Parse(corpus.Fig1UniqueSet); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalUniqueSet(b *testing.B) {
+	db := rel.BeersDB()
+	s := schema.Beers()
+	for i := 0; i < b.N; i++ {
+		out, err := rel.EvalSQL(db, corpus.Fig1UniqueSet, s, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Rows) != 2 {
+			b.Fatalf("%d rows, want 2", len(out.Rows))
+		}
+	}
+}
+
+func BenchmarkDOTRender(b *testing.B) {
+	res := mustResult(b, corpus.Fig1UniqueSet, "beers", true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dot.Render(res.Diagram) == "" {
+			b.Fatal("empty DOT")
+		}
+	}
+}
+
+func BenchmarkWilcoxonExact(b *testing.B) {
+	diffs := make([]float64, 20)
+	rng := rand.New(rand.NewSource(3))
+	for i := range diffs {
+		diffs[i] = rng.NormFloat64() - 0.5
+	}
+	for i := 0; i < b.N; i++ {
+		stats.WilcoxonSignedRank(diffs, stats.Less)
+	}
+}
+
+func BenchmarkBCaMedian(b *testing.B) {
+	data := make([]float64, 42)
+	rng := rand.New(rand.NewSource(4))
+	for i := range data {
+		data[i] = 100 + rng.NormFloat64()*20
+	}
+	for i := 0; i < b.N; i++ {
+		stats.BCa(rand.New(rand.NewSource(1)), data, stats.Median, 2000, 0.95)
+	}
+}

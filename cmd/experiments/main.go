@@ -1,0 +1,469 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation, printing measured values next to the paper's reported ones.
+//
+//	experiments              run everything
+//	experiments -fig 7       run one experiment (1, 2, 5, 9, 48, B, F, G,
+//	                         7, 18, 19, 20, 21, power, funnel, catalog,
+//	                         ablation)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	queryvis "repro"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/dot"
+	"repro/internal/inverse"
+	"repro/internal/logictree"
+	"repro/internal/rel"
+	"repro/internal/schema"
+	"repro/internal/study"
+	"repro/internal/viscomplex"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment to run (1, 2, 5, 9, 48, B, F, G, 7, 18, 19, 20, 21, power, funnel, catalog, ablation, all)")
+	flag.Parse()
+	runners := []struct {
+		id  string
+		fn  func() error
+		hdr string
+	}{
+		{"1", fig1, "Fig. 1 — the unique-set query and its diagram"},
+		{"2", fig2, "Fig. 2 — Qsome / Qonly diagrams"},
+		{"5", fig5, "Fig. 5 / Fig. 10 — logic trees of the unique-set query"},
+		{"9", fig9, "Fig. 9 — TRC of the unique-set query"},
+		{"48", fig48, "Section 4.8 — minimal visual complexity"},
+		{"B", figB, "Proposition 5.1 / Appendix B — unambiguity"},
+		{"F", figF, "Appendices D+F — qualification and study questions"},
+		{"G", figG, "Appendix G / Fig. 26 — logical patterns across schemas"},
+		{"7", fig7, "Fig. 7 — main study results (9 questions)"},
+		{"18", fig18, "Fig. 18 — exclusion of speeders and cheaters"},
+		{"19", fig19, "Fig. 19 — study results on all 12 questions"},
+		{"20", fig20, "Fig. 20 — per-participant deltas (9 questions)"},
+		{"21", fig21, "Fig. 21 — per-participant deltas (12 questions)"},
+		{"power", power, "Appendix C.2 — power analysis"},
+		{"tutorial", tutorial, "Appendix E — the six tutorial examples"},
+		{"funnel", funnel, "Section 6.1 / Appendix C.4 — recruitment funnel & incentives"},
+		{"catalog", catalogDemo, "Section 1 — pattern-indexed query repository"},
+		{"ablation", ablation, "Ablation — what non-degeneracy buys the inverse mapping"},
+	}
+	ran := false
+	for _, r := range runners {
+		if *fig != "all" && *fig != r.id {
+			continue
+		}
+		ran = true
+		fmt.Printf("==== %s ====\n", r.hdr)
+		if err := r.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(1)
+	}
+}
+
+func beersResult(sql string, simplify bool) (*queryvis.Result, error) {
+	s, _ := queryvis.SchemaByName("beers")
+	return queryvis.FromSQL(sql, s, queryvis.Options{Simplify: simplify})
+}
+
+func fig1() error {
+	res, err := beersResult(corpus.Fig1UniqueSet, true)
+	if err != nil {
+		return err
+	}
+	fmt.Println("diagram (text form, ∀-simplified as in Fig. 1b):")
+	fmt.Print(res.Text())
+	var order []string
+	for _, id := range res.ReadingOrder() {
+		t := res.Diagram.Table(id)
+		if t.IsSelect() {
+			order = append(order, "SELECT")
+		} else {
+			order = append(order, t.Var)
+		}
+	}
+	fmt.Printf("reading order (Section 4.6): %s\n", strings.Join(order, " → "))
+	fmt.Println("paper: SELECT → L1 → L2 → L3 → L4, restart at L5 → L6")
+	fmt.Println("\ninterpretation:", res.Interpretation)
+
+	// Semantics: run it on the sample beers database.
+	db := rel.BeersDB()
+	out, err := queryvis.Execute(db, corpus.Fig1UniqueSet, mustSchema("beers"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nunique-set drinkers on the sample database:\n%s", out)
+	return nil
+}
+
+func mustSchema(name string) *schema.Schema {
+	s, _ := schema.ByName(name)
+	return s
+}
+
+func fig2() error {
+	some, err := beersResult(corpus.Fig3QSome, false)
+	if err != nil {
+		return err
+	}
+	only, err := beersResult(corpus.Fig3QOnly, false)
+	if err != nil {
+		return err
+	}
+	onlyAll, err := beersResult(corpus.Fig3QOnly, true)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 2a — Qsome (conjunctive, schema-like):")
+	fmt.Print(some.Text())
+	fmt.Println("\nFig. 2b — Qonly (two ∄ boxes):")
+	fmt.Print(only.Text())
+	fmt.Println("\nFig. 2c — Qonly with the ∀ quantifier:")
+	fmt.Print(onlyAll.Text())
+	fmt.Println("\nDOT for Fig. 2c (render with `dot -Tpng`):")
+	fmt.Print(onlyAll.DOTWith(dot.Options{Name: "fig2c"}))
+	return nil
+}
+
+func fig5() error {
+	raw, err := beersResult(corpus.Fig1UniqueSet, false)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 10a — logic tree before simplification:")
+	fmt.Println(raw.Tree)
+	fmt.Println("\nFig. 10b — after the ∄∄ → ∀∃ rewrite:")
+	fmt.Println(raw.Tree.Simplified())
+	return nil
+}
+
+func fig9() error {
+	raw, err := beersResult(corpus.Fig1UniqueSet, false)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 9a — TRC:")
+	fmt.Println(raw.Tree.ToTRC().Indented())
+	fmt.Println("\nFig. 9b — simplified TRC:")
+	fmt.Println(raw.Tree.Simplified().ToTRC().Indented())
+	return nil
+}
+
+func fig48() error {
+	some, err := beersResult(corpus.Fig3QSome, false)
+	if err != nil {
+		return err
+	}
+	only, err := beersResult(corpus.Fig3QOnly, false)
+	if err != nil {
+		return err
+	}
+	onlyAll, err := beersResult(corpus.Fig3QOnly, true)
+	if err != nil {
+		return err
+	}
+	c := viscomplex.Compare(some.Diagram, only.Diagram, onlyAll.Diagram,
+		corpus.Fig3QSome, corpus.Fig3QOnly)
+	fmt.Print(c.Report())
+	fmt.Println("paper: nested diagram +13% visual elements, ∀ form +7%, SQL text +167% words")
+	return nil
+}
+
+func figB() error {
+	valid := inverse.ValidPathPatterns()
+	fams := map[string]int{}
+	for _, p := range valid {
+		fams[p.Family()]++
+	}
+	fmt.Printf("valid depth-3 path patterns: %d of 64 (paper: 16)\n", len(valid))
+	fmt.Printf("families: ⟨A,B⟩=%d ⟨A,B̄⟩=%d ⟨Ā⟩=%d (paper: 8 / 4 / 4)\n",
+		fams["⟨A,B⟩"], fams["⟨A,B̄⟩"], fams["⟨Ā⟩"])
+	unique := 0
+	for _, p := range valid {
+		lt := inverse.BuildPathLT(p)
+		d := core.MustBuild(lt)
+		sols, err := inverse.Solutions(d)
+		if err != nil {
+			return err
+		}
+		if len(sols) == 1 && logictree.Equal(lt, sols[0]) {
+			unique++
+		}
+	}
+	fmt.Printf("patterns recovering exactly their original logic tree: %d/%d\n", unique, len(valid))
+
+	// Branching trees (Appendix B.2): random valid trees round-trip.
+	rng := rand.New(rand.NewSource(5))
+	trees, ok := 200, 0
+	for i := 0; i < trees; i++ {
+		lt := logictree.RandomValid(rng, 3)
+		d, err := core.Build(lt)
+		if err != nil {
+			return err
+		}
+		rec, err := inverse.Recover(d)
+		if err == nil && logictree.Equal(lt, rec) {
+			ok++
+		}
+	}
+	fmt.Printf("random branching trees recovered uniquely: %d/%d\n", ok, trees)
+	return nil
+}
+
+func figF() error {
+	ch := mustSchema("chinook")
+	db := rel.ChinookDB()
+	all := append(corpus.QualificationQuestions(), corpus.StudyQuestions()...)
+	fmt.Printf("%-6s %-12s %-8s %7s %7s %6s %7s\n",
+		"id", "category", "tier", "tables", "boxes", "depth", "rows")
+	for _, q := range all {
+		res, err := queryvis.FromSQL(q.SQL, ch, queryvis.Options{})
+		if err != nil {
+			return fmt.Errorf("%s: %w", q.ID, err)
+		}
+		out, err := rel.EvalSQL(db, q.SQL, ch, false)
+		if err != nil {
+			return fmt.Errorf("%s: %w", q.ID, err)
+		}
+		fmt.Printf("%-6s %-12s %-8s %7d %7d %6d %7d\n",
+			q.ID, q.Category, q.Complexity,
+			len(res.Diagram.Tables)-1, len(res.Diagram.Boxes),
+			res.Tree.MaxDepth(), len(out.Rows))
+	}
+	fmt.Println("(rows = result cardinality on the bundled sample Chinook database)")
+	return nil
+}
+
+func figG() error {
+	type cell struct {
+		d   *core.Diagram
+		sch string
+	}
+	grid := map[corpus.GPattern][]cell{}
+	for _, g := range corpus.AppendixG() {
+		res, err := queryvis.FromSQL(g.SQL, g.Schema, queryvis.Options{})
+		if err != nil {
+			return err
+		}
+		grid[g.Pattern] = append(grid[g.Pattern], cell{res.Diagram, g.Schema.Name})
+	}
+	for _, p := range []corpus.GPattern{corpus.GNo, corpus.GOnly, corpus.GAll} {
+		cells := grid[p]
+		iso := true
+		for i := 1; i < len(cells); i++ {
+			if !core.Isomorphic(cells[0].d, cells[i].d, core.Pattern) {
+				iso = false
+			}
+		}
+		fmt.Printf("pattern %-5s across {sailors, students, actors}: pattern-isomorphic = %v\n", p, iso)
+	}
+	fmt.Println("paper: each Fig. 26 row shares one visual pattern across all three schemas")
+
+	variants := corpus.Fig24Variants()
+	s := mustSchema("sailors")
+	var trees []*logictree.LT
+	for _, v := range variants {
+		res, err := queryvis.FromSQL(v, s, queryvis.Options{})
+		if err != nil {
+			return err
+		}
+		trees = append(trees, res.Tree)
+	}
+	same := logictree.Equal(trees[0], trees[1]) && logictree.Equal(trees[1], trees[2])
+	fmt.Printf("Fig. 24: NOT EXISTS / NOT IN / NOT =ANY variants share one logic tree: %v\n", same)
+	return nil
+}
+
+func studyData() ([]*study.Participant, []*study.Participant, []corpus.Question) {
+	qs := corpus.StudyQuestions()
+	pool := study.Simulate(study.DefaultConfig(), qs)
+	legit, _ := study.Exclude(pool)
+	return pool, legit, qs
+}
+
+func fig7() error {
+	_, legit, qs := studyData()
+	a := study.Analyze(rand.New(rand.NewSource(1)), legit, qs,
+		func(q corpus.Question) bool { return q.Category != corpus.Grouping })
+	fmt.Println(a.Report("measured (simulated cohort)"))
+	fmt.Println("paper:  QV −20% time p<0.001; Both −1% p=0.30; QV err −21% p=0.15; Both err −17% p=0.16")
+	return nil
+}
+
+func fig18() error {
+	pool, legit, _ := studyData()
+	pts := study.Scatter(pool)
+	excluded := len(pts) - len(legit)
+	below := 0
+	for _, p := range pts {
+		if !p.Legit && p.MeanTime < study.SpeedCutoffSeconds {
+			below++
+		}
+	}
+	fmt.Printf("pool %d → legitimate %d, excluded %d (%d below the 30s cutoff, %d identified by hand)\n",
+		len(pts), len(legit), excluded, below, excluded-below)
+	fmt.Println("paper: 80 → 42 legitimate, 38 excluded (30s cutoff plus 2 speeders and 2 cheaters above it)")
+	return nil
+}
+
+func fig19() error {
+	_, legit, qs := studyData()
+	a := study.Analyze(rand.New(rand.NewSource(1)), legit, qs, nil)
+	fmt.Println(a.Report("measured (simulated cohort, 12 questions)"))
+	fmt.Println("paper:  QV −23% time p<0.001; Both −5% p=0.35; QV err −23% p=0.06; Both err −12% p=0.16")
+	return nil
+}
+
+func fig20() error {
+	_, legit, qs := studyData()
+	a := study.Analyze(rand.New(rand.NewSource(1)), legit, qs,
+		func(q corpus.Question) bool { return q.Category != corpus.Grouping })
+	d := a.TimeDeltaQV
+	fmt.Printf("QV − SQL time deltas (9 questions): mean %+.1fs, median %+.1fs, %.0f%% faster\n",
+		d.Mean, d.Median, 100*d.FracFaster)
+	e := a.ErrDeltaQV
+	fmt.Printf("QV − SQL error deltas: mean %+.2f; %.0f%% fewer / %.0f%% more / %.0f%% same\n",
+		e.Mean, 100*e.FracFaster, 100*e.FracSlower, 100*e.FracSame)
+	fmt.Println("paper: mean −17.3s, median −19.7s, 71% faster; error mean −0.08, 36%/26%/38%")
+	return nil
+}
+
+func fig21() error {
+	_, legit, qs := studyData()
+	a := study.Analyze(rand.New(rand.NewSource(1)), legit, qs, nil)
+	d := a.TimeDeltaQV
+	fmt.Printf("QV − SQL time deltas (12 questions): mean %+.1fs, median %+.1fs, %.0f%% faster\n",
+		d.Mean, d.Median, 100*d.FracFaster)
+	e := a.ErrDeltaQV
+	fmt.Printf("QV − SQL error deltas: mean %+.2f; %.0f%% fewer / %.0f%% more / %.0f%% same\n",
+		e.Mean, 100*e.FracFaster, 100*e.FracSlower, 100*e.FracSame)
+	fmt.Println("paper: mean −21.0s, median −17.5s, 76% faster; error mean −0.09, 40%/29%/31%")
+	return nil
+}
+
+func power() error {
+	pw := study.Power(study.DefaultConfig(), corpus.StudyQuestions(), 12, 0.05, 0.90)
+	fmt.Printf("pilot n=%d: SQL %.1fs (sd %.1f), QV %.1fs (sd %.1f)\n",
+		pw.PilotN, pw.MeanSQL, pw.SDSQL, pw.MeanQV, pw.SDQV)
+	fmt.Printf("required n = %d → rounded to a multiple of 6: %d (paper: 84)\n",
+		pw.RequiredN, pw.RequiredNRounded6)
+	return nil
+}
+
+func tutorial() error {
+	ch := mustSchema("chinook")
+	for _, ex := range corpus.TutorialExamples() {
+		res, err := queryvis.FromSQL(ex.SQL, ch, queryvis.Options{Simplify: ex.Simplify})
+		if err != nil {
+			return fmt.Errorf("page %d: %w", ex.Page, err)
+		}
+		fmt.Printf("-- page %d: %s --\n", ex.Page, ex.Title)
+		fmt.Println("intended reading:", ex.Reading)
+		fmt.Println("generated reading:", res.Interpretation)
+		fmt.Print(res.Text())
+		fmt.Println()
+	}
+	return nil
+}
+
+func funnel() error {
+	pool, _, _ := studyData()
+	f := study.SimulateFunnel(study.DefaultFunnelConfig(), len(pool))
+	fmt.Printf("qualification funnel: %d attempted → %d passed (≥4/6) → %d started\n",
+		f.Attempted, f.Passed, f.Started)
+	fmt.Println("paper: 710 → 114 → 80")
+	rng := rand.New(rand.NewSource(3))
+	times := study.TutorialTimes(rng, 5000)
+	sortFloats(times)
+	fmt.Printf("tutorial time: median %.0fs, mean %.0fs (paper: ≈120s / ≈180s)\n",
+		times[len(times)/2], meanOf(times))
+	fmt.Println("incentives:", study.Payroll(pool))
+	return nil
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func meanOf(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func catalogDemo() error {
+	c := catalog.New()
+	for _, g := range corpus.AppendixG() {
+		if _, err := c.Add(g.Schema.Name+"/"+g.Pattern.String(), g.SQL, g.Schema); err != nil {
+			return err
+		}
+	}
+	groups := c.Groups()
+	fmt.Printf("indexed %d Appendix-G queries into %d pattern buckets:\n", c.Len(), len(groups))
+	for _, grp := range groups {
+		names := make([]string, 0, len(grp.Entries))
+		for _, e := range grp.Entries {
+			names = append(names, e.Name)
+		}
+		fmt.Printf("  %s\n", strings.Join(names, ", "))
+	}
+	return nil
+}
+
+func ablation() error {
+	// A degenerate diagram (block chain connected only at depth 2-3) is
+	// ambiguous without the non-degeneracy filter.
+	p := inverse.PathPattern{Edges: []string{"D"}}
+	d := core.MustBuild(inverse.BuildPathLT(p))
+	relaxed, err := inverse.SolutionsRelaxed(d)
+	if err != nil {
+		return err
+	}
+	strict, err := inverse.Solutions(d)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("degenerate path diagram {edge D only}: %d relaxed solutions, %d after the Properties 5.1/5.2 filter\n",
+		len(relaxed), len(strict))
+
+	// Valid diagrams: relaxed may be ambiguous, validated is unique.
+	ambiguous := 0
+	for _, vp := range inverse.ValidPathPatterns() {
+		vd := core.MustBuild(inverse.BuildPathLT(vp))
+		r, err := inverse.SolutionsRelaxed(vd)
+		if err != nil {
+			return err
+		}
+		if len(r) > 1 {
+			ambiguous++
+		}
+		s, err := inverse.Solutions(vd)
+		if err != nil {
+			return err
+		}
+		if len(s) != 1 {
+			return fmt.Errorf("pattern %v not unique", vp.Edges)
+		}
+	}
+	fmt.Printf("valid path patterns: 16/16 unique with the filter; %d/16 would be ambiguous without it\n",
+		ambiguous)
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() error
+		want string
+	}{
+		{"fig1", fig1, "reading order (Section 4.6): SELECT → L1 → L2 → L3 → L4 → L5 → L6"},
+		{"fig2", fig2, "Fig. 2c — Qonly with the ∀ quantifier"},
+		{"fig5", fig5, "∄∄ → ∀∃"},
+		{"fig9", fig9, "∃L1 ∈ Likes"},
+		{"fig48", fig48, "+13%"},
+		{"figB", figB, "valid depth-3 path patterns: 16 of 64"},
+		{"figF", figF, "Q12"},
+		{"figG", figG, "pattern-isomorphic = true"},
+		{"fig7", fig7, "timeQV < timeSQL"},
+		{"fig18", fig18, "80 → 42 legitimate, 38 excluded"},
+		{"fig19", fig19, "12 questions"},
+		{"fig20", fig20, "71% faster"},
+		{"fig21", fig21, "76% faster"},
+		{"power", power, "84 (paper: 84)"},
+		{"tutorial", tutorial, "page 9"},
+		{"funnel", funnel, "710 attempted → 114 passed"},
+		{"catalog", catalogDemo, "3 pattern buckets"},
+		{"ablation", ablation, "16/16 unique with the filter"},
+	}
+	for _, c := range cases {
+		out, err := capture(t, c.fn)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !strings.Contains(out, c.want) {
+			t.Errorf("%s: output missing %q:\n%s", c.name, c.want, out)
+		}
+	}
+}
+
+func TestFig1SemanticsOnSample(t *testing.T) {
+	out, err := capture(t, fig1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "carol") || !strings.Contains(out, "dave") {
+		t.Errorf("unique-set drinkers missing from:\n%s", out)
+	}
+	if strings.Contains(out, "alice") && strings.Contains(out, "alice\n") {
+		t.Error("alice must not be a unique-set drinker")
+	}
+}

@@ -1,0 +1,109 @@
+// Command queryvis turns a SQL query into a QueryVis diagram.
+//
+// Usage:
+//
+//	queryvis [flags] [query.sql]
+//
+// The query is read from the file argument, or from standard input when
+// no argument is given. Output formats:
+//
+//	dot        GraphViz program (render with: dot -Tpng out.dot)
+//	svg        standalone SVG document (no GraphViz needed)
+//	text       plain-text diagram summary
+//	lt         the logic tree (Fig. 5 notation)
+//	trc        the tuple-relational-calculus expression (Fig. 9 notation)
+//	interpret  the natural-language reading (Section 4.6)
+//	all        everything above
+//
+// Example:
+//
+//	echo "SELECT F.person FROM Frequents F, Likes L, Serves S
+//	      WHERE F.person = L.person AND F.bar = S.bar
+//	      AND L.drink = S.drink" | queryvis -schema beers -format all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	queryvis "repro"
+	"repro/internal/dot"
+)
+
+func main() {
+	var (
+		schemaName = flag.String("schema", "chinook",
+			"schema to resolve against: "+strings.Join(queryvis.BuiltinSchemaNames(), ", "))
+		format   = flag.String("format", "dot", "output: dot, svg, text, lt, trc, interpret, all")
+		simplify = flag.Bool("simplify", false, "apply the ∄∄ → ∀∃ simplification (Section 4.7)")
+		showVars = flag.Bool("vars", false, "annotate tables with tuple variables (as in Fig. 1b)")
+		validate = flag.Bool("validate", false, "check the non-degeneracy properties (Section 5.1)")
+	)
+	flag.Parse()
+	if err := run(*schemaName, *format, *simplify, *showVars, *validate, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "queryvis:", err)
+		os.Exit(1)
+	}
+}
+
+func run(schemaName, format string, simplify, showVars, validate bool, args []string) error {
+	s, ok := queryvis.SchemaByName(schemaName)
+	if !ok {
+		return fmt.Errorf("unknown schema %q (have: %s)",
+			schemaName, strings.Join(queryvis.BuiltinSchemaNames(), ", "))
+	}
+	var src []byte
+	var err error
+	switch len(args) {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(args[0])
+	default:
+		return fmt.Errorf("at most one query file expected")
+	}
+	if err != nil {
+		return err
+	}
+	res, err := queryvis.FromSQL(string(src), s, queryvis.Options{Simplify: simplify})
+	if err != nil {
+		return err
+	}
+	if validate {
+		if err := res.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+		}
+	}
+	out := os.Stdout
+	switch format {
+	case "dot":
+		fmt.Fprint(out, res.DOTWith(dot.Options{ShowVars: showVars}))
+	case "svg":
+		fmt.Fprint(out, res.SVG())
+	case "text":
+		fmt.Fprint(out, res.Text())
+	case "lt":
+		fmt.Fprintln(out, res.Tree)
+	case "trc":
+		fmt.Fprintln(out, res.Tree.ToTRC().Indented())
+	case "interpret":
+		fmt.Fprintln(out, res.Interpretation)
+	case "all":
+		fmt.Fprintln(out, "-- TRC --")
+		fmt.Fprintln(out, res.Tree.ToTRC().Indented())
+		fmt.Fprintln(out, "\n-- Logic tree --")
+		fmt.Fprintln(out, res.Tree)
+		fmt.Fprintln(out, "\n-- Interpretation --")
+		fmt.Fprintln(out, res.Interpretation)
+		fmt.Fprintln(out, "\n-- Diagram (text) --")
+		fmt.Fprint(out, res.Text())
+		fmt.Fprintln(out, "\n-- Diagram (DOT) --")
+		fmt.Fprint(out, res.DOTWith(dot.Options{ShowVars: showVars}))
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+func writeQuery(t *testing.T, sql string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "q.sql")
+	if err := os.WriteFile(path, []byte(sql), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testSQL = `SELECT F.person FROM Frequents F
+WHERE NOT EXISTS (SELECT * FROM Serves S WHERE S.bar = F.bar
+  AND NOT EXISTS (SELECT L.drink FROM Likes L
+    WHERE L.person = F.person AND S.drink = L.drink))`
+
+func TestRunFormats(t *testing.T) {
+	path := writeQuery(t, testSQL)
+	cases := []struct {
+		format string
+		want   []string
+	}{
+		{"dot", []string{"digraph", "Frequents"}},
+		{"svg", []string{"<svg", "</svg>", "Frequents"}},
+		{"text", []string{"SELECT", "edges:"}},
+		{"lt", []string{"T: {Frequents F}", "Q: ∄"}},
+		{"trc", []string{"∃F ∈ Frequents", "∄S ∈ Serves"}},
+		{"interpret", []string{"Return F.person"}},
+		{"all", []string{"-- TRC --", "-- Logic tree --", "-- Diagram (DOT) --"}},
+	}
+	for _, c := range cases {
+		out, err := capture(t, func() error {
+			return run("beers", c.format, false, false, false, []string{path})
+		})
+		if err != nil {
+			t.Fatalf("format %s: %v", c.format, err)
+		}
+		for _, w := range c.want {
+			if !strings.Contains(out, w) {
+				t.Errorf("format %s: output missing %q", c.format, w)
+			}
+		}
+	}
+}
+
+func TestRunSimplifyAndVars(t *testing.T) {
+	path := writeQuery(t, testSQL)
+	out, err := capture(t, func() error {
+		return run("beers", "lt", true, false, false, []string{path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Q: ∀") {
+		t.Errorf("simplified LT should contain ∀:\n%s", out)
+	}
+	out, err = capture(t, func() error {
+		return run("beers", "dot", false, true, false, []string{path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `<FONT COLOR="red">`) {
+		t.Error("-vars should annotate tuple variables")
+	}
+}
+
+func TestRunValidateWarnsOnDegenerate(t *testing.T) {
+	path := writeQuery(t, `SELECT F.person FROM Frequents F
+		WHERE NOT EXISTS (SELECT * FROM Serves S WHERE S.bar = 'Owl')`)
+	// Validation failures warn on stderr but still render.
+	out, err := capture(t, func() error {
+		return run("beers", "dot", false, false, true, []string{path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digraph") {
+		t.Error("degenerate query should still render")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeQuery(t, testSQL)
+	if err := run("nope", "dot", false, false, false, []string{path}); err == nil ||
+		!strings.Contains(err.Error(), "unknown schema") {
+		t.Errorf("unknown schema: %v", err)
+	}
+	if _, err := capture(t, func() error {
+		return run("beers", "nope", false, false, false, []string{path})
+	}); err == nil || !strings.Contains(err.Error(), "unknown format") {
+		t.Errorf("unknown format: %v", err)
+	}
+	if err := run("beers", "dot", false, false, false, []string{path, path}); err == nil {
+		t.Error("two file args should fail")
+	}
+	if err := run("beers", "dot", false, false, false, []string{"/nonexistent.sql"}); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := writeQuery(t, "not sql at all")
+	if err := run("beers", "dot", false, false, false, []string{bad}); err == nil {
+		t.Error("invalid SQL should fail")
+	}
+}

@@ -1,0 +1,132 @@
+// Command study runs the simulated QueryVis user study and prints the
+// paper's evaluation artifacts:
+//
+//	study                    Fig. 7 (9 questions) and Fig. 19 (12 questions)
+//	study -questions 9       only the 9-question analysis
+//	study -scatter           Fig. 18 participant scatter and exclusions
+//	study -power             the Appendix C.2 power analysis
+//	study -seed 123          rerun the cohort under a different seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/study"
+)
+
+func main() {
+	var (
+		questions = flag.Int("questions", 0, "9 or 12; 0 runs both analyses")
+		scatter   = flag.Bool("scatter", false, "print the Fig. 18 participant scatter")
+		power     = flag.Bool("power", false, "print the Appendix C.2 power analysis")
+		funnel    = flag.Bool("funnel", false, "print the recruitment funnel (710 → 114 → 80)")
+		payroll   = flag.Bool("payroll", false, "print the incentive-scheme payouts")
+		seed      = flag.Int64("seed", 0, "override the cohort seed (0 keeps the default)")
+	)
+	flag.Parse()
+	if err := run(*questions, *scatter, *power, *funnel, *payroll, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "study:", err)
+		os.Exit(1)
+	}
+}
+
+func run(questions int, scatter, power, funnel, payroll bool, seed int64) error {
+	cfg := study.DefaultConfig()
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	qs := corpus.StudyQuestions()
+	pool := study.Simulate(cfg, qs)
+	legit, excluded := study.Exclude(pool)
+	fmt.Printf("simulated %d participants; %d legitimate, %d excluded (Appendix C.4 procedure)\n\n",
+		len(pool), len(legit), len(excluded))
+
+	if scatter {
+		printScatter(pool)
+		return nil
+	}
+	if funnel {
+		f := study.SimulateFunnel(study.DefaultFunnelConfig(), len(pool))
+		fmt.Printf("qualification funnel: %d attempted → %d passed (≥4/6) → %d started\n",
+			f.Attempted, f.Passed, f.Started)
+		fmt.Println("paper: 710 attempted → 114 passed → 80 started")
+		return nil
+	}
+	if payroll {
+		s := study.Payroll(pool)
+		fmt.Println("incentive scheme (base $5.20 for ≥5 correct within 50 min + staggered speed bonus):")
+		fmt.Println(" ", s)
+		return nil
+	}
+	if power {
+		pw := study.Power(cfg, qs, 12, 0.05, 0.90)
+		fmt.Printf("power analysis (one-tailed, α=5%%, power=90%%) on a pilot of n=%d:\n", pw.PilotN)
+		fmt.Printf("  pilot mean time  SQL %.1fs (sd %.1f)   QV %.1fs (sd %.1f)\n",
+			pw.MeanSQL, pw.SDSQL, pw.MeanQV, pw.SDQV)
+		fmt.Printf("  required n = %d, rounded up to a multiple of 6: %d (paper: 84)\n",
+			pw.RequiredN, pw.RequiredNRounded6)
+		return nil
+	}
+
+	nonGrouping := func(q corpus.Question) bool { return q.Category != corpus.Grouping }
+	rng := rand.New(rand.NewSource(1))
+	if questions == 0 || questions == 9 {
+		a := study.Analyze(rng, legit, qs, nonGrouping)
+		fmt.Println(a.Report("Fig. 7 — 9 questions (grouping excluded)"))
+	}
+	if questions == 0 || questions == 12 {
+		a := study.Analyze(rng, legit, qs, nil)
+		fmt.Println(a.Report("Fig. 19 — all 12 questions"))
+	}
+	if questions != 0 && questions != 9 && questions != 12 {
+		return fmt.Errorf("-questions must be 9 or 12")
+	}
+	fmt.Print(study.AnalyzeOrder(legit).Report())
+	return nil
+}
+
+func printScatter(pool []*study.Participant) {
+	fmt.Println("Fig. 18 — mean time per question vs mistakes (x: seconds, y: mistakes of 12)")
+	pts := study.Scatter(pool)
+	// A coarse terminal scatter: 12 rows (mistakes) x buckets of 10 s.
+	const cols = 15
+	grid := make([][]rune, 13)
+	for i := range grid {
+		grid[i] = make([]rune, cols)
+		for j := range grid[i] {
+			grid[i][j] = '·'
+		}
+	}
+	for _, p := range pts {
+		col := int(p.MeanTime / 10)
+		if col >= cols {
+			col = cols - 1
+		}
+		row := p.Mistakes
+		if row > 12 {
+			row = 12
+		}
+		ch := 'o' // legitimate
+		if !p.Legit {
+			ch = 'x'
+		}
+		grid[row][col] = ch
+	}
+	for m := 12; m >= 0; m-- {
+		fmt.Printf("%2d | %s\n", m, string(grid[m]))
+	}
+	fmt.Printf("   +%s\n", strings.Repeat("-", cols))
+	fmt.Printf("     0s   %*s\n", cols-5, fmt.Sprintf("%ds+", (cols-1)*10))
+	fmt.Println("\nexcluded participants (x):")
+	for _, p := range pts {
+		if !p.Legit {
+			fmt.Printf("  #%02d %-17s mean %5.1fs, %2d mistakes — %s\n",
+				p.ID, "("+p.Kind.String()+")", p.MeanTime, p.Mistakes, p.Reason)
+		}
+	}
+}

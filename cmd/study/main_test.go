@@ -1,0 +1,103 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+func TestRunDefaultPrintsBothAnalyses(t *testing.T) {
+	out, err := capture(t, func() error { return run(0, false, false, false, false, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"42 legitimate, 38 excluded",
+		"Fig. 7 — 9 questions",
+		"Fig. 19 — all 12 questions",
+		"timeQV < timeSQL",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleAnalysis(t *testing.T) {
+	out, err := capture(t, func() error { return run(9, false, false, false, false, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "Fig. 19") {
+		t.Error("-questions 9 should not print the 12-question analysis")
+	}
+	if err := run(7, false, false, false, false, 0); err == nil {
+		t.Error("-questions 7 should be rejected")
+	}
+}
+
+func TestRunScatter(t *testing.T) {
+	out, err := capture(t, func() error { return run(0, true, false, false, false, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig. 18", "excluded participants", "stalling cheater", "gave-up speeder"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scatter output missing %q", want)
+		}
+	}
+}
+
+func TestRunPower(t *testing.T) {
+	out, err := capture(t, func() error { return run(0, false, true, false, false, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rounded up to a multiple of 6: 84") {
+		t.Errorf("power output missing the paper's 84:\n%s", out)
+	}
+}
+
+func TestRunFunnelAndPayroll(t *testing.T) {
+	out, err := capture(t, func() error { return run(0, false, false, true, false, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "710 attempted → 114 passed") {
+		t.Errorf("funnel output wrong:\n%s", out)
+	}
+	out, err = capture(t, func() error { return run(0, false, false, false, true, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "accepted") || !strings.Contains(out, "$") {
+		t.Errorf("payroll output wrong:\n%s", out)
+	}
+}
+
+func TestRunCustomSeed(t *testing.T) {
+	// A different cohort seed still runs end to end (pool sizes may vary
+	// in legitimacy split, which is fine).
+	if _, err := capture(t, func() error { return run(9, false, false, false, false, 12345) }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Patterns: the Appendix-G grid. Three logical patterns (related to NO /
+// ONLY / ALL of the selected targets) over three unrelated schemas
+// produce three visual patterns — each constant across schemas — and the
+// three syntactic variants of Fig. 24 collapse to a single diagram.
+//
+// Run with:
+//
+//	go run ./examples/patterns
+package main
+
+import (
+	"fmt"
+	"log"
+
+	queryvis "repro"
+)
+
+type cell struct {
+	schema  string
+	pattern string
+	sql     string
+}
+
+func grid() []cell {
+	mk := func(schemaName, outer, outerID, sel, mid, midFK, midID, inner, innerID, col, val string) []cell {
+		no := fmt.Sprintf(`SELECT %s FROM %s S WHERE NOT EXISTS(
+			SELECT * FROM %s R WHERE R.%s = S.%s AND EXISTS(
+			SELECT * FROM %s B WHERE B.%s = '%s' AND R.%s = B.%s))`,
+			sel, outer, mid, midFK, outerID, inner, col, val, midID, innerID)
+		only := fmt.Sprintf(`SELECT %s FROM %s S WHERE NOT EXISTS(
+			SELECT * FROM %s R WHERE R.%s = S.%s AND NOT EXISTS(
+			SELECT * FROM %s B WHERE B.%s = '%s' AND R.%s = B.%s))`,
+			sel, outer, mid, midFK, outerID, inner, col, val, midID, innerID)
+		all := fmt.Sprintf(`SELECT %s FROM %s S WHERE NOT EXISTS(
+			SELECT * FROM %s B WHERE B.%s = '%s' AND NOT EXISTS(
+			SELECT * FROM %s R WHERE R.%s = B.%s AND R.%s = S.%s))`,
+			sel, outer, inner, col, val, mid, midID, innerID, midFK, outerID)
+		return []cell{
+			{schemaName, "no", no}, {schemaName, "only", only}, {schemaName, "all", all},
+		}
+	}
+	var out []cell
+	out = append(out, mk("sailors", "Sailor", "sid", "S.sname", "Reserves", "sid", "bid", "Boat", "bid", "color", "red")...)
+	out = append(out, mk("students", "Student", "sid", "S.sname", "Takes", "sid", "cid", "Class", "cid", "department", "art")...)
+	out = append(out, mk("actors", "Actor", "aid", "S.aname", "Casts", "aid", "mid", "Movie", "mid", "director", "Hitchcock")...)
+	return out
+}
+
+func main() {
+	diagrams := map[string]map[string]*queryvis.Diagram{}
+	for _, c := range grid() {
+		s, ok := queryvis.SchemaByName(c.schema)
+		if !ok {
+			log.Fatalf("unknown schema %s", c.schema)
+		}
+		res, err := queryvis.FromSQL(c.sql, s, queryvis.Options{})
+		if err != nil {
+			log.Fatalf("%s/%s: %v", c.schema, c.pattern, err)
+		}
+		if diagrams[c.pattern] == nil {
+			diagrams[c.pattern] = map[string]*queryvis.Diagram{}
+		}
+		diagrams[c.pattern][c.schema] = res.Diagram
+	}
+
+	fmt.Println("Fig. 26 — does each pattern column share one visual pattern across schemas?")
+	fmt.Printf("%-8s %-34s %-10s\n", "pattern", "comparison", "isomorphic")
+	for _, p := range []string{"no", "only", "all"} {
+		d := diagrams[p]
+		fmt.Printf("%-8s %-34s %v\n", p, "sailors vs students",
+			queryvis.SamePattern(d["sailors"], d["students"]))
+		fmt.Printf("%-8s %-34s %v\n", p, "sailors vs actors",
+			queryvis.SamePattern(d["sailors"], d["actors"]))
+	}
+	fmt.Println("\nand across columns the patterns differ:")
+	fmt.Println("  no  vs only:", queryvis.SamePattern(diagrams["no"]["sailors"], diagrams["only"]["sailors"]))
+	fmt.Println("  only vs all:", queryvis.SamePattern(diagrams["only"]["sailors"], diagrams["all"]["sailors"]))
+
+	// Fig. 24: three syntactic variants of "only red boats", one diagram.
+	variants := []string{
+		`SELECT S.sname FROM Sailor S WHERE NOT EXISTS(
+		   SELECT * FROM Reserves R WHERE R.sid = S.sid AND NOT EXISTS(
+		   SELECT * FROM Boat B WHERE B.color = 'red' AND R.bid = B.bid))`,
+		`SELECT S.sname FROM Sailor S WHERE S.sid NOT IN(
+		   SELECT R.sid FROM Reserves R WHERE R.bid NOT IN(
+		   SELECT B.bid FROM Boat B WHERE B.color = 'red'))`,
+		`SELECT S.sname FROM Sailor S WHERE NOT S.sid = ANY(
+		   SELECT R.sid FROM Reserves R WHERE NOT R.bid = ANY(
+		   SELECT B.bid FROM Boat B WHERE B.color = 'red'))`,
+	}
+	s, _ := queryvis.SchemaByName("sailors")
+	var first *queryvis.Diagram
+	same := true
+	for _, v := range variants {
+		res, err := queryvis.FromSQL(v, s, queryvis.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if first == nil {
+			first = res.Diagram
+			continue
+		}
+		if !queryvis.EqualDiagrams(first, res.Diagram) {
+			same = false
+		}
+	}
+	fmt.Println("\nFig. 24 — NOT EXISTS / NOT IN / NOT =ANY produce the identical diagram:", same)
+
+	// And the diagram means what it says: run "only red boats" on data.
+	db, _ := queryvis.SampleDatabase("sailors")
+	out, err := queryvis.Execute(db, variants[0], s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsailors who reserve only red boats on the sample database:")
+	fmt.Print(out)
+}

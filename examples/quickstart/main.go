@@ -1,0 +1,55 @@
+// Quickstart: turn one SQL query into a QueryVis diagram.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	queryvis "repro"
+)
+
+func main() {
+	// Qonly from Fig. 3b: persons who frequent some bar that serves ONLY
+	// drinks they like. SQL needs a double negation for this; the diagram
+	// uses a single ∀ box.
+	const sql = `
+		SELECT F.person
+		FROM Frequents F
+		WHERE NOT EXISTS (
+		  SELECT * FROM Serves S
+		  WHERE S.bar = F.bar
+		  AND NOT EXISTS (
+		    SELECT L.drink FROM Likes L
+		    WHERE L.person = F.person AND S.drink = L.drink))`
+
+	s, _ := queryvis.SchemaByName("beers")
+	res, err := queryvis.FromSQL(sql, s, queryvis.Options{Simplify: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Natural-language reading (Section 4.6):")
+	fmt.Println(" ", res.Interpretation)
+
+	fmt.Println("\nLogic tree (Fig. 5 notation):")
+	fmt.Println(res.Tree)
+
+	fmt.Println("\nDiagram as text:")
+	fmt.Print(res.Text())
+
+	fmt.Println("\nGraphViz DOT (save and render with `dot -Tpng`):")
+	fmt.Print(res.DOT())
+
+	// Execute the query on the bundled sample data.
+	db, _ := queryvis.SampleDatabase("beers")
+	out, err := queryvis.Execute(db, sql, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nResult on the sample database:")
+	fmt.Print(out)
+}

@@ -1,0 +1,93 @@
+// Repository: the paper's motivating scenario (Section 1) — browsing a
+// repository of stored SQL queries by logical pattern. Queries over
+// unrelated schemas that share one pattern land in one bucket, and a
+// fresh query can be matched against the repository to find templates to
+// start from.
+//
+// Run with:
+//
+//	go run ./examples/repository
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	queryvis "repro"
+)
+
+func main() {
+	cat := queryvis.NewCatalog()
+
+	add := func(name, schemaName, sql string) {
+		s, ok := queryvis.SchemaByName(schemaName)
+		if !ok {
+			log.Fatalf("unknown schema %s", schemaName)
+		}
+		if _, err := cat.Add(name, sql, s); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A repository spanning three schemas and several logical shapes.
+	add("sailors: some red boat", "sailors", `
+		SELECT S.sname FROM Sailor S, Reserves R, Boat B
+		WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'`)
+	add("sailors: only red boats", "sailors", `
+		SELECT S.sname FROM Sailor S WHERE NOT EXISTS(
+		  SELECT * FROM Reserves R WHERE R.sid = S.sid AND NOT EXISTS(
+		    SELECT * FROM Boat B WHERE B.color = 'red' AND R.bid = B.bid))`)
+	add("students: only art classes", "students", `
+		SELECT S.sname FROM Student S WHERE NOT EXISTS(
+		  SELECT * FROM Takes T WHERE T.sid = S.sid AND NOT EXISTS(
+		    SELECT * FROM Class C WHERE C.department = 'art' AND C.cid = T.cid))`)
+	add("actors: only Hitchcock movies", "actors", `
+		SELECT A.aname FROM Actor A WHERE NOT EXISTS(
+		  SELECT * FROM Casts C WHERE C.aid = A.aid AND NOT EXISTS(
+		    SELECT * FROM Movie M WHERE M.director = 'Hitchcock' AND M.mid = C.mid))`)
+	add("actors: in all Hitchcock movies", "actors", `
+		SELECT A.aname FROM Actor A WHERE NOT EXISTS(
+		  SELECT * FROM Movie M WHERE M.director = 'Hitchcock' AND NOT EXISTS(
+		    SELECT * FROM Casts C WHERE C.mid = M.mid AND C.aid = A.aid))`)
+
+	fmt.Printf("repository holds %d queries in %d pattern buckets:\n\n",
+		cat.Len(), len(cat.Groups()))
+	for i, g := range cat.Groups() {
+		fmt.Printf("pattern %d (%d queries):\n", i+1, len(g.Entries))
+		for _, e := range g.Entries {
+			fmt.Printf("  - %s\n", e.Name)
+		}
+	}
+
+	// A developer writes a new query over a schema the repository has
+	// never seen and asks: "do we already have something shaped like
+	// this?"
+	s := queryvis.NewSchema("shop")
+	s.AddTable("Customer", "cid", "cname")
+	s.AddTable("Orders", "cid", "pid")
+	s.AddTable("Product", "pid", "kind")
+	fresh := `SELECT C.cname FROM Customer C WHERE NOT EXISTS(
+		SELECT * FROM Orders O WHERE O.cid = C.cid AND NOT EXISTS(
+		  SELECT * FROM Product P WHERE P.kind = 'book' AND O.pid = P.pid))`
+	matches, err := cat.SimilarToSQL(fresh, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntemplates matching the new 'customers buying only books' query:")
+	for _, e := range matches {
+		fmt.Printf("  - %s\n", e.Name)
+	}
+	if len(matches) == 0 {
+		fmt.Println("  (none)")
+	}
+
+	// The fingerprint itself is stable and schema-independent.
+	res, err := queryvis.FromSQL(fresh, s, queryvis.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fp := queryvis.PatternFingerprint(res.Diagram)
+	fmt.Printf("\nfingerprint prefix of the 'only' pattern: %s…\n",
+		strings.SplitN(fp, ";", 2)[0])
+}

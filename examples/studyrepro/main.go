@@ -1,0 +1,37 @@
+// Studyrepro: rerun the paper's user study evaluation (Section 6) on the
+// simulated participant cohort — cohort generation, the exclusion
+// procedure, the preregistered 9-question analysis (Fig. 7), the full
+// 12-question analysis (Fig. 19), and the power analysis (Appendix C.2).
+//
+// Run with:
+//
+//	go run ./examples/studyrepro
+package main
+
+import (
+	"fmt"
+
+	queryvis "repro"
+)
+
+func main() {
+	cfg := queryvis.DefaultStudyConfig()
+	questions := queryvis.StudyQuestions()
+
+	legit, excluded := queryvis.SimulateStudy(cfg, questions)
+	fmt.Printf("cohort: %d legitimate, %d excluded (paper: 42 and 38)\n\n",
+		len(legit), len(excluded))
+
+	nonGrouping := func(q queryvis.StudyQuestion) bool {
+		return q.Category.String() != "grouping"
+	}
+	a9 := queryvis.AnalyzeStudy(1, legit, questions, nonGrouping)
+	fmt.Println(a9.Report("Fig. 7 — 9 questions"))
+
+	a12 := queryvis.AnalyzeStudy(1, legit, questions, nil)
+	fmt.Println(a12.Report("Fig. 19 — 12 questions"))
+
+	pw := queryvis.StudyPower(cfg, questions, 12, 0.05, 0.90)
+	fmt.Printf("power analysis: pilot n=%d → required n=%d, rounded to %d (paper: 84)\n",
+		pw.PilotN, pw.RequiredN, pw.RequiredNRounded6)
+}

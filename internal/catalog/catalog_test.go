@@ -1,0 +1,152 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/schema"
+)
+
+// fill adds the nine Appendix-G queries under names like "sailors/only".
+func fill(t *testing.T, c *Catalog) {
+	t.Helper()
+	for _, g := range corpus.AppendixG() {
+		name := g.Schema.Name + "/" + g.Pattern.String()
+		if _, err := c.Add(name, g.SQL, g.Schema); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCatalogGroupsByPattern(t *testing.T) {
+	c := New()
+	fill(t, c)
+	if c.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", c.Len())
+	}
+	groups := c.Groups()
+	if len(groups) != 3 {
+		t.Fatalf("got %d pattern groups, want 3 (no/only/all):", len(groups))
+	}
+	for _, g := range groups {
+		if len(g.Entries) != 3 {
+			t.Errorf("group %q has %d entries, want 3", g.Key[:20], len(g.Entries))
+		}
+		// The three entries of one group span the three schemas.
+		schemas := map[string]bool{}
+		pattern := ""
+		for _, e := range g.Entries {
+			schemas[e.Schema.Name] = true
+			p := strings.Split(e.Name, "/")[1]
+			if pattern == "" {
+				pattern = p
+			} else if pattern != p {
+				t.Errorf("group mixes patterns %s and %s", pattern, p)
+			}
+		}
+		if len(schemas) != 3 {
+			t.Errorf("group does not span all three schemas: %v", schemas)
+		}
+	}
+}
+
+func TestSimilarTo(t *testing.T) {
+	c := New()
+	fill(t, c)
+	sim := c.SimilarTo("sailors/only")
+	if len(sim) != 2 {
+		t.Fatalf("got %d similar queries, want 2", len(sim))
+	}
+	names := map[string]bool{}
+	for _, e := range sim {
+		names[e.Name] = true
+	}
+	if !names["students/only"] || !names["actors/only"] {
+		t.Errorf("similar set = %v", names)
+	}
+	if got := c.SimilarTo("nope"); got != nil {
+		t.Error("unknown name should return nil")
+	}
+}
+
+func TestSimilarToSQLAdHoc(t *testing.T) {
+	c := New()
+	fill(t, c)
+	// An ad-hoc query over a fourth, unseen schema with the "only" shape.
+	s := schema.New("library")
+	s.AddTable("Reader", "rid", "rname")
+	s.AddTable("Borrows", "rid", "bid")
+	s.AddTable("Book", "bid", "genre")
+	adhoc := `SELECT R1.rname FROM Reader R1
+		WHERE NOT EXISTS (SELECT * FROM Borrows B1 WHERE B1.rid = R1.rid
+		  AND NOT EXISTS (SELECT * FROM Book K WHERE K.genre = 'scifi' AND B1.bid = K.bid))`
+	sim, err := c.SimilarToSQL(adhoc, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sim) != 3 {
+		t.Fatalf("got %d matches, want the 3 'only' queries", len(sim))
+	}
+	for _, e := range sim {
+		if !strings.HasSuffix(e.Name, "/only") {
+			t.Errorf("unexpected match %s", e.Name)
+		}
+	}
+}
+
+func TestDuplicateNamesRejected(t *testing.T) {
+	c := New()
+	s := schema.Sailors()
+	const q = "SELECT S.sname FROM Sailor S"
+	if _, err := c.Add("q", q, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Add("q", q, s); err == nil {
+		t.Error("duplicate name should be rejected")
+	}
+	if _, err := c.Add("bad", "not sql", s); err == nil {
+		t.Error("invalid SQL should be rejected")
+	}
+	e, ok := c.Lookup("q")
+	if !ok || e.SQL != q {
+		t.Error("Lookup broken")
+	}
+}
+
+func TestPatternKeyAgreesWithIsomorphism(t *testing.T) {
+	// Keys are equal exactly when diagrams are Pattern-isomorphic, across
+	// the whole Appendix-G grid.
+	c := New()
+	fill(t, c)
+	for _, a := range c.entries {
+		for _, b := range c.entries {
+			sameKey := a.Key == b.Key
+			iso := core.Isomorphic(a.Diagram, b.Diagram, core.Pattern)
+			if sameKey != iso {
+				t.Errorf("%s vs %s: key equality %v but isomorphism %v",
+					a.Name, b.Name, sameKey, iso)
+			}
+		}
+	}
+}
+
+func TestUniqueSetPatternReuse(t *testing.T) {
+	// Section 1.1: the unique-set pattern over two different questions is
+	// one bucket.
+	c := New()
+	beers := schema.Beers()
+	if _, err := c.Add("unique-drinkers", corpus.Fig1UniqueSet, beers); err != nil {
+		t.Fatal(err)
+	}
+	uniqueBars := strings.NewReplacer(
+		"Likes", "Frequents", "drinker", "bar", "beer", "person",
+	).Replace(corpus.Fig1UniqueSet)
+	if _, err := c.Add("unique-bars", uniqueBars, beers); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.SimilarTo("unique-drinkers")) != 1 {
+		t.Error("unique-set queries should share one pattern bucket")
+	}
+}

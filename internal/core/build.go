@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/logictree"
+	"repro/internal/sqlparse"
+	"repro/internal/trc"
+)
+
+// Build constructs the QueryVis diagram for a logic tree, implementing
+// the five construction steps of Appendix A.3:
+//
+//  1. create one table node per table instance, in breadth-first block
+//     order (so depth-0 tables get the lowest IDs);
+//  2. create a bounding box per ∄ or ∀ block (root and ∃ blocks: none);
+//  3. write selection predicates in place as highlighted rows;
+//  4. create edges for join predicates, directed and labeled by the
+//     arrow rules;
+//  5. create the SELECT box and connect it to the selected attributes.
+//
+// Build does not require the tree to be non-degenerate — any structurally
+// sane tree can be drawn — but only valid trees (lt.Validate() == nil) are
+// guaranteed to produce unambiguous diagrams.
+func Build(lt *logictree.LT) (*Diagram, error) {
+	b := &builder{
+		lt: lt,
+		d: &Diagram{
+			depth:   map[int]int{},
+			groupID: map[int]int{},
+		},
+		tableOf: map[string]int{},
+		depthOf: map[string]int{},
+		nodeOf:  map[string]*logictree.Node{},
+		groupOf: map[*logictree.Node]int{},
+	}
+	b.d.Tables = append(b.d.Tables, &TableNode{ID: SelectBoxID, Name: "SELECT"})
+
+	// Step 1+2: breadth-first over blocks.
+	queue := []*logictree.Node{lt.Root}
+	depths := map[*logictree.Node]int{lt.Root: 0}
+	group := 0
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		group++
+		b.groupOf[n] = group
+		var ids []int
+		for _, t := range n.Tables {
+			if _, dup := b.tableOf[t.Var]; dup {
+				return nil, fmt.Errorf("duplicate tuple variable %q", t.Var)
+			}
+			id := len(b.d.Tables)
+			b.d.Tables = append(b.d.Tables, &TableNode{ID: id, Var: t.Var, Name: t.Relation})
+			b.tableOf[t.Var] = id
+			b.depthOf[t.Var] = depths[n]
+			b.nodeOf[t.Var] = n
+			b.d.depth[id] = depths[n]
+			b.d.groupID[id] = group
+			ids = append(ids, id)
+		}
+		if n.Quant == trc.NotExists || n.Quant == trc.ForAll {
+			b.d.Boxes = append(b.d.Boxes, Box{Quant: n.Quant, Tables: ids})
+		}
+		for _, c := range n.Children {
+			depths[c] = depths[n] + 1
+			queue = append(queue, c)
+		}
+	}
+
+	// Step 5 first half: SELECT-box rows exist before predicate rows so
+	// that selected attributes appear at the top of their tables, as in
+	// the paper's figures.
+	if err := b.addSelect(); err != nil {
+		return nil, err
+	}
+	for _, g := range lt.GroupBy {
+		id, ok := b.tableOf[g.Var]
+		if !ok {
+			return nil, fmt.Errorf("GROUP BY references unknown variable %q", g.Var)
+		}
+		row := b.ensureAttrRow(id, g.Column)
+		b.d.Tables[id].Rows[row].Kind = RowGroupBy
+	}
+
+	// Steps 3+4: predicates, in breadth-first block order.
+	if err := b.addPredicates(); err != nil {
+		return nil, err
+	}
+	return b.d, nil
+}
+
+// MustBuild is Build but panics on error; for static corpora and tests.
+func MustBuild(lt *logictree.LT) *Diagram {
+	d, err := Build(lt)
+	if err != nil {
+		panic("core.MustBuild: " + err.Error())
+	}
+	return d
+}
+
+type builder struct {
+	lt      *logictree.LT
+	d       *Diagram
+	tableOf map[string]int
+	depthOf map[string]int
+	nodeOf  map[string]*logictree.Node
+	groupOf map[*logictree.Node]int
+}
+
+// ensureAttrRow returns the index of the plain attribute row for attr in
+// the table, adding one if needed. Selection rows never match: a join and
+// a selection on the same attribute produce distinct rows.
+func (b *builder) ensureAttrRow(table int, attr string) int {
+	t := b.d.Tables[table]
+	for i, r := range t.Rows {
+		if r.Kind != RowSelection && r.Agg == sqlparse.AggNone && r.Attr == attr {
+			return i
+		}
+	}
+	t.Rows = append(t.Rows, Row{Kind: RowAttr, Attr: attr})
+	return len(t.Rows) - 1
+}
+
+// ensureAggRow returns the index of the aggregate row (e.g. SUM(Quantity))
+// in the table, adding one if needed.
+func (b *builder) ensureAggRow(table int, agg sqlparse.Agg, attr string) int {
+	t := b.d.Tables[table]
+	for i, r := range t.Rows {
+		if r.Agg == agg && r.Attr == attr && !r.Star {
+			return i
+		}
+	}
+	t.Rows = append(t.Rows, Row{Kind: RowAttr, Agg: agg, Attr: attr})
+	return len(t.Rows) - 1
+}
+
+func (b *builder) addSelect() error {
+	sel := b.d.Tables[SelectBoxID]
+	for _, item := range b.lt.Select {
+		selRow := len(sel.Rows)
+		if item.Star {
+			sel.Rows = append(sel.Rows, Row{Kind: RowAttr, Agg: item.Agg, Star: true})
+			continue // COUNT(*) has no attribute to anchor an edge to
+		}
+		sel.Rows = append(sel.Rows, Row{Kind: RowAttr, Agg: item.Agg, Attr: item.Attr.Column})
+		id, ok := b.tableOf[item.Attr.Var]
+		if !ok {
+			return fmt.Errorf("select list references unknown variable %q", item.Attr.Var)
+		}
+		var target int
+		if item.Agg == sqlparse.AggNone {
+			target = b.ensureAttrRow(id, item.Attr.Column)
+		} else {
+			target = b.ensureAggRow(id, item.Agg, item.Attr.Column)
+		}
+		b.d.Edges = append(b.d.Edges, Edge{
+			Kind: EdgeSelect,
+			From: EdgeEnd{Table: SelectBoxID, Row: selRow},
+			To:   EdgeEnd{Table: id, Row: target},
+			Op:   sqlparse.OpEq,
+		})
+	}
+	return nil
+}
+
+func (b *builder) addPredicates() error {
+	queue := []*logictree.Node{b.lt.Root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, p := range n.Preds {
+			if err := b.addPred(p); err != nil {
+				return err
+			}
+		}
+		queue = append(queue, n.Children...)
+	}
+	return nil
+}
+
+func (b *builder) addPred(p trc.Pred) error {
+	// Selection predicate: write it in place (step 3), with the attribute
+	// on the left of the operator.
+	if p.IsSelection() {
+		attr, c, op, off := p.Left.Attr, p.Right.Const, p.Op, p.Left.Offset
+		if p.Left.IsConst() {
+			attr, c, op, off = p.Right.Attr, p.Left.Const, p.Op.Flip(), p.Right.Offset
+		}
+		id, ok := b.tableOf[attr.Var]
+		if !ok {
+			return fmt.Errorf("predicate %s references unknown variable %q", p, attr.Var)
+		}
+		t := b.d.Tables[id]
+		t.Rows = append(t.Rows, Row{
+			Kind: RowSelection, Attr: attr.Column, Op: op, Value: c.String(), Offset: off,
+		})
+		return nil
+	}
+
+	// Join predicate (step 4).
+	l, r := p.Left.Attr, p.Right.Attr
+	lt, lok := b.tableOf[l.Var]
+	rt, rok := b.tableOf[r.Var]
+	if !lok || !rok {
+		return fmt.Errorf("predicate %s references an unknown variable", p)
+	}
+	lrow := b.ensureAttrRow(lt, l.Column)
+	rrow := b.ensureAttrRow(rt, r.Column)
+	ld, rd := b.depthOf[l.Var], b.depthOf[r.Var]
+	// Normalize arithmetic offsets onto the right-hand side:
+	// a+k1 op b+k2  ≡  a op b + (k2-k1).
+	netOffset := p.Right.Offset - p.Left.Offset
+
+	if b.nodeOf[l.Var] == b.nodeOf[r.Var] {
+		// Same query block: undirected line; an arrowhead is added only to
+		// fix operand order for asymmetric operators.
+		e := Edge{
+			Kind:   EdgeJoin,
+			From:   EdgeEnd{Table: lt, Row: lrow},
+			To:     EdgeEnd{Table: rt, Row: rrow},
+			Op:     p.Op,
+			Offset: netOffset,
+		}
+		if (p.Op != sqlparse.OpEq && p.Op != sqlparse.OpNe) || netOffset != 0 {
+			e.Kind = EdgeOrder
+			e.Directed = true
+		}
+		b.d.Edges = append(b.d.Edges, e)
+		return nil
+	}
+	if ld == rd {
+		return fmt.Errorf("predicate %s joins two distinct blocks at the same depth %d; only ancestor scopes are referencable", p, ld)
+	}
+	if !b.isAncestor(l.Var, r.Var) && !b.isAncestor(r.Var, l.Var) {
+		return fmt.Errorf("predicate %s joins blocks that are not in an ancestor relationship", p)
+	}
+
+	// Arrow rules (Appendix A.3 step 4): depth difference 1 → arrow from
+	// the shallower to the deeper table; difference > 1 → arrow from the
+	// deeper to the shallower. The operator is re-oriented to read in
+	// arrow direction (Section 4.5.1).
+	diff := ld - rd
+	if diff < 0 {
+		diff = -diff
+	}
+	fromLeft := true
+	switch {
+	case diff == 1 && ld > rd:
+		fromLeft = false
+	case diff > 1 && ld < rd:
+		fromLeft = false
+	}
+	e := Edge{Kind: EdgeJoin, Directed: true, Op: p.Op, Offset: netOffset}
+	if fromLeft {
+		e.From = EdgeEnd{Table: lt, Row: lrow}
+		e.To = EdgeEnd{Table: rt, Row: rrow}
+	} else {
+		e.From = EdgeEnd{Table: rt, Row: rrow}
+		e.To = EdgeEnd{Table: lt, Row: lrow}
+		e.Op = p.Op.Flip()
+		e.Offset = -netOffset
+	}
+	b.d.Edges = append(b.d.Edges, e)
+	return nil
+}
+
+// isAncestor reports whether the block defining a is a proper ancestor of
+// the block defining b.
+func (b *builder) isAncestor(a, c string) bool {
+	na, nc := b.nodeOf[a], b.nodeOf[c]
+	found := false
+	var walk func(n *logictree.Node, under bool)
+	walk = func(n *logictree.Node, under bool) {
+		if n == nc && under {
+			found = true
+		}
+		for _, ch := range n.Children {
+			walk(ch, under || n == na)
+		}
+	}
+	walk(b.lt.Root, false)
+	return found
+}

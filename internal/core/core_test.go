@@ -1,0 +1,597 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/logictree"
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+	"repro/internal/trc"
+)
+
+// buildDiagram runs the full pipeline: parse → resolve → TRC → LT →
+// flatten → (optional simplify) → diagram.
+func buildDiagram(t *testing.T, src string, s *schema.Schema, simplify bool) (*Diagram, *logictree.LT) {
+	t.Helper()
+	q, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r, err := sqlparse.Resolve(q, s)
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	e, err := trc.Convert(q, r)
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	lt := logictree.FromTRC(e).Flatten()
+	if simplify {
+		lt.Simplify()
+	}
+	d, err := Build(lt)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return d, lt
+}
+
+const uniqueSetSQL = `
+SELECT L1.drinker
+FROM Likes L1
+WHERE NOT EXISTS(
+  SELECT * FROM Likes L2
+  WHERE L1.drinker <> L2.drinker
+  AND NOT EXISTS(
+    SELECT * FROM Likes L3
+    WHERE L3.drinker = L2.drinker
+    AND NOT EXISTS(
+      SELECT * FROM Likes L4
+      WHERE L4.drinker = L1.drinker AND L4.beer = L3.beer))
+  AND NOT EXISTS(
+    SELECT * FROM Likes L5
+    WHERE L5.drinker = L1.drinker
+    AND NOT EXISTS(
+      SELECT * FROM Likes L6
+      WHERE L6.drinker = L2.drinker AND L6.beer = L5.beer)))`
+
+const qSomeSQL = `
+SELECT F.person
+FROM Frequents F, Likes L, Serves S
+WHERE F.person = L.person AND F.bar = S.bar AND L.drink = S.drink`
+
+const qOnlySQL = `
+SELECT F.person
+FROM Frequents F
+WHERE not exists
+  (SELECT * FROM Serves S
+   WHERE S.bar = F.bar
+   AND not exists
+     (SELECT L.drink FROM Likes L
+      WHERE L.person = F.person AND S.drink = L.drink))`
+
+// tableByVar finds the diagram node created for a tuple variable.
+func tableByVar(t *testing.T, d *Diagram, v string) *TableNode {
+	t.Helper()
+	for _, tn := range d.Tables {
+		if tn.Var == v {
+			return tn
+		}
+	}
+	t.Fatalf("no table for variable %s", v)
+	return nil
+}
+
+// findEdge locates the join edge between the tables of two variables.
+func findEdge(t *testing.T, d *Diagram, fromVar, toVar string) *Edge {
+	t.Helper()
+	from, to := tableByVar(t, d, fromVar).ID, tableByVar(t, d, toVar).ID
+	for i := range d.Edges {
+		e := &d.Edges[i]
+		if e.Kind == EdgeSelect {
+			continue
+		}
+		if e.From.Table == from && e.To.Table == to {
+			return e
+		}
+	}
+	t.Fatalf("no edge %s -> %s in\n%s", fromVar, toVar, d)
+	return nil
+}
+
+func TestUniqueSetDiagram(t *testing.T) {
+	// Fig. 1b / Fig. 12a: the unsimplified unique-set diagram.
+	d, _ := buildDiagram(t, uniqueSetSQL, schema.Beers(), false)
+	if len(d.Tables) != 7 { // SELECT + L1..L6
+		t.Fatalf("got %d tables, want 7:\n%s", len(d.Tables), d)
+	}
+	if got := d.BoxCount(trc.NotExists); got != 5 {
+		t.Errorf("got %d ∄ boxes, want 5 (L2..L6)", got)
+	}
+	if got := d.BoxCount(trc.ForAll); got != 0 {
+		t.Errorf("got %d ∀ boxes, want 0 before simplification", got)
+	}
+
+	// Appendix A arrow directions.
+	type arrow struct{ from, to string }
+	wantDirected := []arrow{
+		{"L1", "L2"}, // depth 0→1, labeled <>
+		{"L2", "L3"}, // depth 1→2
+		{"L4", "L1"}, // depth 3→0 (difference > 1: deeper → shallower)
+		{"L3", "L4"}, // depth 2→3
+		{"L5", "L1"}, // depth 2→0
+		{"L6", "L2"}, // depth 3→1
+		{"L5", "L6"}, // depth 2→3
+	}
+	for _, a := range wantDirected {
+		e := findEdge(t, d, a.from, a.to)
+		if !e.Directed {
+			t.Errorf("edge %s->%s should be directed", a.from, a.to)
+		}
+	}
+	if e := findEdge(t, d, "L1", "L2"); e.Op != sqlparse.OpNe {
+		t.Errorf("L1->L2 op = %v, want <>", e.Op)
+	}
+	if e := findEdge(t, d, "L3", "L4"); e.Label() != "" {
+		t.Errorf("equijoin edge should be unlabeled, got %q", e.Label())
+	}
+}
+
+func TestUniqueSetSimplifiedDiagram(t *testing.T) {
+	// Fig. 12b: after simplification L3/L5 carry ∀ boxes and L4/L6 are
+	// unboxed.
+	d, _ := buildDiagram(t, uniqueSetSQL, schema.Beers(), true)
+	if got := d.BoxCount(trc.ForAll); got != 2 {
+		t.Errorf("got %d ∀ boxes, want 2", got)
+	}
+	if got := d.BoxCount(trc.NotExists); got != 1 {
+		t.Errorf("got %d ∄ boxes, want 1 (L2)", got)
+	}
+	for _, v := range []string{"L4", "L6"} {
+		if d.BoxOf(tableByVar(t, d, v).ID) != nil {
+			t.Errorf("%s should be unboxed after simplification", v)
+		}
+	}
+	// Arrow directions are unchanged by simplification.
+	if e := findEdge(t, d, "L5", "L6"); !e.Directed {
+		t.Error("L5->L6 should stay directed")
+	}
+}
+
+func TestReadingOrderUniqueSet(t *testing.T) {
+	// Section 4.6 footnote 1: the reading order is SELECT, L1→L2→L3→L4,
+	// then a restart at source L5 and L5→L6.
+	d, _ := buildDiagram(t, uniqueSetSQL, schema.Beers(), false)
+	order := d.ReadingOrder()
+	var vars []string
+	for _, id := range order {
+		if id == SelectBoxID {
+			vars = append(vars, "SELECT")
+		} else {
+			vars = append(vars, d.Table(id).Var)
+		}
+	}
+	want := []string{"SELECT", "L1", "L2", "L3", "L4", "L5", "L6"}
+	if !reflect.DeepEqual(vars, want) {
+		t.Errorf("reading order = %v, want %v", vars, want)
+	}
+}
+
+func TestQSomeDiagram(t *testing.T) {
+	// Fig. 2a: conjunctive query — schema-like, no boxes, undirected lines.
+	d, _ := buildDiagram(t, qSomeSQL, schema.Beers(), false)
+	if len(d.Boxes) != 0 {
+		t.Errorf("conjunctive query should have no boxes, got %d", len(d.Boxes))
+	}
+	if len(d.Tables) != 4 {
+		t.Errorf("got %d tables, want 4", len(d.Tables))
+	}
+	for _, e := range d.Edges {
+		if e.Kind == EdgeJoin && e.Directed {
+			t.Errorf("conjunctive joins must be undirected, got directed edge %+v", e)
+		}
+	}
+	order := d.ReadingOrder()
+	if len(order) != 4 {
+		t.Errorf("reading order covers %d tables, want 4", len(order))
+	}
+}
+
+func TestQOnlyDiagrams(t *testing.T) {
+	// Fig. 2b (two ∄ boxes) and Fig. 2c (one ∀, the ∃ leaf unboxed).
+	raw, _ := buildDiagram(t, qOnlySQL, schema.Beers(), false)
+	if raw.BoxCount(trc.NotExists) != 2 || raw.BoxCount(trc.ForAll) != 0 {
+		t.Errorf("Fig 2b boxes: ∄=%d ∀=%d, want 2/0",
+			raw.BoxCount(trc.NotExists), raw.BoxCount(trc.ForAll))
+	}
+	simp, _ := buildDiagram(t, qOnlySQL, schema.Beers(), true)
+	if simp.BoxCount(trc.NotExists) != 0 || simp.BoxCount(trc.ForAll) != 1 {
+		t.Errorf("Fig 2c boxes: ∄=%d ∀=%d, want 0/1",
+			simp.BoxCount(trc.NotExists), simp.BoxCount(trc.ForAll))
+	}
+	// Arrow directions in Fig. 2b: F→S (depth 0→1), S→L (1→2), L→F (2→0).
+	for _, a := range [][2]string{{"F", "S"}, {"S", "L"}, {"L", "F"}} {
+		if e := findEdge(t, raw, a[0], a[1]); !e.Directed {
+			t.Errorf("edge %s->%s should be directed", a[0], a[1])
+		}
+	}
+}
+
+func TestSection48Complexity(t *testing.T) {
+	// Section 4.8(3): Fig. 2b has modestly more visual elements than
+	// Fig. 2a (paper: +13%), the ∀ form (Fig. 2c) even fewer (paper: +7%),
+	// while the SQL text grows much faster (paper: +167% words).
+	some, _ := buildDiagram(t, qSomeSQL, schema.Beers(), false)
+	only, _ := buildDiagram(t, qOnlySQL, schema.Beers(), false)
+	onlySimp, _ := buildDiagram(t, qOnlySQL, schema.Beers(), true)
+
+	ms, mo, mos := some.MarkCount(), only.MarkCount(), onlySimp.MarkCount()
+	// Counting arrowheads as a channel of the line mark reproduces the
+	// paper's numbers exactly: Fig. 2b has 13% more elements than
+	// Fig. 2a, and the ∀ form (Fig. 2c) only 7% more.
+	if ms != 15 || mo != 17 || mos != 16 {
+		t.Errorf("mark counts = %d/%d/%d, want 15/17/16 (paper: +13%% and +7%%)", ms, mo, mos)
+	}
+	growth := float64(mo-ms) / float64(ms)
+	ws, wo := sqlparse.WordCount(qSomeSQL), sqlparse.WordCount(qOnlySQL)
+	sqlGrowth := float64(wo-ws) / float64(ws)
+	if sqlGrowth <= growth {
+		t.Errorf("SQL word growth (%.0f%%) should exceed visual growth (%.0f%%)",
+			sqlGrowth*100, growth*100)
+	}
+	simpGrowth := float64(mos-ms) / float64(ms)
+	if simpGrowth > growth {
+		t.Errorf("∀ simplification growth (%.0f%%) should not exceed raw growth (%.0f%%)",
+			simpGrowth*100, growth*100)
+	}
+}
+
+func TestSelectionPredicateRows(t *testing.T) {
+	d, _ := buildDiagram(t,
+		`SELECT B.bname FROM Boat B WHERE B.color = 'red' AND B.bid > 7`,
+		schema.Sailors(), false)
+	b := tableByVar(t, d, "B")
+	if i := b.RowIndex("color = 'red'"); i < 0 || b.Rows[i].Kind != RowSelection {
+		t.Errorf("missing selection row color = 'red':\n%s", d)
+	}
+	if i := b.RowIndex("bid > 7"); i < 0 {
+		t.Errorf("missing selection row bid > 7:\n%s", d)
+	}
+	// Constant written on the left must be flipped to keep the attribute
+	// on the left of the in-place row.
+	d2, _ := buildDiagram(t,
+		`SELECT B.bname FROM Boat B WHERE 7 < B.bid`, schema.Sailors(), false)
+	b2 := tableByVar(t, d2, "B")
+	if i := b2.RowIndex("bid > 7"); i < 0 {
+		t.Errorf("constant-left selection should render as bid > 7:\n%s", d2)
+	}
+}
+
+func TestSameBlockInequalityGetsOrderArrow(t *testing.T) {
+	// Section 4.3.1: order matters for < so an arrowhead marks reading
+	// order, but it is an EdgeOrder, not a nesting arrow.
+	d, _ := buildDiagram(t,
+		`SELECT S1.sname FROM Sailor S1, Sailor S2 WHERE S1.rating < S2.rating`,
+		schema.Sailors(), false)
+	e := findEdge(t, d, "S1", "S2")
+	if e.Kind != EdgeOrder || !e.Directed || e.Op != sqlparse.OpLt {
+		t.Errorf("edge = %+v, want directed EdgeOrder with <", e)
+	}
+}
+
+func TestCrossBlockInequalityFlipsOperator(t *testing.T) {
+	// Section 4.5.1: A.attr1 > B.attr2 with B the parent must be drawn
+	// B --< A (flip the operator so it reads in arrow direction).
+	d, _ := buildDiagram(t, `
+		SELECT S.sname FROM Sailor S
+		WHERE NOT EXISTS (
+		  SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid > S.rating)`,
+		schema.Sailors(), false)
+	// R is at depth 1, S at depth 0: arrow S→R; predicate R.bid > S.rating
+	// must be re-oriented to S.rating < R.bid.
+	e := findEdge(t, d, "S", "R")
+	found := false
+	for _, ed := range d.Edges {
+		if ed.Kind == EdgeJoin && ed.Op == sqlparse.OpLt && ed.Directed {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a flipped < edge S→R, got:\n%s", d)
+	}
+	_ = e
+}
+
+func TestGroupByDiagram(t *testing.T) {
+	// Tutorial page 6: GROUP BY attribute gray, aggregate row in the
+	// table, both linked to the SELECT box.
+	d, _ := buildDiagram(t, `
+		SELECT IL.TrackId, SUM(IL.Quantity)
+		FROM InvoiceLine IL, Invoice I
+		WHERE IL.InvoiceId = I.InvoiceId AND I.CustomerId = 123
+		GROUP BY IL.TrackId`,
+		schema.Chinook(), false)
+	il := tableByVar(t, d, "IL")
+	gi := il.RowIndex("TrackId")
+	if gi < 0 || il.Rows[gi].Kind != RowGroupBy {
+		t.Errorf("TrackId row should be RowGroupBy:\n%s", d)
+	}
+	if i := il.RowIndex("SUM(Quantity)"); i < 0 {
+		t.Errorf("missing SUM(Quantity) row:\n%s", d)
+	}
+	sel := d.Table(SelectBoxID)
+	if sel.RowIndex("TrackId") < 0 || sel.RowIndex("SUM(Quantity)") < 0 {
+		t.Errorf("SELECT box rows wrong:\n%s", d)
+	}
+	// Two EdgeSelect edges.
+	n := 0
+	for _, e := range d.Edges {
+		if e.Kind == EdgeSelect {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("got %d select edges, want 2", n)
+	}
+	i := tableByVar(t, d, "I")
+	if idx := i.RowIndex("CustomerId = 123"); idx < 0 {
+		t.Errorf("missing selection row CustomerId = 123:\n%s", d)
+	}
+}
+
+func TestCountStarRow(t *testing.T) {
+	d, _ := buildDiagram(t,
+		`SELECT C.Country, COUNT(*) FROM Customer C GROUP BY C.Country`,
+		schema.Chinook(), false)
+	sel := d.Table(SelectBoxID)
+	if sel.RowIndex("COUNT(*)") < 0 {
+		t.Errorf("SELECT box should contain COUNT(*):\n%s", d)
+	}
+}
+
+// appendix G query skeletons; %s slots: select attr, outer table+alias,
+// mid table+alias, mid-outer join, inner table+alias, selection, joins.
+func appendixGQueries(kind string) [3]string {
+	switch kind {
+	case "sailors":
+		return [3]string{
+			// not / only / all
+			`SELECT S.sname FROM Sailor S WHERE NOT EXISTS(
+			   SELECT * FROM Reserves R WHERE R.sid = S.sid AND EXISTS(
+			     SELECT * FROM Boat B WHERE B.color = 'red' AND R.bid = B.bid))`,
+			`SELECT S.sname FROM Sailor S WHERE NOT EXISTS(
+			   SELECT * FROM Reserves R WHERE R.sid = S.sid AND NOT EXISTS(
+			     SELECT * FROM Boat B WHERE B.color = 'red' AND R.bid = B.bid))`,
+			`SELECT S.sname FROM Sailor S WHERE NOT EXISTS(
+			   SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS(
+			     SELECT * FROM Reserves R WHERE R.bid = B.bid AND R.sid = S.sid))`,
+		}
+	case "students":
+		return [3]string{
+			`SELECT S.sname FROM Student S WHERE NOT EXISTS(
+			   SELECT * FROM Takes T WHERE T.sid = S.sid AND EXISTS(
+			     SELECT * FROM Class C WHERE C.department = 'art' AND C.cid = T.cid))`,
+			`SELECT S.sname FROM Student S WHERE NOT EXISTS(
+			   SELECT * FROM Takes T WHERE T.sid = S.sid AND NOT EXISTS(
+			     SELECT * FROM Class C WHERE C.department = 'art' AND C.cid = T.cid))`,
+			`SELECT S.sname FROM Student S WHERE NOT EXISTS(
+			   SELECT * FROM Class C WHERE C.department = 'art' AND NOT EXISTS(
+			     SELECT * FROM Takes T WHERE T.cid = C.cid AND T.sid = S.sid))`,
+		}
+	default: // actors
+		return [3]string{
+			`SELECT A.aname FROM Actor A WHERE NOT EXISTS(
+			   SELECT * FROM Casts C WHERE C.aid = A.aid AND EXISTS(
+			     SELECT * FROM Movie M WHERE M.director = 'Hitchcock' AND M.mid = C.mid))`,
+			`SELECT A.aname FROM Actor A WHERE NOT EXISTS(
+			   SELECT * FROM Casts C WHERE C.aid = A.aid AND NOT EXISTS(
+			     SELECT * FROM Movie M WHERE M.director = 'Hitchcock' AND M.mid = C.mid))`,
+			`SELECT A.aname FROM Actor A WHERE NOT EXISTS(
+			   SELECT * FROM Movie M WHERE M.director = 'Hitchcock' AND NOT EXISTS(
+			     SELECT * FROM Casts C WHERE C.mid = M.mid AND C.aid = A.aid))`,
+		}
+	}
+}
+
+func TestAppendixGPatternIsomorphism(t *testing.T) {
+	// Fig. 26: within each column (not / only / all), the diagrams across
+	// the three schemas are Pattern-isomorphic; across columns they are
+	// not.
+	schemas := map[string]*schema.Schema{
+		"sailors":  schema.Sailors(),
+		"students": schema.Students(),
+		"actors":   schema.Actors(),
+	}
+	diagrams := map[string][3]*Diagram{}
+	for name, s := range schemas {
+		qs := appendixGQueries(name)
+		var ds [3]*Diagram
+		for i, q := range qs {
+			d, _ := buildDiagram(t, q, s, false)
+			ds[i] = d
+		}
+		diagrams[name] = ds
+	}
+	for col := 0; col < 3; col++ {
+		a := diagrams["sailors"][col]
+		for _, other := range []string{"students", "actors"} {
+			if !Isomorphic(a, diagrams[other][col], Pattern) {
+				t.Errorf("column %d: sailors vs %s should be Pattern-isomorphic:\n%s\nvs\n%s",
+					col, other, a, diagrams[other][col])
+			}
+		}
+	}
+	// The "not" (flattened ∃) and "only" (∄∄) patterns differ.
+	if Isomorphic(diagrams["sailors"][0], diagrams["sailors"][1], Pattern) {
+		t.Error("'no red boats' and 'only red boats' diagrams must differ")
+	}
+	// Exact mode distinguishes schemas.
+	if Isomorphic(diagrams["sailors"][1], diagrams["students"][1], Exact) {
+		t.Error("Exact mode must distinguish different schemas")
+	}
+	// A diagram is isomorphic to itself under both modes.
+	if !Isomorphic(diagrams["actors"][2], diagrams["actors"][2], Exact) {
+		t.Error("self-isomorphism failed")
+	}
+}
+
+func TestUniquePatternAcrossSchemas(t *testing.T) {
+	// Section 1.1: "find bars with a unique set of visitors" has the same
+	// visual pattern as the unique-set drinkers query.
+	uniqueBars := `
+	SELECT F1.bar
+	FROM Frequents F1
+	WHERE NOT EXISTS(
+	  SELECT * FROM Frequents F2
+	  WHERE F1.bar <> F2.bar
+	  AND NOT EXISTS(
+	    SELECT * FROM Frequents F3
+	    WHERE F3.bar = F2.bar
+	    AND NOT EXISTS(
+	      SELECT * FROM Frequents F4
+	      WHERE F4.bar = F1.bar AND F4.person = F3.person))
+	  AND NOT EXISTS(
+	    SELECT * FROM Frequents F5
+	    WHERE F5.bar = F1.bar
+	    AND NOT EXISTS(
+	      SELECT * FROM Frequents F6
+	      WHERE F6.bar = F2.bar AND F6.person = F5.person)))`
+	d1, _ := buildDiagram(t, uniqueSetSQL, schema.Beers(), false)
+	d2, _ := buildDiagram(t, uniqueBars, schema.Beers(), false)
+	if !Isomorphic(d1, d2, Pattern) {
+		t.Error("unique-set queries over different attributes should share the visual pattern")
+	}
+	if Isomorphic(d1, d2, Exact) {
+		t.Error("they must not be Exact-isomorphic (different attributes)")
+	}
+}
+
+func TestInterpret(t *testing.T) {
+	_, lt := buildDiagram(t, qOnlySQL, schema.Beers(), true)
+	s := Interpret(lt)
+	for _, want := range []string{"Return F.person", "for all", "there exists"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("interpretation missing %q: %s", want, s)
+		}
+	}
+	_, raw := buildDiagram(t, qOnlySQL, schema.Beers(), false)
+	s2 := Interpret(raw)
+	if !strings.Contains(s2, "there does not exist") {
+		t.Errorf("raw interpretation missing ∄ phrase: %s", s2)
+	}
+	_, grp := buildDiagram(t, `
+		SELECT T.AlbumId, MAX(T.Milliseconds) FROM Track T
+		WHERE T.UnitPrice > 1 GROUP BY T.AlbumId`, schema.Chinook(), false)
+	s3 := Interpret(grp)
+	if !strings.Contains(s3, "for each") || !strings.Contains(s3, "MAX(T.Milliseconds)") {
+		t.Errorf("group-by interpretation wrong: %s", s3)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	// Hand-built broken trees must be rejected.
+	mk := func(mutate func(lt *logictree.LT)) error {
+		q := sqlparse.MustParse(`SELECT S.sname FROM Sailor S
+			WHERE NOT EXISTS (SELECT * FROM Reserves R WHERE R.sid = S.sid)`)
+		r, err := sqlparse.Resolve(q, schema.Sailors())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := trc.Convert(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lt := logictree.FromTRC(e)
+		mutate(lt)
+		_, err = Build(lt)
+		return err
+	}
+	if err := mk(func(lt *logictree.LT) {
+		lt.Root.Children[0].Tables[0].Var = "S" // duplicate var
+	}); err == nil {
+		t.Error("duplicate variable should fail")
+	}
+	if err := mk(func(lt *logictree.LT) {
+		lt.Select[0].Attr.Var = "ZZ"
+	}); err == nil {
+		t.Error("unknown select variable should fail")
+	}
+	if err := mk(func(lt *logictree.LT) {
+		lt.Root.Children[0].Preds[0].Right.Attr.Var = "ZZ"
+	}); err == nil {
+		t.Error("unknown predicate variable should fail")
+	}
+	if err := mk(func(lt *logictree.LT) {
+		// Two sibling blocks joined by a predicate: not an ancestor
+		// relation.
+		sib := &logictree.Node{
+			Quant:  trc.NotExists,
+			Tables: []logictree.Table{{Var: "B", Relation: "Boat"}},
+		}
+		lt.Root.Children = append(lt.Root.Children, sib)
+		lt.Root.Children[0].Preds = append(lt.Root.Children[0].Preds, trc.Pred{
+			Left:  trc.Term{Attr: &trc.Attr{Var: "R", Column: "bid"}},
+			Op:    sqlparse.OpEq,
+			Right: trc.Term{Attr: &trc.Attr{Var: "B", Column: "bid"}},
+		})
+	}); err == nil {
+		t.Error("sibling-block join should fail")
+	}
+}
+
+func TestGroupsPartition(t *testing.T) {
+	d, lt := buildDiagram(t, uniqueSetSQL, schema.Beers(), true)
+	groups := d.Groups()
+	if len(groups) != lt.NodeCount() {
+		t.Errorf("got %d groups, want %d", len(groups), lt.NodeCount())
+	}
+	seen := map[int]bool{}
+	total := 0
+	for _, g := range groups {
+		for _, id := range g {
+			if seen[id] {
+				t.Errorf("table %d in two groups", id)
+			}
+			seen[id] = true
+			total++
+		}
+	}
+	if total != len(d.Tables)-1 {
+		t.Errorf("groups cover %d tables, want %d", total, len(d.Tables)-1)
+	}
+}
+
+func TestTrueDepth(t *testing.T) {
+	d, _ := buildDiagram(t, uniqueSetSQL, schema.Beers(), false)
+	if d.TrueDepth(SelectBoxID) != -1 {
+		t.Error("SELECT box depth should be -1")
+	}
+	want := map[string]int{"L1": 0, "L2": 1, "L3": 2, "L5": 2, "L4": 3, "L6": 3}
+	for v, wd := range want {
+		if got := d.TrueDepth(tableByVar(t, d, v).ID); got != wd {
+			t.Errorf("TrueDepth(%s) = %d, want %d", v, got, wd)
+		}
+	}
+}
+
+func TestFlattenExists(t *testing.T) {
+	// EXISTS subqueries merge into their parent: the "some red boat"
+	// query becomes a 3-table single block.
+	q := `SELECT S.sname FROM Sailor S WHERE EXISTS(
+	        SELECT * FROM Reserves R WHERE R.sid = S.sid AND EXISTS(
+	          SELECT * FROM Boat B WHERE B.color = 'red' AND R.bid = B.bid))`
+	d, lt := buildDiagram(t, q, schema.Sailors(), false)
+	if lt.NodeCount() != 1 {
+		t.Errorf("flattened node count = %d, want 1", lt.NodeCount())
+	}
+	if len(d.Boxes) != 0 {
+		t.Errorf("flattened diagram should have no boxes:\n%s", d)
+	}
+	for _, e := range d.Edges {
+		if e.Kind == EdgeJoin && e.Directed {
+			t.Errorf("flattened equijoins must be undirected:\n%s", d)
+		}
+	}
+}

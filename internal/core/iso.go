@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sqlparse"
+	"repro/internal/trc"
+)
+
+// IsoMode controls what Isomorphic compares.
+type IsoMode int
+
+const (
+	// Exact requires table names, attribute names, and constants to match.
+	Exact IsoMode = iota
+	// Pattern ignores table names, attribute names, and constant values,
+	// comparing only logical structure: quantifier boxes, edge operators
+	// and directions, row kinds, and selection operators. Two queries
+	// with the same logical pattern on different schemas — e.g. the rows
+	// of Fig. 26 — are Pattern-isomorphic.
+	Pattern
+)
+
+// rowSig is the comparison signature of a row under a mode.
+func rowSig(r Row, mode IsoMode) string {
+	if mode == Exact {
+		return r.Label()
+	}
+	sel := ""
+	if r.Kind == RowSelection {
+		sel = "sel" + r.Op.String()
+	}
+	gb := ""
+	if r.Kind == RowGroupBy {
+		gb = "gb"
+	}
+	agg := ""
+	if r.Agg != sqlparse.AggNone {
+		agg = r.Agg.String()
+		if r.Star {
+			agg += "*"
+		}
+	}
+	return fmt.Sprintf("%s%s%s", sel, gb, agg)
+}
+
+func tableSig(t *TableNode, mode IsoMode) string {
+	sigs := make([]string, 0, len(t.Rows)+1)
+	if mode == Exact {
+		sigs = append(sigs, "name:"+t.Name)
+	}
+	if t.IsSelect() {
+		sigs = append(sigs, "SELECT")
+	}
+	rows := make([]string, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		rows = append(rows, rowSig(r, mode))
+	}
+	sort.Strings(rows)
+	return fmt.Sprintf("%v|%v", sigs, rows)
+}
+
+// edgeSig renders one edge of diagram d under a table-ID translation.
+func edgeSig(d *Diagram, e Edge, rename func(int) int, mode IsoMode) string {
+	from := fmt.Sprintf("%d:%s", rename(e.From.Table),
+		rowSig(d.Tables[e.From.Table].Rows[e.From.Row], mode))
+	to := fmt.Sprintf("%d:%s", rename(e.To.Table),
+		rowSig(d.Tables[e.To.Table].Rows[e.To.Row], mode))
+	if !e.Directed {
+		// Undirected edges compare endpoint-order-insensitively.
+		if to < from {
+			from, to = to, from
+		}
+	}
+	off := ""
+	if mode == Exact && e.Offset != 0 {
+		off = fmt.Sprintf("%+g", e.Offset)
+	}
+	return fmt.Sprintf("%d|%s%s|%v|%s->%s", e.Kind, e.Op, off, e.Directed, from, to)
+}
+
+// boxSig renders one box under a table-ID translation.
+func boxSig(b Box, rename func(int) int) string {
+	ids := make([]int, 0, len(b.Tables))
+	for _, t := range b.Tables {
+		ids = append(ids, rename(t))
+	}
+	sort.Ints(ids)
+	return fmt.Sprintf("%s%v", b.Quant, ids)
+}
+
+// Isomorphic reports whether two diagrams are isomorphic under the given
+// mode: there is a bijection between their table nodes (fixing the SELECT
+// box) that preserves rows, boxes, and edges.
+func Isomorphic(a, b *Diagram, mode IsoMode) bool {
+	if len(a.Tables) != len(b.Tables) || len(a.Edges) != len(b.Edges) ||
+		len(a.Boxes) != len(b.Boxes) {
+		return false
+	}
+	n := len(a.Tables)
+	// Candidate sets by table signature.
+	sigA := make([]string, n)
+	sigB := make([]string, n)
+	for i := range a.Tables {
+		sigA[i] = tableSig(a.Tables[i], mode)
+		sigB[i] = tableSig(b.Tables[i], mode)
+	}
+	mapping := make([]int, n) // a-ID -> b-ID
+	used := make([]bool, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	mapping[SelectBoxID] = SelectBoxID
+	used[SelectBoxID] = true
+	if sigA[SelectBoxID] != sigB[SelectBoxID] {
+		return false
+	}
+
+	check := func() bool {
+		id := func(i int) int { return i }
+		via := func(i int) int { return mapping[i] }
+		ea := make([]string, 0, len(a.Edges))
+		for _, e := range a.Edges {
+			ea = append(ea, edgeSig(a, e, via, mode))
+		}
+		eb := make([]string, 0, len(b.Edges))
+		for _, e := range b.Edges {
+			eb = append(eb, edgeSig(b, e, id, mode))
+		}
+		sort.Strings(ea)
+		sort.Strings(eb)
+		for i := range ea {
+			if ea[i] != eb[i] {
+				return false
+			}
+		}
+		ba := make([]string, 0, len(a.Boxes))
+		for _, bx := range a.Boxes {
+			ba = append(ba, boxSig(bx, via))
+		}
+		bb := make([]string, 0, len(b.Boxes))
+		for _, bx := range b.Boxes {
+			bb = append(bb, boxSig(bx, id))
+		}
+		sort.Strings(ba)
+		sort.Strings(bb)
+		for i := range ba {
+			if ba[i] != bb[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var try func(i int) bool
+	try = func(i int) bool {
+		if i == n {
+			return check()
+		}
+		if i == SelectBoxID {
+			return try(i + 1)
+		}
+		for j := 1; j < n; j++ {
+			if used[j] || sigA[i] != sigB[j] {
+				continue
+			}
+			mapping[i] = j
+			used[j] = true
+			if try(i + 1) {
+				return true
+			}
+			mapping[i] = -1
+			used[j] = false
+		}
+		return false
+	}
+	return try(0)
+}
+
+// BoxCount returns the number of boxes with the given quantifier.
+func (d *Diagram) BoxCount(q trc.Quant) int {
+	n := 0
+	for _, b := range d.Boxes {
+		if b.Quant == q {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sort"
+	"strings"
+)
+
+// PatternKey returns a canonical fingerprint of the diagram's logical
+// pattern: two diagrams have equal keys iff they are Pattern-isomorphic.
+// The key enables indexing a query repository by pattern — the paper's
+// motivating use case of recognizing that "drinkers with a unique set of
+// beers" and "movies with a unique cast" are the same query shape
+// (Section 1.1) — without pairwise isomorphism tests.
+//
+// The key is computed by canonical labeling: the non-SELECT tables are
+// permuted (restricted to signature-compatible candidates, then refined
+// by backtracking) and the lexicographically smallest serialization of
+// (tables, boxes, edges) wins. Diagrams are small (a handful of tables),
+// so the pruned search is cheap.
+func PatternKey(d *Diagram) string {
+	n := len(d.Tables)
+	// Group tables (excluding SELECT) by signature: only same-signature
+	// tables may swap labels.
+	sigs := make([]string, n)
+	for i, t := range d.Tables {
+		sigs[i] = tableSig(t, Pattern)
+	}
+	ids := make([]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		ids = append(ids, i)
+	}
+	// Candidate label classes: tables sorted by signature; a table may
+	// take any label position assigned to its signature class.
+	sorted := append([]int(nil), ids...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sigs[sorted[a]] != sigs[sorted[b]] {
+			return sigs[sorted[a]] < sigs[sorted[b]]
+		}
+		return sorted[a] < sorted[b]
+	})
+	// position p (1-based canonical label) must be filled by a table
+	// whose signature equals classSig[p].
+	classSig := make([]string, n)
+	for p, id := range sorted {
+		classSig[p+1] = sigs[id]
+	}
+
+	best := ""
+	label := make([]int, n) // table ID -> canonical label
+	used := make([]bool, n)
+	label[SelectBoxID] = 0
+
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == n {
+			s := serializePattern(d, label)
+			if best == "" || s < best {
+				best = s
+			}
+			return
+		}
+		for _, id := range ids {
+			if used[id] || sigs[id] != classSig[pos] {
+				continue
+			}
+			used[id] = true
+			label[id] = pos
+			rec(pos + 1)
+			used[id] = false
+		}
+	}
+	rec(1)
+	return best
+}
+
+// serializePattern renders the diagram under a labeling, in Pattern mode.
+func serializePattern(d *Diagram, label []int) string {
+	var parts []string
+	// Tables in label order.
+	byLabel := make([]*TableNode, len(d.Tables))
+	for _, t := range d.Tables {
+		byLabel[label[t.ID]] = t
+	}
+	for _, t := range byLabel {
+		parts = append(parts, tableSig(t, Pattern))
+	}
+	rename := func(i int) int { return label[i] }
+	var edges []string
+	for _, e := range d.Edges {
+		edges = append(edges, edgeSig(d, e, rename, Pattern))
+	}
+	sort.Strings(edges)
+	parts = append(parts, edges...)
+	var boxes []string
+	for _, b := range d.Boxes {
+		boxes = append(boxes, boxSig(b, rename))
+	}
+	sort.Strings(boxes)
+	parts = append(parts, boxes...)
+	return strings.Join(parts, ";")
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logictree"
+	"repro/internal/trc"
+)
+
+func TestQuickBuildDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		lt := logictree.RandomValid(rand.New(rand.NewSource(seed)), 3)
+		a, err := Build(lt)
+		if err != nil {
+			return false
+		}
+		b, err := Build(lt)
+		if err != nil {
+			return false
+		}
+		return a.String() == b.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReadingOrderTotalAndRooted(t *testing.T) {
+	// The reading order must start at the SELECT box and visit every
+	// table exactly once, for any valid tree.
+	f := func(seed int64) bool {
+		lt := logictree.RandomValid(rand.New(rand.NewSource(seed)), 3)
+		d, err := Build(lt)
+		if err != nil {
+			return false
+		}
+		order := d.ReadingOrder()
+		if len(order) != len(d.Tables) || order[0] != SelectBoxID {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, id := range order {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIsomorphismReflexiveAndSymmetric(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a, err := Build(logictree.RandomValid(rand.New(rand.NewSource(seedA)), 3))
+		if err != nil {
+			return false
+		}
+		b, err := Build(logictree.RandomValid(rand.New(rand.NewSource(seedB)), 3))
+		if err != nil {
+			return false
+		}
+		// Reflexivity in both modes.
+		if !Isomorphic(a, a, Exact) || !Isomorphic(a, a, Pattern) {
+			return false
+		}
+		// Symmetry.
+		if Isomorphic(a, b, Pattern) != Isomorphic(b, a, Pattern) {
+			return false
+		}
+		// Exact implies Pattern.
+		if Isomorphic(a, b, Exact) && !Isomorphic(a, b, Pattern) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEdgesRespectArrowRules(t *testing.T) {
+	// Every join edge in a built diagram obeys the arrow rules with
+	// respect to the ground-truth depths.
+	f := func(seed int64) bool {
+		lt := logictree.RandomValid(rand.New(rand.NewSource(seed)), 3)
+		d, err := Build(lt)
+		if err != nil {
+			return false
+		}
+		for _, e := range d.Edges {
+			if e.Kind == EdgeSelect || e.Kind == EdgeOrder {
+				continue
+			}
+			df, dt := d.TrueDepth(e.From.Table), d.TrueDepth(e.To.Table)
+			if !e.Directed {
+				if df != dt {
+					return false // undirected edges only within one depth
+				}
+				continue
+			}
+			diff := df - dt
+			if diff < 0 {
+				diff = -diff
+			}
+			switch {
+			case dt == df+1: // downward, one level
+			case df >= dt+2: // upward, two or more levels
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPatternKeyMatchesIsomorphism(t *testing.T) {
+	// PatternKey is a perfect hash for Pattern-isomorphism classes.
+	f := func(seedA, seedB int64) bool {
+		a, err := Build(logictree.RandomValid(rand.New(rand.NewSource(seedA)), 2))
+		if err != nil {
+			return false
+		}
+		b, err := Build(logictree.RandomValid(rand.New(rand.NewSource(seedB)), 2))
+		if err != nil {
+			return false
+		}
+		return (PatternKey(a) == PatternKey(b)) == Isomorphic(a, b, Pattern)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBoxesMatchQuantifiers(t *testing.T) {
+	f := func(seed int64) bool {
+		lt := logictree.RandomValid(rand.New(rand.NewSource(seed)), 3).Simplify()
+		d, err := Build(lt)
+		if err != nil {
+			return false
+		}
+		// Count quantifiers in the tree vs boxes in the diagram.
+		var ne, fa int
+		lt.Walk(func(n *logictree.Node, depth int) {
+			switch {
+			case depth == 0:
+			case n.Quant == trc.NotExists:
+				ne++
+			case n.Quant == trc.ForAll:
+				fa++
+			}
+		})
+		return d.BoxCount(trc.NotExists) == ne && d.BoxCount(trc.ForAll) == fa
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

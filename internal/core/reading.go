@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logictree"
+	"repro/internal/trc"
+)
+
+// ReadingOrder returns the table-node IDs (SELECT box first) in the
+// paper's reading order (Section 4.6): a depth-first traversal starting
+// from the SELECT box, with restarts from unvisited source nodes — nodes
+// without incoming arrows. Directed join edges are followed in arrow
+// direction only; undirected edges (same-block joins and SELECT links)
+// are traversable both ways.
+func (d *Diagram) ReadingOrder() []int {
+	out := make([]int, 0, len(d.Tables))
+	visited := make([]bool, len(d.Tables))
+
+	// Adjacency: forward[t] lists tables reachable from t in one step.
+	forward := make([][]int, len(d.Tables))
+	hasIncoming := make([]bool, len(d.Tables))
+	for _, e := range d.Edges {
+		switch {
+		case e.Kind == EdgeSelect || !e.Directed:
+			forward[e.From.Table] = append(forward[e.From.Table], e.To.Table)
+			forward[e.To.Table] = append(forward[e.To.Table], e.From.Table)
+		default:
+			forward[e.From.Table] = append(forward[e.From.Table], e.To.Table)
+			hasIncoming[e.To.Table] = true
+		}
+	}
+
+	var dfs func(t int)
+	dfs = func(t int) {
+		if visited[t] {
+			return
+		}
+		visited[t] = true
+		out = append(out, t)
+		for _, n := range forward[t] {
+			dfs(n)
+		}
+	}
+	dfs(SelectBoxID)
+	for {
+		restarted := false
+		// Restart from unvisited sources, lowest ID first.
+		for t := range d.Tables {
+			if !visited[t] && !hasIncoming[t] {
+				dfs(t)
+				restarted = true
+			}
+		}
+		if restarted {
+			continue
+		}
+		// Disconnected remainder with no source (cannot happen for valid
+		// diagrams, but keep the traversal total).
+		all := true
+		for t := range d.Tables {
+			if !visited[t] {
+				dfs(t)
+				all = false
+				break
+			}
+		}
+		if all {
+			return out
+		}
+	}
+}
+
+// Interpret generates the natural-language reading of a logic tree, in
+// the style the paper uses to explain Fig. 1b: quantifier phrases over
+// each block joined by "such that" and "and".
+func Interpret(lt *logictree.LT) string {
+	var b strings.Builder
+	b.WriteString("Return ")
+	if len(lt.Select) == 0 {
+		b.WriteString("all attributes")
+	}
+	for i, s := range lt.Select {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.String())
+	}
+	if len(lt.GroupBy) > 0 {
+		b.WriteString(" for each ")
+		for i, g := range lt.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	fmt.Fprintf(&b, " from %s", tableList(lt.Root))
+	if len(lt.Root.Preds) > 0 {
+		fmt.Fprintf(&b, " where %s", predList(lt.Root))
+	}
+	for i, c := range lt.Root.Children {
+		if i == 0 {
+			b.WriteString(", such that ")
+		} else {
+			b.WriteString(" and ")
+		}
+		interpretNode(&b, c)
+	}
+	b.WriteString(".")
+	return b.String()
+}
+
+func interpretNode(b *strings.Builder, n *logictree.Node) {
+	switch n.Quant {
+	case trc.NotExists:
+		fmt.Fprintf(b, "there does not exist %s", tableList(n))
+	case trc.ForAll:
+		fmt.Fprintf(b, "for all %s", tableList(n))
+	default:
+		fmt.Fprintf(b, "there exists %s", tableList(n))
+	}
+	if len(n.Preds) > 0 {
+		fmt.Fprintf(b, " with %s", predList(n))
+	}
+	if n.Quant == trc.ForAll && len(n.Children) == 1 {
+		b.WriteString(", it holds that ")
+		interpretNode(b, n.Children[0])
+		return
+	}
+	for i, c := range n.Children {
+		if i == 0 {
+			b.WriteString(", such that ")
+		} else {
+			b.WriteString(" and ")
+		}
+		interpretNode(b, c)
+	}
+}
+
+func tableList(n *logictree.Node) string {
+	var parts []string
+	for _, t := range n.Tables {
+		parts = append(parts, fmt.Sprintf("a %s tuple %s", t.Relation, t.Var))
+	}
+	return strings.Join(parts, " and ")
+}
+
+func predList(n *logictree.Node) string {
+	var parts []string
+	for _, p := range n.Preds {
+		parts = append(parts, p.String())
+	}
+	return strings.Join(parts, " and ")
+}

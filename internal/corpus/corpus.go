@@ -1,0 +1,200 @@
+// Package corpus transcribes every query used in the paper: the Fig. 1
+// unique-set query, the Fig. 3 Qsome/Qonly pair, the six qualification
+// questions (Appendix D), the twelve study questions with their
+// multiple-choice options (Appendix F), the Fig. 24 syntactic variants,
+// and the nine Appendix-G pattern queries over three schemas.
+//
+// The paper does not print an answer key; the Correct indices below are
+// derived from the SQL semantics and cross-checked by evaluating the
+// queries with the rel engine in the package tests. Two typos in the
+// paper's listings are corrected and noted inline.
+package corpus
+
+import (
+	"repro/internal/schema"
+)
+
+// Category is a study question category (Appendix C.3).
+type Category int
+
+const (
+	Conjunctive Category = iota // conjunctive, no self-joins
+	SelfJoin                    // conjunctive with self-joins
+	Grouping                    // GROUP BY extension (Appendix C.5)
+	Nested                      // nested queries
+)
+
+func (c Category) String() string {
+	switch c {
+	case Conjunctive:
+		return "conjunctive"
+	case SelfJoin:
+		return "self-join"
+	case Grouping:
+		return "grouping"
+	case Nested:
+		return "nested"
+	}
+	return "unknown"
+}
+
+// Complexity is the per-category difficulty tier: "one simple, one medium
+// and one complex", designated by the number of joins and table aliases.
+type Complexity int
+
+const (
+	Simple Complexity = iota
+	Medium
+	Complex
+)
+
+func (c Complexity) String() string {
+	return [...]string{"simple", "medium", "complex"}[c]
+}
+
+// Question is one multiple-choice question: a query over the Chinook
+// schema and four interpretations, exactly one of which is correct.
+type Question struct {
+	ID         string
+	Category   Category
+	Complexity Complexity
+	SQL        string
+	Options    [4]string
+	Correct    int // 0-based index into Options
+}
+
+// Schema returns the schema all questions use.
+func (Question) Schema() *schema.Schema { return schema.Chinook() }
+
+// Fig1UniqueSet is the unique-set query of Fig. 1a: drinkers who like a
+// unique set of beers.
+const Fig1UniqueSet = `
+SELECT L1.drinker
+FROM Likes L1
+WHERE NOT EXISTS(
+  SELECT *
+  FROM Likes L2
+  WHERE L1.drinker <> L2.drinker
+  AND NOT EXISTS(
+    SELECT *
+    FROM Likes L3
+    WHERE L3.drinker = L2.drinker
+    AND NOT EXISTS(
+      SELECT *
+      FROM Likes L4
+      WHERE L4.drinker = L1.drinker
+      AND L4.beer = L3.beer))
+  AND NOT EXISTS(
+    SELECT *
+    FROM Likes L5
+    WHERE L5.drinker = L1.drinker
+    AND NOT EXISTS(
+      SELECT *
+      FROM Likes L6
+      WHERE L6.drinker = L2.drinker
+      AND L6.beer = L5.beer)))`
+
+// Fig3QSome: persons who frequent some bar that serves some drink they
+// like (Fig. 3a).
+const Fig3QSome = `
+SELECT F.person
+FROM Frequents F, Likes L, Serves S
+WHERE F.person = L.person
+AND F.bar = S.bar
+AND L.drink = S.drink`
+
+// Fig3QOnly: persons who frequent some bar that serves only drinks they
+// like (Fig. 3b).
+const Fig3QOnly = `
+SELECT F.person
+FROM Frequents F
+WHERE not exists
+  (SELECT *
+   FROM Serves S
+   WHERE S.bar = F.bar
+   AND not exists
+     (SELECT L.drink
+      FROM Likes L
+      WHERE L.person = F.person
+      AND S.drink = L.drink))`
+
+// Fig24Variants are the three semantically equivalent syntactic variants
+// of "sailors who reserve only red boats" (Fig. 24): NOT EXISTS, NOT IN,
+// and NOT ... = ANY.
+func Fig24Variants() [3]string {
+	return [3]string{
+		`SELECT S.sname
+		 FROM Sailor S
+		 WHERE NOT EXISTS(
+		   SELECT * FROM Reserves R
+		   WHERE R.sid = S.sid
+		   AND NOT EXISTS(
+		     SELECT * FROM Boat B
+		     WHERE B.color = 'red' AND R.bid = B.bid))`,
+		`SELECT S.sname
+		 FROM Sailor S
+		 WHERE S.sid NOT IN(
+		   SELECT R.sid FROM Reserves R
+		   WHERE R.bid NOT IN(
+		     SELECT B.bid FROM Boat B WHERE B.color = 'red'))`,
+		`SELECT S.sname
+		 FROM Sailor S
+		 WHERE NOT S.sid = ANY(
+		   SELECT R.sid FROM Reserves R
+		   WHERE NOT R.bid = ANY(
+		     SELECT B.bid FROM Boat B WHERE B.color = 'red'))`,
+	}
+}
+
+// GPattern names one Appendix-G column: entities related to NO / ONLY /
+// ALL of the selected targets.
+type GPattern int
+
+const (
+	GNo GPattern = iota
+	GOnly
+	GAll
+)
+
+func (p GPattern) String() string {
+	return [...]string{"no", "only", "all"}[p]
+}
+
+// GQuery is one cell of the Fig. 25 grid.
+type GQuery struct {
+	Schema  *schema.Schema
+	Pattern GPattern
+	SQL     string
+}
+
+// AppendixG returns the nine pattern queries of Fig. 25: for each of the
+// sailors/students/actors schemas, the no / only / all variants.
+func AppendixG() []GQuery {
+	var out []GQuery
+	mk := func(s *schema.Schema, outer, outerID, outerSel, mid, midFK, midID, inner, innerID, selCol, selVal string) {
+		no := `SELECT ` + outerSel + ` FROM ` + outer + ` S
+			WHERE NOT EXISTS(
+			  SELECT * FROM ` + mid + ` R WHERE R.` + midFK + ` = S.` + outerID + `
+			  AND EXISTS(
+			    SELECT * FROM ` + inner + ` B
+			    WHERE B.` + selCol + ` = '` + selVal + `' AND R.` + midID + ` = B.` + innerID + `))`
+		only := `SELECT ` + outerSel + ` FROM ` + outer + ` S
+			WHERE NOT EXISTS(
+			  SELECT * FROM ` + mid + ` R WHERE R.` + midFK + ` = S.` + outerID + `
+			  AND NOT EXISTS(
+			    SELECT * FROM ` + inner + ` B
+			    WHERE B.` + selCol + ` = '` + selVal + `' AND R.` + midID + ` = B.` + innerID + `))`
+		all := `SELECT ` + outerSel + ` FROM ` + outer + ` S
+			WHERE NOT EXISTS(
+			  SELECT * FROM ` + inner + ` B WHERE B.` + selCol + ` = '` + selVal + `'
+			  AND NOT EXISTS(
+			    SELECT * FROM ` + mid + ` R
+			    WHERE R.` + midID + ` = B.` + innerID + ` AND R.` + midFK + ` = S.` + outerID + `))`
+		out = append(out,
+			GQuery{s, GNo, no}, GQuery{s, GOnly, only}, GQuery{s, GAll, all})
+	}
+	mk(schema.Sailors(), "Sailor", "sid", "S.sname", "Reserves", "sid", "bid", "Boat", "bid", "color", "red")
+	mk(schema.Students(), "Student", "sid", "S.sname", "Takes", "sid", "cid", "Class", "cid", "department", "art")
+	mk(schema.Actors(), "Actor", "aid", "S.aname", "Casts", "aid", "mid", "Movie", "mid", "director", "Hitchcock")
+	return out
+}

@@ -1,0 +1,346 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/logictree"
+	"repro/internal/rel"
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+	"repro/internal/trc"
+)
+
+// pipeline parses, resolves, converts, flattens, and builds the diagram.
+func pipeline(t *testing.T, src string, s *schema.Schema) (*logictree.LT, *core.Diagram) {
+	t.Helper()
+	q, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	r, err := sqlparse.Resolve(q, s)
+	if err != nil {
+		t.Fatalf("resolve: %v\n%s", err, src)
+	}
+	e, err := trc.Convert(q, r)
+	if err != nil {
+		t.Fatalf("convert: %v\n%s", err, src)
+	}
+	lt := logictree.FromTRC(e).Flatten()
+	d, err := core.Build(lt)
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, src)
+	}
+	return lt, d
+}
+
+func TestStudyQuestionsWellFormed(t *testing.T) {
+	qs := StudyQuestions()
+	if len(qs) != 12 {
+		t.Fatalf("got %d study questions, want 12", len(qs))
+	}
+	counts := map[Category]int{}
+	ch := schema.Chinook()
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if seen[q.ID] {
+			t.Errorf("%s: duplicate ID", q.ID)
+		}
+		seen[q.ID] = true
+		counts[q.Category]++
+		if q.Correct < 0 || q.Correct > 3 {
+			t.Errorf("%s: correct index %d out of range", q.ID, q.Correct)
+		}
+		for i, o := range q.Options {
+			if o == "" {
+				t.Errorf("%s: option %d empty", q.ID, i)
+			}
+		}
+		lt, d := pipeline(t, q.SQL, ch)
+		if err := lt.Validate(); err != nil {
+			t.Errorf("%s: logic tree invalid: %v", q.ID, err)
+		}
+		if len(d.Tables) < 2 {
+			t.Errorf("%s: degenerate diagram", q.ID)
+		}
+	}
+	for cat, want := range map[Category]int{Conjunctive: 3, SelfJoin: 3, Grouping: 3, Nested: 3} {
+		if counts[cat] != want {
+			t.Errorf("category %v has %d questions, want %d", cat, counts[cat], want)
+		}
+	}
+	// Each category has one question per complexity tier.
+	tiers := map[Category]map[Complexity]bool{}
+	for _, q := range qs {
+		if tiers[q.Category] == nil {
+			tiers[q.Category] = map[Complexity]bool{}
+		}
+		if tiers[q.Category][q.Complexity] {
+			t.Errorf("category %v has duplicate complexity %v", q.Category, q.Complexity)
+		}
+		tiers[q.Category][q.Complexity] = true
+	}
+}
+
+func TestNonGroupingQuestions(t *testing.T) {
+	qs := NonGroupingQuestions()
+	if len(qs) != 9 {
+		t.Fatalf("got %d non-grouping questions, want 9", len(qs))
+	}
+	for _, q := range qs {
+		if q.Category == Grouping {
+			t.Errorf("%s: grouping question leaked into the 9-question set", q.ID)
+		}
+	}
+}
+
+func TestQualificationQuestionsWellFormed(t *testing.T) {
+	qs := QualificationQuestions()
+	if len(qs) != 6 {
+		t.Fatalf("got %d qualification questions, want 6", len(qs))
+	}
+	ch := schema.Chinook()
+	for _, q := range qs {
+		lt, _ := pipeline(t, q.SQL, ch)
+		if err := lt.Validate(); err != nil {
+			t.Errorf("%s: logic tree invalid: %v", q.ID, err)
+		}
+	}
+}
+
+func TestAllQuestionsEvaluate(t *testing.T) {
+	// Every question must execute on the sample Chinook database.
+	db := rel.ChinookDB()
+	ch := schema.Chinook()
+	all := append(StudyQuestions(), QualificationQuestions()...)
+	for _, q := range all {
+		if _, err := rel.EvalSQL(db, q.SQL, ch, false); err != nil {
+			t.Errorf("%s: evaluation failed: %v", q.ID, err)
+		}
+		if _, err := rel.EvalSQL(db, q.SQL, ch, true); err != nil {
+			t.Errorf("%s (simplified): evaluation failed: %v", q.ID, err)
+		}
+	}
+}
+
+func TestAnswerKeySpotChecks(t *testing.T) {
+	// Semantics-level sanity checks of derived Correct indices on the
+	// sample database, where the designed data distinguishes the options.
+	db := rel.ChinookDB()
+	ch := schema.Chinook()
+
+	// Q10: artist "AC/DC" has track 101 composed by "AC/DC" → excluded;
+	// Carlos composed his own track → excluded; Aria composed "Aria One"
+	// and is named Aria → excluded... check who remains.
+	res, err := rel.EvalSQL(db, StudyQuestions()[9].SQL, ch, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		name := row[1].String()
+		if name == "AC/DC" || name == "Carlos" || name == "Aria" {
+			t.Errorf("Q10: artist %s has a self-named composer yet was returned", name)
+		}
+	}
+
+	// QUAL1: playlists with at least one AC/DC track: playlist 1 contains
+	// track 100 from album 10 (AC/DC).
+	res, err = rel.EvalSQL(db, QualificationQuestions()[0].SQL, ch, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range res.Rows {
+		if row[1].String() == "workout" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("QUAL1 should return the workout playlist:\n%s", res)
+	}
+
+	// Q5: requires two invoices with differing billing states; only
+	// customer 123 (Michigan, invoices in Michigan and Illinois) matches.
+	res, err = rel.EvalSQL(db, StudyQuestions()[4].SQL, ch, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Num != 123 {
+		t.Errorf("Q5 result = %s, want only customer 123", res)
+	}
+}
+
+func TestFigureQueries(t *testing.T) {
+	beers := schema.Beers()
+	lt, d := pipeline(t, Fig1UniqueSet, beers)
+	if lt.MaxDepth() != 3 || len(d.Tables) != 7 {
+		t.Errorf("Fig1: depth=%d tables=%d, want 3 and 7", lt.MaxDepth(), len(d.Tables))
+	}
+	ltSome, _ := pipeline(t, Fig3QSome, beers)
+	if ltSome.MaxDepth() != 0 {
+		t.Errorf("Qsome depth = %d, want 0", ltSome.MaxDepth())
+	}
+	ltOnly, _ := pipeline(t, Fig3QOnly, beers)
+	if ltOnly.MaxDepth() != 2 {
+		t.Errorf("Qonly depth = %d, want 2", ltOnly.MaxDepth())
+	}
+}
+
+func TestFig24VariantsAgree(t *testing.T) {
+	sailors := schema.Sailors()
+	var first *logictree.LT
+	for i, v := range Fig24Variants() {
+		lt, _ := pipeline(t, v, sailors)
+		if first == nil {
+			first = lt
+			continue
+		}
+		if !logictree.Equal(first, lt) {
+			t.Errorf("variant %d has a different logic tree", i)
+		}
+	}
+}
+
+func TestAppendixGGrid(t *testing.T) {
+	gs := AppendixG()
+	if len(gs) != 9 {
+		t.Fatalf("got %d Appendix-G queries, want 9", len(gs))
+	}
+	// Group diagrams by pattern; within a pattern all three must be
+	// Pattern-isomorphic (Fig. 26).
+	byPattern := map[GPattern][]*core.Diagram{}
+	for _, g := range gs {
+		lt, d := pipeline(t, g.SQL, g.Schema)
+		if err := lt.Validate(); err != nil {
+			t.Errorf("%s/%s: invalid: %v", g.Schema.Name, g.Pattern, err)
+		}
+		byPattern[g.Pattern] = append(byPattern[g.Pattern], d)
+	}
+	for p, ds := range byPattern {
+		if len(ds) != 3 {
+			t.Fatalf("pattern %v has %d diagrams, want 3", p, len(ds))
+		}
+		for i := 1; i < 3; i++ {
+			if !core.Isomorphic(ds[0], ds[i], core.Pattern) {
+				t.Errorf("pattern %v: diagram %d not isomorphic across schemas", p, i)
+			}
+		}
+	}
+	// Across patterns the diagrams differ.
+	if core.Isomorphic(byPattern[GNo][0], byPattern[GOnly][0], core.Pattern) {
+		t.Error("no/only patterns should differ")
+	}
+	if core.Isomorphic(byPattern[GOnly][0], byPattern[GAll][0], core.Pattern) {
+		t.Error("only/all patterns should differ")
+	}
+}
+
+func TestAppendixGSemanticsOnSailors(t *testing.T) {
+	db := rel.SailorsDB()
+	byPattern := map[GPattern]string{}
+	for _, g := range AppendixG() {
+		if g.Schema.Name == "sailors" {
+			byPattern[g.Pattern] = g.SQL
+		}
+	}
+	check := func(p GPattern, want string) {
+		res, err := rel.EvalSQL(db, byPattern[p], schema.Sailors(), false)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].String() != want {
+			t.Errorf("%v sailors = %s, want [%s]", p, res, want)
+		}
+	}
+	check(GNo, "walt")
+	check(GOnly, "yves")
+	check(GAll, "zora")
+}
+
+func TestTutorialExamples(t *testing.T) {
+	exs := TutorialExamples()
+	if len(exs) != 7 {
+		t.Fatalf("got %d tutorial pages, want 7 (pages 3-9)", len(exs))
+	}
+	ch := schema.Chinook()
+	pages := map[int]bool{}
+	for _, ex := range exs {
+		if pages[ex.Page] {
+			t.Errorf("duplicate page %d", ex.Page)
+		}
+		pages[ex.Page] = true
+		if ex.Reading == "" || ex.Title == "" {
+			t.Errorf("page %d lacks reading/title", ex.Page)
+		}
+		lt, d := pipeline(t, ex.SQL, ch)
+		if ex.Simplify {
+			lt.Simplify()
+			var err error
+			d, err = core.Build(lt)
+			if err != nil {
+				t.Fatalf("page %d: %v", ex.Page, err)
+			}
+		}
+		if err := lt.Validate(); err != nil {
+			t.Errorf("page %d invalid: %v", ex.Page, err)
+		}
+		switch ex.Page {
+		case 5: // the <> labeled edge
+			found := false
+			for _, e := range d.Edges {
+				if e.Label() == "<>" {
+					found = true
+				}
+			}
+			if !found {
+				t.Error("page 5 should have a <> labeled edge")
+			}
+		case 6: // the gray GROUP BY row
+			found := false
+			for _, tn := range d.Tables {
+				for _, r := range tn.Rows {
+					if r.Kind == core.RowGroupBy {
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Error("page 6 should have a GROUP BY row")
+			}
+		case 7, 8:
+			if got := len(d.Boxes); got != ex.Page-6 {
+				t.Errorf("page %d: %d boxes, want %d", ex.Page, got, ex.Page-6)
+			}
+		case 9: // the ∀ form
+			forAll := 0
+			for _, b := range d.Boxes {
+				if b.Quant == trc.ForAll {
+					forAll++
+				}
+			}
+			if forAll != 1 {
+				t.Errorf("page 9: %d ∀ boxes, want 1", forAll)
+			}
+		}
+	}
+	// Pages 8 and 9 share the SQL; only the rendering differs.
+	if exs[5].SQL != exs[6].SQL {
+		t.Error("pages 8 and 9 should show the same query")
+	}
+}
+
+func TestCategoryAndComplexityStrings(t *testing.T) {
+	if Conjunctive.String() != "conjunctive" || Nested.String() != "nested" ||
+		SelfJoin.String() != "self-join" || Grouping.String() != "grouping" {
+		t.Error("Category.String broken")
+	}
+	if Simple.String() != "simple" || Medium.String() != "medium" || Complex.String() != "complex" {
+		t.Error("Complexity.String broken")
+	}
+	if GNo.String() != "no" || GOnly.String() != "only" || GAll.String() != "all" {
+		t.Error("GPattern.String broken")
+	}
+	if Category(99).String() != "unknown" {
+		t.Error("unknown category should render as unknown")
+	}
+}

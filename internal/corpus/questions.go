@@ -1,0 +1,423 @@
+package corpus
+
+// StudyQuestions returns the twelve test questions of Appendix F, in the
+// order participants saw them: Q1-Q3 conjunctive, Q4-Q6 self-join, Q7-Q9
+// grouping, Q10-Q12 nested; within each category simple → medium →
+// complex.
+func StudyQuestions() []Question {
+	return []Question{
+		{
+			ID: "Q1", Category: Conjunctive, Complexity: Simple,
+			SQL: `
+SELECT A.Name
+FROM Artist A, Album AL, Track T
+WHERE AL.AlbumId = T.AlbumId
+AND A.ArtistId = AL.ArtistId
+AND A.Name = T.Composer`,
+			Options: [4]string{
+				"Find artists who have an album with a track that is composed by themselves.",
+				"Find artists who have an album with a track whose composer has the same name as the artists themselves.",
+				"Find artists whose names are the same as the composer of some track in some album.",
+				"Find artists whose names are the same as the composer of some track in an album by an artist other than themselves.",
+			},
+			Correct: 1, // the query matches names, not identity
+		},
+		{
+			ID: "Q2", Category: Conjunctive, Complexity: Medium,
+			SQL: `
+SELECT E1.EmployeeId
+FROM Employee E1, Employee E2, Customer C, Invoice I, InvoiceLine IL, Track T, Genre G
+WHERE E1.ReportsTo = E2.EmployeeId
+AND E1.Country <> E2.Country
+AND E2.EmployeeId = C.SupportRepId
+AND I.CustomerId = C.CustomerId
+AND I.InvoiceId = IL.InvoiceId
+AND T.TrackId = IL.TrackId
+AND T.GenreId = G.GenreId
+AND G.Name = 'Rock'`,
+			Options: [4]string{
+				"Find employees who report to an employee in a different country and the former employee supports at least one customer that has bought a 'Rock' track.",
+				"Find employees who report to an employee in a different country and the former employee supports only support customers that have bought a 'Rock' track.",
+				"Find employees who report to an employee in a different country and the latter employee only supports customers that have bought a 'Rock' track.",
+				"Find employees who report to an employee in a different country and the latter employee supports at least one customer that has bought a 'Rock' track.",
+			},
+			Correct: 3, // C.SupportRepId joins E2, the manager
+		},
+		{
+			ID: "Q3", Category: Conjunctive, Complexity: Complex,
+			SQL: `
+SELECT A.Name
+FROM Artist A, Album AL, Track T,
+     PlaylistTrack PT, Playlist P, MediaType MT, Genre G,
+     InvoiceLine IL, Invoice I, Customer C
+WHERE AL.ArtistId = A.ArtistId
+AND AL.AlbumId = T.AlbumId
+AND T.TrackId = PT.TrackId
+AND P.PlaylistId = PT.PlaylistId
+AND T.MediaTypeId = MT.MediaTypeId
+AND G.GenreId = T.GenreId
+AND T.TrackId = IL.TrackId
+AND I.InvoiceId = IL.InvoiceId
+AND I.CustomerId = C.CustomerId
+AND MT.Name = 'AAC audio file'
+AND G.Name = 'Rock'`,
+			Options: [4]string{
+				"Find artists who have an album that has a 'Rock' track that is available as 'ACC audio file', and the album has a track that is in a playlist and was purchased by a customer.",
+				"Find artists who have an album that has a 'Rock' track that is available as 'ACC audio file', is in a playlist, and was purchased by a customer.",
+				"Find artists who have an album that has a track that is in a playlist and was purchased by a customer, and a 'Rock' track that is available as 'ACC audio file'.",
+				"Find artists who have an album that has a track that is in a playlist, is available as 'ACC audio file', and was purchased by a customer who also bought a 'Rock' track from the same artist.",
+			},
+			Correct: 1, // a single track T carries every condition
+		},
+		{
+			ID: "Q4", Category: SelfJoin, Complexity: Simple,
+			SQL: `
+SELECT A.ArtistId, A.Name
+FROM Artist A, Album AL1, Album AL2, Track T1, Track T2, Genre G1, Genre G2,
+     PlaylistTrack PT1, PlaylistTrack PT2
+WHERE A.ArtistId = AL1.ArtistId
+AND A.ArtistId = AL2.ArtistId
+AND AL1.AlbumId = T1.AlbumId
+AND AL2.AlbumId = T2.AlbumId
+AND T1.GenreId = G1.GenreId
+AND T2.GenreId = G2.GenreId
+AND PT1.PlaylistId = PT2.PlaylistId
+AND PT1.TrackId = T1.TrackId
+AND PT2.TrackId = T2.TrackId
+AND G1.Name = 'Rock'
+AND G2.Name = 'Pop'`,
+			Options: [4]string{
+				"Find artists who have an album with a 'Pop' track and an album with a 'Rock' track and both tracks are in the same playlist.",
+				"Find artists who have an album with a 'Pop' track and a 'Rock' track and each track is in at least one playlist.",
+				"Find artists who have an album with a 'Pop' track and an album with a 'Rock' track and each track is in at least one playlist.",
+				"Find artists who have an album with a 'Pop' track and a 'Rock' track and both tracks are in the same playlist.",
+			},
+			Correct: 0, // AL1 and AL2 may differ; PT1/PT2 share a playlist
+		},
+		{
+			ID: "Q5", Category: SelfJoin, Complexity: Medium,
+			SQL: `
+SELECT C.CustomerId, C.FirstName, C.LastName
+FROM Customer C, Invoice I1, Invoice I2
+WHERE C.State = 'Michigan'
+AND C.CustomerId = I1.CustomerId
+AND C.CustomerId = I2.CustomerId
+AND I1.BillingState <> I2.BillingState`,
+			Options: [4]string{
+				"Find customers from 'Michigan' that have two invoices billed at two different states where one of them is 'Michigan'.",
+				"Find customers from 'Michigan' that have two invoices billed at two different states where none of them is 'Michigan'.",
+				"Find customers from 'Michigan' that have two invoices billed at two different states.",
+				"Find customers from 'Michigan' that have two invoices billed at 'Michigan'.",
+			},
+			Correct: 2, // nothing constrains either billing state
+		},
+		{
+			ID: "Q6", Category: SelfJoin, Complexity: Complex,
+			SQL: `
+SELECT P.PlaylistId, P.Name
+FROM Playlist P, PlaylistTrack PT1,
+     PlaylistTrack PT2, PlaylistTrack PT3,
+     Track T1, Track T2, Track T3
+WHERE P.PlaylistId = PT1.PlaylistId
+AND P.PlaylistId = PT2.PlaylistId
+AND P.PlaylistId = PT3.PlaylistId
+AND PT1.TrackId <> PT2.TrackId
+AND PT2.TrackId <> PT3.TrackId
+AND PT1.TrackId <> PT3.TrackId
+AND PT1.TrackId = T1.TrackId
+AND PT2.TrackId = T2.TrackId
+AND PT3.TrackId = T3.TrackId
+AND T1.AlbumId = T2.AlbumId
+AND T2.AlbumId = T3.AlbumId
+AND T2.Composer = T3.Composer`,
+			Options: [4]string{
+				"Find playlists that have at least 3 different tracks that are in the same album and they are all made by the same composer.",
+				"Find playlists that have at least 3 different tracks so that at least 2 of them are in the same album but all 3 tracks are made by the same composer.",
+				"Find playlists that have at least 3 different tracks so that at least 2 of them are in the same album and made by the same composer.",
+				"Find playlists that have at least 3 different tracks that are in the same album and at least 2 of them are made by the same composer.",
+			},
+			Correct: 3, // all three share the album; only T2/T3 share the composer
+		},
+		{
+			ID: "Q7", Category: Grouping, Complexity: Simple,
+			// The paper's listing misspells "I.InvocieId"; corrected here.
+			SQL: `
+SELECT I.CustomerId, SUM(IL.Quantity)
+FROM Artist A, Album AL, Track T, InvoiceLine IL, Invoice I
+WHERE A.ArtistId = AL.ArtistId
+AND AL.AlbumId = T.AlbumId
+AND T.TrackId = IL.TrackId
+AND IL.InvoiceId = I.InvoiceId
+AND A.Name = 'Carlos'
+GROUP BY I.CustomerId`,
+			Options: [4]string{
+				"For each customer who bought a track from an artist named 'Carlos', find the number of tracks they bought that are by that same artist named 'Carlos'.",
+				"For each customer who bought a track from an artist named 'Carlos', find the number of tracks they bought that are part of invoices that include a track by that same artist named 'Carlos'.",
+				"For each customer who bought a track from an artist named 'Carlos', find the total number of tracks that customer has purchased.",
+				"For each customer who bought a track from an artist named 'Carlos', find the total number of invoices they have.",
+			},
+			Correct: 0, // only Carlos tracks survive the join before grouping
+		},
+		{
+			ID: "Q8", Category: Grouping, Complexity: Medium,
+			SQL: `
+SELECT T.AlbumId, MAX(T.Milliseconds)
+FROM Track T, Playlist P, PlaylistTrack PT, Genre G
+WHERE T.TrackId = PT.TrackId
+AND P.PlaylistId = PT.PlaylistId
+AND T.GenreId = G.GenreId
+AND G.Name = 'Classical'
+GROUP BY T.AlbumId`,
+			Options: [4]string{
+				"For each album that has a 'Classical' track, find the maximum duration of any track that is listed in at least one playlist.",
+				"For each album that has a 'Classical' track, find the maximum duration of any track that is listed in some playlist that includes a 'Classical' track.",
+				"For each album that has a 'Classical' track, find the maximum duration of any 'Classical' track that is listed in at least one playlist.",
+				"For each album that has a 'Classical' track listed in at least one playlist, find the maximum duration of any track in that album.",
+			},
+			Correct: 2, // every surviving row is a Classical track in a playlist
+		},
+		{
+			ID: "Q9", Category: Grouping, Complexity: Complex,
+			SQL: `
+SELECT G.Name, MAX(T.Milliseconds)
+FROM Playlist P, PlaylistTrack PT, Track T, Genre G, InvoiceLine IL, Invoice I, Customer C
+WHERE T.GenreId = G.GenreId
+AND T.TrackId = IL.TrackId
+AND IL.InvoiceId = I.InvoiceId
+AND I.CustomerId = C.CustomerId
+AND PT.TrackId = T.TrackId
+AND P.PlaylistId = PT.PlaylistId
+AND P.Name = 'workout'
+AND C.Country = 'France'
+GROUP BY G.Name`,
+			Options: [4]string{
+				"For each genre, find the maximum duration of any track that is sold to at least one customer from France who bought some track that is listed in a playlist named 'workout'.",
+				"For each genre, find the maximum duration of any track that is sold to at least one customer from France and is listed in a playlist named 'workout'.",
+				"For each genre that has a track listed in a playlist named 'workout', find the maximum duration of any track that is sold to at least one customer from France.",
+				"For each genre that has a track sold to at least one customer from France, find the maximum duration of any track that is listed in a playlist named 'workout'.",
+			},
+			Correct: 1, // one track joined to both the sale and the playlist
+		},
+		{
+			ID: "Q10", Category: Nested, Complexity: Simple,
+			SQL: `
+SELECT A.ArtistId, A.Name
+FROM Artist A
+WHERE NOT EXISTS
+  (SELECT *
+   FROM Album AL, Track T
+   WHERE A.ArtistId = AL.ArtistId
+   AND AL.AlbumId = T.AlbumId
+   AND T.Composer = A.Name)`,
+			Options: [4]string{
+				"Find artists who do not have any album that has a track that is composed by someone with the same name as the artist.",
+				"Find artists who have an album that does not have any track that is composed by someone with the same name as the artist.",
+				"Find artists who do not have any album where all its tracks are composed by someone with the same name as the artist.",
+				"Find artists so that all their albums have a track that is not composed by someone with the same name as the artist.",
+			},
+			Correct: 0,
+		},
+		{
+			ID: "Q11", Category: Nested, Complexity: Medium,
+			SQL: `
+SELECT A.ArtistId, A.Name
+FROM Artist A, Album AL1, Album AL2
+WHERE A.ArtistId = AL1.ArtistId
+AND A.ArtistId = AL2.ArtistId
+AND AL1.AlbumId <> AL2.AlbumId
+AND NOT EXISTS
+  (SELECT *
+   FROM Track T1, Genre G1
+   WHERE AL1.AlbumId = T1.AlbumId
+   AND T1.GenreId = G1.GenreId
+   AND G1.Name = 'Rock')
+AND NOT EXISTS
+  (SELECT *
+   FROM Track T2
+   WHERE AL2.AlbumId = T2.AlbumId
+   AND T2.Milliseconds < 270000)`,
+			Options: [4]string{
+				"Find artists that have at least two albums such that they both do not have any track in the 'Rock' genre and all their tracks are shorter than 270000 milliseconds.",
+				"Find artists that have at least two albums such that one of their albums does not have any track in the 'Rock' genre and another of their albums only has tracks shorter than 270000 milliseconds.",
+				"Find artists that have at least two albums such that they both do not have any track in the 'Rock' genre and none of their track is shorter than 270000 milliseconds.",
+				"Find artists that have at least two albums such that one of their albums does not have any track in the 'Rock' genre and another of their albums does not have any track shorter than 270000 milliseconds.",
+			},
+			Correct: 3, // each NOT EXISTS constrains one specific album
+		},
+		{
+			ID: "Q12", Category: Nested, Complexity: Complex,
+			SQL: `
+SELECT A.ArtistId, A.Name
+FROM Artist A, Album AL
+WHERE A.ArtistId = AL.ArtistId
+AND NOT EXISTS
+  (SELECT *
+   FROM Track T, Genre G
+   WHERE AL.AlbumId = T.AlbumId
+   AND T.GenreId = G.GenreId
+   AND G.Name = 'Jazz'
+   AND NOT EXISTS
+     (SELECT *
+      FROM Playlist P, PlaylistTrack PT
+      WHERE P.PlaylistId = PT.PlaylistId
+      AND PT.TrackId = T.TrackId))`,
+			Options: [4]string{
+				"Find artists that have an album such that none of its tracks that are in the 'Jazz' genre are individually in at least one playlist.",
+				"Find artists that have an album such that at least one of its tracks that are in the 'Jazz' genre are in all playlists.",
+				"Find artists that have an album such that each its tracks that are in the 'Jazz' genre are in all playlists.",
+				"Find artists that have an album such that each of its tracks that are in the 'Jazz' genre are individually in at least one playlist.",
+			},
+			Correct: 3,
+		},
+	}
+}
+
+// NonGroupingQuestions returns the 9 questions analysed in the paper's
+// main results (Section 6): the 12 study questions minus the 3 Grouping
+// questions.
+func NonGroupingQuestions() []Question {
+	var out []Question
+	for _, q := range StudyQuestions() {
+		if q.Category != Grouping {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// QualificationQuestions returns the six SQL qualification-exam questions
+// of Appendix D. Workers needed at least 4 of 6 correct to enter the study.
+func QualificationQuestions() []Question {
+	return []Question{
+		{
+			ID: "QUAL1", Category: Conjunctive, Complexity: Medium,
+			SQL: `
+SELECT P.PlaylistId, P.Name
+FROM Playlist P, PlaylistTrack PT, Track T, Album AL, Artist A
+WHERE P.PlaylistId = PT.PlaylistId
+AND PT.TrackId = T.TrackId
+AND T.AlbumId = AL.AlbumId
+AND AL.ArtistId = A.ArtistId
+AND A.Name = 'AC/DC'`,
+			Options: [4]string{
+				"Find playlists that have all tracks from all albums by artists with the name 'AC/DC'.",
+				"Find playlists that have all tracks from an album by an artist with the name 'AC/DC'.",
+				"Find playlists that only have tracks from albums by artists with the name 'AC/DC'.",
+				"Find playlists that have at least one track from an album by an artist with the name 'AC/DC'.",
+			},
+			Correct: 3,
+		},
+		{
+			ID: "QUAL2", Category: SelfJoin, Complexity: Medium,
+			SQL: `
+SELECT C.CustomerId, C.FirstName, C.LastName
+FROM Customer C, Invoice I,
+     InvoiceLine IL1, InvoiceLine IL2,
+     Track T1, Track T2
+WHERE C.CustomerId = I.CustomerId
+AND I.InvoiceId = IL1.InvoiceId
+AND I.InvoiceId = IL2.InvoiceId
+AND IL1.TrackId = T1.TrackId
+AND IL2.TrackId = T2.TrackId
+AND T1.GenreId <> T2.GenreId`,
+			Options: [4]string{
+				"Find customers who have at least two invoices and for each invoice there are at least two tracks of different genres.",
+				"Find customers who have an invoice with at least two tracks of different genres.",
+				"Find customers who have at least two invoices with tracks of different genres.",
+				"Find customers who have an invoice with only two tracks that are of different genres.",
+			},
+			Correct: 1, // one invoice I with two differing lines
+		},
+		{
+			ID: "QUAL3", Category: Grouping, Complexity: Simple,
+			SQL: `
+SELECT P.PlaylistId, G.Name, COUNT(T.TrackId)
+FROM Playlist P, PlaylistTrack PT, Track T, Genre G
+WHERE P.PlaylistId = PT.PlaylistId
+AND PT.TrackId = T.TrackId
+AND T.GenreId = G.GenreId
+GROUP BY P.PlaylistId, G.Name`,
+			Options: [4]string{
+				"For each playlist, find the number of tracks per genre.",
+				"For each genre, find the number of tracks in the genre.",
+				"For each playlist find the number of tracks in the playlist.",
+				"For each playlist and genre, find the number of tracks in each playlist.",
+			},
+			Correct: 0,
+		},
+		{
+			ID: "QUAL4", Category: Nested, Complexity: Medium,
+			SQL: `
+SELECT A.ArtistId, A.Name
+FROM Artist A
+WHERE NOT EXISTS
+  (SELECT *
+   FROM Album AL
+   WHERE AL.ArtistId = A.ArtistId
+   AND NOT EXISTS
+     (SELECT *
+      FROM Track T, MediaType MT
+      WHERE AL.AlbumId = T.AlbumId
+      AND T.MediaTypeId = MT.MediaTypeId
+      AND MT.Name = 'ACC audio file'))`,
+			Options: [4]string{
+				"Find artists where all tracks in all their albums are available in 'ACC audio file' type.",
+				"Find artists where all their albums have a track that is available in 'ACC audio file' type.",
+				"Find artists where none of their albums have a track that is available in 'ACC audio file' type.",
+				"Find artists where none of their albums have all their tracks available in 'ACC audio file' type.",
+			},
+			Correct: 1, // ∄ album without some ACC track
+		},
+		{
+			ID: "QUAL5", Category: Nested, Complexity: Complex,
+			SQL: `
+SELECT C1.CustomerId, C1.FirstName, C1.LastName
+FROM Customer C1, Invoice I1, InvoiceLine IL1,
+     Track T1, Album AL1, Artist A1
+WHERE C1.CustomerId = I1.CustomerId
+AND I1.InvoiceId = IL1.InvoiceId
+AND IL1.TrackId = T1.TrackId
+AND T1.AlbumId = AL1.AlbumId
+AND AL1.ArtistId = A1.ArtistId
+AND A1.Name = 'AC/DC'
+AND NOT EXISTS
+  (SELECT *
+   FROM Customer C2, Invoice I2, InvoiceLine IL2,
+        Track T2, Album AL2, Artist A2
+   WHERE C2.CustomerId <> C1.CustomerId
+   AND C1.City = C2.City
+   AND C2.CustomerId = I2.CustomerId
+   AND I2.InvoiceId = IL2.InvoiceId
+   AND IL2.TrackId = T2.TrackId
+   AND T2.AlbumId = AL2.AlbumId
+   AND AL2.ArtistId = A2.ArtistId
+   AND A2.Name = 'AC/DC')`,
+			Options: [4]string{
+				"Find customers who were not the only ones in their city to buy every track from an album by an artist with the name 'AC/DC'.",
+				"Find customers who were the only ones in their city to buy every track from an album by an artist with the name 'AC/DC'.",
+				"Find customers who were not the only ones in their city to buy a track from an album by an artist with the name 'AC/DC'.",
+				"Find customers who were the only ones in their city to buy a track from an album by an artist with the name 'AC/DC'.",
+			},
+			Correct: 3,
+		},
+		{
+			ID: "QUAL6", Category: Grouping, Complexity: Complex,
+			SQL: `
+SELECT E1.EmployeeId, COUNT(C.CustomerId), AVG(I.Total)
+FROM Employee E1, Employee E2, Customer C, Invoice I
+WHERE E1.ReportsTo = E2.EmployeeId
+AND E1.Country <> E2.Country
+AND E1.EmployeeId = C.SupportRepId
+AND E1.Country = C.Country
+AND C.CustomerId = I.CustomerId
+GROUP BY E1.EmployeeId`,
+			Options: [4]string{
+				"For each employee that reports to an employee in another country, find the number of customers the former employee services in a different country than theirs and the average invoice total of those customers.",
+				"For each employee that reports to an employee in another country, find the number of customers the former employee services in their country and the average invoice total of those customers.",
+				"For each employee that reports to an employee in another country, find the number of customers the latter employee services in a different country than theirs and the average invoice total of those customers.",
+				"For each employee that reports to an employee in another country, find the number of customers the latter employee services in their country and the average invoice total of those customers.",
+			},
+			Correct: 1, // E1 (the reporter) services customers in E1's country
+		},
+	}
+}

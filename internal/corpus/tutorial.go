@@ -1,0 +1,114 @@
+package corpus
+
+// TutorialExample is one page of the Appendix-E tutorial: an SQL example
+// annotated with its diagram and intended reading. Participants spent
+// 2-3 minutes on these six examples before the test — the only exposure
+// to the notation they ever received.
+type TutorialExample struct {
+	Page     int // tutorial page (3-9)
+	Title    string
+	SQL      string
+	Reading  string // the paper's intended interpretation
+	Simplify bool   // page 9 shows the ∀ form of page 8's query
+}
+
+// TutorialExamples returns the six examples of the study tutorial
+// (Appendix E pages 3-9), all over the Chinook schema.
+func TutorialExamples() []TutorialExample {
+	return []TutorialExample{
+		{
+			Page:  3,
+			Title: "Basic conjunctive query",
+			SQL: `
+SELECT T.TrackId
+FROM Track T
+WHERE T.UnitPrice > 2`,
+			Reading: "Find TrackId of Tracks whose UnitPrice is greater than 2.",
+		},
+		{
+			Page:  4,
+			Title: "Basic conjunctive query with implicit joins",
+			SQL: `
+SELECT T.TrackId
+FROM Track T, PlaylistTrack PT, Playlist P, Genre G
+WHERE T.GenreId = G.GenreId
+AND T.TrackId = PT.TrackId
+AND PT.PlaylistId = P.PlaylistId`,
+			Reading: "Find the TrackId of Tracks that are in some Playlist and belong to some Genres.",
+		},
+		{
+			Page:  5,
+			Title: "Basic query with a labeled (non-equi) join",
+			SQL: `
+SELECT T.TrackId
+FROM Track T, PlaylistTrack PT, Playlist P, Genre G
+WHERE T.GenreId = G.GenreId
+AND T.TrackId = PT.TrackId
+AND PT.PlaylistId = P.PlaylistId
+AND G.Name <> P.Name`,
+			Reading: "Find the TrackId of Tracks that are in some Playlist whose name is different from the Genre of the Track.",
+		},
+		{
+			Page:  6,
+			Title: "GROUP BY with aggregates",
+			SQL: `
+SELECT IL.TrackId, SUM(IL.Quantity)
+FROM InvoiceLine IL, Invoice I
+WHERE IL.InvoiceId = I.InvoiceId
+AND I.CustomerId = 123
+GROUP BY IL.TrackId`,
+			Reading: "For each TrackId find the total sale quantity bought by the customer with ID = 123.",
+		},
+		{
+			Page:  7,
+			Title: "Basic nested (NOT EXISTS) query",
+			SQL: `
+SELECT AL.AlbumId, AL.Title
+FROM Album AL
+WHERE NOT EXISTS
+  (SELECT *
+   FROM Track T, MediaType MT
+   WHERE AL.AlbumId = T.AlbumId
+   AND T.MediaTypeId = MT.MediaTypeId
+   AND MT.Name = 'ACC audio file')`,
+			Reading: "Find AlbumId and Title of Albums for which no Track is available as 'ACC audio file' MediaType.",
+		},
+		{
+			Page:  8,
+			Title: "Double-nested query (double negation)",
+			SQL: `
+SELECT A.Name, A.ArtistId
+FROM Artist A
+WHERE NOT EXISTS
+  (SELECT *
+   FROM Album AL
+   WHERE AL.ArtistId = A.ArtistId
+   AND NOT EXISTS
+     (SELECT *
+      FROM Track T, MediaType MT
+      WHERE AL.AlbumId = T.AlbumId
+      AND T.MediaTypeId = MT.MediaTypeId
+      AND MT.Name = 'ACC audio file'))`,
+			Reading: "Find Name and ArtistId of Artists who have no Album that does not have any Track whose MediaType name is 'ACC audio file'.",
+		},
+		{
+			Page:  9,
+			Title: "The same query with the ∀ simplification",
+			SQL: `
+SELECT A.Name, A.ArtistId
+FROM Artist A
+WHERE NOT EXISTS
+  (SELECT *
+   FROM Album AL
+   WHERE AL.ArtistId = A.ArtistId
+   AND NOT EXISTS
+     (SELECT *
+      FROM Track T, MediaType MT
+      WHERE AL.AlbumId = T.AlbumId
+      AND T.MediaTypeId = MT.MediaTypeId
+      AND MT.Name = 'ACC audio file'))`,
+			Reading:  "Find Name and ArtistId of Artists for whom all their Albums contain at least one Track whose MediaType name is 'ACC audio file'.",
+			Simplify: true,
+		},
+	}
+}

@@ -1,0 +1,171 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/logictree"
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+	"repro/internal/trc"
+)
+
+func diagramFor(t *testing.T, src string, s *schema.Schema, simplify bool) *core.Diagram {
+	t.Helper()
+	q := sqlparse.MustParse(src)
+	r, err := sqlparse.Resolve(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := trc.Convert(q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := logictree.FromTRC(e).Flatten()
+	if simplify {
+		lt.Simplify()
+	}
+	return core.MustBuild(lt)
+}
+
+const qOnlySQL = `
+SELECT F.person FROM Frequents F
+WHERE not exists (SELECT * FROM Serves S WHERE S.bar = F.bar
+  AND not exists (SELECT L.drink FROM Likes L
+    WHERE L.person = F.person AND S.drink = L.drink))`
+
+func TestRenderBasicStructure(t *testing.T) {
+	d := diagramFor(t, qOnlySQL, schema.Beers(), false)
+	out := Render(d)
+	for _, want := range []string{
+		"digraph queryvis {",
+		"rankdir=LR",
+		"<B>SELECT</B>",
+		"<B>Frequents</B>",
+		"<B>Serves</B>",
+		"<B>Likes</B>",
+		"subgraph cluster_0",
+		`style="rounded,dashed"`,
+		"PORT=\"r0\"",
+		"dir=none", // the SELECT edge
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Two ∄ clusters.
+	if n := strings.Count(out, "subgraph cluster_"); n != 2 {
+		t.Errorf("got %d clusters, want 2", n)
+	}
+}
+
+func TestRenderForAllUsesDoublePeriphery(t *testing.T) {
+	d := diagramFor(t, qOnlySQL, schema.Beers(), true)
+	out := Render(d)
+	if !strings.Contains(out, "peripheries=2") {
+		t.Errorf("∀ box should render with peripheries=2:\n%s", out)
+	}
+	if strings.Count(out, "subgraph cluster_") != 1 {
+		t.Errorf("simplified Qonly should have exactly one cluster:\n%s", out)
+	}
+}
+
+func TestRenderSelectionAndLabels(t *testing.T) {
+	d := diagramFor(t, `
+		SELECT S1.sname FROM Sailor S1, Sailor S2
+		WHERE S1.rating < S2.rating AND S2.color_x = 'x'`,
+		func() *schema.Schema {
+			s := schema.New("x")
+			s.AddTable("Sailor", "sid", "sname", "rating", "color_x")
+			return s
+		}(), false)
+	out := Render(d)
+	if !strings.Contains(out, "lightyellow") {
+		t.Errorf("selection row should be yellow:\n%s", out)
+	}
+	if !strings.Contains(out, "label=\"<\"") && !strings.Contains(out, "label=&lt;") {
+		// DOT operator labels are quoted strings.
+		if !strings.Contains(out, `label="<"`) {
+			t.Errorf("missing < label:\n%s", out)
+		}
+	}
+}
+
+func TestRenderGroupByGray(t *testing.T) {
+	d := diagramFor(t, `
+		SELECT T.AlbumId, MAX(T.Milliseconds) FROM Track T GROUP BY T.AlbumId`,
+		schema.Chinook(), false)
+	out := Render(d)
+	if !strings.Contains(out, "gray90") {
+		t.Errorf("GROUP BY row should be gray:\n%s", out)
+	}
+	if !strings.Contains(out, "MAX(Milliseconds)") {
+		t.Errorf("aggregate row missing:\n%s", out)
+	}
+}
+
+func TestRenderEscapesHTML(t *testing.T) {
+	d := diagramFor(t, `SELECT B.bname FROM Boat B WHERE B.color = '<&>'`,
+		schema.Sailors(), false)
+	out := Render(d)
+	if strings.Contains(out, "'<&>'") {
+		t.Errorf("constant not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "&lt;&amp;&gt;") {
+		t.Errorf("expected escaped entity text:\n%s", out)
+	}
+}
+
+func TestRenderOptions(t *testing.T) {
+	d := diagramFor(t, qOnlySQL, schema.Beers(), false)
+	out := RenderWith(d, Options{Name: "my graph", RankDir: "TB", ShowVars: true})
+	if !strings.Contains(out, `digraph "my graph"`) {
+		t.Errorf("graph name not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, "rankdir=TB") {
+		t.Errorf("rankdir not applied")
+	}
+	if !strings.Contains(out, `<FONT COLOR="red">F</FONT>`) {
+		t.Errorf("ShowVars should annotate tuple variables:\n%s", out)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	d := diagramFor(t, qOnlySQL, schema.Beers(), false)
+	if Render(d) != Render(d) {
+		t.Error("Render is not deterministic")
+	}
+}
+
+func TestText(t *testing.T) {
+	d := diagramFor(t, qOnlySQL, schema.Beers(), true)
+	out := Text(d)
+	for _, want := range []string{
+		"SELECT", "Frequents (F)", "∀ box:", "edges:", "--", "->",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuoteID(t *testing.T) {
+	cases := map[string]string{
+		"queryvis":  "queryvis",
+		"q1":        "q1",
+		"1q":        `"1q"`,
+		"a b":       `"a b"`,
+		`say "hi"`:  `"say \"hi\""`,
+		"":          `""`,
+		"<>":        `"<>"`,
+		"_under":    "_under",
+		"CamelCase": "CamelCase",
+	}
+	for in, want := range cases {
+		if got := quoteID(in); got != want {
+			t.Errorf("quoteID(%q) = %s, want %s", in, got, want)
+		}
+	}
+}

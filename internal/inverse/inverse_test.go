@@ -1,0 +1,400 @@
+package inverse
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/logictree"
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+	"repro/internal/trc"
+)
+
+// ltFor builds a flattened, unsimplified logic tree for a query.
+func ltFor(t *testing.T, src string, s *schema.Schema) *logictree.LT {
+	t.Helper()
+	q, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r, err := sqlparse.Resolve(q, s)
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	e, err := trc.Convert(q, r)
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	return logictree.FromTRC(e).Flatten()
+}
+
+const uniqueSetSQL = `
+SELECT L1.drinker
+FROM Likes L1
+WHERE NOT EXISTS(
+  SELECT * FROM Likes L2
+  WHERE L1.drinker <> L2.drinker
+  AND NOT EXISTS(
+    SELECT * FROM Likes L3
+    WHERE L3.drinker = L2.drinker
+    AND NOT EXISTS(
+      SELECT * FROM Likes L4
+      WHERE L4.drinker = L1.drinker AND L4.beer = L3.beer))
+  AND NOT EXISTS(
+    SELECT * FROM Likes L5
+    WHERE L5.drinker = L1.drinker
+    AND NOT EXISTS(
+      SELECT * FROM Likes L6
+      WHERE L6.drinker = L2.drinker AND L6.beer = L5.beer)))`
+
+func roundTrip(t *testing.T, lt *logictree.LT, label string) {
+	t.Helper()
+	if err := lt.Validate(); err != nil {
+		t.Fatalf("%s: input LT invalid: %v", label, err)
+	}
+	d, err := core.Build(lt)
+	if err != nil {
+		t.Fatalf("%s: build: %v", label, err)
+	}
+	got, err := Recover(d)
+	if err != nil {
+		t.Fatalf("%s: recover: %v\ndiagram:\n%s", label, err, d)
+	}
+	if !logictree.Equal(lt, got) {
+		t.Errorf("%s: recovered LT differs:\n  want %s\n  got  %s",
+			label, lt.Canonical(), got.Canonical())
+	}
+}
+
+func TestPathPatternCount(t *testing.T) {
+	// Appendix B.1: exactly 16 of the 64 edge subsets are valid, split
+	// 8 / 4 / 4 across the three families.
+	valid := ValidPathPatterns()
+	if len(valid) != 16 {
+		t.Fatalf("got %d valid path patterns, want 16", len(valid))
+	}
+	families := map[string]int{}
+	for _, p := range valid {
+		families[p.Family()]++
+	}
+	if families["⟨A,B⟩"] != 8 || families["⟨A,B̄⟩"] != 4 || families["⟨Ā⟩"] != 4 {
+		t.Errorf("family sizes = %v, want ⟨A,B⟩:8 ⟨A,B̄⟩:4 ⟨Ā⟩:4", families)
+	}
+	// Edge D (2→3) is present in every valid pattern (Property 5.2).
+	for _, p := range valid {
+		if !p.Has("D") {
+			t.Errorf("pattern %v lacks edge D, contradicting Property 5.2", p.Edges)
+		}
+	}
+}
+
+func TestPathPatternsRecoverUniquely(t *testing.T) {
+	// Proposition 5.1, exhaustively for path LTs of depth 3: each valid
+	// pattern's diagram maps back to exactly the original tree.
+	for _, p := range ValidPathPatterns() {
+		lt := BuildPathLT(p)
+		d := core.MustBuild(lt)
+		sols, err := Solutions(d)
+		if err != nil {
+			t.Fatalf("pattern %v: %v", p.Edges, err)
+		}
+		if len(sols) != 1 {
+			t.Errorf("pattern %v: %d solutions, want exactly 1", p.Edges, len(sols))
+			continue
+		}
+		if !logictree.Equal(lt, sols[0]) {
+			t.Errorf("pattern %v: recovered tree differs", p.Edges)
+		}
+	}
+}
+
+func TestInvalidPathPatternsRejected(t *testing.T) {
+	valid := map[string]bool{}
+	for _, p := range ValidPathPatterns() {
+		valid[patternKey(p)] = true
+	}
+	n := 0
+	for _, p := range AllPathPatterns() {
+		if valid[patternKey(p)] {
+			continue
+		}
+		n++
+		if BuildPathLT(p).Validate() == nil {
+			t.Errorf("pattern %v should be invalid", p.Edges)
+		}
+	}
+	if n != 48 {
+		t.Errorf("got %d invalid patterns, want 48", n)
+	}
+}
+
+func TestRecoverUniqueSet(t *testing.T) {
+	roundTrip(t, ltFor(t, uniqueSetSQL, schema.Beers()), "unique-set")
+}
+
+func TestRecoverCorpusQueries(t *testing.T) {
+	cases := []struct {
+		name, src string
+		sch       *schema.Schema
+	}{
+		{"qonly", `
+			SELECT F.person FROM Frequents F
+			WHERE not exists (SELECT * FROM Serves S WHERE S.bar = F.bar
+			  AND not exists (SELECT L.drink FROM Likes L
+			    WHERE L.person = F.person AND S.drink = L.drink))`,
+			schema.Beers()},
+		{"sailors-only", `
+			SELECT S.sname FROM Sailor S
+			WHERE NOT EXISTS(SELECT * FROM Reserves R WHERE R.sid = S.sid
+			  AND NOT EXISTS(SELECT * FROM Boat B
+			    WHERE B.color = 'red' AND R.bid = B.bid))`,
+			schema.Sailors()},
+		{"branching-root", `
+			SELECT A.ArtistId, A.Name
+			FROM Artist A, Album AL1, Album AL2
+			WHERE A.ArtistId = AL1.ArtistId AND A.ArtistId = AL2.ArtistId
+			AND AL1.AlbumId <> AL2.AlbumId
+			AND NOT EXISTS (SELECT * FROM Track T1, Genre G1
+			  WHERE AL1.AlbumId = T1.AlbumId AND T1.GenreId = G1.GenreId
+			  AND G1.Name = 'Rock')
+			AND NOT EXISTS (SELECT * FROM Track T2
+			  WHERE AL2.AlbumId = T2.AlbumId AND T2.Milliseconds < 270000)`,
+			schema.Chinook()},
+		{"nested-q12", `
+			SELECT A.ArtistId, A.Name
+			FROM Artist A, Album AL
+			WHERE A.ArtistId = AL.ArtistId
+			AND NOT EXISTS (SELECT * FROM Track T, Genre G
+			  WHERE AL.AlbumId = T.AlbumId AND T.GenreId = G.GenreId
+			  AND G.Name = 'Jazz'
+			  AND NOT EXISTS (SELECT * FROM Playlist P, PlaylistTrack PT
+			    WHERE P.PlaylistId = PT.PlaylistId AND PT.TrackId = T.TrackId))`,
+			schema.Chinook()},
+	}
+	for _, c := range cases {
+		roundTrip(t, ltFor(t, c.src, c.sch), c.name)
+	}
+}
+
+func TestRecoverRandomBranchingTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(20200614))
+	trees := 0
+	for i := 0; i < 200; i++ {
+		lt := logictree.RandomValid(rng, 3)
+		if lt.Validate() != nil {
+			t.Fatalf("RandomValid produced an invalid tree at i=%d", i)
+		}
+		trees++
+		roundTrip(t, lt, "random")
+	}
+	if trees == 0 {
+		t.Fatal("no random trees generated")
+	}
+}
+
+func TestRecoverRejectsForAllForm(t *testing.T) {
+	lt := ltFor(t, uniqueSetSQL, schema.Beers()).Simplify()
+	d := core.MustBuild(lt)
+	_, err := Recover(d)
+	if err == nil || !strings.Contains(err.Error(), "∀") {
+		t.Fatalf("expected ∀-form rejection, got %v", err)
+	}
+	// The documented route: de-simplify, rebuild, recover.
+	d2 := core.MustBuild(lt.Unsimplify())
+	rec, err := Recover(d2)
+	if err != nil {
+		t.Fatalf("recover after Unsimplify: %v", err)
+	}
+	want := ltFor(t, uniqueSetSQL, schema.Beers())
+	if !logictree.Equal(want, rec) {
+		t.Error("de-simplified recovery does not match the original tree")
+	}
+}
+
+func TestUnsimplifyInvertsSimplify(t *testing.T) {
+	orig := ltFor(t, uniqueSetSQL, schema.Beers())
+	again := orig.Clone().Simplify().Unsimplify()
+	if !logictree.Equal(orig, again) {
+		t.Error("Unsimplify(Simplify(lt)) != lt")
+	}
+}
+
+func TestDegenerateDiagramHasNoSolution(t *testing.T) {
+	// A disconnected subquery (Property 5.2 violation) builds a diagram,
+	// but no valid tree matches it.
+	lt := ltFor(t, `
+		SELECT F.person FROM Frequents F
+		WHERE NOT EXISTS (SELECT * FROM Serves S WHERE S.bar = 'Owl')`,
+		schema.Beers())
+	d := core.MustBuild(lt)
+	_, err := Recover(d)
+	var amb *AmbiguityError
+	if !errors.As(err, &amb) || amb.Solutions != 0 {
+		t.Fatalf("expected 0-solution AmbiguityError, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "no consistent") {
+		t.Errorf("error text = %q", err)
+	}
+}
+
+func TestRelaxedRecoveryShowsAmbiguity(t *testing.T) {
+	// Section 5: without the non-degeneracy properties, structurally
+	// different logic trees can map to the same diagram. A path diagram
+	// whose only edge is D (between depths 2 and 3) leaves blocks 1 and 2
+	// free to reattach, so the relaxed search finds several trees while
+	// the validated search finds none.
+	p := PathPattern{Edges: []string{"D"}}
+	lt := BuildPathLT(p)
+	if lt.Validate() == nil {
+		t.Fatal("pattern {D} should be degenerate")
+	}
+	d := core.MustBuild(lt)
+	relaxed, err := SolutionsRelaxed(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(relaxed) <= 1 {
+		t.Errorf("relaxed solutions = %d, want ambiguity (> 1)", len(relaxed))
+	}
+	strict, err := Solutions(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict) != 0 {
+		t.Errorf("validated solutions = %d, want 0 for a degenerate diagram", len(strict))
+	}
+	// And for valid diagrams the relaxed search can also be ambiguous —
+	// validation is what pins the unique tree — or coincide; either way
+	// the validated solution must be among the relaxed ones.
+	vp := ValidPathPatterns()[0]
+	vlt := BuildPathLT(vp)
+	vd := core.MustBuild(vlt)
+	relaxed, err = SolutionsRelaxed(vd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range relaxed {
+		if logictree.Equal(r, vlt) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("the true tree must be among the relaxed solutions")
+	}
+}
+
+func TestDecomposeAtRoot(t *testing.T) {
+	// Two independent subqueries at the root decompose into two
+	// components (Appendix B.2.1, Fig. 14), each including the root.
+	lt := ltFor(t, `
+		SELECT S.sname FROM Sailor S
+		WHERE NOT EXISTS (SELECT * FROM Reserves R1 WHERE R1.sid = S.sid AND R1.day = 'Mon')
+		AND NOT EXISTS (SELECT * FROM Reserves R2 WHERE R2.sid = S.sid AND R2.day = 'Tue')`,
+		schema.Sailors())
+	d := core.MustBuild(lt)
+	comps, err := DecomposeAtRoot(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	rootID := -1
+	for _, tn := range d.Tables[1:] {
+		if tn.Var == "S" {
+			rootID = tn.ID
+		}
+	}
+	for i, c := range comps {
+		found := false
+		for _, id := range c {
+			if id == rootID {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("component %d does not include the root table", i)
+		}
+		if len(c) != 2 {
+			t.Errorf("component %d has %d tables, want 2 (root + one subquery)", i, len(c))
+		}
+	}
+
+	// The unique-set diagram is connected below the root: one component.
+	us := core.MustBuild(ltFor(t, uniqueSetSQL, schema.Beers()))
+	comps, err = DecomposeAtRoot(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 1 {
+		t.Errorf("unique-set decomposition: %d components, want 1", len(comps))
+	}
+}
+
+func TestRecoverPreservesSelectGroupByAndSelections(t *testing.T) {
+	lt := ltFor(t, `
+		SELECT T.AlbumId, MAX(T.Milliseconds)
+		FROM Track T, Genre G
+		WHERE T.GenreId = G.GenreId AND G.Name = 'Classical'
+		AND T.Bytes > 100
+		GROUP BY T.AlbumId`,
+		schema.Chinook())
+	roundTrip(t, lt, "group-by")
+	d := core.MustBuild(lt)
+	rec, err := Recover(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.GroupBy) != 1 || rec.GroupBy[0].Column != "AlbumId" {
+		t.Errorf("recovered GroupBy = %v", rec.GroupBy)
+	}
+	if len(rec.Select) != 2 || rec.Select[1].Agg != sqlparse.AggMax {
+		t.Errorf("recovered Select = %v", rec.Select)
+	}
+	nPreds := 0
+	rec.Walk(func(n *logictree.Node, _ int) { nPreds += len(n.Preds) })
+	if nPreds != 3 {
+		t.Errorf("recovered %d predicates, want 3", nPreds)
+	}
+}
+
+func TestParseConst(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantStr string
+		isStr   bool
+		num     float64
+	}{
+		{"'red'", "red", true, 0},
+		{"'it''s'", "it's", true, 0},
+		{"42", "", false, 42},
+		{"2.5", "", false, 2.5},
+	}
+	for _, c := range cases {
+		got := parseConst(c.in)
+		if got.IsString != c.isStr {
+			t.Errorf("parseConst(%q).IsString = %v", c.in, got.IsString)
+			continue
+		}
+		if c.isStr && got.Str != c.wantStr {
+			t.Errorf("parseConst(%q) = %q, want %q", c.in, got.Str, c.wantStr)
+		}
+		if !c.isStr && got.Num != c.num {
+			t.Errorf("parseConst(%q) = %v, want %v", c.in, got.Num, c.num)
+		}
+	}
+}
+
+func TestRecoverPreservesArithmeticOffsets(t *testing.T) {
+	lt := ltFor(t, `
+		SELECT S.sname FROM Sailor S
+		WHERE S.age - 1 > 20
+		AND NOT EXISTS (
+		  SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid > S.rating + 3)`,
+		schema.Sailors())
+	roundTrip(t, lt, "arithmetic")
+}

@@ -1,0 +1,126 @@
+package inverse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/logictree"
+	"repro/internal/schema"
+)
+
+func TestRecoverPathAgreesWithSearchOnAllPatterns(t *testing.T) {
+	// The literal Appendix B.1 case analysis and the search-based
+	// recovery must agree on every valid depth-3 path pattern.
+	for _, p := range ValidPathPatterns() {
+		lt := BuildPathLT(p)
+		d := core.MustBuild(lt)
+		direct, err := RecoverPath(d)
+		if err != nil {
+			t.Fatalf("pattern %v: %v", p.Edges, err)
+		}
+		searched, err := Recover(d)
+		if err != nil {
+			t.Fatalf("pattern %v (search): %v", p.Edges, err)
+		}
+		if !logictree.Equal(direct, searched) {
+			t.Errorf("pattern %v: direct and search recovery disagree", p.Edges)
+		}
+		if !logictree.Equal(direct, lt) {
+			t.Errorf("pattern %v: direct recovery differs from the original", p.Edges)
+		}
+	}
+}
+
+func TestRecoverPathDepthsFamilies(t *testing.T) {
+	// Spot-check one pattern per family. Group indices follow box order
+	// (depth 1, 2, 3 in construction order).
+	check := func(edges []string) {
+		t.Helper()
+		lt := BuildPathLT(PathPattern{Edges: edges})
+		d := core.MustBuild(lt)
+		depths, err := RecoverPathDepths(d)
+		if err != nil {
+			t.Fatalf("%v: %v", edges, err)
+		}
+		// Compare against the diagram's hidden ground truth: each group's
+		// depth equals its tables' true depth.
+		g, err := buildGraph(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gi, ids := range g.groups {
+			want := d.TrueDepth(ids[0])
+			if depths[gi] != want {
+				t.Errorf("%v: group %d depth = %d, want %d", edges, gi, depths[gi], want)
+			}
+		}
+	}
+	check([]string{"A", "B", "D"})                // ⟨A,B⟩ minimal
+	check([]string{"A", "B", "C", "D", "E", "F"}) // ⟨A,B⟩ maximal
+	check([]string{"A", "D", "E"})                // ⟨A,B̄⟩ minimal
+	check([]string{"A", "C", "D", "E", "F"})      // ⟨A,B̄⟩ maximal
+	check([]string{"B", "C", "D"})                // ⟨Ā⟩ minimal
+	check([]string{"B", "C", "D", "E", "F"})      // ⟨Ā⟩ maximal
+}
+
+func TestRecoverPathShallowerDiagrams(t *testing.T) {
+	// Depth-1 and depth-2 paths are sub-cases of the analysis.
+	lt1 := ltFor(t, `
+		SELECT S.sname FROM Sailor S
+		WHERE NOT EXISTS (SELECT * FROM Reserves R WHERE R.sid = S.sid)`,
+		schema.Sailors())
+	got, err := RecoverPath(core.MustBuild(lt1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !logictree.Equal(lt1, got) {
+		t.Error("depth-1 path recovery failed")
+	}
+
+	lt2 := ltFor(t, `
+		SELECT S.sname FROM Sailor S
+		WHERE NOT EXISTS (SELECT * FROM Reserves R WHERE R.sid = S.sid
+		  AND NOT EXISTS (SELECT * FROM Boat B WHERE B.bid = R.bid AND B.color = 'red'))`,
+		schema.Sailors())
+	got, err = RecoverPath(core.MustBuild(lt2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !logictree.Equal(lt2, got) {
+		t.Error("depth-2 path recovery failed")
+	}
+
+	// Conjunctive query: a single group, depth 0 only.
+	lt0 := ltFor(t, `SELECT S.sname FROM Sailor S WHERE S.rating > 7`, schema.Sailors())
+	got, err = RecoverPath(core.MustBuild(lt0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !logictree.Equal(lt0, got) {
+		t.Error("depth-0 recovery failed")
+	}
+}
+
+func TestRecoverPathRejectsBranching(t *testing.T) {
+	lt := ltFor(t, uniqueSetSQL, schema.Beers()) // branches at depth 1
+	_, err := RecoverPath(core.MustBuild(lt))
+	if err == nil {
+		t.Fatal("branching diagram should be rejected by the path recovery")
+	}
+	// 6 groups exceed the 4-group path bound.
+	if !strings.Contains(err.Error(), "up to depth 3") {
+		t.Errorf("error = %v", err)
+	}
+	// Two-sibling branching with 4 groups is also rejected.
+	lt2 := ltFor(t, `
+		SELECT S.sname FROM Sailor S
+		WHERE NOT EXISTS (SELECT * FROM Reserves R1 WHERE R1.sid = S.sid AND R1.day = 'Mon')
+		AND NOT EXISTS (SELECT * FROM Reserves R2 WHERE R2.sid = S.sid AND R2.day = 'Tue')
+		AND NOT EXISTS (SELECT * FROM Reserves R3 WHERE R3.sid = S.sid AND R3.day = 'Wed')`,
+		schema.Sailors())
+	_, err = RecoverPath(core.MustBuild(lt2))
+	if err == nil {
+		t.Fatal("sibling branching should fail path recovery")
+	}
+}

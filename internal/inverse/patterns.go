@@ -1,0 +1,134 @@
+package inverse
+
+import (
+	"sort"
+
+	"repro/internal/logictree"
+	"repro/internal/sqlparse"
+	"repro/internal/trc"
+)
+
+// PathEdges names the six possible edge types of a depth-3 path logic
+// tree, following Fig. 13a. Each entry connects two nesting depths; the
+// letter is the paper's label.
+var PathEdges = []struct {
+	Name   string
+	Lo, Hi int // the two depths the edge connects (Lo < Hi)
+}{
+	{"A", 0, 1},
+	{"B", 1, 2},
+	{"C", 0, 2},
+	{"D", 2, 3},
+	{"E", 1, 3},
+	{"F", 0, 3},
+}
+
+// PathPattern is one subset of the six edges, by name.
+type PathPattern struct {
+	Edges []string
+}
+
+// Has reports whether the pattern contains the named edge.
+func (p PathPattern) Has(name string) bool {
+	for _, e := range p.Edges {
+		if e == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Family classifies the pattern into the three families of Appendix B.1:
+// "⟨A,B⟩" (A and B present), "⟨A,B̄⟩" (A present, B absent), or "⟨Ā⟩"
+// (A absent).
+func (p PathPattern) Family() string {
+	switch {
+	case p.Has("A") && p.Has("B"):
+		return "⟨A,B⟩"
+	case p.Has("A"):
+		return "⟨A,B̄⟩"
+	default:
+		return "⟨Ā⟩"
+	}
+}
+
+// BuildPathLT materializes the depth-3 path logic tree for an edge
+// subset: four single-table ∄-chained blocks T0→T1→T2→T3 over a synthetic
+// relation R(a,b,c,d,e,f), with one equijoin predicate per chosen edge on
+// that edge's own attribute. The predicate is owned by the deeper block.
+func BuildPathLT(p PathPattern) *logictree.LT {
+	cols := map[string]string{"A": "a", "B": "b", "C": "c", "D": "d", "E": "e", "F": "f"}
+	nodes := make([]*logictree.Node, 4)
+	vars := []string{"T0", "T1", "T2", "T3"}
+	for i := range nodes {
+		q := trc.NotExists
+		if i == 0 {
+			q = trc.Exists
+		}
+		nodes[i] = &logictree.Node{
+			Quant:  q,
+			Tables: []logictree.Table{{Var: vars[i], Relation: "R"}},
+		}
+	}
+	for i := 0; i < 3; i++ {
+		nodes[i].Children = []*logictree.Node{nodes[i+1]}
+	}
+	for _, e := range PathEdges {
+		if !p.Has(e.Name) {
+			continue
+		}
+		col := cols[e.Name]
+		l := trc.Attr{Var: vars[e.Hi], Column: col}
+		r := trc.Attr{Var: vars[e.Lo], Column: col}
+		nodes[e.Hi].Preds = append(nodes[e.Hi].Preds, trc.Pred{
+			Left: trc.Term{Attr: &l}, Op: sqlparse.OpEq, Right: trc.Term{Attr: &r},
+		})
+	}
+	return &logictree.LT{
+		Root: nodes[0],
+		Select: []trc.SelectItem{{
+			Attr: trc.Attr{Var: "T0", Column: "a"},
+		}},
+	}
+}
+
+// AllPathPatterns enumerates all 2^6 = 64 edge subsets.
+func AllPathPatterns() []PathPattern {
+	var out []PathPattern
+	for mask := 0; mask < 64; mask++ {
+		var p PathPattern
+		for i, e := range PathEdges {
+			if mask&(1<<i) != 0 {
+				p.Edges = append(p.Edges, e.Name)
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// ValidPathPatterns returns the edge subsets whose path logic tree is a
+// valid non-degenerate query. Appendix B.1 derives there are exactly 16:
+// 8 in family ⟨A,B⟩, 4 in ⟨A,B̄⟩, and 4 in ⟨Ā⟩.
+func ValidPathPatterns() []PathPattern {
+	var out []PathPattern
+	for _, p := range AllPathPatterns() {
+		if BuildPathLT(p).Validate() == nil {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return patternKey(out[i]) < patternKey(out[j])
+	})
+	return out
+}
+
+func patternKey(p PathPattern) string {
+	s := ""
+	for _, e := range PathEdges {
+		if p.Has(e.Name) {
+			s += e.Name
+		}
+	}
+	return s
+}

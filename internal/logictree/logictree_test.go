@@ -1,0 +1,383 @@
+package logictree
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+	"repro/internal/trc"
+)
+
+// build parses, resolves, and converts a query into an LT.
+func build(t *testing.T, src string, s *schema.Schema) *LT {
+	t.Helper()
+	q, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r, err := sqlparse.Resolve(q, s)
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	e, err := trc.Convert(q, r)
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	return FromTRC(e)
+}
+
+const uniqueSetSQL = `
+SELECT L1.drinker
+FROM Likes L1
+WHERE NOT EXISTS(
+  SELECT * FROM Likes L2
+  WHERE L1.drinker <> L2.drinker
+  AND NOT EXISTS(
+    SELECT * FROM Likes L3
+    WHERE L3.drinker = L2.drinker
+    AND NOT EXISTS(
+      SELECT * FROM Likes L4
+      WHERE L4.drinker = L1.drinker AND L4.beer = L3.beer))
+  AND NOT EXISTS(
+    SELECT * FROM Likes L5
+    WHERE L5.drinker = L1.drinker
+    AND NOT EXISTS(
+      SELECT * FROM Likes L6
+      WHERE L6.drinker = L2.drinker AND L6.beer = L5.beer)))`
+
+const qOnlySQL = `
+SELECT F.person
+FROM Frequents F
+WHERE not exists
+  (SELECT * FROM Serves S
+   WHERE S.bar = F.bar
+   AND not exists
+     (SELECT L.drink FROM Likes L
+      WHERE L.person = F.person AND S.drink = L.drink))`
+
+func TestUniqueSetLTShape(t *testing.T) {
+	// Reproduces the Fig. 5 / Fig. 10a structure.
+	lt := build(t, uniqueSetSQL, schema.Beers())
+	if lt.MaxDepth() != 3 {
+		t.Errorf("max depth = %d, want 3", lt.MaxDepth())
+	}
+	if lt.NodeCount() != 6 {
+		t.Errorf("node count = %d, want 6", lt.NodeCount())
+	}
+	if lt.TableCount() != 6 {
+		t.Errorf("table count = %d, want 6", lt.TableCount())
+	}
+	root := lt.Root
+	if root.Quant != trc.Exists || len(root.Tables) != 1 || root.Tables[0].Var != "L1" {
+		t.Errorf("root = %+v, want ∃ {Likes L1}", root)
+	}
+	if len(root.Preds) != 0 {
+		t.Errorf("root has %d predicates, want 0", len(root.Preds))
+	}
+	l2 := root.Children[0]
+	if l2.Quant != trc.NotExists || len(l2.Children) != 2 {
+		t.Errorf("L2 node: quant=%v children=%d, want ∄ with 2 children", l2.Quant, len(l2.Children))
+	}
+	if len(l2.Preds) != 1 || l2.Preds[0].Op != sqlparse.OpNe {
+		t.Errorf("L2 preds = %v, want one <> predicate", l2.Preds)
+	}
+	for _, c := range l2.Children {
+		if c.Quant != trc.NotExists || len(c.Children) != 1 {
+			t.Errorf("depth-2 node %v: want ∄ with 1 child", c.Tables)
+		}
+		leaf := c.Children[0]
+		if leaf.Quant != trc.NotExists || len(leaf.Preds) != 2 {
+			t.Errorf("depth-3 node %v: quant=%v preds=%d, want ∄ with 2 preds",
+				leaf.Tables, leaf.Quant, len(leaf.Preds))
+		}
+	}
+	if err := lt.Validate(); err != nil {
+		t.Errorf("unique-set LT should be valid: %v", err)
+	}
+}
+
+func TestSimplifyUniqueSet(t *testing.T) {
+	// Fig. 10a → Fig. 10b: L3 and L5 become ∀, L4 and L6 become ∃,
+	// while L2 (two children) stays ∄.
+	lt := build(t, uniqueSetSQL, schema.Beers()).Simplify()
+	l2 := lt.Root.Children[0]
+	if l2.Quant != trc.NotExists {
+		t.Errorf("L2 quant = %v, want ∄", l2.Quant)
+	}
+	for _, c := range l2.Children {
+		if c.Quant != trc.ForAll {
+			t.Errorf("depth-2 node %v quant = %v, want ∀", c.Tables, c.Quant)
+		}
+		if c.Children[0].Quant != trc.Exists {
+			t.Errorf("depth-3 node %v quant = %v, want ∃",
+				c.Children[0].Tables, c.Children[0].Quant)
+		}
+	}
+	if err := lt.Validate(); err != nil {
+		t.Errorf("simplified LT should be valid: %v", err)
+	}
+}
+
+func TestSimplifyQOnly(t *testing.T) {
+	// Fig. 2b → Fig. 2c: the ∄∄ chain under the root becomes ∀∃.
+	lt := build(t, qOnlySQL, schema.Beers())
+	s := lt.Root.Children[0]
+	if s.Quant != trc.NotExists || s.Children[0].Quant != trc.NotExists {
+		t.Fatalf("before simplify: %v / %v, want ∄ / ∄", s.Quant, s.Children[0].Quant)
+	}
+	lt.Simplify()
+	if s.Quant != trc.ForAll || s.Children[0].Quant != trc.Exists {
+		t.Errorf("after simplify: %v / %v, want ∀ / ∃", s.Quant, s.Children[0].Quant)
+	}
+}
+
+func TestSimplifiedLeavesOriginalIntact(t *testing.T) {
+	lt := build(t, qOnlySQL, schema.Beers())
+	s := lt.Simplified()
+	if lt.Root.Children[0].Quant != trc.NotExists {
+		t.Error("Simplified() must not mutate the receiver")
+	}
+	if s.Root.Children[0].Quant != trc.ForAll {
+		t.Error("Simplified() copy was not simplified")
+	}
+}
+
+func TestFig24VariantsSameLT(t *testing.T) {
+	// Three syntactically different queries for "sailors who reserve only
+	// red boats" must have identical canonical LTs (Fig. 24).
+	variants := []string{
+		`SELECT S.sname FROM Sailor S
+		 WHERE NOT EXISTS(
+		   SELECT * FROM Reserves R WHERE R.sid = S.sid
+		   AND NOT EXISTS(
+		     SELECT * FROM Boat B WHERE B.color = 'red' AND R.bid = B.bid))`,
+		`SELECT S.sname FROM Sailor S
+		 WHERE S.sid NOT IN(
+		   SELECT R.sid FROM Reserves R
+		   WHERE R.bid NOT IN(
+		     SELECT B.bid FROM Boat B WHERE B.color = 'red'))`,
+		`SELECT S.sname FROM Sailor S
+		 WHERE NOT S.sid = ANY(
+		   SELECT R.sid FROM Reserves R
+		   WHERE NOT R.bid = ANY(
+		     SELECT B.bid FROM Boat B WHERE B.color = 'red'))`,
+	}
+	var first *LT
+	for i, v := range variants {
+		lt := build(t, v, schema.Sailors())
+		if err := lt.Validate(); err != nil {
+			t.Errorf("variant %d invalid: %v", i, err)
+		}
+		if first == nil {
+			first = lt
+			continue
+		}
+		if !Equal(first, lt) {
+			t.Errorf("variant %d canonical LT differs:\n%s\nvs\n%s",
+				i, first.Canonical(), lt.Canonical())
+		}
+	}
+}
+
+func TestQuantifiedAllDesugars(t *testing.T) {
+	// "rating >= ALL (...)" ≡ ∄S2: rating < S2.rating.
+	lt := build(t, `SELECT S.sname FROM Sailor S
+		WHERE S.rating >= ALL (SELECT S2.rating FROM Sailor S2 WHERE S2.sid <> S.sid)`,
+		schema.Sailors())
+	child := lt.Root.Children[0]
+	if child.Quant != trc.NotExists {
+		t.Errorf("quant = %v, want ∄", child.Quant)
+	}
+	found := false
+	for _, p := range child.Preds {
+		if p.Op == sqlparse.OpLt {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a < predicate from negating >=, got %v", child.Preds)
+	}
+}
+
+func TestPropertyViolationDisjunction(t *testing.T) {
+	// The paper's Section 5.1 example: F.bar = 'Owl' inside the subquery
+	// references no local attribute, hiding a disjunction.
+	lt := build(t, `
+		SELECT F.person FROM Frequents F
+		WHERE NOT EXISTS (
+		  SELECT * FROM Serves S
+		  WHERE S.bar = F.bar AND F.bar = 'Owl')`,
+		schema.Beers())
+	err := lt.Validate()
+	if err == nil {
+		t.Fatal("expected a Property 5.1 violation")
+	}
+	if !strings.Contains(err.Error(), "Property 5.1") {
+		t.Errorf("error = %v, want Property 5.1 mention", err)
+	}
+}
+
+func TestPropertyConnectedSubqueries(t *testing.T) {
+	// A subquery with no predicate linking it to its parent (and no
+	// children doing so) violates Property 5.2.
+	lt := build(t, `
+		SELECT F.person FROM Frequents F
+		WHERE NOT EXISTS (SELECT * FROM Serves S WHERE S.bar = 'Owl')`,
+		schema.Beers())
+	err := lt.Validate()
+	if err == nil {
+		t.Fatal("expected a Property 5.2 violation")
+	}
+	if !strings.Contains(err.Error(), "Property 5.2") {
+		t.Errorf("error = %v, want Property 5.2 mention", err)
+	}
+}
+
+func TestProperty52ViaGrandchildren(t *testing.T) {
+	// The second arm of Property 5.2: the child block itself has no
+	// predicate to its parent, but its own single child references both.
+	lt := build(t, `
+		SELECT L1.drinker FROM Likes L1
+		WHERE NOT EXISTS (
+		  SELECT * FROM Likes L2
+		  WHERE L2.beer = L2.beer
+		  AND NOT EXISTS (
+		    SELECT * FROM Likes L3
+		    WHERE L3.drinker = L1.drinker AND L3.beer = L2.beer))`,
+		schema.Beers())
+	if err := lt.Validate(); err != nil {
+		t.Errorf("query should satisfy Property 5.2 via its grandchild: %v", err)
+	}
+}
+
+func TestValidateDepthLimit(t *testing.T) {
+	// Build a depth-4 chain manually; Validate must reject it.
+	lt := build(t, uniqueSetSQL, schema.Beers())
+	deep := lt.Root
+	for len(deep.Children) > 0 {
+		deep = deep.Children[0]
+	}
+	deep.Children = append(deep.Children, &Node{
+		Quant:  trc.NotExists,
+		Tables: []Table{{Var: "L9", Relation: "Likes"}},
+		Preds: []trc.Pred{{
+			Left:  trc.Term{Attr: &trc.Attr{Var: "L9", Column: "beer"}},
+			Op:    sqlparse.OpEq,
+			Right: trc.Term{Attr: &trc.Attr{Var: "L4", Column: "beer"}},
+		}},
+	})
+	err := lt.Validate()
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Errorf("expected a depth violation, got %v", err)
+	}
+}
+
+func TestStringRendersFig5Style(t *testing.T) {
+	lt := build(t, uniqueSetSQL, schema.Beers())
+	s := lt.String()
+	for _, want := range []string{
+		"Select: {L1.drinker}",
+		"T: {Likes L1}",
+		"T: {Likes L2}",
+		"Q: ∄",
+		"(L1.drinker <> L2.drinker)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTRCRendering(t *testing.T) {
+	lt := build(t, uniqueSetSQL, schema.Beers())
+	e := lt.ToTRC()
+	s := e.String()
+	for _, want := range []string{
+		"{Q | ", "∃L1 ∈ Likes", "L1.drinker = Q.drinker",
+		"∄L2 ∈ Likes", "L1.drinker <> L2.drinker",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("TRC rendering missing %q:\n%s", want, s)
+		}
+	}
+	simp := lt.Simplified().ToTRC().String()
+	if !strings.Contains(simp, "∀L3 ∈ Likes") || !strings.Contains(simp, "∃L4 ∈ Likes") {
+		t.Errorf("simplified TRC missing ∀/∃ blocks:\n%s", simp)
+	}
+	ind := e.Indented()
+	if len(strings.Split(ind, "\n")) < 6 {
+		t.Errorf("Indented() should span multiple lines:\n%s", ind)
+	}
+}
+
+func TestTRCCounts(t *testing.T) {
+	lt := build(t, uniqueSetSQL, schema.Beers())
+	e := lt.ToTRC()
+	if e.VarCount() != 6 {
+		t.Errorf("VarCount = %d, want 6", e.VarCount())
+	}
+	if e.MaxDepth() != 3 {
+		t.Errorf("MaxDepth = %d, want 3", e.MaxDepth())
+	}
+}
+
+func TestShadowedAliasRenaming(t *testing.T) {
+	lt := build(t, `
+		SELECT X.drinker FROM Likes X
+		WHERE NOT EXISTS (SELECT * FROM Serves X WHERE X.bar = 'Owl' AND X.beer = 'ale')`,
+		schema.Beers())
+	inner := lt.Root.Children[0]
+	if inner.Tables[0].Var == "X" {
+		t.Error("shadowed alias should have been renamed")
+	}
+	if inner.Tables[0].Relation != "Serves" {
+		t.Errorf("inner relation = %s, want Serves", inner.Tables[0].Relation)
+	}
+}
+
+func TestGroupByCarried(t *testing.T) {
+	lt := build(t, `
+		SELECT T.AlbumId, MAX(T.Milliseconds)
+		FROM Track T, Genre G
+		WHERE T.GenreId = G.GenreId AND G.Name = 'Classical'
+		GROUP BY T.AlbumId`,
+		schema.Chinook())
+	if len(lt.GroupBy) != 1 || lt.GroupBy[0].String() != "T.AlbumId" {
+		t.Errorf("GroupBy = %v, want [T.AlbumId]", lt.GroupBy)
+	}
+	if lt.Select[1].Agg != sqlparse.AggMax {
+		t.Errorf("second select item agg = %v, want MAX", lt.Select[1].Agg)
+	}
+}
+
+func TestNodeOfAndDepthOf(t *testing.T) {
+	lt := build(t, uniqueSetSQL, schema.Beers())
+	for v, want := range map[string]int{"L1": 0, "L2": 1, "L3": 2, "L5": 2, "L4": 3, "L6": 3} {
+		if d := lt.DepthOf(v); d != want {
+			t.Errorf("DepthOf(%s) = %d, want %d", v, d, want)
+		}
+		if lt.NodeOf(v) == nil {
+			t.Errorf("NodeOf(%s) = nil", v)
+		}
+	}
+	if lt.NodeOf("nope") != nil || lt.DepthOf("nope") != -1 {
+		t.Error("lookups of unknown variables should fail")
+	}
+}
+
+func TestCanonicalPredOrientation(t *testing.T) {
+	a := trc.Term{Attr: &trc.Attr{Var: "B", Column: "x"}}
+	b := trc.Term{Attr: &trc.Attr{Var: "A", Column: "y"}}
+	p := trc.Pred{Left: a, Op: sqlparse.OpLt, Right: b}
+	cp := CanonicalPred(p)
+	if cp.Left.Attr.Var != "A" || cp.Op != sqlparse.OpGt {
+		t.Errorf("CanonicalPred = %v, want A.y > B.x", cp)
+	}
+	c := sqlparse.NumberConst(3)
+	p2 := trc.Pred{Left: trc.Term{Const: &c}, Op: sqlparse.OpLe, Right: a}
+	cp2 := CanonicalPred(p2)
+	if !cp2.Right.IsConst() || cp2.Op != sqlparse.OpGe {
+		t.Errorf("CanonicalPred = %v, want B.x >= 3", cp2)
+	}
+}

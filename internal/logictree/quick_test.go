@@ -1,0 +1,129 @@
+package logictree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqlparse"
+	"repro/internal/trc"
+)
+
+// shuffleTree returns a deep copy with children, predicates, and
+// predicate orientations randomly permuted — all changes that must not
+// affect the canonical form.
+func shuffleTree(rng *rand.Rand, lt *LT) *LT {
+	out := lt.Clone()
+	out.Walk(func(n *Node, _ int) {
+		rng.Shuffle(len(n.Children), func(i, j int) {
+			n.Children[i], n.Children[j] = n.Children[j], n.Children[i]
+		})
+		rng.Shuffle(len(n.Preds), func(i, j int) {
+			n.Preds[i], n.Preds[j] = n.Preds[j], n.Preds[i]
+		})
+		for i, p := range n.Preds {
+			if rng.Intn(2) == 0 {
+				n.Preds[i] = trc.Pred{Left: p.Right, Op: p.Op.Flip(), Right: p.Left}
+			}
+		}
+	})
+	return out
+}
+
+func TestQuickCanonicalInvariantUnderShuffle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := func(seed int64) bool {
+		lt := RandomValid(rand.New(rand.NewSource(seed)), 3)
+		return lt.Canonical() == shuffleTree(rng, lt).Canonical()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSimplifyIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		lt := RandomValid(rand.New(rand.NewSource(seed)), 3)
+		once := lt.Simplified()
+		twice := once.Simplified()
+		return Equal(once, twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFlattenIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		lt := RandomValid(rand.New(rand.NewSource(seed)), 3)
+		once := lt.Flattened()
+		return Equal(once, once.Flattened())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnsimplifyInvertsSimplify(t *testing.T) {
+	f := func(seed int64) bool {
+		lt := RandomValid(rand.New(rand.NewSource(seed)), 3)
+		back := lt.Simplified().Unsimplify()
+		return Equal(lt, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRandomValidAlwaysValidates(t *testing.T) {
+	f := func(seed int64, depth uint8) bool {
+		lt := RandomValid(rand.New(rand.NewSource(seed)), int(depth%4))
+		return lt.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCloneIsDeep(t *testing.T) {
+	f := func(seed int64) bool {
+		lt := RandomValid(rand.New(rand.NewSource(seed)), 3)
+		before := lt.Canonical()
+		c := lt.Clone()
+		// Mutate the clone heavily.
+		c.Root.Tables[0].Relation = "Mutated"
+		c.Root.Quant = trc.ForAll
+		if len(c.Root.Children) > 0 {
+			c.Root.Children[0].Preds = nil
+		}
+		return lt.Canonical() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCanonicalPredIdempotent(t *testing.T) {
+	vars := []string{"A", "B", "C"}
+	cols := []string{"x", "y"}
+	ops := []sqlparse.Op{sqlparse.OpLt, sqlparse.OpLe, sqlparse.OpEq,
+		sqlparse.OpNe, sqlparse.OpGe, sqlparse.OpGt}
+	f := func(v1, c1, v2, c2, op uint8) bool {
+		l := trc.Attr{Var: vars[int(v1)%len(vars)], Column: cols[int(c1)%len(cols)]}
+		r := trc.Attr{Var: vars[int(v2)%len(vars)], Column: cols[int(c2)%len(cols)]}
+		p := trc.Pred{
+			Left:  trc.Term{Attr: &l},
+			Op:    ops[int(op)%len(ops)],
+			Right: trc.Term{Attr: &r},
+		}
+		once := CanonicalPred(p)
+		twice := CanonicalPred(once)
+		// Idempotent, and canonicalizing the flipped predicate gives the
+		// same orientation.
+		flipped := CanonicalPred(trc.Pred{Left: p.Right, Op: p.Op.Flip(), Right: p.Left})
+		return once.String() == twice.String() && once.String() == flipped.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

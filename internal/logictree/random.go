@@ -1,0 +1,124 @@
+package logictree
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sqlparse"
+	"repro/internal/trc"
+)
+
+// RandomValid generates a random non-degenerate logic tree of nesting
+// depth at most maxDepth (clamped to MaxSupportedDepth) over a synthetic
+// schema of relations R0..R3 sharing columns k0..k5. The result always
+// satisfies Validate: every predicate references a local attribute
+// (Property 5.1) and every block is connected to its parent either
+// directly or through all of its children (Property 5.2).
+//
+// The generator is used by property tests and benchmarks that exercise
+// diagram construction and diagram → LT recovery on branching trees,
+// which the Appendix B.1 path-pattern enumeration does not cover.
+func RandomValid(rng *rand.Rand, maxDepth int) *LT {
+	if maxDepth > MaxSupportedDepth {
+		maxDepth = MaxSupportedDepth
+	}
+	if maxDepth < 0 {
+		maxDepth = 0
+	}
+	g := &randGen{rng: rng, blocks: 6}
+	root := g.node(trc.Exists, 0)
+	lt := &LT{Root: root}
+
+	// Grow children; each child links back to an ancestor directly.
+	g.grow(root, 0, maxDepth, []*Node{root})
+
+	// The select list projects an attribute of the first root table.
+	lt.Select = []trc.SelectItem{{
+		Attr: trc.Attr{Var: root.Tables[0].Var, Column: "k0"},
+	}}
+	return lt
+}
+
+type randGen struct {
+	rng    *rand.Rand
+	next   int
+	blocks int // remaining block budget, keeping recovery searches small
+}
+
+func (g *randGen) freshVar() string {
+	g.next++
+	return fmt.Sprintf("V%d", g.next)
+}
+
+func (g *randGen) node(q trc.Quant, depth int) *Node {
+	n := &Node{Quant: q}
+	tables := 1 + g.rng.Intn(2) // 1 or 2 tables per block
+	for i := 0; i < tables; i++ {
+		n.Tables = append(n.Tables, Table{
+			Var:      g.freshVar(),
+			Relation: fmt.Sprintf("R%d", g.rng.Intn(4)),
+		})
+	}
+	// If the block has two tables, join them locally.
+	if len(n.Tables) == 2 {
+		col := fmt.Sprintf("k%d", g.rng.Intn(6))
+		l := trc.Attr{Var: n.Tables[0].Var, Column: col}
+		r := trc.Attr{Var: n.Tables[1].Var, Column: col}
+		n.Preds = append(n.Preds, trc.Pred{
+			Left: trc.Term{Attr: &l}, Op: sqlparse.OpEq, Right: trc.Term{Attr: &r},
+		})
+	}
+	// Occasionally add a selection predicate.
+	if g.rng.Intn(3) == 0 {
+		a := trc.Attr{Var: n.Tables[0].Var, Column: fmt.Sprintf("k%d", g.rng.Intn(6))}
+		c := sqlparse.NumberConst(float64(g.rng.Intn(10)))
+		n.Preds = append(n.Preds, trc.Pred{
+			Left: trc.Term{Attr: &a}, Op: sqlparse.OpGt, Right: trc.Term{Const: &c},
+		})
+	}
+	_ = depth
+	return n
+}
+
+// grow adds 0-2 children to n (at least one child at depth 0 so trees are
+// never trivial), each carrying a predicate to a random ancestor —
+// guaranteeing Property 5.2 — plus occasional extra ancestor links.
+func (g *randGen) grow(n *Node, depth, maxDepth int, ancestors []*Node) {
+	if depth >= maxDepth {
+		return
+	}
+	kids := g.rng.Intn(3) // 0, 1, or 2
+	if depth == 0 && kids == 0 {
+		kids = 1
+	}
+	for i := 0; i < kids; i++ {
+		if g.blocks <= 0 {
+			return
+		}
+		g.blocks--
+		c := g.node(trc.NotExists, depth+1)
+		// Link the child to its direct parent to satisfy Property 5.2's
+		// first arm. (The second arm — linkage through grandchildren — is
+		// exercised by the hand-written corpora instead; generating it
+		// randomly while keeping validity is disproportionately fiddly.)
+		col := fmt.Sprintf("k%d", g.rng.Intn(6))
+		l := trc.Attr{Var: c.Tables[0].Var, Column: col}
+		r := trc.Attr{Var: n.Tables[g.rng.Intn(len(n.Tables))].Var, Column: col}
+		c.Preds = append(c.Preds, trc.Pred{
+			Left: trc.Term{Attr: &l}, Op: sqlparse.OpEq, Right: trc.Term{Attr: &r},
+		})
+		// Occasionally add a link to a deeper ancestor (exercises the
+		// "difference greater than one" arrow rule).
+		if len(ancestors) > 1 && g.rng.Intn(2) == 0 {
+			anc := ancestors[g.rng.Intn(len(ancestors)-1)] // strictly above parent n? any ancestor
+			col := fmt.Sprintf("k%d", g.rng.Intn(6))
+			l := trc.Attr{Var: c.Tables[len(c.Tables)-1].Var, Column: col}
+			r := trc.Attr{Var: anc.Tables[0].Var, Column: col}
+			c.Preds = append(c.Preds, trc.Pred{
+				Left: trc.Term{Attr: &l}, Op: sqlparse.OpEq, Right: trc.Term{Attr: &r},
+			})
+		}
+		n.Children = append(n.Children, c)
+		g.grow(c, depth+1, maxDepth, append(ancestors, c))
+	}
+}

@@ -1,0 +1,172 @@
+package logictree
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trc"
+)
+
+// MaxSupportedDepth is the nesting bound for which the paper proves
+// diagram unambiguity (Section 5.2): "the queries we observe in practice
+// also do not have more than 3 levels of nesting".
+const MaxSupportedDepth = 3
+
+// ValidationError aggregates every violation found by Validate.
+type ValidationError struct {
+	Issues []string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("logic tree is not a valid non-degenerate query: %s",
+		strings.Join(e.Issues, "; "))
+}
+
+// refsVars returns the set of tuple variables a predicate mentions.
+func refsVars(p trc.Pred) map[string]bool {
+	out := map[string]bool{}
+	if p.Left.Attr != nil {
+		out[p.Left.Attr.Var] = true
+	}
+	if p.Right.Attr != nil {
+		out[p.Right.Attr.Var] = true
+	}
+	return out
+}
+
+func varSet(n *Node) map[string]bool {
+	out := map[string]bool{}
+	for _, t := range n.Tables {
+		out[t.Var] = true
+	}
+	return out
+}
+
+// Validate checks that the tree describes a non-degenerate query the
+// diagrams are proven unambiguous for:
+//
+//   - structural sanity: root quantifier ∃; every node has at least one
+//     table; predicates reference only variables in scope; at most one
+//     constant per predicate; a ∀ node has exactly one child, which is ∃;
+//   - nesting depth at most MaxSupportedDepth;
+//   - Property 5.1 (local attributes): every predicate references at least
+//     one attribute of a table from its own query block;
+//   - Property 5.2 (connected subqueries): every nested block either has a
+//     predicate referencing an attribute of its parent block, or each of
+//     its directly nested blocks references both it and its parent.
+func (lt *LT) Validate() error {
+	var issues []string
+	addf := func(format string, args ...any) {
+		issues = append(issues, fmt.Sprintf(format, args...))
+	}
+
+	if lt.Root == nil {
+		return &ValidationError{Issues: []string{"tree has no root"}}
+	}
+	if lt.Root.Quant != trc.Exists {
+		addf("root quantifier is %s, want ∃", lt.Root.Quant)
+	}
+	if d := lt.MaxDepth(); d > MaxSupportedDepth {
+		addf("nesting depth %d exceeds supported maximum %d", d, MaxSupportedDepth)
+	}
+
+	// Track which variables each node's scope can see.
+	var check func(n *Node, parent *Node, scope map[string]bool)
+	check = func(n *Node, parent *Node, scope map[string]bool) {
+		if len(n.Tables) == 0 {
+			addf("a query block defines no tables")
+		}
+		local := varSet(n)
+		full := map[string]bool{}
+		for v := range scope {
+			full[v] = true
+		}
+		for v := range local {
+			if full[v] {
+				addf("variable %s shadows an enclosing definition", v)
+			}
+			full[v] = true
+		}
+		if n.Quant == trc.ForAll {
+			if len(n.Children) != 1 {
+				addf("∀ block must have exactly one child, has %d", len(n.Children))
+			} else if n.Children[0].Quant != trc.Exists {
+				addf("the child of a ∀ block must be ∃, is %s", n.Children[0].Quant)
+			}
+		}
+		for _, p := range n.Preds {
+			if p.Left.IsConst() && p.Right.IsConst() {
+				addf("predicate %s compares two constants", p)
+			}
+			refs := refsVars(p)
+			localRef := false
+			for v := range refs {
+				if !full[v] {
+					addf("predicate %s references %s, which is not in scope", p, v)
+				}
+				if local[v] {
+					localRef = true
+				}
+			}
+			if !localRef {
+				// Property 5.1.
+				addf("predicate %s violates Property 5.1: it references no local attribute", p)
+			}
+		}
+		// Property 5.2 for nested blocks.
+		if parent != nil {
+			parentVars := varSet(parent)
+			if !referencesAny(n, parentVars) {
+				ok := len(n.Children) > 0
+				for _, c := range n.Children {
+					if !blockReferences(c, local) || !blockReferences(c, parentVars) {
+						ok = false
+					}
+				}
+				if !ok {
+					addf("block {%s} violates Property 5.2: no predicate links it to its parent, and not all children reference both it and its parent",
+						tablesOf(n))
+				}
+			}
+		}
+		for _, c := range n.Children {
+			check(c, n, full)
+		}
+	}
+	check(lt.Root, nil, map[string]bool{})
+
+	if len(issues) > 0 {
+		return &ValidationError{Issues: issues}
+	}
+	return nil
+}
+
+// referencesAny reports whether any predicate of node n mentions a
+// variable from the given set.
+func referencesAny(n *Node, vars map[string]bool) bool {
+	for _, p := range n.Preds {
+		for v := range refsVars(p) {
+			if vars[v] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// blockReferences reports whether node n's own predicates mention at least
+// one variable from the given set.
+func blockReferences(n *Node, vars map[string]bool) bool {
+	return referencesAny(n, vars)
+}
+
+func tablesOf(n *Node) string {
+	var out []string
+	for _, t := range n.Tables {
+		out = append(out, t.String())
+	}
+	return strings.Join(out, ", ")
+}
+
+// IsValid reports whether Validate returns nil.
+func (lt *LT) IsValid() bool { return lt.Validate() == nil }

@@ -1,0 +1,362 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/logictree"
+	"repro/internal/sqlparse"
+	"repro/internal/trc"
+)
+
+// EvalLT evaluates a logic tree over a database.
+//
+// Semantics (Sections 4.6/4.7):
+//
+//   - root (∃) block: every assignment of its tables satisfying the
+//     predicates and all children contributes one output row;
+//   - ∃ child: some assignment satisfies predicates and children;
+//   - ∄ child: no assignment satisfies predicates and children;
+//   - ∀ child: every assignment satisfying the predicates also satisfies
+//     the (single, ∃) child — the implication form of equation (3);
+//   - no GROUP BY: set semantics (distinct rows); with GROUP BY: one row
+//     per group with aggregates computed over all satisfying assignments.
+func EvalLT(db *Database, lt *logictree.LT) (*Result, error) {
+	ev := &evaluator{db: db}
+
+	var out []Tuple
+	err := ev.forEach(lt.Root, env{}, func(e env) error {
+		row, err := ev.project(lt, e)
+		if err != nil {
+			return err
+		}
+		out = append(out, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Cols: ev.headers(lt)}
+	if len(lt.GroupBy) == 0 {
+		seen := map[string]bool{}
+		for _, row := range out {
+			k := row.Key()
+			if !seen[k] {
+				seen[k] = true
+				res.Rows = append(res.Rows, row)
+			}
+		}
+		return res, nil
+	}
+	return ev.group(lt, out)
+}
+
+// env maps tuple variables to their bound rows.
+type env map[string]binding
+
+type binding struct {
+	rel *Relation
+	row Tuple
+}
+
+func (e env) extend(v string, b binding) env {
+	out := make(env, len(e)+1)
+	for k, val := range e {
+		out[k] = val
+	}
+	out[v] = b
+	return out
+}
+
+type evaluator struct {
+	db *Database
+}
+
+// forEach enumerates every assignment of node n's tables (given the outer
+// environment) that satisfies n's predicates and all of n's children,
+// invoking fn for each.
+func (ev *evaluator) forEach(n *logictree.Node, outer env, fn func(env) error) error {
+	var rec func(i int, e env) error
+	rec = func(i int, e env) error {
+		if i == len(n.Tables) {
+			ok, err := ev.predsHold(n, e)
+			if err != nil || !ok {
+				return err
+			}
+			ok, err = ev.childrenHold(n, e)
+			if err != nil || !ok {
+				return err
+			}
+			return fn(e)
+		}
+		t := n.Tables[i]
+		r, found := ev.db.Relation(t.Relation)
+		if !found {
+			return fmt.Errorf("relation %q not in database", t.Relation)
+		}
+		for _, row := range r.Rows {
+			if err := rec(i+1, e.extend(t.Var, binding{rel: r, row: row})); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0, outer)
+}
+
+// holds decides a quantified child node under an environment.
+func (ev *evaluator) holds(n *logictree.Node, e env) (bool, error) {
+	switch n.Quant {
+	case trc.Exists, trc.NotExists:
+		found := false
+		err := ev.forEach(n, e, func(env) error {
+			found = true
+			return errStop
+		})
+		if err != nil && err != errStop {
+			return false, err
+		}
+		if n.Quant == trc.Exists {
+			return found, nil
+		}
+		return !found, nil
+	case trc.ForAll:
+		if len(n.Children) != 1 {
+			return false, fmt.Errorf("∀ block must have exactly one child")
+		}
+		child := n.Children[0]
+		ok := true
+		err := ev.forEachRange(n, e, func(e2 env) error {
+			holds, err := ev.holds(child, e2)
+			if err != nil {
+				return err
+			}
+			if !holds {
+				ok = false
+				return errStop
+			}
+			return nil
+		})
+		if err != nil && err != errStop {
+			return false, err
+		}
+		return ok, nil
+	}
+	return false, fmt.Errorf("unknown quantifier %v", n.Quant)
+}
+
+// forEachRange enumerates assignments satisfying only n's own predicates
+// (not its children) — the range restriction of a ∀ block.
+func (ev *evaluator) forEachRange(n *logictree.Node, outer env, fn func(env) error) error {
+	var rec func(i int, e env) error
+	rec = func(i int, e env) error {
+		if i == len(n.Tables) {
+			ok, err := ev.predsHold(n, e)
+			if err != nil || !ok {
+				return err
+			}
+			return fn(e)
+		}
+		t := n.Tables[i]
+		r, found := ev.db.Relation(t.Relation)
+		if !found {
+			return fmt.Errorf("relation %q not in database", t.Relation)
+		}
+		for _, row := range r.Rows {
+			if err := rec(i+1, e.extend(t.Var, binding{rel: r, row: row})); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0, outer)
+}
+
+var errStop = fmt.Errorf("stop enumeration")
+
+func (ev *evaluator) childrenHold(n *logictree.Node, e env) (bool, error) {
+	if n.Quant == trc.ForAll {
+		// A ∀ block's child is its consequent, handled in holds.
+		return true, nil
+	}
+	for _, c := range n.Children {
+		ok, err := ev.holds(c, e)
+		if err != nil || !ok {
+			return ok, err
+		}
+	}
+	return true, nil
+}
+
+func (ev *evaluator) predsHold(n *logictree.Node, e env) (bool, error) {
+	for _, p := range n.Preds {
+		l, err := ev.term(p.Left, e)
+		if err != nil {
+			return false, err
+		}
+		r, err := ev.term(p.Right, e)
+		if err != nil {
+			return false, err
+		}
+		if !opHolds(p.Op, l.Compare(r)) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func opHolds(op sqlparse.Op, cmp int) bool {
+	switch op {
+	case sqlparse.OpLt:
+		return cmp < 0
+	case sqlparse.OpLe:
+		return cmp <= 0
+	case sqlparse.OpEq:
+		return cmp == 0
+	case sqlparse.OpNe:
+		return cmp != 0
+	case sqlparse.OpGe:
+		return cmp >= 0
+	case sqlparse.OpGt:
+		return cmp > 0
+	}
+	return false
+}
+
+func (ev *evaluator) term(t trc.Term, e env) (Value, error) {
+	if t.Const != nil {
+		if t.Const.IsString {
+			return S(t.Const.Str), nil
+		}
+		return N(t.Const.Num), nil
+	}
+	b, ok := e[t.Attr.Var]
+	if !ok {
+		return Value{}, fmt.Errorf("unbound variable %q", t.Attr.Var)
+	}
+	i := b.rel.ColIndex(t.Attr.Column)
+	if i < 0 {
+		return Value{}, fmt.Errorf("relation %s has no column %q", b.rel.Name, t.Attr.Column)
+	}
+	v := b.row[i]
+	if t.Offset != 0 {
+		if v.IsString {
+			return Value{}, fmt.Errorf("arithmetic offset on non-numeric column %s.%s", t.Attr.Var, t.Attr.Column)
+		}
+		v = N(v.Num + t.Offset)
+	}
+	return v, nil
+}
+
+func (ev *evaluator) headers(lt *logictree.LT) []string {
+	var out []string
+	for _, s := range lt.Select {
+		out = append(out, s.String())
+	}
+	return out
+}
+
+// project materializes one output row. Aggregated select items are left
+// as their input values here; group() recomputes them per group.
+func (ev *evaluator) project(lt *logictree.LT, e env) (Tuple, error) {
+	row := make(Tuple, 0, len(lt.Select))
+	for _, s := range lt.Select {
+		if s.Star { // COUNT(*) placeholder: counted per group later
+			row = append(row, N(1))
+			continue
+		}
+		v, err := ev.term(trc.Term{Attr: &s.Attr}, e)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+	}
+	return row, nil
+}
+
+// group implements GROUP BY with aggregates: rows are grouped by the
+// values of the non-aggregated select items (which must equal the GROUP
+// BY attributes) and each aggregate is folded over its group.
+func (ev *evaluator) group(lt *logictree.LT, rows []Tuple) (*Result, error) {
+	keyIdx := make([]int, 0, len(lt.Select))
+	for i, s := range lt.Select {
+		if s.Agg == sqlparse.AggNone {
+			keyIdx = append(keyIdx, i)
+		}
+	}
+	type groupAcc struct {
+		first Tuple
+		rows  []Tuple
+	}
+	groups := map[string]*groupAcc{}
+	var order []string
+	for _, row := range rows {
+		parts := make([]string, len(keyIdx))
+		for i, k := range keyIdx {
+			parts[i] = Tuple{row[k]}.Key()
+		}
+		key := strings.Join(parts, "§")
+		g, ok := groups[key]
+		if !ok {
+			g = &groupAcc{first: row}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.rows = append(g.rows, row)
+	}
+	sort.Strings(order)
+
+	res := &Result{Cols: ev.headers(lt)}
+	for _, key := range order {
+		g := groups[key]
+		out := make(Tuple, len(lt.Select))
+		for i, s := range lt.Select {
+			if s.Agg == sqlparse.AggNone {
+				out[i] = g.first[i]
+				continue
+			}
+			agg, err := fold(s.Agg, g.rows, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = agg
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+func fold(agg sqlparse.Agg, rows []Tuple, col int) (Value, error) {
+	if agg == sqlparse.AggCount {
+		return N(float64(len(rows))), nil
+	}
+	if len(rows) == 0 {
+		return Value{}, fmt.Errorf("aggregate over empty group")
+	}
+	switch agg {
+	case sqlparse.AggSum, sqlparse.AggAvg:
+		sum := 0.0
+		for _, r := range rows {
+			if r[col].IsString {
+				return Value{}, fmt.Errorf("%s over non-numeric values", agg)
+			}
+			sum += r[col].Num
+		}
+		if agg == sqlparse.AggAvg {
+			return N(sum / float64(len(rows))), nil
+		}
+		return N(sum), nil
+	case sqlparse.AggMin, sqlparse.AggMax:
+		best := rows[0][col]
+		for _, r := range rows[1:] {
+			c := r[col].Compare(best)
+			if (agg == sqlparse.AggMin && c < 0) || (agg == sqlparse.AggMax && c > 0) {
+				best = r[col]
+			}
+		}
+		return best, nil
+	}
+	return Value{}, fmt.Errorf("unsupported aggregate %v", agg)
+}

@@ -1,0 +1,460 @@
+package rel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/logictree"
+	"repro/internal/schema"
+)
+
+const uniqueSetSQL = `
+SELECT L1.drinker
+FROM Likes L1
+WHERE NOT EXISTS(
+  SELECT * FROM Likes L2
+  WHERE L1.drinker <> L2.drinker
+  AND NOT EXISTS(
+    SELECT * FROM Likes L3
+    WHERE L3.drinker = L2.drinker
+    AND NOT EXISTS(
+      SELECT * FROM Likes L4
+      WHERE L4.drinker = L1.drinker AND L4.beer = L3.beer))
+  AND NOT EXISTS(
+    SELECT * FROM Likes L5
+    WHERE L5.drinker = L1.drinker
+    AND NOT EXISTS(
+      SELECT * FROM Likes L6
+      WHERE L6.drinker = L2.drinker AND L6.beer = L5.beer)))`
+
+// names extracts a sorted list of single-column string results.
+func names(t *testing.T, res *Result) []string {
+	t.Helper()
+	var out []string
+	for _, row := range res.Rows {
+		if len(row) != 1 {
+			t.Fatalf("expected single-column rows, got %v", row)
+		}
+		out = append(out, row[0].String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func eval(t *testing.T, db *Database, src string, s *schema.Schema, simplify bool) *Result {
+	t.Helper()
+	res, err := EvalSQL(db, src, s, simplify)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	return res
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUniqueSetQuerySemantics(t *testing.T) {
+	// BeersDB is designed so carol and dave have unique beer sets while
+	// alice and bob share theirs.
+	db := BeersDB()
+	for _, simplify := range []bool{false, true} {
+		got := names(t, eval(t, db, uniqueSetSQL, schema.Beers(), simplify))
+		want := []string{"carol", "dave"}
+		if !equalStrings(got, want) {
+			t.Errorf("simplify=%v: unique-set drinkers = %v, want %v", simplify, got, want)
+		}
+	}
+}
+
+func TestUniqueSetAgainstBruteForce(t *testing.T) {
+	// Property: on random Likes data, the nested query agrees with a
+	// direct set comparison.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		likes := NewRelation("Likes", "drinker", "person", "beer", "drink")
+		sets := map[string]map[string]bool{}
+		for i := 0; i < 3+rng.Intn(10); i++ {
+			d := string(rune('a' + rng.Intn(4)))
+			b := string(rune('p' + rng.Intn(4)))
+			if sets[d] == nil {
+				sets[d] = map[string]bool{}
+			}
+			if sets[d][b] {
+				continue
+			}
+			sets[d][b] = true
+			likes.Add(S(d), S(d), S(b), S(b))
+		}
+		db := NewDatabase().Put(likes)
+		got := names(t, eval(t, db, uniqueSetSQL, schema.Beers(), trial%2 == 0))
+
+		var want []string
+		for d, set := range sets {
+			unique := true
+			for d2, set2 := range sets {
+				if d == d2 {
+					continue
+				}
+				if len(set) == len(set2) {
+					same := true
+					for b := range set {
+						if !set2[b] {
+							same = false
+						}
+					}
+					if same {
+						unique = false
+					}
+				}
+			}
+			if unique {
+				want = append(want, d)
+			}
+		}
+		sort.Strings(want)
+		if !equalStrings(got, want) {
+			t.Fatalf("trial %d: got %v, want %v\nsets: %v", trial, got, want, sets)
+		}
+	}
+}
+
+func TestQSomeAndQOnly(t *testing.T) {
+	db := BeersDB()
+	some := names(t, eval(t, db, `
+		SELECT F.person FROM Frequents F, Likes L, Serves S
+		WHERE F.person = L.person AND F.bar = S.bar AND L.drink = S.drink`,
+		schema.Beers(), false))
+	if !equalStrings(some, []string{"alice", "bob", "carol", "dave"}) {
+		t.Errorf("Qsome = %v", some)
+	}
+	only := names(t, eval(t, db, `
+		SELECT F.person FROM Frequents F
+		WHERE not exists (SELECT * FROM Serves S WHERE S.bar = F.bar
+		  AND not exists (SELECT L.drink FROM Likes L
+		    WHERE L.person = F.person AND S.drink = L.drink))`,
+		schema.Beers(), false))
+	if !equalStrings(only, []string{"alice", "bob", "dave"}) {
+		t.Errorf("Qonly = %v", only)
+	}
+}
+
+func TestSailorsPatterns(t *testing.T) {
+	db := SailorsDB()
+	s := schema.Sailors()
+	noRed := names(t, eval(t, db, `
+		SELECT S.sname FROM Sailor S WHERE NOT EXISTS(
+		  SELECT * FROM Reserves R WHERE R.sid = S.sid AND EXISTS(
+		    SELECT * FROM Boat B WHERE B.color = 'red' AND R.bid = B.bid))`, s, false))
+	if !equalStrings(noRed, []string{"walt"}) {
+		t.Errorf("no-red sailors = %v, want [walt]", noRed)
+	}
+	onlyRed := names(t, eval(t, db, `
+		SELECT S.sname FROM Sailor S WHERE NOT EXISTS(
+		  SELECT * FROM Reserves R WHERE R.sid = S.sid AND NOT EXISTS(
+		    SELECT * FROM Boat B WHERE B.color = 'red' AND R.bid = B.bid))`, s, false))
+	if !equalStrings(onlyRed, []string{"yves"}) {
+		t.Errorf("only-red sailors = %v, want [yves]", onlyRed)
+	}
+	allRed := names(t, eval(t, db, `
+		SELECT S.sname FROM Sailor S WHERE NOT EXISTS(
+		  SELECT * FROM Boat B WHERE B.color = 'red' AND NOT EXISTS(
+		    SELECT * FROM Reserves R WHERE R.bid = B.bid AND R.sid = S.sid))`, s, false))
+	if !equalStrings(allRed, []string{"zora"}) {
+		t.Errorf("all-red sailors = %v, want [zora]", allRed)
+	}
+}
+
+func TestFig24VariantsSameResults(t *testing.T) {
+	variants := []string{
+		`SELECT S.sname FROM Sailor S
+		 WHERE NOT EXISTS(SELECT * FROM Reserves R WHERE R.sid = S.sid
+		   AND NOT EXISTS(SELECT * FROM Boat B WHERE B.color = 'red' AND R.bid = B.bid))`,
+		`SELECT S.sname FROM Sailor S
+		 WHERE S.sid NOT IN(SELECT R.sid FROM Reserves R
+		   WHERE R.bid NOT IN(SELECT B.bid FROM Boat B WHERE B.color = 'red'))`,
+		`SELECT S.sname FROM Sailor S
+		 WHERE NOT S.sid = ANY(SELECT R.sid FROM Reserves R
+		   WHERE NOT R.bid = ANY(SELECT B.bid FROM Boat B WHERE B.color = 'red'))`,
+	}
+	dbs := []*Database{SailorsDB()}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10; i++ {
+		dbs = append(dbs, RandomSchemaDB(rng, schema.Sailors(), 2+rng.Intn(6)))
+	}
+	for di, db := range dbs {
+		var first *Result
+		for vi, v := range variants {
+			res := eval(t, db, v, schema.Sailors(), vi%2 == 1)
+			if first == nil {
+				first = res
+				continue
+			}
+			if !res.Equal(first) {
+				t.Fatalf("db %d: variant %d differs:\n%s\nvs\n%s", di, vi, first, res)
+			}
+		}
+	}
+}
+
+func TestQuantifiedAllSemantics(t *testing.T) {
+	got := names(t, eval(t, SailorsDB(), `
+		SELECT S.sname FROM Sailor S
+		WHERE S.rating >= ALL (SELECT S2.rating FROM Sailor S2 WHERE S2.sid = S2.sid)`,
+		schema.Sailors(), false))
+	if !equalStrings(got, []string{"zora"}) {
+		t.Errorf("max-rating sailor = %v, want [zora]", got)
+	}
+	anyGot := names(t, eval(t, SailorsDB(), `
+		SELECT S.sname FROM Sailor S
+		WHERE S.rating > ANY (SELECT S2.rating FROM Sailor S2 WHERE S2.sid <> S.sid)`,
+		schema.Sailors(), false))
+	// Everyone except the strict minimum (yves, rating 3).
+	if !equalStrings(anyGot, []string{"walt", "xena", "zora"}) {
+		t.Errorf("above-someone sailors = %v", anyGot)
+	}
+}
+
+func TestSimplifyAndFlattenPreserveSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(20200615))
+	for trial := 0; trial < 60; trial++ {
+		lt := logictree.RandomValid(rng, 3)
+		db := SyntheticDB(rng, 3+rng.Intn(4))
+		raw, err := EvalLT(db, lt)
+		if err != nil {
+			t.Fatalf("trial %d raw: %v", trial, err)
+		}
+		simplified, err := EvalLT(db, lt.Simplified())
+		if err != nil {
+			t.Fatalf("trial %d simplified: %v", trial, err)
+		}
+		if !raw.Equal(simplified) {
+			t.Fatalf("trial %d: simplification changed results\nLT:\n%s\nraw:\n%s\nsimplified:\n%s",
+				trial, lt, raw, simplified)
+		}
+		flat, err := EvalLT(db, lt.Flattened())
+		if err != nil {
+			t.Fatalf("trial %d flattened: %v", trial, err)
+		}
+		if !raw.Equal(flat) {
+			t.Fatalf("trial %d: flattening changed results", trial)
+		}
+	}
+}
+
+func TestExistsFlatteningSemantics(t *testing.T) {
+	// An explicit EXISTS subquery equals the flat join.
+	db := BeersDB()
+	nested := eval(t, db, `
+		SELECT F.person FROM Frequents F
+		WHERE EXISTS (SELECT * FROM Serves S WHERE S.bar = F.bar AND S.beer = 'ipa')`,
+		schema.Beers(), false)
+	flat := eval(t, db, `
+		SELECT F.person FROM Frequents F, Serves S
+		WHERE S.bar = F.bar AND S.beer = 'ipa'`,
+		schema.Beers(), false)
+	if !nested.Equal(flat) {
+		t.Errorf("EXISTS vs flat join differ:\n%s\nvs\n%s", nested, flat)
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	db := ChinookDB()
+	res := eval(t, db, `
+		SELECT I.CustomerId, SUM(IL.Quantity)
+		FROM Artist A, Album AL, Track T, InvoiceLine IL, Invoice I
+		WHERE A.ArtistId = AL.ArtistId AND AL.AlbumId = T.AlbumId
+		AND T.TrackId = IL.TrackId AND IL.InvoiceId = I.InvoiceId
+		AND A.Name = 'Carlos'
+		GROUP BY I.CustomerId`,
+		schema.Chinook(), false)
+	// Carlos tracks: 103 (bought by 123, qty 1) and 104 (bought by 124, qty 1).
+	want := map[string]float64{"123": 1, "124": 1}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("got %d groups, want %d:\n%s", len(res.Rows), len(want), res)
+	}
+	for _, row := range res.Rows {
+		if got := row[1].Num; got != want[row[0].String()] {
+			t.Errorf("customer %s: SUM = %v, want %v", row[0], got, want[row[0].String()])
+		}
+	}
+
+	// COUNT, MAX, AVG, MIN on a flat group.
+	res2 := eval(t, db, `
+		SELECT T.GenreId, COUNT(T.TrackId), MAX(T.Milliseconds), MIN(T.Milliseconds), AVG(T.UnitPrice)
+		FROM Track T GROUP BY T.GenreId`,
+		schema.Chinook(), false)
+	byGenre := map[string]Tuple{}
+	for _, row := range res2.Rows {
+		byGenre[row[0].String()] = row
+	}
+	rock := byGenre["1"]
+	if rock == nil || rock[1].Num != 3 || rock[2].Num != 312000 || rock[3].Num != 210000 {
+		t.Errorf("rock group = %v", rock)
+	}
+	jazz := byGenre["3"]
+	if jazz == nil || jazz[1].Num != 1 || jazz[4].Num != 2.49 {
+		t.Errorf("jazz group = %v", jazz)
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	res := eval(t, ChinookDB(),
+		`SELECT C.Country, COUNT(*) FROM Customer C GROUP BY C.Country`,
+		schema.Chinook(), false)
+	counts := map[string]float64{}
+	for _, row := range res.Rows {
+		counts[row[0].String()] = row[1].Num
+	}
+	if counts["USA"] != 2 || counts["France"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestSetSemanticsDeduplicates(t *testing.T) {
+	// alice likes two beers, so the flat join yields her twice; set
+	// semantics must deduplicate.
+	res := eval(t, BeersDB(),
+		`SELECT L.drinker FROM Likes L`, schema.Beers(), false)
+	got := names(t, res)
+	if !equalStrings(got, []string{"alice", "bob", "carol", "dave"}) {
+		t.Errorf("drinkers = %v", got)
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if N(1).Compare(N(2)) >= 0 || N(2).Compare(N(1)) <= 0 || N(2).Compare(N(2)) != 0 {
+		t.Error("numeric comparison broken")
+	}
+	if S("a").Compare(S("b")) >= 0 || S("b").Compare(S("b")) != 0 {
+		t.Error("string comparison broken")
+	}
+	if S("1").Compare(N(1)) != 0 {
+		t.Error("cross-kind comparison should use string forms")
+	}
+	if N(2.5).String() != "2.5" || N(3).String() != "3" {
+		t.Errorf("numeric rendering: %q %q", N(2.5).String(), N(3).String())
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	db := NewDatabase()
+	if _, err := EvalSQL(db, `SELECT L.drinker FROM Likes L`, schema.Beers(), false); err == nil {
+		t.Error("missing relation should fail")
+	}
+	if _, err := EvalSQL(BeersDB(), `SELECT nope FROM Likes`, schema.Beers(), false); err == nil {
+		t.Error("resolution failure should surface")
+	}
+	if _, err := EvalSQL(BeersDB(), `not sql`, schema.Beers(), false); err == nil {
+		t.Error("parse failure should surface")
+	}
+	// SUM over strings is an error.
+	if _, err := EvalSQL(BeersDB(),
+		`SELECT L.drinker, SUM(L.beer) FROM Likes L GROUP BY L.drinker`,
+		schema.Beers(), false); err == nil {
+		t.Error("SUM over strings should fail")
+	}
+}
+
+func TestRelationHelpers(t *testing.T) {
+	r := NewRelation("T", "x", "y")
+	r.Add(N(1), S("a"))
+	if r.ColIndex("Y") != 1 || r.ColIndex("z") != -1 {
+		t.Error("ColIndex broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch should panic")
+		}
+	}()
+	r.Add(N(1))
+}
+
+func TestResultEqualAndString(t *testing.T) {
+	a := &Result{Cols: []string{"x"}, Rows: []Tuple{{N(1)}, {N(2)}}}
+	b := &Result{Cols: []string{"x"}, Rows: []Tuple{{N(2)}, {N(1)}}}
+	if !a.Equal(b) {
+		t.Error("order-insensitive equality failed")
+	}
+	c := &Result{Cols: []string{"x"}, Rows: []Tuple{{N(1)}}}
+	if a.Equal(c) {
+		t.Error("different cardinalities should differ")
+	}
+	d := &Result{Cols: []string{"x"}, Rows: []Tuple{{N(1)}, {N(3)}}}
+	if a.Equal(d) {
+		t.Error("different rows should differ")
+	}
+	if a.String() == "" {
+		t.Error("String should render")
+	}
+	// A numeric 1 and string "1" are distinct rows.
+	e := &Result{Rows: []Tuple{{N(1)}}}
+	f := &Result{Rows: []Tuple{{S("1")}}}
+	if e.Equal(f) {
+		t.Error("typed keys should distinguish 1 from \"1\"")
+	}
+}
+
+func TestEvalViaDesugaredIN(t *testing.T) {
+	got := names(t, eval(t, BeersDB(), `
+		SELECT F.person FROM Frequents F
+		WHERE F.bar IN (SELECT S.bar FROM Serves S WHERE S.beer = 'porter')`,
+		schema.Beers(), false))
+	if !equalStrings(got, []string{"dave"}) {
+		t.Errorf("porter bars' visitors = %v, want [dave]", got)
+	}
+	got = names(t, eval(t, BeersDB(), `
+		SELECT F.person FROM Frequents F
+		WHERE F.bar NOT IN (SELECT S.bar FROM Serves S WHERE S.beer = 'porter')`,
+		schema.Beers(), false))
+	if !equalStrings(got, []string{"alice", "bob", "carol"}) {
+		t.Errorf("non-porter visitors = %v", got)
+	}
+}
+
+func TestEvalTrcSelectConstantTerm(t *testing.T) {
+	// Selection with a numeric constant through the whole pipeline.
+	got := names(t, eval(t, SailorsDB(), `
+		SELECT S.sname FROM Sailor S WHERE S.rating > 8`,
+		schema.Sailors(), false))
+	if !equalStrings(got, []string{"xena", "zora"}) {
+		t.Errorf("high-rated sailors = %v", got)
+	}
+}
+
+func TestArithmeticPredicateSemantics(t *testing.T) {
+	// Sailors whose rating + 2 exceeds 10: xena (9) and zora (10).
+	got := names(t, eval(t, SailorsDB(), `
+		SELECT S.sname FROM Sailor S WHERE S.rating + 2 > 10`,
+		schema.Sailors(), false))
+	if !equalStrings(got, []string{"xena", "zora"}) {
+		t.Errorf("rating+2>10 sailors = %v", got)
+	}
+	// Join arithmetic: pairs where S1.rating = S2.rating - 6 →
+	// (walt 7, then S2 with 13? none) ... use rating + 1 = other rating:
+	// yves(3)+4=7=walt → select S1 with S1.rating + 4 = S2.rating.
+	got = names(t, eval(t, SailorsDB(), `
+		SELECT S1.sname FROM Sailor S1, Sailor S2
+		WHERE S1.rating + 4 = S2.rating`,
+		schema.Sailors(), false))
+	// 3+4=7 (yves→walt) ✓; 7+4=11 ✗; 9+4=13 ✗; 10+4=14 ✗... but also
+	// walt 7+... wait: S2 ratings are {7,9,3,10}: 3+4=7 ✓ only.
+	if !equalStrings(got, []string{"yves"}) {
+		t.Errorf("arithmetic join = %v, want [yves]", got)
+	}
+	// Offsets on strings are an error.
+	if _, err := EvalSQL(SailorsDB(), `
+		SELECT S.sname FROM Sailor S WHERE S.sname + 1 = 'x'`,
+		schema.Sailors(), false); err == nil {
+		t.Error("string + offset should fail")
+	}
+}

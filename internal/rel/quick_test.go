@@ -1,0 +1,149 @@
+package rel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logictree"
+)
+
+// arbitraryValue derives a Value from quick-generated raw material.
+func arbitraryValue(isStr bool, s string, n float64) Value {
+	if isStr {
+		return S(s)
+	}
+	return N(n)
+}
+
+func TestQuickCompareIsAnOrder(t *testing.T) {
+	f := func(aStr bool, as string, an float64,
+		bStr bool, bs string, bn float64,
+		cStr bool, cs string, cn float64) bool {
+		a := arbitraryValue(aStr, as, an)
+		b := arbitraryValue(bStr, bs, bn)
+		c := arbitraryValue(cStr, cs, cn)
+		// Antisymmetry.
+		if a.Compare(b) != -b.Compare(a) {
+			return false
+		}
+		// Reflexivity.
+		if a.Compare(a) != 0 {
+			return false
+		}
+		// Transitivity of <=.
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 1000, Values: nil}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTupleKeyInjective(t *testing.T) {
+	// Tuples with different values have different keys; equal tuples
+	// share a key.
+	f := func(a1, b1 float64, a2, b2 string) bool {
+		t1 := Tuple{N(a1), S(a2)}
+		t2 := Tuple{N(b1), S(b2)}
+		same := a1 == b1 && a2 == b2
+		return (t1.Key() == t2.Key()) == same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickResultEqualIsEquivalence(t *testing.T) {
+	mk := func(rows []float64) *Result {
+		r := &Result{Cols: []string{"x"}}
+		for _, v := range rows {
+			r.Rows = append(r.Rows, Tuple{N(v)})
+		}
+		return r
+	}
+	f := func(a, b []float64) bool {
+		ra, rb := mk(a), mk(b)
+		// Symmetric.
+		if ra.Equal(rb) != rb.Equal(ra) {
+			return false
+		}
+		// Reflexive.
+		return ra.Equal(ra) && rb.Equal(rb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEvalDeterministic: evaluating the same tree twice over the
+// same database yields equal results.
+func TestQuickEvalDeterministic(t *testing.T) {
+	f := func(seed int64, rows uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lt := logictree.RandomValid(rng, 3)
+		db := SyntheticDB(rng, int(rows%5)+1)
+		a, err := EvalLT(db, lt)
+		if err != nil {
+			return false
+		}
+		b, err := EvalLT(db, lt)
+		if err != nil {
+			return false
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMonotoneUnderData: adding rows to the database never removes
+// results of a purely conjunctive (monotone) query.
+func TestQuickMonotoneUnderData(t *testing.T) {
+	const monotone = `SELECT R.a FROM R WHERE R.b = R.c`
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		small := SyntheticDB(rng, 3)
+		// Grow: copy the relation and append extra rows.
+		big := NewDatabase()
+		rSmall, _ := small.Relation("R")
+		rBig := NewRelation("R", rSmall.Cols...)
+		rBig.Rows = append(rBig.Rows, rSmall.Rows...)
+		for i := 0; i < 3; i++ {
+			row := make(Tuple, len(rSmall.Cols))
+			for j := range row {
+				row[j] = N(float64(rng.Intn(4)))
+			}
+			rBig.Rows = append(rBig.Rows, row)
+		}
+		big.Put(rBig)
+
+		s := SyntheticSchema()
+		a, err := EvalSQL(small, monotone, s, false)
+		if err != nil {
+			return false
+		}
+		b, err := EvalSQL(big, monotone, s, false)
+		if err != nil {
+			return false
+		}
+		// Every small-DB row appears in the big-DB result.
+		keys := map[string]bool{}
+		for _, row := range b.Rows {
+			keys[row.Key()] = true
+		}
+		for _, row := range a.Rows {
+			if !keys[row.Key()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

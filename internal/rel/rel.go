@@ -1,0 +1,171 @@
+// Package rel is a small in-memory relational engine used to validate the
+// QueryVis pipeline semantically: it evaluates logic trees over concrete
+// databases under the paper's assumptions — set semantics, 2-valued logic,
+// no NULLs — plus the GROUP BY/aggregate extension from the user study.
+//
+// The engine exists so that transformations can be property-tested:
+// desugaring IN/ANY/ALL, flattening ∃ blocks, and the ∄∄ → ∀∃
+// simplification must all preserve query results on arbitrary databases.
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a string or numeric cell value (no NULLs, per the paper).
+type Value struct {
+	IsString bool
+	Str      string
+	Num      float64
+}
+
+// S builds a string value.
+func S(s string) Value { return Value{IsString: true, Str: s} }
+
+// N builds a numeric value.
+func N(n float64) Value { return Value{Num: n} }
+
+// String renders the value.
+func (v Value) String() string {
+	if v.IsString {
+		return v.Str
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v.Num), "0"), ".")
+}
+
+// Compare returns -1, 0, or +1. Values of different kinds compare by
+// their string forms, so the engine is total without NULL semantics.
+func (v Value) Compare(o Value) int {
+	if v.IsString == o.IsString {
+		if v.IsString {
+			return strings.Compare(v.Str, o.Str)
+		}
+		switch {
+		case v.Num < o.Num:
+			return -1
+		case v.Num > o.Num:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(v.String(), o.String())
+}
+
+// Tuple is one row of a relation.
+type Tuple []Value
+
+// Relation is a named table with ordered columns and rows.
+type Relation struct {
+	Name string
+	Cols []string
+	Rows []Tuple
+}
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, cols ...string) *Relation {
+	return &Relation{Name: name, Cols: append([]string(nil), cols...)}
+}
+
+// ColIndex returns the index of a column (case-insensitive), or -1.
+func (r *Relation) ColIndex(name string) int {
+	for i, c := range r.Cols {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Add appends a row; it panics on arity mismatch (static test data).
+func (r *Relation) Add(vals ...Value) *Relation {
+	if len(vals) != len(r.Cols) {
+		panic(fmt.Sprintf("relation %s: row arity %d, want %d", r.Name, len(vals), len(r.Cols)))
+	}
+	r.Rows = append(r.Rows, Tuple(vals))
+	return r
+}
+
+// Key renders a tuple for set comparisons.
+func (t Tuple) Key() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		kind := "n"
+		if v.IsString {
+			kind = "s"
+		}
+		parts[i] = kind + ":" + v.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+// Database is a set of relations.
+type Database struct {
+	rels map[string]*Relation
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// Put registers a relation, replacing any existing one with the same
+// (case-insensitive) name.
+func (db *Database) Put(r *Relation) *Database {
+	db.rels[strings.ToLower(r.Name)] = r
+	return db
+}
+
+// Relation looks up a relation by case-insensitive name.
+func (db *Database) Relation(name string) (*Relation, bool) {
+	r, ok := db.rels[strings.ToLower(name)]
+	return r, ok
+}
+
+// Result is an evaluated query output: column headers and rows. Under
+// set semantics rows are distinct; grouped results carry one row per
+// group.
+type Result struct {
+	Cols []string
+	Rows []Tuple
+}
+
+// Sorted returns the rows sorted by their Key, for deterministic
+// comparison.
+func (res *Result) Sorted() []Tuple {
+	out := append([]Tuple(nil), res.Rows...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Equal reports whether two results contain the same set of rows
+// (column names are not compared).
+func (res *Result) Equal(o *Result) bool {
+	if len(res.Rows) != len(o.Rows) {
+		return false
+	}
+	a, b := res.Sorted(), o.Sorted()
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the result as a small aligned table.
+func (res *Result) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(res.Cols, " | "))
+	b.WriteString("\n")
+	for _, row := range res.Sorted() {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		b.WriteString(strings.Join(parts, " | "))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

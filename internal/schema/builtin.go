@@ -1,0 +1,105 @@
+package schema
+
+// This file defines the schemas used throughout the paper:
+//
+//   - Beers: Ullman's beer-drinkers schema (Section 1.1)
+//   - Chinook: the digital media store used for every study question
+//     (Section 6.1 and Appendices D-F)
+//   - Sailors, Students, Actors: the three Appendix-G schemas (Fig. 22)
+
+// Beers returns Ullman's bar-drinker-beer schema:
+// Likes(drinker, beer), Frequents(drinker, bar), Serves(bar, beer).
+//
+// The paper writes Likes(person, beer) in one place and uses L.drinker in
+// the unique-set query; we follow the query text and the Fig. 3 queries,
+// which use person for Frequents/Likes and drinker for the unique-set
+// query. To support both spellings the tables carry both columns.
+func Beers() *Schema {
+	s := New("beers")
+	s.AddTable("Likes", "drinker", "person", "beer", "drink")
+	s.AddTable("Frequents", "drinker", "person", "bar")
+	s.AddTable("Serves", "bar", "beer", "drink")
+	return s
+}
+
+// Chinook returns the music-store schema from Fig. on tutorial page 2,
+// used by all qualification and test questions.
+func Chinook() *Schema {
+	s := New("chinook")
+	s.AddTable("Artist", "ArtistId", "Name")
+	s.AddTable("Album", "AlbumId", "Title", "ArtistId")
+	s.AddTable("Track",
+		"TrackId", "Name", "AlbumId", "MediaTypeId", "GenreId",
+		"Composer", "Milliseconds", "Bytes", "UnitPrice")
+	s.AddTable("MediaType", "MediaTypeId", "Name")
+	s.AddTable("Genre", "GenreId", "Name")
+	s.AddTable("Playlist", "PlaylistId", "Name")
+	s.AddTable("PlaylistTrack", "PlaylistId", "TrackId")
+	s.AddTable("Invoice",
+		"InvoiceId", "CustomerId", "InvoiceDate", "BillingAddress",
+		"BillingCity", "BillingState", "BillingCountry",
+		"BillingPostalCode", "Total")
+	s.AddTable("InvoiceLine",
+		"InvoiceLineId", "InvoiceId", "TrackId", "UnitPrice", "Quantity")
+	s.AddTable("Customer",
+		"CustomerId", "FirstName", "LastName", "Company", "Address",
+		"City", "State", "Country", "PostalCode", "Phone", "Fax",
+		"Email", "SupportRepId")
+	s.AddTable("Employee",
+		"EmployeeId", "LastName", "FirstName", "Title", "ReportsTo",
+		"BirthDate", "HireDate", "Address", "City", "State", "Country",
+		"PostalCode", "Phone", "Fax", "Email")
+	return s
+}
+
+// Sailors returns the sailors-reserve-boats schema of Fig. 22a.
+func Sailors() *Schema {
+	s := New("sailors")
+	s.AddTable("Sailor", "sid", "sname", "rating", "age")
+	s.AddTable("Reserves", "sid", "bid", "day")
+	s.AddTable("Boat", "bid", "bname", "color")
+	return s
+}
+
+// Students returns the students-take-courses schema of Fig. 22b. The
+// Appendix-G queries name the course table both Course and Class; both
+// names resolve to the same relation shape.
+func Students() *Schema {
+	s := New("students")
+	s.AddTable("Student", "sid", "sname")
+	s.AddTable("Takes", "sid", "cid", "semester")
+	s.AddTable("Class", "cid", "cname", "department")
+	return s
+}
+
+// Actors returns the actors-play-in-movies schema of Fig. 22c. The
+// Appendix-G queries use both Plays and Casts for the join table.
+func Actors() *Schema {
+	s := New("actors")
+	s.AddTable("Actor", "aid", "aname")
+	s.AddTable("Casts", "aid", "mid", "role")
+	s.AddTable("Movie", "mid", "mname", "director")
+	return s
+}
+
+// ByName returns a built-in schema by name, or false if unknown.
+func ByName(name string) (*Schema, bool) {
+	switch name {
+	case "beers":
+		return Beers(), true
+	case "chinook":
+		return Chinook(), true
+	case "sailors":
+		return Sailors(), true
+	case "students":
+		return Students(), true
+	case "actors":
+		return Actors(), true
+	}
+	return nil, false
+}
+
+// BuiltinNames lists the names accepted by ByName.
+func BuiltinNames() []string {
+	return []string{"beers", "chinook", "sailors", "students", "actors"}
+}

@@ -1,0 +1,406 @@
+// Package sqlparse lexes and parses the SQL fragment supported by QueryVis
+// (Fig. 4 of the paper): nested conjunctive queries with inequalities —
+// SELECT/FROM/WHERE with conjunctions of selection predicates, join
+// predicates, and [NOT] EXISTS / [NOT] IN / op ALL / op ANY subqueries —
+// plus the GROUP BY + aggregate extension exercised by the user study.
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Op is a comparison operator: one of <, <=, =, <>, >=, >.
+type Op int
+
+const (
+	OpLt Op = iota
+	OpLe
+	OpEq
+	OpNe
+	OpGe
+	OpGt
+)
+
+// String renders the operator in SQL syntax.
+func (o Op) String() string {
+	switch o {
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpGe:
+		return ">="
+	case OpGt:
+		return ">"
+	}
+	return "?"
+}
+
+// Flip returns the operator with its operands swapped, i.e. the op' such
+// that (a op b) == (b op' a). Used by the diagram builder when the arrow
+// rules force an edge direction that opposes operand order (Section 4.5.1).
+func (o Op) Flip() Op {
+	switch o {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	}
+	return o // = and <> are symmetric
+}
+
+// Negate returns the logical complement of the operator under 2-valued
+// logic, i.e. the op' such that (a op b) == !(a op' b).
+func (o Op) Negate() Op {
+	switch o {
+	case OpLt:
+		return OpGe
+	case OpLe:
+		return OpGt
+	case OpEq:
+		return OpNe
+	case OpNe:
+		return OpEq
+	case OpGe:
+		return OpLt
+	case OpGt:
+		return OpLe
+	}
+	return o
+}
+
+// Agg is an aggregate function applied to a select-list item.
+type Agg int
+
+const (
+	AggNone Agg = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String renders the aggregate keyword, or "" for AggNone.
+func (a Agg) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	}
+	return ""
+}
+
+// ColumnRef is a possibly table-qualified column reference such as
+// "L1.drinker" or "drinker". Table holds the alias or table name as
+// written, or "" when unqualified.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+// String renders the reference in SQL syntax.
+func (c ColumnRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// Constant is a string or numeric literal.
+type Constant struct {
+	IsString bool
+	Str      string  // string value when IsString
+	Num      float64 // numeric value when !IsString
+	Raw      string  // literal text as written (for faithful printing)
+}
+
+// String renders the constant in SQL syntax.
+func (c Constant) String() string {
+	if c.IsString {
+		return "'" + strings.ReplaceAll(c.Str, "'", "''") + "'"
+	}
+	if c.Raw != "" {
+		return c.Raw
+	}
+	return strconv.FormatFloat(c.Num, 'g', -1, 64)
+}
+
+// NumberConst builds a numeric constant.
+func NumberConst(v float64) Constant {
+	return Constant{Num: v, Raw: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+// StringConst builds a string constant.
+func StringConst(s string) Constant {
+	return Constant{IsString: true, Str: s}
+}
+
+// Operand is either a column reference or a constant (exactly one is
+// set). A column operand may carry a numeric Offset, supporting the
+// arithmetic predicates the paper lists as future work: "T.a + 5 < S.b"
+// parses as a column operand with Offset 5.
+type Operand struct {
+	Col    *ColumnRef
+	Const  *Constant
+	Offset float64 // additive shift; only meaningful with Col
+}
+
+// IsConst reports whether the operand is a constant.
+func (o Operand) IsConst() bool { return o.Const != nil }
+
+// String renders the operand in SQL syntax.
+func (o Operand) String() string {
+	if o.Col != nil {
+		return o.Col.String() + offsetSuffix(o.Offset)
+	}
+	if o.Const != nil {
+		return o.Const.String()
+	}
+	return "?"
+}
+
+// offsetSuffix renders " + k" / " - k" for a nonzero offset.
+func offsetSuffix(k float64) string {
+	switch {
+	case k > 0:
+		return " + " + strconv.FormatFloat(k, 'g', -1, 64)
+	case k < 0:
+		return " - " + strconv.FormatFloat(-k, 'g', -1, 64)
+	}
+	return ""
+}
+
+// ColOperand builds a column operand.
+func ColOperand(table, column string) Operand {
+	return Operand{Col: &ColumnRef{Table: table, Column: column}}
+}
+
+// ConstOperand builds a constant operand.
+func ConstOperand(c Constant) Operand { return Operand{Const: &c} }
+
+// TableRef is a FROM-clause item: a table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string // "" when no alias was written
+}
+
+// Name returns the name that predicates use to refer to this table: the
+// alias if present, otherwise the table name.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// String renders the reference in SQL syntax.
+func (t TableRef) String() string {
+	if t.Alias == "" {
+		return t.Table
+	}
+	return t.Table + " " + t.Alias
+}
+
+// SelectItem is one select-list entry: a column, optionally wrapped in an
+// aggregate, or an aggregate over * (COUNT(*)).
+type SelectItem struct {
+	Agg  Agg
+	Star bool // COUNT(*); only valid with Agg == AggCount
+	Col  ColumnRef
+}
+
+// String renders the item in SQL syntax.
+func (s SelectItem) String() string {
+	if s.Agg == AggNone {
+		return s.Col.String()
+	}
+	if s.Star {
+		return s.Agg.String() + "(*)"
+	}
+	return s.Agg.String() + "(" + s.Col.String() + ")"
+}
+
+// Predicate is a WHERE-clause conjunct: a comparison, an existential
+// subquery, a membership subquery, or a quantified subquery.
+type Predicate interface {
+	isPredicate()
+	String() string
+}
+
+// Compare is "exp1 op exp2" where at most one side is a constant.
+type Compare struct {
+	Left  Operand
+	Op    Op
+	Right Operand
+}
+
+func (*Compare) isPredicate() {}
+
+func (p *Compare) String() string {
+	return fmt.Sprintf("%s %s %s", p.Left, p.Op, p.Right)
+}
+
+// IsSelection reports whether the comparison involves a constant
+// (a selection predicate); otherwise it is a join predicate.
+func (p *Compare) IsSelection() bool {
+	return p.Left.IsConst() || p.Right.IsConst()
+}
+
+// Exists is "[NOT] EXISTS (subquery)".
+type Exists struct {
+	Negated bool
+	Sub     *Query
+}
+
+func (*Exists) isPredicate() {}
+
+func (p *Exists) String() string {
+	kw := "EXISTS"
+	if p.Negated {
+		kw = "NOT EXISTS"
+	}
+	return kw + " (" + p.Sub.compactString() + ")"
+}
+
+// In is "col [NOT] IN (subquery)".
+type In struct {
+	Col     ColumnRef
+	Negated bool
+	Sub     *Query
+}
+
+func (*In) isPredicate() {}
+
+func (p *In) String() string {
+	kw := "IN"
+	if p.Negated {
+		kw = "NOT IN"
+	}
+	return p.Col.String() + " " + kw + " (" + p.Sub.compactString() + ")"
+}
+
+// Quantified is "col op ALL (subquery)" or "col op ANY (subquery)",
+// optionally under an outer NOT (as in Fig. 24's "NOT S.sid = ANY (...)").
+type Quantified struct {
+	Negated bool
+	Col     ColumnRef
+	Op      Op
+	All     bool // true for ALL, false for ANY
+	Sub     *Query
+}
+
+func (*Quantified) isPredicate() {}
+
+func (p *Quantified) String() string {
+	kw := "ANY"
+	if p.All {
+		kw = "ALL"
+	}
+	s := fmt.Sprintf("%s %s %s (%s)", p.Col.String(), p.Op, kw, p.Sub.compactString())
+	if p.Negated {
+		return "NOT " + s
+	}
+	return s
+}
+
+// Query is one query block: SELECT list (or *), FROM list, a conjunction
+// of WHERE predicates, and an optional GROUP BY list.
+type Query struct {
+	Star    bool
+	Select  []SelectItem
+	From    []TableRef
+	Where   []Predicate
+	GroupBy []ColumnRef
+}
+
+// compactString renders the query on one line (used inside predicates).
+func (q *Query) compactString() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Star {
+		b.WriteString("*")
+	} else {
+		for i, s := range q.Select {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(s.String())
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range q.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	if len(q.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, p := range q.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(p.String())
+		}
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, c := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	return b.String()
+}
+
+// String renders the query on one line.
+func (q *Query) String() string { return q.compactString() }
+
+// Subqueries returns the immediate subqueries of this query block, in
+// WHERE-clause order.
+func (q *Query) Subqueries() []*Query {
+	var subs []*Query
+	for _, p := range q.Where {
+		switch p := p.(type) {
+		case *Exists:
+			subs = append(subs, p.Sub)
+		case *In:
+			subs = append(subs, p.Sub)
+		case *Quantified:
+			subs = append(subs, p.Sub)
+		}
+	}
+	return subs
+}
+
+// NestingDepth returns the maximum subquery nesting depth: 0 for a flat
+// query, 1 if it has subqueries with no further nesting, and so on.
+func (q *Query) NestingDepth() int {
+	max := 0
+	for _, s := range q.Subqueries() {
+		if d := s.NestingDepth() + 1; d > max {
+			max = d
+		}
+	}
+	return max
+}

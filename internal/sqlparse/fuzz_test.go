@@ -1,0 +1,35 @@
+package sqlparse
+
+import "testing"
+
+// FuzzParse drives the parser with mutated SQL. The invariants are the
+// same as the quick tests: no panics ever, and anything that parses must
+// format and re-parse to the same compact rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT T.TrackId FROM Track T WHERE T.UnitPrice > 2;",
+		"SELECT L1.drinker FROM Likes L1 WHERE NOT EXISTS(SELECT * FROM Likes L2 WHERE L1.drinker <> L2.drinker)",
+		"SELECT S.sname FROM Sailor S WHERE S.sid NOT IN (SELECT R.sid FROM Reserves R)",
+		"SELECT S.sname FROM Sailor S WHERE NOT S.sid = ANY (SELECT R.sid FROM Reserves R)",
+		"SELECT C.Country, COUNT(*) FROM Customer C GROUP BY C.Country",
+		"SELECT a FROM T WHERE a + 5 < b AND c - 2.5 = d",
+		"SELECT x FROM T WHERE s = 'it''s -- not a comment' /* block */",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := Format(q)
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("formatted output failed to re-parse: %v\ninput: %q\nformatted:\n%s", err, src, text)
+		}
+		if q.String() != q2.String() {
+			t.Fatalf("round trip changed the query:\n  %s\n  %s", q, q2)
+		}
+	})
+}

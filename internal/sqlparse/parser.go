@@ -1,0 +1,411 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// reserved lists keywords that cannot be used as implicit table aliases.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true,
+	"not": true, "exists": true, "in": true, "all": true, "any": true,
+	"as": true, "group": true, "by": true, "order": true, "having": true,
+}
+
+// Parse parses a single SQL query in the supported fragment. A trailing
+// semicolon is allowed. Errors carry 1-based line:column positions.
+func Parse(src string) (*Query, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokSemi {
+		p.advance()
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errorf("unexpected %s after query", p.cur().kind)
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error. It is intended for static query
+// corpora and tests, where a parse failure is a programming error.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("sqlparse.MustParse: %v\nquery:\n%s", err, src))
+	}
+	return q
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("%d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.cur().kind != k {
+		return token{}, p.errorf("expected %s, found %s %q", k, p.cur().kind, p.cur().text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.cur().keyword(kw) {
+		return p.errorf("expected %s, found %q", strings.ToUpper(kw), p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func aggFromKeyword(text string) Agg {
+	switch strings.ToUpper(text) {
+	case "COUNT":
+		return AggCount
+	case "SUM":
+		return AggSum
+	case "AVG":
+		return AggAvg
+	case "MIN":
+		return AggMin
+	case "MAX":
+		return AggMax
+	}
+	return AggNone
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if p.cur().kind == tokStar {
+		p.advance()
+		q.Star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			q.Select = append(q.Select, item)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, ref)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	if p.cur().keyword("where") {
+		p.advance()
+		for {
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, pred)
+			if !p.cur().keyword("and") {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.cur().keyword("group") {
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, col)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.cur()
+	if t.kind == tokIdent {
+		if agg := aggFromKeyword(t.text); agg != AggNone && p.toks[p.pos+1].kind == tokLParen {
+			p.advance() // aggregate keyword
+			p.advance() // (
+			item := SelectItem{Agg: agg}
+			if p.cur().kind == tokStar {
+				if agg != AggCount {
+					return SelectItem{}, p.errorf("%s(*) is not allowed; only COUNT(*)", agg)
+				}
+				p.advance()
+				item.Star = true
+			} else {
+				col, err := p.parseColumnRef()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				item.Col = col
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return SelectItem{}, err
+			}
+			return item, nil
+		}
+	}
+	col, err := p.parseColumnRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: col}, nil
+}
+
+func (p *parser) parseColumnRef() (ColumnRef, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	if p.cur().kind == tokDot {
+		p.advance()
+		col, err := p.expect(tokIdent)
+		if err != nil {
+			return ColumnRef{}, err
+		}
+		return ColumnRef{Table: t.text, Column: col.text}, nil
+	}
+	return ColumnRef{Column: t.text}, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: t.text}
+	if p.cur().keyword("as") {
+		p.advance()
+		a, err := p.expect(tokIdent)
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = a.text
+		return ref, nil
+	}
+	if p.cur().kind == tokIdent && !reserved[strings.ToLower(p.cur().text)] {
+		ref.Alias = p.advance().text
+	}
+	return ref, nil
+}
+
+func (p *parser) parseOp() (Op, error) {
+	switch p.cur().kind {
+	case tokLt:
+		p.advance()
+		return OpLt, nil
+	case tokLe:
+		p.advance()
+		return OpLe, nil
+	case tokEq:
+		p.advance()
+		return OpEq, nil
+	case tokNe:
+		p.advance()
+		return OpNe, nil
+	case tokGe:
+		p.advance()
+		return OpGe, nil
+	case tokGt:
+		p.advance()
+		return OpGt, nil
+	}
+	return 0, p.errorf("expected comparison operator, found %s %q", p.cur().kind, p.cur().text)
+}
+
+func (p *parser) parseOperand() (Operand, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Operand{}, p.errorf("invalid number %q", t.text)
+		}
+		return Operand{Const: &Constant{Num: v, Raw: t.text}}, nil
+	case tokString:
+		p.advance()
+		return Operand{Const: &Constant{IsString: true, Str: t.text}}, nil
+	case tokIdent:
+		col, err := p.parseColumnRef()
+		if err != nil {
+			return Operand{}, err
+		}
+		op := Operand{Col: &col}
+		// Arithmetic extension (the paper's future work): col ± number.
+		if sign, ok := p.peekSign(); ok {
+			p.advance() // the sign token
+			num, err := p.expect(tokNumber)
+			if err != nil {
+				return Operand{}, err
+			}
+			v, err := strconv.ParseFloat(num.text, 64)
+			if err != nil {
+				return Operand{}, p.errorf("invalid number %q", num.text)
+			}
+			op.Offset = sign * v
+		}
+		return op, nil
+	}
+	return Operand{}, p.errorf("expected column or constant, found %s %q", t.kind, t.text)
+}
+
+// peekSign reports whether the current token is an arithmetic '+' or '-'
+// followed by a number, returning its sign.
+func (p *parser) peekSign() (float64, bool) {
+	t := p.cur()
+	if t.kind != tokPlus && t.kind != tokMinus {
+		return 0, false
+	}
+	if p.toks[p.pos+1].kind != tokNumber {
+		return 0, false
+	}
+	if t.kind == tokMinus {
+		return -1, true
+	}
+	return 1, true
+}
+
+func (p *parser) parseSubquery() (*Query, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	// NOT EXISTS (...) or NOT <quantified/membership predicate>
+	if p.cur().keyword("not") {
+		p.advance()
+		if p.cur().keyword("exists") {
+			p.advance()
+			sub, err := p.parseSubquery()
+			if err != nil {
+				return nil, err
+			}
+			return &Exists{Negated: true, Sub: sub}, nil
+		}
+		inner, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		switch inner := inner.(type) {
+		case *Exists:
+			inner.Negated = !inner.Negated
+			return inner, nil
+		case *In:
+			inner.Negated = !inner.Negated
+			return inner, nil
+		case *Quantified:
+			inner.Negated = !inner.Negated
+			return inner, nil
+		}
+		return nil, p.errorf("NOT may only negate EXISTS, IN, or quantified subquery predicates")
+	}
+	if p.cur().keyword("exists") {
+		p.advance()
+		sub, err := p.parseSubquery()
+		if err != nil {
+			return nil, err
+		}
+		return &Exists{Sub: sub}, nil
+	}
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	// col [NOT] IN (subquery)
+	if p.cur().keyword("in") || (p.cur().keyword("not") && p.toks[p.pos+1].keyword("in")) {
+		negated := false
+		if p.cur().keyword("not") {
+			p.advance()
+			negated = true
+		}
+		p.advance() // IN
+		if left.Col == nil {
+			return nil, p.errorf("IN requires a column on the left-hand side")
+		}
+		sub, err := p.parseSubquery()
+		if err != nil {
+			return nil, err
+		}
+		return &In{Col: *left.Col, Negated: negated, Sub: sub}, nil
+	}
+	op, err := p.parseOp()
+	if err != nil {
+		return nil, err
+	}
+	// col op ALL|ANY (subquery)
+	if p.cur().keyword("all") || p.cur().keyword("any") {
+		all := p.cur().keyword("all")
+		p.advance()
+		if left.Col == nil {
+			return nil, p.errorf("quantified comparison requires a column on the left-hand side")
+		}
+		sub, err := p.parseSubquery()
+		if err != nil {
+			return nil, err
+		}
+		return &Quantified{Col: *left.Col, Op: op, All: all, Sub: sub}, nil
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	if left.IsConst() && right.IsConst() {
+		return nil, p.errorf("at most one side of a predicate may be a constant")
+	}
+	return &Compare{Left: left, Op: op, Right: right}, nil
+}

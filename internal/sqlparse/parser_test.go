@@ -1,0 +1,359 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// uniqueSetSQL is the Fig. 1a query verbatim (modulo whitespace).
+const uniqueSetSQL = `
+SELECT L1.drinker
+FROM Likes L1
+WHERE NOT EXISTS(
+  SELECT *
+  FROM Likes L2
+  WHERE L1.drinker <> L2.drinker
+  AND NOT EXISTS(
+    SELECT *
+    FROM Likes L3
+    WHERE L3.drinker = L2.drinker
+    AND NOT EXISTS(
+      SELECT *
+      FROM Likes L4
+      WHERE L4.drinker = L1.drinker
+      AND L4.beer = L3.beer))
+  AND NOT EXISTS(
+    SELECT *
+    FROM Likes L5
+    WHERE L5.drinker = L1.drinker
+    AND NOT EXISTS(
+      SELECT *
+      FROM Likes L6
+      WHERE L6.drinker = L2.drinker
+      AND L6.beer = L5.beer)))`
+
+func TestParseSimpleSelect(t *testing.T) {
+	q, err := Parse("SELECT T.TrackId FROM Track T WHERE T.UnitPrice > 2;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 1 || q.Select[0].Col.String() != "T.TrackId" {
+		t.Errorf("select list = %v, want [T.TrackId]", q.Select)
+	}
+	if len(q.From) != 1 || q.From[0].Table != "Track" || q.From[0].Alias != "T" {
+		t.Errorf("from = %v, want Track T", q.From)
+	}
+	if len(q.Where) != 1 {
+		t.Fatalf("where has %d predicates, want 1", len(q.Where))
+	}
+	cmp, ok := q.Where[0].(*Compare)
+	if !ok {
+		t.Fatalf("predicate is %T, want *Compare", q.Where[0])
+	}
+	if cmp.Op != OpGt || !cmp.Right.IsConst() || cmp.Right.Const.Num != 2 {
+		t.Errorf("predicate = %v, want T.UnitPrice > 2", cmp)
+	}
+	if !cmp.IsSelection() {
+		t.Error("T.UnitPrice > 2 should be a selection predicate")
+	}
+}
+
+func TestParseConjunctiveQuery(t *testing.T) {
+	// Qsome from Fig. 3a.
+	q, err := Parse(`
+		SELECT F.person
+		FROM Frequents F, Likes L, Serves S
+		WHERE F.person = L.person
+		AND F.bar = S.bar
+		AND L.drink = S.drink`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.From) != 3 {
+		t.Errorf("got %d FROM items, want 3", len(q.From))
+	}
+	if len(q.Where) != 3 {
+		t.Errorf("got %d predicates, want 3", len(q.Where))
+	}
+	if q.NestingDepth() != 0 {
+		t.Errorf("nesting depth = %d, want 0", q.NestingDepth())
+	}
+	for _, p := range q.Where {
+		if cmp := p.(*Compare); cmp.IsSelection() {
+			t.Errorf("%v should be a join predicate", cmp)
+		}
+	}
+}
+
+func TestParseUniqueSetQuery(t *testing.T) {
+	q, err := Parse(uniqueSetSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := q.NestingDepth(); d != 3 {
+		t.Errorf("nesting depth = %d, want 3", d)
+	}
+	// Root has one subquery (L2), which has two (L3, L5), each with one.
+	subs := q.Subqueries()
+	if len(subs) != 1 {
+		t.Fatalf("root has %d subqueries, want 1", len(subs))
+	}
+	l2 := subs[0]
+	if len(l2.Subqueries()) != 2 {
+		t.Fatalf("L2 block has %d subqueries, want 2", len(l2.Subqueries()))
+	}
+	for _, s := range l2.Subqueries() {
+		if len(s.Subqueries()) != 1 {
+			t.Errorf("depth-2 block has %d subqueries, want 1", len(s.Subqueries()))
+		}
+	}
+	ex, ok := q.Where[0].(*Exists)
+	if !ok || !ex.Negated {
+		t.Errorf("root predicate = %v, want NOT EXISTS", q.Where[0])
+	}
+}
+
+func TestParseInAndQuantified(t *testing.T) {
+	// The three Fig. 24 syntactic variants must all parse.
+	variants := []string{
+		`SELECT S.sname FROM Sailor S
+		 WHERE NOT EXISTS(
+		   SELECT * FROM Reserves R WHERE R.sid = S.sid
+		   AND NOT EXISTS(
+		     SELECT * FROM Boat B WHERE B.color = 'red' AND R.bid = B.bid))`,
+		`SELECT S.sname FROM Sailor S
+		 WHERE S.sid NOT IN(
+		   SELECT R.sid FROM Reserves R
+		   WHERE R.bid NOT IN(
+		     SELECT B.bid FROM Boat B WHERE B.color = 'red'))`,
+		`SELECT S.sname FROM Sailor S
+		 WHERE NOT S.sid = ANY(
+		   SELECT R.sid FROM Reserves R
+		   WHERE NOT R.bid = ANY(
+		     SELECT B.bid FROM Boat B WHERE B.color = 'red'))`,
+	}
+	for i, v := range variants {
+		q, err := Parse(v)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if d := q.NestingDepth(); d != 2 {
+			t.Errorf("variant %d: nesting depth = %d, want 2", i, d)
+		}
+	}
+}
+
+func TestParseQuantifiedAll(t *testing.T) {
+	q, err := Parse(`SELECT S.sname FROM Sailor S
+		WHERE S.rating >= ALL (SELECT S2.rating FROM Sailor S2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := q.Where[0].(*Quantified)
+	if !ok {
+		t.Fatalf("predicate is %T, want *Quantified", q.Where[0])
+	}
+	if !p.All || p.Op != OpGe || p.Negated {
+		t.Errorf("got %v, want S.rating >= ALL (...)", p)
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	q, err := Parse(`
+		SELECT P.PlaylistId, G.Name, COUNT(T.TrackId)
+		FROM Playlist P, PlaylistTrack PT, Track T, Genre G
+		WHERE P.PlaylistId = PT.PlaylistId
+		AND PT.TrackId = T.TrackId
+		AND T.GenreId = G.GenreId
+		GROUP BY P.PlaylistId, G.Name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 3 {
+		t.Fatalf("select list has %d items, want 3", len(q.Select))
+	}
+	if q.Select[2].Agg != AggCount || q.Select[2].Star {
+		t.Errorf("third item = %v, want COUNT(T.TrackId)", q.Select[2])
+	}
+	if len(q.GroupBy) != 2 {
+		t.Errorf("GROUP BY has %d columns, want 2", len(q.GroupBy))
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	q, err := Parse(`SELECT C.Country, COUNT(*) FROM Customer C GROUP BY C.Country`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Select[1].Star || q.Select[1].Agg != AggCount {
+		t.Errorf("got %v, want COUNT(*)", q.Select[1])
+	}
+}
+
+func TestParseAliasForms(t *testing.T) {
+	for _, src := range []string{
+		"SELECT L.drinker FROM Likes AS L",
+		"SELECT L.drinker FROM Likes L",
+		"SELECT drinker FROM Likes",
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("%q: %v", src, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"", "expected SELECT"},
+		{"SELECT", "expected identifier"},
+		{"SELECT x", "expected FROM"},
+		{"SELECT x FROM", "expected identifier"},
+		{"SELECT x FROM T WHERE", "expected column or constant"},
+		{"SELECT x FROM T WHERE a = ", "expected column or constant"},
+		{"SELECT x FROM T WHERE 1 = 2", "at most one side"},
+		{"SELECT x FROM T WHERE a = b extra", "unexpected"},
+		{"SELECT x FROM T WHERE NOT a = b", "NOT may only negate"},
+		{"SELECT drinker FROM Likes L WHERE L.drinker IN (SELECT * FROM Serves S)", "single column"},
+		{"SELECT drinker FROM Likes L WHERE L.beer > ALL (SELECT S.bar, S.beer FROM Serves S)", "exactly one column"},
+		{"SELECT SUM(*) FROM T", "only COUNT(*)"},
+		{"SELECT x FROM T WHERE a = 'oops", "unterminated string"},
+		{"SELECT x FROM T WHERE a ! b", "unexpected character"},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err == nil {
+			// Membership-subquery shape errors surface during Resolve.
+			_, err = Resolve(q, schema.Beers())
+		}
+		if err == nil {
+			t.Errorf("%q: expected an error containing %q, got none", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error = %q, want it to contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParsePositionsInErrors(t *testing.T) {
+	_, err := Parse("SELECT x\nFROM T\nWHERE a = ?")
+	if err == nil || !strings.Contains(err.Error(), "3:") {
+		t.Errorf("error %v should carry line 3", err)
+	}
+}
+
+func TestOpFlipAndNegate(t *testing.T) {
+	ops := []Op{OpLt, OpLe, OpEq, OpNe, OpGe, OpGt}
+	flips := map[Op]Op{OpLt: OpGt, OpLe: OpGe, OpEq: OpEq, OpNe: OpNe, OpGe: OpLe, OpGt: OpLt}
+	negs := map[Op]Op{OpLt: OpGe, OpLe: OpGt, OpEq: OpNe, OpNe: OpEq, OpGe: OpLt, OpGt: OpLe}
+	for _, o := range ops {
+		if o.Flip() != flips[o] {
+			t.Errorf("%v.Flip() = %v, want %v", o, o.Flip(), flips[o])
+		}
+		if o.Negate() != negs[o] {
+			t.Errorf("%v.Negate() = %v, want %v", o, o.Negate(), negs[o])
+		}
+		if o.Flip().Flip() != o {
+			t.Errorf("%v: Flip is not an involution", o)
+		}
+		if o.Negate().Negate() != o {
+			t.Errorf("%v: Negate is not an involution", o)
+		}
+	}
+}
+
+func TestCommentsAndStrings(t *testing.T) {
+	q, err := Parse(`
+		-- find red boats
+		SELECT B.bname /* block
+		comment */ FROM Boat B
+		WHERE B.color = 'it''s red'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := q.Where[0].(*Compare)
+	if cmp.Right.Const.Str != "it's red" {
+		t.Errorf("string constant = %q, want %q", cmp.Right.Const.Str, "it's red")
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		uniqueSetSQL,
+		"SELECT T.TrackId FROM Track T WHERE T.UnitPrice > 2",
+		`SELECT P.PlaylistId, COUNT(T.TrackId) FROM Playlist P, Track T
+		 WHERE P.PlaylistId = T.TrackId GROUP BY P.PlaylistId`,
+		`SELECT S.sname FROM Sailor S WHERE S.sid NOT IN (SELECT R.sid FROM Reserves R)`,
+		`SELECT S.sname FROM Sailor S WHERE NOT S.sid = ANY (SELECT R.sid FROM Reserves R)`,
+	} {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		text := Format(q1)
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("re-parse of formatted text failed: %v\n%s", err, text)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("round trip changed the query:\n  before: %s\n  after:  %s", q1, q2)
+		}
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	if n := WordCount("SELECT F.person FROM Frequents F"); n != 5 {
+		t.Errorf("WordCount = %d, want 5", n)
+	}
+	// The paper: Qonly's SQL has 167% more words than Qsome's. Our counter
+	// must at least rank them correctly with a large gap.
+	some := "SELECT F.person FROM Frequents F, Likes L, Serves S WHERE F.person = L.person AND F.bar = S.bar AND L.drink = S.drink"
+	only := `SELECT F.person FROM Frequents F WHERE not exists
+		(SELECT * FROM Serves S WHERE S.bar = F.bar AND not exists
+		(SELECT L.drink FROM Likes L WHERE L.person = F.person AND S.drink = L.drink))`
+	if WordCount(only) <= WordCount(some) {
+		t.Errorf("WordCount(Qonly)=%d should exceed WordCount(Qsome)=%d",
+			WordCount(only), WordCount(some))
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on invalid SQL")
+		}
+	}()
+	MustParse("not sql")
+}
+
+func TestParseArithmeticOperands(t *testing.T) {
+	q, err := Parse(`SELECT S.a FROM T S WHERE S.a + 5 < S.b AND S.c - 2.5 = S.d AND S.e > 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := q.Where[0].(*Compare)
+	if c0.Left.Offset != 5 || c0.Left.String() != "S.a + 5" {
+		t.Errorf("left operand = %v (offset %v)", c0.Left, c0.Left.Offset)
+	}
+	c1 := q.Where[1].(*Compare)
+	if c1.Left.Offset != -2.5 || c1.Left.String() != "S.c - 2.5" {
+		t.Errorf("minus operand = %v (offset %v)", c1.Left, c1.Left.Offset)
+	}
+	// Round-trips through the printer.
+	q2, err := Parse(Format(q))
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, Format(q))
+	}
+	if q.String() != q2.String() {
+		t.Errorf("arithmetic round trip changed query:\n%s\n%s", q, q2)
+	}
+	// A bare +/- not followed by a number is an error.
+	if _, err := Parse(`SELECT x FROM T WHERE a + b = c`); err == nil {
+		t.Error("col + col should be rejected (only col ± number is supported)")
+	}
+}

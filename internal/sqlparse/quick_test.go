@@ -1,0 +1,156 @@
+package sqlparse
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+)
+
+// TestQuickParserNeverPanics feeds arbitrary strings to the parser: it
+// may reject them, but it must never panic.
+func TestQuickParserNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParserNeverPanicsOnSQLishInput mutates a valid query at random
+// byte positions — closer to real-world malformed SQL than uniformly
+// random strings.
+func TestQuickParserNeverPanicsOnSQLishInput(t *testing.T) {
+	base := []byte(`SELECT S.sname FROM Sailor S WHERE NOT EXISTS(
+		SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid > 7)`)
+	f := func(pos uint16, b byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		mutated := append([]byte(nil), base...)
+		mutated[int(pos)%len(mutated)] = b
+		_, _ = Parse(string(mutated))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genQuery builds a random query AST over the sailors schema, up to the
+// given nesting depth, using only constructs from the supported fragment.
+func genQuery(rng *rand.Rand, depth int) *Query {
+	tables := []struct {
+		name string
+		cols []string
+	}{
+		{"Sailor", []string{"sid", "sname", "rating", "age"}},
+		{"Reserves", []string{"sid", "bid", "day"}},
+		{"Boat", []string{"bid", "bname", "color"}},
+	}
+	q := &Query{}
+	n := 1 + rng.Intn(2)
+	aliases := make([]struct {
+		alias string
+		cols  []string
+	}, 0, n)
+	for i := 0; i < n; i++ {
+		tb := tables[rng.Intn(len(tables))]
+		alias := fmt.Sprintf("T%d_%d", depth, i)
+		q.From = append(q.From, TableRef{Table: tb.name, Alias: alias})
+		aliases = append(aliases, struct {
+			alias string
+			cols  []string
+		}{alias, tb.cols})
+	}
+	col := func() ColumnRef {
+		a := aliases[rng.Intn(len(aliases))]
+		return ColumnRef{Table: a.alias, Column: a.cols[rng.Intn(len(a.cols))]}
+	}
+	if depth == 0 {
+		q.Select = []SelectItem{{Col: col()}}
+	} else {
+		q.Star = true
+	}
+	ops := []Op{OpLt, OpLe, OpEq, OpNe, OpGe, OpGt}
+	preds := 1 + rng.Intn(2)
+	for i := 0; i < preds; i++ {
+		switch rng.Intn(3) {
+		case 0: // join predicate
+			c1, c2 := col(), col()
+			q.Where = append(q.Where, &Compare{
+				Left:  Operand{Col: &c1},
+				Op:    ops[rng.Intn(len(ops))],
+				Right: Operand{Col: &c2},
+			})
+		case 1: // numeric selection
+			c := col()
+			k := NumberConst(float64(rng.Intn(10)))
+			q.Where = append(q.Where, &Compare{
+				Left:  Operand{Col: &c},
+				Op:    ops[rng.Intn(len(ops))],
+				Right: Operand{Const: &k},
+			})
+		default: // string selection
+			c := col()
+			k := StringConst(fmt.Sprintf("v%d", rng.Intn(4)))
+			q.Where = append(q.Where, &Compare{
+				Left:  Operand{Col: &c},
+				Op:    OpEq,
+				Right: Operand{Const: &k},
+			})
+		}
+	}
+	if depth < 2 && rng.Intn(2) == 0 {
+		sub := genQuery(rng, depth+1)
+		q.Where = append(q.Where, &Exists{Negated: rng.Intn(2) == 0, Sub: sub})
+	}
+	return q
+}
+
+// TestQuickFormatParseRoundTrip: for random generated queries,
+// Parse(Format(q)) reproduces the same compact rendering, and resolution
+// against the sailors schema succeeds.
+func TestQuickFormatParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 300; i++ {
+		q := genQuery(rng, 0)
+		text := Format(q)
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\n%s", err, text)
+		}
+		if q.String() != q2.String() {
+			t.Fatalf("round trip changed query:\n  %s\n  %s", q, q2)
+		}
+		if _, err := Resolve(q2, schema.Sailors()); err != nil {
+			t.Fatalf("resolve failed: %v\n%s", err, text)
+		}
+	}
+}
+
+// TestQuickWordCountPositive: WordCount is positive for any non-empty
+// token sequence and monotone under concatenation.
+func TestQuickWordCountPositive(t *testing.T) {
+	f := func(a, b string) bool {
+		wa, wb, wab := WordCount(a), WordCount(b), WordCount(a+" "+b)
+		if wa < 0 || wb < 0 {
+			return false
+		}
+		return wab >= wa && wab >= wb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

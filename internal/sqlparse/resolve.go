@@ -1,0 +1,220 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// Binding associates one FROM-clause table alias with its schema table
+// and the query block that introduced it.
+type Binding struct {
+	Alias string        // name predicates use (alias, or table name if no alias)
+	Table *schema.Table // resolved schema table
+	Block *Query        // query block whose FROM clause defines the alias
+	Depth int           // nesting depth of Block (root = 0)
+}
+
+// Resolution is the result of resolving a query against a schema. It
+// records, for every query block, its bindings, depth, and parent block.
+// Resolve also rewrites the AST in place so that every column reference is
+// alias-qualified with schema-canonical column casing.
+type Resolution struct {
+	Schema  *schema.Schema
+	Root    *Query
+	Blocks  map[*Query][]*Binding
+	Depth   map[*Query]int
+	Parent  map[*Query]*Query
+	byAlias map[*Query]map[string]*Binding // visible scope at each block
+}
+
+// Binding returns the binding visible at the given block for an alias.
+func (r *Resolution) Binding(block *Query, alias string) (*Binding, bool) {
+	b, ok := r.byAlias[block][strings.ToLower(alias)]
+	return b, ok
+}
+
+// AllBindings returns every binding in the query, outermost block first.
+func (r *Resolution) AllBindings() []*Binding {
+	var out []*Binding
+	var walk func(q *Query)
+	walk = func(q *Query) {
+		out = append(out, r.Blocks[q]...)
+		for _, s := range q.Subqueries() {
+			walk(s)
+		}
+	}
+	walk(r.Root)
+	return out
+}
+
+// Resolve binds the query's table references and column references to the
+// schema. On success the AST has been rewritten so that every ColumnRef
+// carries the alias of its table and the schema-canonical column name.
+func Resolve(q *Query, s *schema.Schema) (*Resolution, error) {
+	r := &Resolution{
+		Schema:  s,
+		Root:    q,
+		Blocks:  make(map[*Query][]*Binding),
+		Depth:   make(map[*Query]int),
+		Parent:  make(map[*Query]*Query),
+		byAlias: make(map[*Query]map[string]*Binding),
+	}
+	if err := r.resolveBlock(q, nil, 0, map[string]*Binding{}); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Resolution) resolveBlock(q *Query, parent *Query, depth int, outer map[string]*Binding) error {
+	if len(q.From) == 0 {
+		return fmt.Errorf("query block at depth %d has an empty FROM clause", depth)
+	}
+	r.Depth[q] = depth
+	if parent != nil {
+		r.Parent[q] = parent
+	}
+
+	scope := make(map[string]*Binding, len(outer)+len(q.From))
+	for k, v := range outer {
+		scope[k] = v
+	}
+	local := make(map[string]*Binding, len(q.From))
+	for i := range q.From {
+		ref := &q.From[i]
+		tbl, ok := r.Schema.Table(ref.Table)
+		if !ok {
+			return fmt.Errorf("unknown table %q (schema %s)", ref.Table, r.Schema.Name)
+		}
+		ref.Table = tbl.Name // canonicalize casing
+		name := ref.Name()
+		key := strings.ToLower(name)
+		if _, dup := local[key]; dup {
+			return fmt.Errorf("duplicate table alias %q in one FROM clause", name)
+		}
+		b := &Binding{Alias: name, Table: tbl, Block: q, Depth: depth}
+		local[key] = b
+		scope[key] = b // inner aliases shadow outer ones
+		r.Blocks[q] = append(r.Blocks[q], b)
+	}
+	r.byAlias[q] = scope
+
+	resolveCol := func(c *ColumnRef) error {
+		if c.Table != "" {
+			b, ok := scope[strings.ToLower(c.Table)]
+			if !ok {
+				return fmt.Errorf("unknown table alias %q", c.Table)
+			}
+			col, err := b.Table.Column(c.Column)
+			if err != nil {
+				return err
+			}
+			c.Table = b.Alias
+			c.Column = col
+			return nil
+		}
+		// Unqualified: prefer a unique match among local bindings, then
+		// a unique match in the whole visible scope.
+		match := func(bs map[string]*Binding) (*Binding, int) {
+			var found *Binding
+			n := 0
+			for _, b := range bs {
+				if b.Table.HasColumn(c.Column) {
+					found = b
+					n++
+				}
+			}
+			return found, n
+		}
+		b, n := match(local)
+		if n == 0 {
+			b, n = match(scope)
+		}
+		switch {
+		case n == 0:
+			return fmt.Errorf("column %q not found in any table in scope", c.Column)
+		case n > 1:
+			return fmt.Errorf("ambiguous column %q: qualify it with a table alias", c.Column)
+		}
+		col, err := b.Table.Column(c.Column)
+		if err != nil {
+			return err
+		}
+		c.Table = b.Alias
+		c.Column = col
+		return nil
+	}
+	resolveOperand := func(o *Operand) error {
+		if o.Col != nil {
+			return resolveCol(o.Col)
+		}
+		return nil
+	}
+
+	for i := range q.Select {
+		if q.Select[i].Star {
+			continue
+		}
+		if err := resolveCol(&q.Select[i].Col); err != nil {
+			return fmt.Errorf("select list: %w", err)
+		}
+	}
+	for i := range q.GroupBy {
+		if err := resolveCol(&q.GroupBy[i]); err != nil {
+			return fmt.Errorf("GROUP BY: %w", err)
+		}
+	}
+	for _, p := range q.Where {
+		switch p := p.(type) {
+		case *Compare:
+			if err := resolveOperand(&p.Left); err != nil {
+				return err
+			}
+			if err := resolveOperand(&p.Right); err != nil {
+				return err
+			}
+		case *Exists:
+			if err := r.resolveBlock(p.Sub, q, depth+1, scope); err != nil {
+				return err
+			}
+		case *In:
+			if err := resolveCol(&p.Col); err != nil {
+				return err
+			}
+			if err := r.resolveBlock(p.Sub, q, depth+1, scope); err != nil {
+				return err
+			}
+			if err := checkSingleColumnSub(p.Sub); err != nil {
+				return fmt.Errorf("IN subquery: %w", err)
+			}
+		case *Quantified:
+			if err := resolveCol(&p.Col); err != nil {
+				return err
+			}
+			if err := r.resolveBlock(p.Sub, q, depth+1, scope); err != nil {
+				return err
+			}
+			if err := checkSingleColumnSub(p.Sub); err != nil {
+				return fmt.Errorf("quantified subquery: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// checkSingleColumnSub verifies that a membership/quantified subquery
+// selects exactly one plain column, which the desugaring into EXISTS form
+// requires.
+func checkSingleColumnSub(q *Query) error {
+	if q.Star {
+		return fmt.Errorf("subquery must select a single column, not *")
+	}
+	if len(q.Select) != 1 {
+		return fmt.Errorf("subquery must select exactly one column, got %d", len(q.Select))
+	}
+	if q.Select[0].Agg != AggNone {
+		return fmt.Errorf("subquery select list must not use aggregates")
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// sanitize maps arbitrary floats into a finite, usable sample.
+func sanitize(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		// Keep magnitudes moderate to avoid overflow in sums.
+		out = append(out, math.Mod(x, 1e6))
+	}
+	return out
+}
+
+func TestQuickMedianBetweenMinAndMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		m := Median(xs)
+		return m >= s[0] && m <= s[len(s)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		a := math.Mod(math.Abs(p1), 100)
+		b := math.Mod(math.Abs(p2), 100)
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(xs, a) <= Percentile(xs, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBenjaminiHochbergProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		ps := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			ps = append(ps, math.Mod(math.Abs(x), 1))
+		}
+		adj := BenjaminiHochberg(ps)
+		if len(adj) != len(ps) {
+			return false
+		}
+		for i := range ps {
+			// Adjusted values never shrink and stay within [0, 1].
+			if adj[i] < ps[i]-1e-12 || adj[i] > 1 {
+				return false
+			}
+		}
+		// Order-preserving: smaller raw p never gets a larger adjusted p.
+		for i := range ps {
+			for j := range ps {
+				if ps[i] < ps[j] && adj[i] > adj[j]+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWilcoxonPInRange(t *testing.T) {
+	f := func(raw []float64) bool {
+		diffs := sanitize(raw)
+		for _, tail := range []Tail{Less, Greater, TwoSided} {
+			p := WilcoxonSignedRank(diffs, tail).P
+			if math.IsNaN(p) || p < 0 || p > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWilcoxonSignFlipSymmetry(t *testing.T) {
+	// Negating every difference swaps the Less and Greater p-values
+	// (exactly in the exact regime, which tie-free small samples use).
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) > 20 {
+			xs = xs[:20]
+		}
+		seen := map[float64]bool{}
+		var diffs []float64
+		for _, x := range xs {
+			a := math.Abs(x)
+			if x == 0 || seen[a] {
+				continue
+			}
+			seen[a] = true
+			diffs = append(diffs, x)
+		}
+		if len(diffs) == 0 {
+			return true
+		}
+		neg := make([]float64, len(diffs))
+		for i, d := range diffs {
+			neg[i] = -d
+		}
+		pLess := WilcoxonSignedRank(diffs, Less).P
+		pGreater := WilcoxonSignedRank(neg, Greater).P
+		return math.Abs(pLess-pGreater) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNormalQuantileMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		p1 := math.Mod(math.Abs(a), 1)
+		p2 := math.Mod(math.Abs(b), 1)
+		if p1 == 0 || p2 == 0 {
+			return true
+		}
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return NormalQuantile(p1) <= NormalQuantile(p2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickShapiroWilkWithinBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) < 3 || len(xs) > 200 {
+			return true
+		}
+		w, p, err := ShapiroWilk(xs)
+		if err != nil {
+			return true // constant data etc. are allowed to error
+		}
+		return w >= 0 && w <= 1 && p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ShapiroWilk performs the Shapiro-Wilk normality test [70] using
+// Royston's AS R94 approximation (the algorithm behind R's shapiro.test),
+// valid for 3 ≤ n ≤ 5000. It returns the W statistic and the p-value of
+// the null hypothesis that the sample is normal. The paper runs this test
+// (α = 5%) to justify its switch to non-parametric tests.
+func ShapiroWilk(xs []float64) (w, p float64, err error) {
+	n := len(xs)
+	if n < 3 {
+		return 0, 0, fmt.Errorf("shapiro-wilk needs at least 3 observations, got %d", n)
+	}
+	if n > 5000 {
+		return 0, 0, fmt.Errorf("shapiro-wilk supports at most 5000 observations, got %d", n)
+	}
+	x := append([]float64(nil), xs...)
+	sort.Float64s(x)
+	if x[0] == x[n-1] {
+		return 0, 0, fmt.Errorf("all observations are identical")
+	}
+
+	// Expected normal order statistics m and their squared norm.
+	m := make([]float64, n)
+	ssq := 0.0
+	for i := 0; i < n; i++ {
+		m[i] = NormalQuantile((float64(i+1) - 0.375) / (float64(n) + 0.25))
+		ssq += m[i] * m[i]
+	}
+	u := 1 / math.Sqrt(float64(n))
+
+	a := make([]float64, n)
+	if n == 3 {
+		a[0] = -math.Sqrt(0.5)
+		a[2] = math.Sqrt(0.5)
+	} else {
+		norm := math.Sqrt(ssq)
+		cn := m[n-1] / norm
+		an := cn + poly(u, 0, 0.221157, -0.147981, -2.071190, 4.434685, -2.706056)
+		var an1 float64
+		var phi float64
+		var i1 int
+		if n > 5 {
+			cn1 := m[n-2] / norm
+			an1 = cn1 + poly(u, 0, 0.042981, -0.293762, -1.752461, 5.682633, -3.582633)
+			i1 = 2
+			phi = (ssq - 2*m[n-1]*m[n-1] - 2*m[n-2]*m[n-2]) /
+				(1 - 2*an*an - 2*an1*an1)
+			a[n-1], a[n-2] = an, an1
+			a[0], a[1] = -an, -an1
+		} else {
+			i1 = 1
+			phi = (ssq - 2*m[n-1]*m[n-1]) / (1 - 2*an*an)
+			a[n-1] = an
+			a[0] = -an
+		}
+		sp := math.Sqrt(phi)
+		for i := i1; i < n-i1; i++ {
+			a[i] = m[i] / sp
+		}
+	}
+
+	// W statistic.
+	mean := Mean(x)
+	num, den := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		num += a[i] * x[i]
+		d := x[i] - mean
+		den += d * d
+	}
+	w = num * num / den
+	if w > 1 {
+		w = 1
+	}
+
+	// P-value (Royston 1995).
+	switch {
+	case n == 3:
+		const pi6, stqr = 1.90985931710274, 1.04719755119660
+		p = pi6 * (math.Asin(math.Sqrt(w)) - stqr)
+		p = math.Min(math.Max(p, 0), 1)
+	case n <= 11:
+		fn := float64(n)
+		gamma := poly(fn, -2.273, 0.459)
+		lw := -math.Log(gamma - math.Log1p(-w))
+		mu := poly(fn, 0.5440, -0.39978, 0.025054, -0.0006714)
+		sigma := math.Exp(poly(fn, 1.3822, -0.77857, 0.062767, -0.0020322))
+		p = 1 - NormalCDF((lw-mu)/sigma)
+	default:
+		ln := math.Log(float64(n))
+		lw := math.Log1p(-w)
+		mu := poly(ln, -1.5861, -0.31082, -0.083751, 0.0038915)
+		sigma := math.Exp(poly(ln, -0.4803, -0.082676, 0.0030302))
+		p = 1 - NormalCDF((lw-mu)/sigma)
+	}
+	return w, p, nil
+}
+
+// poly evaluates a polynomial with coefficients given constant-first:
+// poly(x, c0, c1, c2, ...) = c0 + c1·x + c2·x² + ...
+func poly(x float64, coeffs ...float64) float64 {
+	s, pw := 0.0, 1.0
+	for _, c := range coeffs {
+		s += c * pw
+		pw *= x
+	}
+	return s
+}

@@ -1,0 +1,186 @@
+// Package stats implements the statistical machinery of the paper's
+// evaluation (Section 6.2): descriptive statistics, the normal
+// distribution, one-tailed Wilcoxon signed-rank tests, Benjamini-Hochberg
+// false-discovery-rate adjustment, bias-corrected and accelerated (BCa)
+// bootstrap confidence intervals, the Shapiro-Wilk normality test, and
+// the power analysis used to size the study.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median (NaN for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Variance returns the unbiased sample variance (NaN for n < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between order statistics (type-7, the R default).
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	h := (float64(len(s)) - 1) * p / 100
+	lo := int(math.Floor(h))
+	hi := int(math.Ceil(h))
+	if lo == hi {
+		return s[lo]
+	}
+	return s[lo] + (h-float64(lo))*(s[hi]-s[lo])
+}
+
+// NormalCDF is Φ(z), the standard normal distribution function.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// NormalQuantile is Φ⁻¹(p) via Acklam's rational approximation (relative
+// error below 1.15e-9 over (0,1)); it returns ±Inf at the boundaries.
+func NormalQuantile(p float64) float64 {
+	switch {
+	case math.IsNaN(p) || p < 0 || p > 1:
+		return math.NaN()
+	case p == 0:
+		return math.Inf(-1)
+	case p == 1:
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	return x
+}
+
+// BenjaminiHochberg adjusts p-values for multiple testing by the
+// Benjamini-Hochberg step-up procedure [9], returning adjusted p-values
+// in the input order.
+func BenjaminiHochberg(ps []float64) []float64 {
+	n := len(ps)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ps[idx[a]] < ps[idx[b]] })
+	adj := make([]float64, n)
+	prev := 1.0
+	for k := n - 1; k >= 0; k-- {
+		i := idx[k]
+		v := ps[i] * float64(n) / float64(k+1)
+		if v > prev {
+			v = prev
+		}
+		prev = v
+		adj[i] = v
+	}
+	return adj
+}
+
+// RequiredSampleSize performs the one-tailed two-sample-means power
+// analysis of Appendix C (Yatani [84]): the per-group n needed to detect
+// the difference between mean1 and mean2 at significance alpha with the
+// given power, assuming the pilot standard deviations.
+func RequiredSampleSize(alpha, power, mean1, sd1, mean2, sd2 float64) int {
+	za := NormalQuantile(1 - alpha)
+	zb := NormalQuantile(power)
+	delta := mean1 - mean2
+	if delta == 0 {
+		return math.MaxInt32
+	}
+	n := (za + zb) * (za + zb) * (sd1*sd1 + sd2*sd2) / (delta * delta)
+	return int(math.Ceil(n))
+}
+
+// RoundUpToMultiple rounds n up to the next multiple of m, as the paper
+// rounds its required sample size up to a multiple of six to balance the
+// Latin-square sequences.
+func RoundUpToMultiple(n, m int) int {
+	if m <= 0 {
+		return n
+	}
+	if r := n % m; r != 0 {
+		return n + m - r
+	}
+	return n
+}
+
+// BoxCox applies the Box-Cox transformation with parameter lambda.
+func BoxCox(x, lambda float64) float64 {
+	if lambda == 0 {
+		return math.Log(x)
+	}
+	return (math.Pow(x, lambda) - 1) / lambda
+}

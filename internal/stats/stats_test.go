@@ -1,0 +1,317 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDescriptives(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Median(xs) != 2.5 {
+		t.Errorf("Median = %v", Median(xs))
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median broken")
+	}
+	if !almost(Variance(xs), 5.0/3, 1e-12) {
+		t.Errorf("Variance = %v", Variance(xs))
+	}
+	if !almost(StdDev(xs), math.Sqrt(5.0/3), 1e-12) {
+		t.Errorf("StdDev = %v", StdDev(xs))
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Median(nil)) || !math.IsNaN(Variance([]float64{1})) {
+		t.Error("empty-input guards broken")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if Percentile(xs, 0) != 10 || Percentile(xs, 100) != 40 {
+		t.Error("extremes broken")
+	}
+	if !almost(Percentile(xs, 50), 25, 1e-12) {
+		t.Errorf("P50 = %v", Percentile(xs, 50))
+	}
+	if !almost(Percentile(xs, 25), 17.5, 1e-12) {
+		t.Errorf("P25 = %v", Percentile(xs, 25))
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+}
+
+func TestNormalDistribution(t *testing.T) {
+	cases := map[float64]float64{ // p -> z
+		0.5:   0,
+		0.975: 1.959963985,
+		0.95:  1.644853627,
+		0.9:   1.281551566,
+		0.025: -1.959963985,
+		0.001: -3.090232306,
+	}
+	for p, z := range cases {
+		if got := NormalQuantile(p); !almost(got, z, 1e-6) {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", p, got, z)
+		}
+		if got := NormalCDF(z); !almost(got, p, 1e-9) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", z, got, p)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("boundary quantiles should be infinite")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) {
+		t.Error("out-of-range quantiles should be NaN")
+	}
+	// Round trip across the domain.
+	for p := 0.001; p < 1; p += 0.017 {
+		if got := NormalCDF(NormalQuantile(p)); !almost(got, p, 1e-8) {
+			t.Errorf("round trip at %v: %v", p, got)
+		}
+	}
+}
+
+func TestBenjaminiHochberg(t *testing.T) {
+	ps := []float64{0.01, 0.04, 0.03, 0.005}
+	adj := BenjaminiHochberg(ps)
+	want := []float64{0.02, 0.04, 0.04, 0.02}
+	for i := range want {
+		if !almost(adj[i], want[i], 1e-12) {
+			t.Errorf("adj[%d] = %v, want %v", i, adj[i], want[i])
+		}
+	}
+	// Adjusted p-values never fall below raw ones and never exceed 1.
+	rng := rand.New(rand.NewSource(1))
+	raw := make([]float64, 10)
+	for i := range raw {
+		raw[i] = rng.Float64()
+	}
+	for i, a := range BenjaminiHochberg(raw) {
+		if a < raw[i] || a > 1 {
+			t.Errorf("adjusted %v out of bounds for raw %v", a, raw[i])
+		}
+	}
+	if got := BenjaminiHochberg(nil); len(got) != 0 {
+		t.Error("empty input should return empty output")
+	}
+}
+
+func TestWilcoxonExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(8)
+		diffs := make([]float64, n)
+		for i := range diffs {
+			// Distinct magnitudes: no ties, exact path.
+			diffs[i] = (float64(i) + 1 + rng.Float64()*0.5) * float64(1-2*rng.Intn(2))
+		}
+		res := WilcoxonSignedRank(diffs, Less)
+
+		// Brute force: enumerate all sign assignments of ranks 1..n.
+		count := 0
+		total := 1 << n
+		for mask := 0; mask < total; mask++ {
+			w := 0.0
+			for r := 1; r <= n; r++ {
+				if mask&(1<<(r-1)) != 0 {
+					w += float64(r)
+				}
+			}
+			if w <= res.WPlus {
+				count++
+			}
+		}
+		want := float64(count) / float64(total)
+		if !almost(res.P, want, 1e-12) {
+			t.Fatalf("trial %d: exact p = %v, brute force = %v", trial, res.P, want)
+		}
+	}
+}
+
+func TestWilcoxonDirections(t *testing.T) {
+	neg := []float64{-5, -4, -3, -2, -1, -6, -7, -8}
+	if p := WilcoxonSignedRank(neg, Less).P; p > 0.01 {
+		t.Errorf("clearly negative diffs: one-tailed p = %v, want small", p)
+	}
+	if p := WilcoxonSignedRank(neg, Greater).P; p < 0.99 {
+		t.Errorf("wrong-tail p = %v, want near 1", p)
+	}
+	if p := WilcoxonSignedRank(neg, TwoSided).P; p > 0.02 {
+		t.Errorf("two-sided p = %v, want small", p)
+	}
+	// Zeros are dropped.
+	res := WilcoxonSignedRank([]float64{0, 0, -1, -2, 3}, Less)
+	if res.N != 3 {
+		t.Errorf("N = %d, want 3 after dropping zeros", res.N)
+	}
+	if WilcoxonSignedRank(nil, Less).P != 1 {
+		t.Error("empty sample should return p = 1")
+	}
+}
+
+func TestWilcoxonTiesUseNormalApprox(t *testing.T) {
+	// Tied magnitudes force the normal approximation.
+	diffs := []float64{-1, -1, -1, -1, 2, -2, -3, -3, -3, -4}
+	res := WilcoxonSignedRank(diffs, Less)
+	if math.IsNaN(res.Z) {
+		t.Fatal("tied data should use the normal approximation (Z set)")
+	}
+	if res.P <= 0 || res.P >= 1 {
+		t.Errorf("p = %v out of range", res.P)
+	}
+	// Large n also uses the approximation and should roughly agree with
+	// the exact path near the boundary n = 25.
+	big := make([]float64, 26)
+	for i := range big {
+		big[i] = -float64(i + 1)
+	}
+	big[0] = 1.5 // one positive
+	res = WilcoxonSignedRank(big, Less)
+	if res.P > 1e-4 {
+		t.Errorf("overwhelmingly negative diffs: p = %v", res.P)
+	}
+}
+
+func TestBCa(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]float64, 60)
+	for i := range data {
+		data[i] = 10 + rng.NormFloat64()*2
+	}
+	ci := BCa(rand.New(rand.NewSource(1)), data, Mean, 2000, 0.95)
+	m := Mean(data)
+	if !(ci.Lo < m && m < ci.Hi) {
+		t.Errorf("CI %v does not bracket the mean %v", ci, m)
+	}
+	if ci.Hi-ci.Lo > 2.5 {
+		t.Errorf("CI %v implausibly wide", ci)
+	}
+	// Deterministic under the same seed.
+	ci2 := BCa(rand.New(rand.NewSource(1)), data, Mean, 2000, 0.95)
+	if ci != ci2 {
+		t.Error("BCa not deterministic for a fixed seed")
+	}
+	// Median CI works too.
+	ciM := BCa(rand.New(rand.NewSource(2)), data, Median, 1000, 0.95)
+	med := Median(data)
+	if !(ciM.Lo <= med && med <= ciM.Hi) {
+		t.Errorf("median CI %v does not bracket %v", ciM, med)
+	}
+	empty := BCa(rng, nil, Mean, 10, 0.95)
+	if !math.IsNaN(empty.Lo) {
+		t.Error("empty data should produce NaN interval")
+	}
+}
+
+func TestBCaCoverage(t *testing.T) {
+	// Rough coverage check: the 95% CI for the mean of N(0,1) samples
+	// should contain 0 in the vast majority of trials.
+	rng := rand.New(rand.NewSource(5))
+	hits := 0
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		data := make([]float64, 30)
+		for j := range data {
+			data[j] = rng.NormFloat64()
+		}
+		ci := BCa(rng, data, Mean, 500, 0.95)
+		if ci.Lo <= 0 && 0 <= ci.Hi {
+			hits++
+		}
+	}
+	if hits < trials*8/10 {
+		t.Errorf("coverage %d/%d too low", hits, trials)
+	}
+}
+
+func TestShapiroWilk(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	normal := make([]float64, 80)
+	for i := range normal {
+		normal[i] = rng.NormFloat64()
+	}
+	w, p, err := ShapiroWilk(normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w < 0.9 || w > 1 {
+		t.Errorf("W = %v for normal data", w)
+	}
+	if p < 0.05 {
+		t.Errorf("normal data rejected: p = %v", p)
+	}
+
+	// Strongly skewed data must be rejected.
+	exp := make([]float64, 80)
+	for i := range exp {
+		exp[i] = rng.ExpFloat64() * rng.ExpFloat64()
+	}
+	_, p, err = ShapiroWilk(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.01 {
+		t.Errorf("skewed data accepted: p = %v", p)
+	}
+
+	// Small-n paths (n=3 and 4 ≤ n ≤ 11).
+	if _, _, err := ShapiroWilk([]float64{1, 2, 3}); err != nil {
+		t.Errorf("n=3: %v", err)
+	}
+	small := []float64{1.1, 0.9, 2.3, 1.7, 0.4, 1.2, 1.5}
+	if _, p, err := ShapiroWilk(small); err != nil || p <= 0 || p > 1 {
+		t.Errorf("n=7: p=%v err=%v", p, err)
+	}
+
+	// Errors.
+	if _, _, err := ShapiroWilk([]float64{1, 2}); err == nil {
+		t.Error("n=2 should fail")
+	}
+	if _, _, err := ShapiroWilk([]float64{5, 5, 5, 5}); err == nil {
+		t.Error("constant data should fail")
+	}
+}
+
+func TestRequiredSampleSize(t *testing.T) {
+	// alpha=5%, power=90%, unit effect with unit variances:
+	// (1.645+1.282)^2 * 2 ≈ 17.13 → 18 per group.
+	n := RequiredSampleSize(0.05, 0.90, 0, 1, 1, 1)
+	if n != 18 {
+		t.Errorf("n = %d, want 18", n)
+	}
+	// Smaller effects need more participants.
+	if RequiredSampleSize(0.05, 0.90, 0, 1, 0.5, 1) <= n {
+		t.Error("halving the effect should raise n")
+	}
+	// Zero effect is undetectable.
+	if RequiredSampleSize(0.05, 0.9, 1, 1, 1, 1) != math.MaxInt32 {
+		t.Error("zero effect should return MaxInt32")
+	}
+}
+
+func TestRoundUpToMultiple(t *testing.T) {
+	cases := [][3]int{{83, 6, 84}, {84, 6, 84}, {1, 6, 6}, {7, 6, 12}, {5, 0, 5}}
+	for _, c := range cases {
+		if got := RoundUpToMultiple(c[0], c[1]); got != c[2] {
+			t.Errorf("RoundUpToMultiple(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestBoxCox(t *testing.T) {
+	if !almost(BoxCox(math.E, 0), 1, 1e-12) {
+		t.Error("lambda=0 should be log")
+	}
+	if !almost(BoxCox(4, 0.5), 2, 1e-12) {
+		t.Errorf("BoxCox(4, 0.5) = %v", BoxCox(4, 0.5))
+	}
+	if !almost(BoxCox(3, 1), 2, 1e-12) {
+		t.Error("lambda=1 should be x-1")
+	}
+}

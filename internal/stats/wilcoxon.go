@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Tail selects the alternative hypothesis of a test.
+type Tail int
+
+const (
+	// Less tests the alternative that the paired differences are negative
+	// (e.g. timeQV − timeSQL < 0, the paper's H1 for time).
+	Less Tail = iota
+	// Greater tests the alternative that the differences are positive.
+	Greater
+	// TwoSided tests the alternative that the differences are nonzero.
+	TwoSided
+)
+
+// WilcoxonResult holds the outcome of a Wilcoxon signed-rank test.
+type WilcoxonResult struct {
+	WPlus float64 // sum of ranks of positive differences
+	N     int     // pairs remaining after dropping zero differences
+	Z     float64 // normal approximation statistic
+	P     float64 // p-value under the chosen tail
+}
+
+// WilcoxonSignedRank performs the one-sample Wilcoxon signed-rank test on
+// paired differences (the paper runs it on each participant's
+// within-subjects condition differences, Section 6.2). Zero differences
+// are dropped; tied absolute differences receive average ranks; the
+// normal approximation includes the tie correction and a continuity
+// correction. The exact null distribution is used for n ≤ 25 when the
+// data has no ties.
+func WilcoxonSignedRank(diffs []float64, tail Tail) WilcoxonResult {
+	var d []float64
+	for _, x := range diffs {
+		if x != 0 {
+			d = append(d, x)
+		}
+	}
+	n := len(d)
+	if n == 0 {
+		return WilcoxonResult{P: 1}
+	}
+
+	type item struct {
+		abs float64
+		pos bool
+	}
+	items := make([]item, n)
+	for i, x := range d {
+		items[i] = item{abs: math.Abs(x), pos: x > 0}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].abs < items[j].abs })
+
+	ranks := make([]float64, n)
+	hasTies := false
+	tieCorrection := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && items[j].abs == items[i].abs {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		if t := j - i; t > 1 {
+			hasTies = true
+			tieCorrection += float64(t*t*t - t)
+		}
+		i = j
+	}
+	wPlus := 0.0
+	for i, it := range items {
+		if it.pos {
+			wPlus += ranks[i]
+		}
+	}
+
+	res := WilcoxonResult{WPlus: wPlus, N: n}
+	if !hasTies && n <= 25 {
+		res.P = exactWilcoxonP(wPlus, n, tail)
+		res.Z = math.NaN()
+		return res
+	}
+
+	mu := float64(n*(n+1)) / 4
+	variance := float64(n*(n+1)*(2*n+1))/24 - tieCorrection/48
+	sigma := math.Sqrt(variance)
+	// Continuity correction toward the null mean.
+	var z float64
+	switch tail {
+	case Less:
+		z = (wPlus - mu + 0.5) / sigma
+		res.P = NormalCDF(z)
+	case Greater:
+		z = (wPlus - mu - 0.5) / sigma
+		res.P = 1 - NormalCDF(z)
+	default:
+		cc := 0.5
+		if wPlus < mu {
+			cc = -0.5
+		}
+		z = (wPlus - mu - cc) / sigma
+		res.P = 2 * math.Min(NormalCDF(z), 1-NormalCDF(z))
+		if res.P > 1 {
+			res.P = 1
+		}
+	}
+	res.Z = z
+	return res
+}
+
+// exactWilcoxonP computes the exact p-value of W+ by dynamic programming
+// over the 2^n sign assignments: counts[w] = number of assignments with
+// rank sum w.
+func exactWilcoxonP(w float64, n int, tail Tail) float64 {
+	maxW := n * (n + 1) / 2
+	counts := make([]float64, maxW+1)
+	counts[0] = 1
+	for r := 1; r <= n; r++ {
+		for s := maxW; s >= r; s-- {
+			counts[s] += counts[s-r]
+		}
+	}
+	total := math.Pow(2, float64(n))
+	cum := func(upTo int) float64 { // P(W+ <= upTo)
+		s := 0.0
+		for i := 0; i <= upTo && i <= maxW; i++ {
+			s += counts[i]
+		}
+		return s / total
+	}
+	wi := int(math.Round(w)) // exact path only runs without ties: integer W
+	switch tail {
+	case Less:
+		return cum(wi)
+	case Greater:
+		return 1 - cum(wi-1)
+	default:
+		p := 2 * math.Min(cum(wi), 1-cum(wi-1))
+		if p > 1 {
+			p = 1
+		}
+		return p
+	}
+}

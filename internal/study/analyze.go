@@ -1,0 +1,309 @@
+package study
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/stats"
+)
+
+// PerParticipant holds one participant's per-condition performance: the
+// paper compares each individual's conditions before averaging
+// (Section 6.2, "within-subjects").
+type PerParticipant struct {
+	ID         int
+	MedianTime map[Condition]float64 // seconds, median over the condition's questions
+	ErrorRate  map[Condition]float64 // fraction wrong in the condition
+}
+
+// Hypothesis is one of the four preregistered directional hypotheses.
+type Hypothesis struct {
+	Name     string  // e.g. "timeQV < timeSQL"
+	DeltaPct float64 // percentage difference of the condition vs SQL
+	RawP     float64 // one-tailed Wilcoxon signed-rank p
+	AdjP     float64 // after Benjamini-Hochberg adjustment
+}
+
+// ConditionSummary aggregates one condition across participants.
+type ConditionSummary struct {
+	MedianTime float64 // median over per-participant median times
+	TimeCI     stats.Interval
+	MeanError  float64 // mean over per-participant error rates
+	ErrorCI    stats.Interval
+	NormalityP float64 // Shapiro-Wilk p for the time distribution
+}
+
+// DeltaSummary summarizes per-participant condition-minus-SQL differences
+// (the bottom rows of Fig. 7 and all of Figs. 20/21).
+type DeltaSummary struct {
+	Values     []float64
+	Mean       float64
+	Median     float64
+	FracFaster float64 // fraction of participants with a negative delta
+	FracSlower float64
+	FracSame   float64
+}
+
+// Analysis is the complete study analysis for one question subset.
+type Analysis struct {
+	N            int // legitimate participants analysed
+	QuestionIDs  []string
+	Participants []PerParticipant
+	Conditions   map[Condition]ConditionSummary
+
+	TimeQV, TimeBoth Hypothesis
+	ErrQV, ErrBoth   Hypothesis
+
+	TimeDeltaQV, TimeDeltaBoth DeltaSummary
+	ErrDeltaQV, ErrDeltaBoth   DeltaSummary
+}
+
+// Analyze runs the preregistered analysis over legitimate participants,
+// restricted to the questions accepted by include (pass nil for all).
+// The rng drives only the bootstrap confidence intervals.
+func Analyze(rng *rand.Rand, legit []*Participant, questions []corpus.Question, include func(corpus.Question) bool) *Analysis {
+	a := &Analysis{N: len(legit), Conditions: map[Condition]ConditionSummary{}}
+	included := map[int]bool{}
+	for qi, q := range questions {
+		if include == nil || include(q) {
+			included[qi] = true
+			a.QuestionIDs = append(a.QuestionIDs, q.ID)
+		}
+	}
+
+	for _, p := range legit {
+		pp := PerParticipant{
+			ID:         p.ID,
+			MedianTime: map[Condition]float64{},
+			ErrorRate:  map[Condition]float64{},
+		}
+		byCond := map[Condition][]Response{}
+		for _, r := range p.Responses {
+			if included[r.Question] {
+				byCond[r.Condition] = append(byCond[r.Condition], r)
+			}
+		}
+		for _, c := range Conditions() {
+			rs := byCond[c]
+			times := make([]float64, len(rs))
+			wrong := 0
+			for i, r := range rs {
+				times[i] = r.Seconds
+				if !r.Correct {
+					wrong++
+				}
+			}
+			pp.MedianTime[c] = stats.Median(times)
+			if len(rs) > 0 {
+				pp.ErrorRate[c] = float64(wrong) / float64(len(rs))
+			}
+		}
+		a.Participants = append(a.Participants, pp)
+	}
+
+	// Condition aggregates with BCa CIs.
+	for _, c := range Conditions() {
+		times := make([]float64, 0, len(a.Participants))
+		errs := make([]float64, 0, len(a.Participants))
+		for _, pp := range a.Participants {
+			times = append(times, pp.MedianTime[c])
+			errs = append(errs, pp.ErrorRate[c])
+		}
+		cs := ConditionSummary{
+			MedianTime: stats.Median(times),
+			MeanError:  stats.Mean(errs),
+		}
+		if len(times) >= 3 {
+			cs.TimeCI = stats.BCa(rng, times, stats.Median, 2000, 0.95)
+			cs.ErrorCI = stats.BCa(rng, errs, stats.Mean, 2000, 0.95)
+			if _, p, err := stats.ShapiroWilk(times); err == nil {
+				cs.NormalityP = p
+			}
+		}
+		a.Conditions[c] = cs
+	}
+
+	// Within-subjects differences and Wilcoxon tests.
+	deltas := func(metric func(PerParticipant, Condition) float64, c Condition) []float64 {
+		out := make([]float64, len(a.Participants))
+		for i, pp := range a.Participants {
+			out[i] = metric(pp, c) - metric(pp, SQL)
+		}
+		return out
+	}
+	timeOf := func(pp PerParticipant, c Condition) float64 { return pp.MedianTime[c] }
+	errOf := func(pp PerParticipant, c Condition) float64 { return pp.ErrorRate[c] }
+
+	tQV := deltas(timeOf, QV)
+	tBoth := deltas(timeOf, Both)
+	eQV := deltas(errOf, QV)
+	eBoth := deltas(errOf, Both)
+
+	pct := func(c Condition, agg func(ConditionSummary) float64) float64 {
+		base := agg(a.Conditions[SQL])
+		if base == 0 {
+			return 0
+		}
+		return 100 * (agg(a.Conditions[c]) - base) / base
+	}
+	medianTime := func(cs ConditionSummary) float64 { return cs.MedianTime }
+	meanErr := func(cs ConditionSummary) float64 { return cs.MeanError }
+
+	pTimeQV := stats.WilcoxonSignedRank(tQV, stats.Less).P
+	pTimeBoth := stats.WilcoxonSignedRank(tBoth, stats.Less).P
+	adjTime := stats.BenjaminiHochberg([]float64{pTimeQV, pTimeBoth})
+	pErrQV := stats.WilcoxonSignedRank(eQV, stats.Less).P
+	pErrBoth := stats.WilcoxonSignedRank(eBoth, stats.Less).P
+	adjErr := stats.BenjaminiHochberg([]float64{pErrQV, pErrBoth})
+
+	a.TimeQV = Hypothesis{"timeQV < timeSQL", pct(QV, medianTime), pTimeQV, adjTime[0]}
+	a.TimeBoth = Hypothesis{"timeBoth < timeSQL", pct(Both, medianTime), pTimeBoth, adjTime[1]}
+	a.ErrQV = Hypothesis{"errQV < errSQL", pct(QV, meanErr), pErrQV, adjErr[0]}
+	a.ErrBoth = Hypothesis{"errBoth < errSQL", pct(Both, meanErr), pErrBoth, adjErr[1]}
+
+	a.TimeDeltaQV = summarizeDeltas(tQV)
+	a.TimeDeltaBoth = summarizeDeltas(tBoth)
+	a.ErrDeltaQV = summarizeDeltas(eQV)
+	a.ErrDeltaBoth = summarizeDeltas(eBoth)
+	return a
+}
+
+func summarizeDeltas(ds []float64) DeltaSummary {
+	s := DeltaSummary{
+		Values: append([]float64(nil), ds...),
+		Mean:   stats.Mean(ds),
+		Median: stats.Median(ds),
+	}
+	if len(ds) == 0 {
+		return s
+	}
+	var faster, slower, same int
+	for _, d := range ds {
+		switch {
+		case d < 0:
+			faster++
+		case d > 0:
+			slower++
+		default:
+			same++
+		}
+	}
+	n := float64(len(ds))
+	s.FracFaster = float64(faster) / n
+	s.FracSlower = float64(slower) / n
+	s.FracSame = float64(same) / n
+	return s
+}
+
+// ScatterPoint is one Fig. 18 data point.
+type ScatterPoint struct {
+	ID       int
+	MeanTime float64
+	Mistakes int
+	Kind     Kind
+	Legit    bool
+	Reason   string
+}
+
+// Scatter produces the Fig. 18 scatter data for the whole pool.
+func Scatter(pool []*Participant) []ScatterPoint {
+	out := make([]ScatterPoint, 0, len(pool))
+	for _, p := range pool {
+		legit, reason := Classify(p)
+		out = append(out, ScatterPoint{
+			ID:       p.ID,
+			MeanTime: p.MeanTime(),
+			Mistakes: p.Mistakes(),
+			Kind:     p.Kind,
+			Legit:    legit,
+			Reason:   reason,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// PowerAnalysis reproduces Appendix C.2: simulate an n-participant pilot,
+// take each participant's mean time in the SQL and QV conditions, and
+// size the full study for a one-tailed two-sample comparison at the given
+// alpha and power, rounding up to a multiple of six to balance the Latin
+// square (the paper's pilot of 12 yielded a required n of 84).
+type PowerResult struct {
+	PilotN            int
+	MeanSQL, MeanQV   float64
+	SDSQL, SDQV       float64
+	RequiredN         int
+	RequiredNRounded6 int
+}
+
+// Power runs the power analysis on a fresh pilot simulation.
+func Power(cfg Config, questions []corpus.Question, pilotN int, alpha, power float64) PowerResult {
+	pilotCfg := cfg
+	pilotCfg.Seed = cfg.Seed + 1 // an independent pilot cohort
+	pilotCfg.NumLegitimate = pilotN
+	pilotCfg.NumSpeeders, pilotCfg.NumCheaters = 0, 0
+	pilotCfg.NumGaveUpSpeeders, pilotCfg.NumStallingCheater = 0, 0
+	pool := Simulate(pilotCfg, questions)
+
+	var sqlMeans, qvMeans []float64
+	for _, p := range pool {
+		var sSum, sN, qSum, qN float64
+		for _, r := range p.Responses {
+			switch r.Condition {
+			case SQL:
+				sSum += r.Seconds
+				sN++
+			case QV:
+				qSum += r.Seconds
+				qN++
+			}
+		}
+		if sN > 0 {
+			sqlMeans = append(sqlMeans, sSum/sN)
+		}
+		if qN > 0 {
+			qvMeans = append(qvMeans, qSum/qN)
+		}
+	}
+	res := PowerResult{
+		PilotN:  pilotN,
+		MeanSQL: stats.Mean(sqlMeans), SDSQL: stats.StdDev(sqlMeans),
+		MeanQV: stats.Mean(qvMeans), SDQV: stats.StdDev(qvMeans),
+	}
+	res.RequiredN = stats.RequiredSampleSize(alpha, power,
+		res.MeanSQL, res.SDSQL, res.MeanQV, res.SDQV)
+	res.RequiredNRounded6 = stats.RoundUpToMultiple(res.RequiredN, 6)
+	return res
+}
+
+// Report renders the analysis in the shape of Fig. 7 / Fig. 19.
+func (a *Analysis) Report(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d legitimate participants, %d questions)\n",
+		title, a.N, len(a.QuestionIDs))
+	b.WriteString("\ncondition   median time [s]   95% CI            mean error   95% CI          Shapiro-Wilk p\n")
+	for _, c := range Conditions() {
+		cs := a.Conditions[c]
+		fmt.Fprintf(&b, "%-10s  %9.1f         [%5.1f, %5.1f]    %8.3f     [%5.3f, %5.3f]   %.3g\n",
+			c, cs.MedianTime, cs.TimeCI.Lo, cs.TimeCI.Hi,
+			cs.MeanError, cs.ErrorCI.Lo, cs.ErrorCI.Hi, cs.NormalityP)
+	}
+	b.WriteString("\nhypothesis             Δ vs SQL    raw p       adj p (BH)\n")
+	for _, h := range []Hypothesis{a.TimeQV, a.TimeBoth, a.ErrQV, a.ErrBoth} {
+		fmt.Fprintf(&b, "%-21s  %+6.0f%%     %-10.4g  %.4g\n", h.Name, h.DeltaPct, h.RawP, h.AdjP)
+	}
+	b.WriteString("\nper-participant deltas vs SQL:\n")
+	row := func(name string, d DeltaSummary, unit string) {
+		fmt.Fprintf(&b, "%-12s mean Δ = %+.2f%s, median Δ = %+.2f%s; %2.0f%% faster/fewer, %2.0f%% slower/more, %2.0f%% same\n",
+			name, d.Mean, unit, d.Median, unit,
+			100*d.FracFaster, 100*d.FracSlower, 100*d.FracSame)
+	}
+	row("time QV", a.TimeDeltaQV, "s")
+	row("time Both", a.TimeDeltaBoth, "s")
+	row("error QV", a.ErrDeltaQV, "")
+	row("error Both", a.ErrDeltaBoth, "")
+	return b.String()
+}

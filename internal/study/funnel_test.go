@@ -1,0 +1,141 @@
+package study
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/stats"
+)
+
+func TestSimulateFunnelShape(t *testing.T) {
+	// Paper: 710 attempted, 114 passed, 80 started. The simulated pass
+	// rate should land in the same regime (roughly one in five to seven).
+	res := SimulateFunnel(DefaultFunnelConfig(), 80)
+	if res.Attempted != 710 {
+		t.Errorf("attempted = %d", res.Attempted)
+	}
+	if res.Passed != 114 {
+		t.Errorf("passed = %d, want the paper's 114", res.Passed)
+	}
+	if res.Started != 80 {
+		t.Errorf("started = %d, want 80", res.Started)
+	}
+	// Deterministic.
+	if res2 := SimulateFunnel(DefaultFunnelConfig(), 80); res2 != res {
+		t.Error("funnel simulation not deterministic")
+	}
+	// Cannot start more workers than passed.
+	tiny := SimulateFunnel(FunnelConfig{Seed: 1, Attempted: 10, PassMark: 6}, 80)
+	if tiny.Started > tiny.Passed {
+		t.Errorf("started %d > passed %d", tiny.Started, tiny.Passed)
+	}
+}
+
+func TestTutorialTimesCalibration(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	times := TutorialTimes(rng, 5000)
+	med := stats.Median(times)
+	mean := stats.Mean(times)
+	// Paper: median ≈ 2 min, mean ≈ 3 min.
+	if med < 100 || med > 140 {
+		t.Errorf("median tutorial time = %.0f s, want ≈ 120", med)
+	}
+	if mean < 150 || mean > 210 {
+		t.Errorf("mean tutorial time = %.0f s, want ≈ 180", mean)
+	}
+	for _, x := range times {
+		if x <= 0 {
+			t.Fatal("non-positive tutorial time")
+		}
+	}
+}
+
+func TestPayout(t *testing.T) {
+	mk := func(correct int, secondsEach float64) *Participant {
+		p := &Participant{ID: 1}
+		for i := 0; i < 12; i++ {
+			p.Responses = append(p.Responses, Response{
+				Seconds: secondsEach,
+				Correct: i < correct,
+			})
+		}
+		return p
+	}
+	// Too few correct: rejected, no pay.
+	pay := Payout(mk(4, 60))
+	if pay.Accepted || pay.Total != 0 {
+		t.Errorf("4 correct should be rejected: %+v", pay)
+	}
+	// Over the 50-minute limit: rejected.
+	pay = Payout(mk(12, 60*26)) // 26 min per question
+	if pay.Accepted {
+		t.Errorf("over-time participant should be rejected: %+v", pay)
+	}
+	// Accepted at exactly the bar: base pay, no bonus.
+	pay = Payout(mk(5, 120))
+	if !pay.Accepted || pay.BasePay != BasePayUSD || pay.Bonus != 0 {
+		t.Errorf("bar participant: %+v", pay)
+	}
+	// Fast and perfect earns the top bonus tier: 7 extra × $0.75.
+	pay = Payout(mk(12, 60)) // 12 minutes total
+	if !pay.Accepted || pay.Bonus != 7*0.75 {
+		t.Errorf("fast perfect participant: %+v", pay)
+	}
+	// Slower tiers scale down.
+	mid := Payout(mk(12, 120)) // 24 min → 2× tier
+	if mid.Bonus != 7*0.50 {
+		t.Errorf("2x tier bonus = %v", mid.Bonus)
+	}
+	slow := Payout(mk(12, 60*3.0)) // 36 min → 1.5× tier
+	if slow.Bonus != 7*0.375 {
+		t.Errorf("1.5x tier bonus = %v", slow.Bonus)
+	}
+	plain := Payout(mk(12, 60*3.6)) // 43 min → base tier
+	if plain.Bonus != 7*0.25 {
+		t.Errorf("base tier bonus = %v", plain.Bonus)
+	}
+}
+
+func TestPayrollOverSimulatedPool(t *testing.T) {
+	pool := Simulate(DefaultConfig(), corpus.StudyQuestions())
+	s := Payroll(pool)
+	if len(s.Payments) != len(pool) {
+		t.Fatalf("payments = %d, want %d", len(s.Payments), len(pool))
+	}
+	if s.Accepted == 0 || s.TotalUSD <= 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Cheaters race through with everything correct: they collect the
+	// bonus (which is why the paper had to exclude them post hoc).
+	var cheaterBonus, legitBonus float64
+	var cheaters, legits int
+	byID := map[int]Payment{}
+	for _, pay := range s.Payments {
+		byID[pay.ParticipantID] = pay
+	}
+	for _, p := range pool {
+		pay := byID[p.ID]
+		switch p.Kind {
+		case Cheater:
+			cheaterBonus += pay.Bonus
+			cheaters++
+		case Legitimate:
+			legitBonus += pay.Bonus
+			legits++
+		}
+	}
+	if cheaters > 0 && legits > 0 && cheaterBonus/float64(cheaters) <= legitBonus/float64(legits) {
+		t.Error("cheaters should out-earn legitimate participants on bonus — the paper's fraud incentive")
+	}
+	if !strings.Contains(s.String(), "accepted") {
+		t.Error("summary string broken")
+	}
+	// Speeders mostly fail the 5-correct bar.
+	for _, p := range pool {
+		if p.Kind == Speeder && byID[p.ID].Accepted && len(p.Responses)-p.Mistakes() < AcceptMinCorrect {
+			t.Error("acceptance bar inconsistent")
+		}
+	}
+}

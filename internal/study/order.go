@@ -1,0 +1,101 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// This file verifies the counterbalancing claims of Appendix C.2.3: the
+// Latin square spreads each condition evenly over question positions, so
+// practice effects (participants speeding up over the test) cannot
+// masquerade as condition effects.
+
+// OrderAnalysis summarizes timing by question position and by condition.
+type OrderAnalysis struct {
+	// MeanByPosition[i] is the mean seconds participants spent on the
+	// i-th question of the test (0-based), pooled over conditions.
+	MeanByPosition []float64
+	// MeanPositionByCondition maps each condition to the mean 0-based
+	// question position at which it was shown. Under a balanced Latin
+	// square all three values are equal.
+	MeanPositionByCondition map[Condition]float64
+	// PracticeSlope is the least-squares slope of time against position
+	// (seconds per question); a negative slope is the practice effect.
+	PracticeSlope float64
+}
+
+// AnalyzeOrder computes the counterbalancing diagnostics over a
+// participant pool (normally the legitimate participants).
+func AnalyzeOrder(pool []*Participant) OrderAnalysis {
+	if len(pool) == 0 {
+		return OrderAnalysis{MeanPositionByCondition: map[Condition]float64{}}
+	}
+	nq := len(pool[0].Responses)
+	sums := make([]float64, nq)
+	counts := make([]float64, nq)
+	posSum := map[Condition]float64{}
+	posN := map[Condition]float64{}
+	for _, p := range pool {
+		for i, r := range p.Responses {
+			if i < nq {
+				sums[i] += r.Seconds
+				counts[i]++
+			}
+			posSum[r.Condition] += float64(i)
+			posN[r.Condition]++
+		}
+	}
+	a := OrderAnalysis{
+		MeanByPosition:          make([]float64, nq),
+		MeanPositionByCondition: map[Condition]float64{},
+	}
+	for i := range sums {
+		if counts[i] > 0 {
+			a.MeanByPosition[i] = sums[i] / counts[i]
+		}
+	}
+	for _, c := range Conditions() {
+		if posN[c] > 0 {
+			a.MeanPositionByCondition[c] = posSum[c] / posN[c]
+		}
+	}
+	// Least-squares slope of mean time on position.
+	xs := make([]float64, nq)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	a.PracticeSlope = slope(xs, a.MeanByPosition)
+	return a
+}
+
+// slope returns the ordinary-least-squares slope of y on x.
+func slope(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	mx, my := stats.Mean(x), stats.Mean(y)
+	num, den := 0.0, 0.0
+	for i := range x {
+		num += (x[i] - mx) * (y[i] - my)
+		den += (x[i] - mx) * (x[i] - mx)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Report renders the diagnostics.
+func (a OrderAnalysis) Report() string {
+	var b strings.Builder
+	b.WriteString("counterbalancing (Appendix C.2.3):\n")
+	fmt.Fprintf(&b, "  practice effect: %.2f s per question position\n", a.PracticeSlope)
+	b.WriteString("  mean question position per condition (equal = balanced):")
+	for _, c := range Conditions() {
+		fmt.Fprintf(&b, " %s=%.2f", c, a.MeanPositionByCondition[c])
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,357 @@
+package study
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func nonGrouping(q corpus.Question) bool { return q.Category != corpus.Grouping }
+
+// run simulates the default study and returns pool, legit, excluded.
+func run(t *testing.T) (pool, legit, excluded []*Participant) {
+	t.Helper()
+	pool = Simulate(DefaultConfig(), corpus.StudyQuestions())
+	legit, excluded = Exclude(pool)
+	return pool, legit, excluded
+}
+
+func TestLatinSquare(t *testing.T) {
+	seqs := LatinSquareSequences()
+	seen := map[Sequence]bool{}
+	for _, s := range seqs {
+		if seen[s] {
+			t.Errorf("duplicate sequence %v", s)
+		}
+		seen[s] = true
+		// Each sequence is a permutation of the three conditions.
+		counts := map[Condition]int{}
+		for _, c := range s {
+			counts[c]++
+		}
+		for _, c := range Conditions() {
+			if counts[c] != 1 {
+				t.Errorf("sequence %v is not a permutation", s)
+			}
+		}
+	}
+	// Across 12 questions a participant sees each condition 4 times.
+	s := seqs[2]
+	counts := map[Condition]int{}
+	for qi := 0; qi < 12; qi++ {
+		counts[ConditionFor(s, qi)]++
+	}
+	for _, c := range Conditions() {
+		if counts[c] != 4 {
+			t.Errorf("condition %v appears %d times, want 4", c, counts[c])
+		}
+	}
+	// Balanced across sequences: each question index is shown in every
+	// condition by exactly 2 of the 6 sequences.
+	for qi := 0; qi < 12; qi++ {
+		counts := map[Condition]int{}
+		for _, s := range seqs {
+			counts[ConditionFor(s, qi)]++
+		}
+		for _, c := range Conditions() {
+			if counts[c] != 2 {
+				t.Errorf("question %d condition %v: %d sequences, want 2", qi, c, counts[c])
+			}
+		}
+	}
+}
+
+func TestPoolCompositionMatchesPaper(t *testing.T) {
+	pool, legit, excluded := run(t)
+	if len(pool) != 80 {
+		t.Errorf("pool size = %d, want 80", len(pool))
+	}
+	if len(legit) != 42 {
+		t.Errorf("legitimate = %d, want 42", len(legit))
+	}
+	if len(excluded) != 38 {
+		t.Errorf("excluded = %d, want 38", len(excluded))
+	}
+	// Exclusion must exactly recover the generator's ground truth.
+	for _, p := range pool {
+		ok, reason := Classify(p)
+		if ok != (p.Kind == Legitimate) {
+			t.Errorf("participant %d (%v): classified legit=%v (%s)", p.ID, p.Kind, ok, reason)
+		}
+	}
+	// The four hand-identified participants sit above the cutoff yet are
+	// excluded (the paper's 2 extra speeders and 2 extra cheaters).
+	above := 0
+	for _, p := range excluded {
+		if p.MeanTime() >= SpeedCutoffSeconds {
+			above++
+		}
+	}
+	if above != 4 {
+		t.Errorf("%d excluded participants above the 30s cutoff, want 4", above)
+	}
+}
+
+func TestSimulationDeterministic(t *testing.T) {
+	a := Simulate(DefaultConfig(), corpus.StudyQuestions())
+	b := Simulate(DefaultConfig(), corpus.StudyQuestions())
+	if len(a) != len(b) {
+		t.Fatal("pool sizes differ")
+	}
+	for i := range a {
+		if a[i].MeanTime() != b[i].MeanTime() || a[i].Mistakes() != b[i].Mistakes() {
+			t.Fatalf("participant %d differs between runs", i)
+		}
+	}
+}
+
+func TestFig7NineQuestionAnalysis(t *testing.T) {
+	_, legit, _ := run(t)
+	a := Analyze(rand.New(rand.NewSource(1)), legit, corpus.StudyQuestions(), nonGrouping)
+
+	if a.N != 42 || len(a.QuestionIDs) != 9 {
+		t.Fatalf("n=%d questions=%d, want 42 and 9", a.N, len(a.QuestionIDs))
+	}
+	// Paper Fig. 7: QV −20% time, p < 0.001 after adjustment.
+	if a.TimeQV.DeltaPct > -10 || a.TimeQV.DeltaPct < -35 {
+		t.Errorf("timeQV delta = %.0f%%, want near -20%%", a.TimeQV.DeltaPct)
+	}
+	if a.TimeQV.AdjP > 0.001 {
+		t.Errorf("timeQV adjusted p = %v, want < 0.001", a.TimeQV.AdjP)
+	}
+	// Both ≈ SQL on time (paper −1%, p = 0.30): not significant.
+	if a.TimeBoth.AdjP < 0.05 {
+		t.Errorf("timeBoth adjusted p = %v, should not be significant", a.TimeBoth.AdjP)
+	}
+	if a.TimeBoth.DeltaPct < -12 || a.TimeBoth.DeltaPct > 12 {
+		t.Errorf("timeBoth delta = %.0f%%, want near 0", a.TimeBoth.DeltaPct)
+	}
+	// Weak evidence of fewer errors (paper: −21% p=0.15, −17% p=0.16).
+	if a.ErrQV.DeltaPct >= 0 {
+		t.Errorf("errQV delta = %.0f%%, want negative", a.ErrQV.DeltaPct)
+	}
+	if a.ErrQV.AdjP < 0.01 || a.ErrQV.AdjP > 0.6 {
+		t.Errorf("errQV adjusted p = %v, want weak evidence (0.01..0.6)", a.ErrQV.AdjP)
+	}
+	if a.ErrBoth.DeltaPct >= 0 {
+		t.Errorf("errBoth delta = %.0f%%, want negative", a.ErrBoth.DeltaPct)
+	}
+	// Fig. 20: ~71% of users faster with QV; mean/median deltas near
+	// −17.3 s / −19.7 s.
+	if a.TimeDeltaQV.FracFaster < 0.6 || a.TimeDeltaQV.FracFaster > 0.85 {
+		t.Errorf("fraction faster with QV = %.2f, want ≈ 0.71", a.TimeDeltaQV.FracFaster)
+	}
+	if a.TimeDeltaQV.Mean > -10 || a.TimeDeltaQV.Mean < -40 {
+		t.Errorf("mean QV time delta = %.1f s, want ≈ -17..-25", a.TimeDeltaQV.Mean)
+	}
+	if a.TimeDeltaQV.Median > -10 {
+		t.Errorf("median QV time delta = %.1f s, want clearly negative", a.TimeDeltaQV.Median)
+	}
+	// Error deltas: more participants improve than regress, many tie
+	// (paper: 36% fewer / 26% more / 38% same).
+	d := a.ErrDeltaQV
+	if d.FracFaster <= d.FracSlower {
+		t.Errorf("error deltas: %.0f%% fewer vs %.0f%% more — expected improvement to dominate",
+			100*d.FracFaster, 100*d.FracSlower)
+	}
+	if d.FracSame < 0.15 {
+		t.Errorf("error deltas: %.0f%% same, expected a sizable tie mass", 100*d.FracSame)
+	}
+	// The time distributions are non-normal (the paper's justification
+	// for Wilcoxon): SQL condition strongly rejected.
+	if p := a.Conditions[SQL].NormalityP; p > 0.05 {
+		t.Errorf("SQL time normality p = %v, expected rejection", p)
+	}
+	// CIs bracket their point estimates.
+	for _, c := range Conditions() {
+		cs := a.Conditions[c]
+		if !(cs.TimeCI.Lo <= cs.MedianTime && cs.MedianTime <= cs.TimeCI.Hi) {
+			t.Errorf("%v: time CI %v does not bracket median %v", c, cs.TimeCI, cs.MedianTime)
+		}
+		if !(cs.ErrorCI.Lo <= cs.MeanError && cs.MeanError <= cs.ErrorCI.Hi) {
+			t.Errorf("%v: error CI %v does not bracket mean %v", c, cs.ErrorCI, cs.MeanError)
+		}
+	}
+}
+
+func TestFig19TwelveQuestionAnalysis(t *testing.T) {
+	_, legit, _ := run(t)
+	a := Analyze(rand.New(rand.NewSource(1)), legit, corpus.StudyQuestions(), nil)
+	if len(a.QuestionIDs) != 12 {
+		t.Fatalf("questions = %d, want 12", len(a.QuestionIDs))
+	}
+	// Paper Fig. 19/21: QV still significantly faster; 76% of users
+	// faster; mean delta ≈ −21 s.
+	if a.TimeQV.AdjP > 0.001 {
+		t.Errorf("timeQV adjusted p = %v, want < 0.001", a.TimeQV.AdjP)
+	}
+	if a.TimeDeltaQV.FracFaster < 0.65 {
+		t.Errorf("fraction faster = %.2f, want ≈ 0.76", a.TimeDeltaQV.FracFaster)
+	}
+	if a.TimeDeltaQV.Mean > -12 {
+		t.Errorf("mean delta = %.1f s, want ≈ -21", a.TimeDeltaQV.Mean)
+	}
+	// Section C.5's conclusion: including the grouping questions does not
+	// flip any qualitative result.
+	if a.ErrQV.DeltaPct >= 0 || a.ErrBoth.DeltaPct >= 0 {
+		t.Error("error deltas should stay negative with 12 questions")
+	}
+}
+
+func TestFig18Scatter(t *testing.T) {
+	pool, _, _ := run(t)
+	pts := Scatter(pool)
+	if len(pts) != 80 {
+		t.Fatalf("scatter has %d points, want 80", len(pts))
+	}
+	var legit, cheatersFast, speedersWrong int
+	for _, pt := range pts {
+		if pt.Legit {
+			legit++
+			if pt.MeanTime < SpeedCutoffSeconds {
+				t.Errorf("legit participant %d below cutoff (%.1fs)", pt.ID, pt.MeanTime)
+			}
+			continue
+		}
+		if pt.Reason == "" {
+			t.Errorf("excluded participant %d lacks a reason", pt.ID)
+		}
+		// Fig. 18's clusters: cheaters bottom-left (fast, few mistakes),
+		// speeders top-left (fast, many mistakes).
+		if pt.Kind == Cheater && pt.MeanTime < SpeedCutoffSeconds && pt.Mistakes == 0 {
+			cheatersFast++
+		}
+		if pt.Kind == Speeder && pt.Mistakes >= 6 {
+			speedersWrong++
+		}
+	}
+	if legit != 42 {
+		t.Errorf("%d legit points, want 42", legit)
+	}
+	if cheatersFast < 15 {
+		t.Errorf("only %d fast-and-correct cheaters; cluster missing", cheatersFast)
+	}
+	if speedersWrong < 8 {
+		t.Errorf("only %d high-mistake speeders; cluster missing", speedersWrong)
+	}
+}
+
+func TestPowerAnalysisReproducesPaperN(t *testing.T) {
+	// Appendix C.2: a pilot of n=12, α=5%, power=90% sized the study at
+	// n=84 (rounded up to a multiple of six).
+	pw := Power(DefaultConfig(), corpus.StudyQuestions(), 12, 0.05, 0.90)
+	if pw.PilotN != 12 {
+		t.Errorf("pilot n = %d", pw.PilotN)
+	}
+	if pw.MeanQV >= pw.MeanSQL {
+		t.Errorf("pilot means: QV %.1f should be below SQL %.1f", pw.MeanQV, pw.MeanSQL)
+	}
+	if pw.RequiredNRounded6%6 != 0 {
+		t.Errorf("required n %d not a multiple of 6", pw.RequiredNRounded6)
+	}
+	if pw.RequiredNRounded6 != 84 {
+		t.Errorf("required n = %d, paper reports 84", pw.RequiredNRounded6)
+	}
+}
+
+func TestClassifyEdgeCases(t *testing.T) {
+	// Hand-built gave-up speeder: normal first 8, then 4 fast and wrong.
+	p := &Participant{}
+	for i := 0; i < 8; i++ {
+		p.Responses = append(p.Responses, Response{Seconds: 90, Correct: true})
+	}
+	for i := 0; i < 4; i++ {
+		p.Responses = append(p.Responses, Response{Seconds: 8, Correct: false})
+	}
+	if ok, reason := Classify(p); ok || !strings.Contains(reason, "final questions") {
+		t.Errorf("gave-up speeder not caught: ok=%v reason=%q", ok, reason)
+	}
+	// Stalling cheater: one 400 s stall, the rest fast and correct.
+	p = &Participant{}
+	p.Responses = append(p.Responses, Response{Seconds: 400, Correct: true})
+	for i := 0; i < 11; i++ {
+		p.Responses = append(p.Responses, Response{Seconds: 7, Correct: true})
+	}
+	if ok, reason := Classify(p); ok || !strings.Contains(reason, "stall") {
+		t.Errorf("stalling cheater not caught: ok=%v reason=%q", ok, reason)
+	}
+	// An honest slow participant passes.
+	p = &Participant{}
+	for i := 0; i < 12; i++ {
+		p.Responses = append(p.Responses, Response{Seconds: 80 + float64(i), Correct: i%3 != 0})
+	}
+	if ok, _ := Classify(p); !ok {
+		t.Error("honest participant misclassified")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	_, legit, _ := run(t)
+	a := Analyze(rand.New(rand.NewSource(1)), legit, corpus.StudyQuestions(), nonGrouping)
+	rep := a.Report("Fig. 7")
+	for _, want := range []string{
+		"Fig. 7", "n=42", "timeQV < timeSQL", "errBoth < errSQL",
+		"median time", "per-participant deltas", "% faster",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestConditionAndKindStrings(t *testing.T) {
+	if SQL.String() != "SQL" || QV.String() != "QV" || Both.String() != "Both" {
+		t.Error("Condition strings broken")
+	}
+	if Legitimate.String() != "legitimate" || StallingCheater.String() != "stalling cheater" {
+		t.Error("Kind strings broken")
+	}
+	cfg := DefaultConfig()
+	if cfg.TotalParticipants() != 80 {
+		t.Errorf("TotalParticipants = %d, want 80", cfg.TotalParticipants())
+	}
+}
+
+func TestAnalyzeEmptyAndSmall(t *testing.T) {
+	a := Analyze(rand.New(rand.NewSource(1)), nil, corpus.StudyQuestions(), nil)
+	if a.N != 0 {
+		t.Errorf("N = %d", a.N)
+	}
+	// A single participant still produces a well-formed analysis.
+	pool := Simulate(Config{
+		Seed: 3, NumLegitimate: 1,
+		TimeEffect:  DefaultConfig().TimeEffect,
+		ErrorEffect: DefaultConfig().ErrorEffect,
+	}, corpus.StudyQuestions())
+	a = Analyze(rand.New(rand.NewSource(1)), pool, corpus.StudyQuestions(), nil)
+	if a.N != 1 {
+		t.Errorf("N = %d, want 1", a.N)
+	}
+}
+
+func TestOrderAnalysisBalanced(t *testing.T) {
+	_, legit, _ := run(t)
+	a := AnalyzeOrder(legit)
+	if len(a.MeanByPosition) != 12 {
+		t.Fatalf("positions = %d, want 12", len(a.MeanByPosition))
+	}
+	// The Latin square balances conditions over positions: with 42
+	// participants evenly spread over 6 sequences, every condition's mean
+	// position must equal the overall mean position, 5.5.
+	for _, c := range Conditions() {
+		if got := a.MeanPositionByCondition[c]; got < 5.4 || got > 5.6 {
+			t.Errorf("%v mean position = %.2f, want 5.5 (balanced)", c, got)
+		}
+	}
+	// Empty pool is well-defined.
+	empty := AnalyzeOrder(nil)
+	if empty.PracticeSlope != 0 {
+		t.Error("empty pool should have zero slope")
+	}
+	rep := a.Report()
+	if !strings.Contains(rep, "counterbalancing") {
+		t.Errorf("report broken: %s", rep)
+	}
+}

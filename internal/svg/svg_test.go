@@ -1,0 +1,155 @@
+package svg
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/logictree"
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+	"repro/internal/trc"
+)
+
+func diagramFor(t *testing.T, src string, s *schema.Schema, simplify bool) *core.Diagram {
+	t.Helper()
+	q := sqlparse.MustParse(src)
+	r, err := sqlparse.Resolve(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := trc.Convert(q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := logictree.FromTRC(e).Flatten()
+	if simplify {
+		lt.Simplify()
+	}
+	return core.MustBuild(lt)
+}
+
+// wellFormed checks the output parses as XML.
+func wellFormed(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, doc)
+		}
+	}
+}
+
+func TestRenderUniqueSet(t *testing.T) {
+	d := diagramFor(t, corpus.Fig1UniqueSet, schema.Beers(), true)
+	out := Render(d)
+	wellFormed(t, out)
+	for _, want := range []string{
+		"<svg", "</svg>",
+		">Likes<", ">SELECT<",
+		"stroke-dasharray", // the ∄ box
+		`marker-end="url(#arrow)"`,
+		">&lt;&gt;<", // the <> label, escaped
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// The ∀ boxes render as double rectangles: the simplified unique-set
+	// diagram has 2 ∀ boxes (2 rects each) + 1 dashed ∄ box.
+	if n := strings.Count(out, "stroke-dasharray"); n != 1 {
+		t.Errorf("%d dashed boxes, want 1", n)
+	}
+}
+
+func TestRenderColorsAndShapes(t *testing.T) {
+	d := diagramFor(t, `
+		SELECT T.AlbumId, MAX(T.Milliseconds)
+		FROM Track T, Genre G
+		WHERE T.GenreId = G.GenreId AND G.Name = 'Classical'
+		GROUP BY T.AlbumId`, schema.Chinook(), false)
+	out := Render(d)
+	wellFormed(t, out)
+	if !strings.Contains(out, "#fdf6c3") {
+		t.Error("selection row should be yellow")
+	}
+	if !strings.Contains(out, "#e3e3e3") {
+		t.Error("GROUP BY row should be gray")
+	}
+	if !strings.Contains(out, "MAX(Milliseconds)") {
+		t.Error("aggregate row missing")
+	}
+}
+
+func TestRenderEscapesText(t *testing.T) {
+	d := diagramFor(t, `SELECT B.bname FROM Boat B WHERE B.color = '<&">'`,
+		schema.Sailors(), false)
+	out := Render(d)
+	wellFormed(t, out)
+	if strings.Contains(out, `'<&">'`) {
+		t.Error("constant text must be escaped")
+	}
+}
+
+func TestRenderDeterministicAndSized(t *testing.T) {
+	d := diagramFor(t, corpus.Fig3QOnly, schema.Beers(), false)
+	a, b := Render(d), Render(d)
+	if a != b {
+		t.Error("SVG rendering not deterministic")
+	}
+	if !strings.Contains(a, `width="`) || !strings.Contains(a, `viewBox="0 0 `) {
+		t.Error("missing dimensions")
+	}
+}
+
+func TestLayoutColumnsFollowDepth(t *testing.T) {
+	d := diagramFor(t, corpus.Fig3QOnly, schema.Beers(), false)
+	l := computeLayout(d)
+	// SELECT is leftmost; deeper tables sit strictly further right.
+	selX := l.tables[core.SelectBoxID].x
+	for _, tn := range d.Tables[1:] {
+		fr := l.tables[tn.ID]
+		if fr.x <= selX {
+			t.Errorf("table %s not right of the SELECT box", tn.Name)
+		}
+	}
+	var frByDepth [3]rect
+	for _, tn := range d.Tables[1:] {
+		frByDepth[d.TrueDepth(tn.ID)] = l.tables[tn.ID]
+	}
+	if !(frByDepth[0].x < frByDepth[1].x && frByDepth[1].x < frByDepth[2].x) {
+		t.Error("columns should advance with nesting depth")
+	}
+	// Boxes enclose their tables.
+	for i, b := range d.Boxes {
+		br := l.boxes[i]
+		for _, id := range b.Tables {
+			fr := l.tables[id]
+			if fr.x < br.x || fr.y < br.y ||
+				fr.x+fr.w > br.x+br.w || fr.y+fr.h > br.y+br.h {
+				t.Errorf("box %d does not enclose table %d", i, id)
+			}
+		}
+	}
+	if l.width <= 0 || l.height <= 0 {
+		t.Error("degenerate canvas")
+	}
+}
+
+func TestRenderEveryCorpusQuestion(t *testing.T) {
+	ch := schema.Chinook()
+	for _, q := range append(corpus.StudyQuestions(), corpus.QualificationQuestions()...) {
+		d := diagramFor(t, q.SQL, ch, false)
+		out := Render(d)
+		wellFormed(t, out)
+		if len(out) < 500 {
+			t.Errorf("%s: suspiciously small SVG", q.ID)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package trc
+
+import (
+	"fmt"
+
+	"repro/internal/sqlparse"
+)
+
+// Convert translates a resolved SQL query into a TRC expression.
+//
+// Desugaring rules (Section 4.7: "operators such as IN, NOT IN, or ALL
+// would be converted to the corresponding FOL quantifiers ∃, ∄ or ∀"):
+//
+//	EXISTS (Q)          → ∃-block of Q
+//	NOT EXISTS (Q)      → ∄-block of Q
+//	c IN (SELECT d …)   → ∃-block of Q with extra predicate c = d
+//	c NOT IN (…)        → ∄-block with extra predicate c = d
+//	c op ANY (…)        → ∃-block with extra predicate c op d
+//	NOT c op ANY (…)    → ∄-block with extra predicate c op d
+//	c op ALL (…)        → ∄-block with extra predicate c ¬op d
+//	NOT c op ALL (…)    → ∃-block with extra predicate c ¬op d
+//
+// Aliases shadowed across nesting depths are renamed so that every tuple
+// variable name is unique in the expression.
+func Convert(q *sqlparse.Query, r *sqlparse.Resolution) (*Expr, error) {
+	c := &converter{
+		r:     r,
+		names: make(map[*sqlparse.Binding]string),
+		used:  make(map[string]bool),
+	}
+	root, err := c.block(q, Exists, nil)
+	if err != nil {
+		return nil, err
+	}
+	e := &Expr{Root: root}
+	for _, item := range q.Select {
+		si := SelectItem{Agg: item.Agg, Star: item.Star}
+		if !item.Star {
+			a, err := c.attr(q, item.Col)
+			if err != nil {
+				return nil, fmt.Errorf("select list: %w", err)
+			}
+			si.Attr = a
+		}
+		e.Select = append(e.Select, si)
+	}
+	for _, col := range q.GroupBy {
+		a, err := c.attr(q, col)
+		if err != nil {
+			return nil, fmt.Errorf("GROUP BY: %w", err)
+		}
+		e.GroupBy = append(e.GroupBy, a)
+	}
+	return e, nil
+}
+
+type converter struct {
+	r     *sqlparse.Resolution
+	names map[*sqlparse.Binding]string
+	used  map[string]bool
+}
+
+// varName returns the unique variable name for a binding, assigning one on
+// first use. The alias is kept when free; a shadowed alias gets a numeric
+// suffix ("X", "X#2", ...).
+func (c *converter) varName(b *sqlparse.Binding) string {
+	if n, ok := c.names[b]; ok {
+		return n
+	}
+	name := b.Alias
+	for i := 2; c.used[name]; i++ {
+		name = fmt.Sprintf("%s#%d", b.Alias, i)
+	}
+	c.used[name] = true
+	c.names[b] = name
+	return name
+}
+
+// attr resolves a column reference in the scope of the given block into a
+// TRC attribute.
+func (c *converter) attr(block *sqlparse.Query, col sqlparse.ColumnRef) (Attr, error) {
+	b, ok := c.r.Binding(block, col.Table)
+	if !ok {
+		return Attr{}, fmt.Errorf("no binding for alias %q", col.Table)
+	}
+	return Attr{Var: c.varName(b), Column: col.Column}, nil
+}
+
+func (c *converter) term(block *sqlparse.Query, o sqlparse.Operand) (Term, error) {
+	if o.Const != nil {
+		cp := *o.Const
+		return Term{Const: &cp}, nil
+	}
+	a, err := c.attr(block, *o.Col)
+	if err != nil {
+		return Term{}, err
+	}
+	return Term{Attr: &a, Offset: o.Offset}, nil
+}
+
+// block converts one query block. extraPred, when non-nil, is a predicate
+// added from the enclosing IN/ANY/ALL operator; it is resolved partly in
+// the outer scope (the column) and partly in this block (the subquery's
+// single select column).
+func (c *converter) block(q *sqlparse.Query, quant Quant, extra *Pred) (*Block, error) {
+	blk := &Block{Quant: quant}
+	for _, b := range c.r.Blocks[q] {
+		blk.Vars = append(blk.Vars, Var{Name: c.varName(b), Relation: b.Table.Name})
+	}
+	if extra != nil {
+		blk.Preds = append(blk.Preds, *extra)
+	}
+	for _, p := range q.Where {
+		switch p := p.(type) {
+		case *sqlparse.Compare:
+			l, err := c.term(q, p.Left)
+			if err != nil {
+				return nil, err
+			}
+			rt, err := c.term(q, p.Right)
+			if err != nil {
+				return nil, err
+			}
+			blk.Preds = append(blk.Preds, Pred{Left: l, Op: p.Op, Right: rt})
+		case *sqlparse.Exists:
+			quant := Exists
+			if p.Negated {
+				quant = NotExists
+			}
+			sub, err := c.block(p.Sub, quant, nil)
+			if err != nil {
+				return nil, err
+			}
+			blk.Subs = append(blk.Subs, sub)
+		case *sqlparse.In:
+			sub, err := c.membership(q, p.Col, sqlparse.OpEq, p.Negated, p.Sub)
+			if err != nil {
+				return nil, err
+			}
+			blk.Subs = append(blk.Subs, sub)
+		case *sqlparse.Quantified:
+			// c op ANY ≡ ∃d: c op d; c op ALL ≡ ¬∃d: ¬(c op d).
+			op, negated := p.Op, p.Negated
+			if p.All {
+				op = op.Negate()
+				negated = !negated
+			}
+			sub, err := c.membership(q, p.Col, op, negated, p.Sub)
+			if err != nil {
+				return nil, err
+			}
+			blk.Subs = append(blk.Subs, sub)
+		}
+	}
+	return blk, nil
+}
+
+// membership converts an IN/ANY/ALL subquery into a quantified block with
+// the linking predicate "outerCol op subSelectCol".
+func (c *converter) membership(outer *sqlparse.Query, col sqlparse.ColumnRef, op sqlparse.Op, negated bool, sub *sqlparse.Query) (*Block, error) {
+	left, err := c.attr(outer, col)
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.attr(sub, sub.Select[0].Col)
+	if err != nil {
+		return nil, err
+	}
+	quant := Exists
+	if negated {
+		quant = NotExists
+	}
+	link := Pred{Left: Term{Attr: &left}, Op: op, Right: Term{Attr: &right}}
+	return c.block(sub, quant, &link)
+}
+
+// FromSQL parses nothing: it is a convenience that resolves and converts a
+// parsed query in one call.
+func FromSQL(q *sqlparse.Query, r *sqlparse.Resolution) (*Expr, error) {
+	return Convert(q, r)
+}

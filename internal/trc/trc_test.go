@@ -1,0 +1,218 @@
+package trc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+)
+
+func convert(t *testing.T, src string, s *schema.Schema) *Expr {
+	t.Helper()
+	q, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r, err := sqlparse.Resolve(q, s)
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	e, err := Convert(q, r)
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	return e
+}
+
+func TestQuantStrings(t *testing.T) {
+	if Exists.String() != "∃" || NotExists.String() != "∄" || ForAll.String() != "∀" {
+		t.Error("quantifier strings broken")
+	}
+	if Quant(9).String() != "?" {
+		t.Error("unknown quantifier should render ?")
+	}
+}
+
+func TestConvertConjunctive(t *testing.T) {
+	e := convert(t, `
+		SELECT F.person FROM Frequents F, Likes L
+		WHERE F.person = L.person AND L.beer = 'ipa'`, schema.Beers())
+	if e.Root.Quant != Exists {
+		t.Errorf("root quant = %v", e.Root.Quant)
+	}
+	if len(e.Root.Vars) != 2 {
+		t.Errorf("vars = %v, want F and L", e.Root.Vars)
+	}
+	if len(e.Root.Preds) != 2 || len(e.Root.Subs) != 0 {
+		t.Errorf("preds=%d subs=%d", len(e.Root.Preds), len(e.Root.Subs))
+	}
+	if e.VarCount() != 2 || e.MaxDepth() != 0 {
+		t.Errorf("VarCount=%d MaxDepth=%d", e.VarCount(), e.MaxDepth())
+	}
+	sel := e.Select[0]
+	if sel.Attr.Var != "F" || sel.Attr.Column != "person" {
+		t.Errorf("select = %v", sel)
+	}
+}
+
+func TestConvertDesugarsIN(t *testing.T) {
+	e := convert(t, `
+		SELECT F.person FROM Frequents F
+		WHERE F.bar IN (SELECT S.bar FROM Serves S WHERE S.beer = 'ipa')`,
+		schema.Beers())
+	sub := e.Root.Subs[0]
+	if sub.Quant != Exists {
+		t.Errorf("IN should desugar to ∃, got %v", sub.Quant)
+	}
+	// The linking predicate F.bar = S.bar is injected first.
+	link := sub.Preds[0]
+	if link.Op != sqlparse.OpEq || link.Left.Attr.Var != "F" || link.Right.Attr.Var != "S" {
+		t.Errorf("link predicate = %v", link)
+	}
+}
+
+func TestConvertDesugarsNotInAndAll(t *testing.T) {
+	e := convert(t, `
+		SELECT F.person FROM Frequents F
+		WHERE F.bar NOT IN (SELECT S.bar FROM Serves S)`, schema.Beers())
+	if e.Root.Subs[0].Quant != NotExists {
+		t.Errorf("NOT IN should desugar to ∄, got %v", e.Root.Subs[0].Quant)
+	}
+
+	// col >= ALL (sub) ≡ ∄ t ∈ sub: col < t.
+	e = convert(t, `
+		SELECT S.sname FROM Sailor S
+		WHERE S.rating >= ALL (SELECT S2.rating FROM Sailor S2)`, schema.Sailors())
+	sub := e.Root.Subs[0]
+	if sub.Quant != NotExists || sub.Preds[0].Op != sqlparse.OpLt {
+		t.Errorf("ALL desugaring wrong: quant=%v pred=%v", sub.Quant, sub.Preds[0])
+	}
+
+	// NOT col > ANY (sub) ≡ ∄ t: col > t.
+	e = convert(t, `
+		SELECT S.sname FROM Sailor S
+		WHERE NOT S.rating > ANY (SELECT S2.rating FROM Sailor S2)`, schema.Sailors())
+	sub = e.Root.Subs[0]
+	if sub.Quant != NotExists || sub.Preds[0].Op != sqlparse.OpGt {
+		t.Errorf("NOT ANY desugaring wrong: quant=%v pred=%v", sub.Quant, sub.Preds[0])
+	}
+
+	// NOT col <= ALL (sub) ≡ ∃ t: col > t.
+	e = convert(t, `
+		SELECT S.sname FROM Sailor S
+		WHERE NOT S.rating <= ALL (SELECT S2.rating FROM Sailor S2)`, schema.Sailors())
+	sub = e.Root.Subs[0]
+	if sub.Quant != Exists || sub.Preds[0].Op != sqlparse.OpGt {
+		t.Errorf("NOT ALL desugaring wrong: quant=%v pred=%v", sub.Quant, sub.Preds[0])
+	}
+}
+
+func TestConvertRenamesShadowedAliases(t *testing.T) {
+	e := convert(t, `
+		SELECT X.drinker FROM Likes X
+		WHERE NOT EXISTS (SELECT * FROM Serves X WHERE X.bar = 'Owl')`,
+		schema.Beers())
+	outer := e.Root.Vars[0].Name
+	inner := e.Root.Subs[0].Vars[0].Name
+	if outer == inner {
+		t.Errorf("shadowed alias not renamed: %q vs %q", outer, inner)
+	}
+	if !strings.HasPrefix(inner, "X") {
+		t.Errorf("renamed variable %q should keep the alias prefix", inner)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := convert(t, `
+		SELECT F.person FROM Frequents F
+		WHERE NOT EXISTS (SELECT * FROM Serves S WHERE S.bar = F.bar)`,
+		schema.Beers())
+	s := e.String()
+	for _, want := range []string{"{Q |", "∃F ∈ Frequents", "F.person = Q.person", "∄S ∈ Serves", "S.bar = F.bar"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in %s", want, s)
+		}
+	}
+	if !strings.Contains(e.Indented(), "\n") {
+		t.Error("Indented() should be multi-line")
+	}
+}
+
+func TestStringRenderingAggregates(t *testing.T) {
+	e := convert(t, `
+		SELECT T.AlbumId, COUNT(*), MAX(T.Milliseconds)
+		FROM Track T GROUP BY T.AlbumId`, schema.Chinook())
+	if got := e.Select[1].String(); got != "COUNT(*)" {
+		t.Errorf("COUNT(*) renders as %q", got)
+	}
+	if got := e.Select[2].String(); got != "MAX(T.Milliseconds)" {
+		t.Errorf("MAX renders as %q", got)
+	}
+	if len(e.GroupBy) != 1 {
+		t.Errorf("GroupBy = %v", e.GroupBy)
+	}
+}
+
+func TestWalkVisitsAllBlocks(t *testing.T) {
+	e := convert(t, `
+		SELECT L1.drinker FROM Likes L1
+		WHERE NOT EXISTS (SELECT * FROM Likes L2 WHERE L2.drinker = L1.drinker
+		  AND NOT EXISTS (SELECT * FROM Likes L3 WHERE L3.beer = L2.beer))`,
+		schema.Beers())
+	n := 0
+	e.Walk(func(*Block) { n++ })
+	if n != 3 {
+		t.Errorf("visited %d blocks, want 3", n)
+	}
+}
+
+func TestTermAndPredHelpers(t *testing.T) {
+	a := Attr{Var: "L", Column: "beer"}
+	c := sqlparse.StringConst("ipa")
+	tm := Term{Attr: &a}
+	if tm.IsConst() || tm.String() != "L.beer" {
+		t.Errorf("attr term broken: %v", tm)
+	}
+	tc := Term{Const: &c}
+	if !tc.IsConst() || tc.String() != "'ipa'" {
+		t.Errorf("const term broken: %v", tc)
+	}
+	p := Pred{Left: tm, Op: sqlparse.OpEq, Right: tc}
+	if !p.IsSelection() || p.String() != "L.beer = 'ipa'" {
+		t.Errorf("pred broken: %v", p)
+	}
+}
+
+// Property: variable names assigned by Convert are unique across the
+// whole expression, whatever the nesting shape.
+func TestQuickUniqueVarNames(t *testing.T) {
+	// Build nested queries of varying depth with the same alias reused at
+	// every level.
+	mk := func(depth uint8) string {
+		d := int(depth%4) + 1
+		inner := "SELECT * FROM Likes X WHERE X.drinker = 'a'"
+		for i := 1; i < d; i++ {
+			inner = "SELECT * FROM Likes X WHERE X.beer = 'b' AND NOT EXISTS (" + inner + ")"
+		}
+		return "SELECT X.drinker FROM Likes X WHERE NOT EXISTS (" + inner + ")"
+	}
+	f := func(depth uint8) bool {
+		e := convert(t, mk(depth), schema.Beers())
+		seen := map[string]bool{}
+		ok := true
+		e.Walk(func(b *Block) {
+			for _, v := range b.Vars {
+				if seen[v.Name] {
+					ok = false
+				}
+				seen[v.Name] = true
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package queryvis is the public API of this QueryVis reproduction: it
+// turns SQL queries in the paper's fragment (nested conjunctive queries
+// with inequalities, plus GROUP BY/aggregates) into logic-based visual
+// diagrams, following the pipeline of Fig. 8:
+//
+//	SQL → tuple relational calculus → logic tree →
+//	[∄∄ → ∀∃ simplification] → QueryVis diagram → GraphViz DOT
+//
+// Quick start:
+//
+//	s, _ := queryvis.SchemaByName("beers")
+//	res, err := queryvis.FromSQL(sql, s, queryvis.Options{Simplify: true})
+//	fmt.Println(res.DOT())           // GraphViz program
+//	fmt.Println(res.Interpretation)  // natural-language reading
+//
+// The heavy lifting lives in the internal packages (sqlparse, trc,
+// logictree, core, inverse, dot, rel, study, ...); this package re-exports
+// the types a downstream user needs and wires the pipeline together.
+package queryvis
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/inverse"
+	"repro/internal/logictree"
+	"repro/internal/rel"
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+	"repro/internal/svg"
+	"repro/internal/trc"
+)
+
+// Re-exported types. The aliases let callers use the full functionality
+// of the underlying packages through this package's namespace.
+type (
+	// Schema is a relational schema queries are resolved against.
+	Schema = schema.Schema
+	// Query is a parsed SQL query in the supported fragment.
+	Query = sqlparse.Query
+	// TRC is a tuple-relational-calculus expression.
+	TRC = trc.Expr
+	// LogicTree is the logic-tree representation of a query (Fig. 5).
+	LogicTree = logictree.LT
+	// Diagram is a QueryVis diagram.
+	Diagram = core.Diagram
+	// DOTOptions controls GraphViz rendering.
+	DOTOptions = dot.Options
+	// Database is an in-memory database for executing queries.
+	Database = rel.Database
+	// EvalResult is the output of executing a query.
+	EvalResult = rel.Result
+)
+
+// NewSchema creates an empty schema; add tables with AddTable.
+func NewSchema(name string) *Schema { return schema.New(name) }
+
+// SchemaByName returns one of the paper's built-in schemas: "beers",
+// "chinook", "sailors", "students", or "actors".
+func SchemaByName(name string) (*Schema, bool) { return schema.ByName(name) }
+
+// BuiltinSchemaNames lists the names SchemaByName accepts.
+func BuiltinSchemaNames() []string { return schema.BuiltinNames() }
+
+// Parse parses a SQL query in the supported fragment (Fig. 4 grammar).
+func Parse(sql string) (*Query, error) { return sqlparse.Parse(sql) }
+
+// Options controls the FromSQL pipeline.
+type Options struct {
+	// Simplify applies the ∄∄ → ∀∃ rewrite (Section 4.7), producing the
+	// ∀-form diagrams of Fig. 2c / Fig. 12b.
+	Simplify bool
+	// KeepExistsBlocks disables the flattening of ∃ subquery blocks into
+	// their parent. Flattening (the default) matches the rendered
+	// diagrams, which draw no box for ∃, and is required for diagram → LT
+	// recovery.
+	KeepExistsBlocks bool
+}
+
+// Result bundles every pipeline stage for one query.
+type Result struct {
+	Query          *Query
+	TRC            *TRC
+	RawTree        *LogicTree // before simplification
+	Tree           *LogicTree // after options are applied
+	Diagram        *Diagram
+	Interpretation string // natural-language reading (Section 4.6)
+}
+
+// FromSQL runs the full pipeline: parse, resolve against the schema,
+// convert to TRC, build and (optionally) simplify the logic tree, and
+// construct the diagram.
+func FromSQL(sql string, s *Schema, opts Options) (*Result, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	r, err := sqlparse.Resolve(q, s)
+	if err != nil {
+		return nil, fmt.Errorf("resolve: %w", err)
+	}
+	e, err := trc.Convert(q, r)
+	if err != nil {
+		return nil, fmt.Errorf("convert to TRC: %w", err)
+	}
+	raw := logictree.FromTRC(e)
+	if !opts.KeepExistsBlocks {
+		raw.Flatten()
+	}
+	tree := raw
+	if opts.Simplify {
+		tree = raw.Simplified()
+	}
+	d, err := core.Build(tree)
+	if err != nil {
+		return nil, fmt.Errorf("build diagram: %w", err)
+	}
+	return &Result{
+		Query:          q,
+		TRC:            e,
+		RawTree:        raw,
+		Tree:           tree,
+		Diagram:        d,
+		Interpretation: core.Interpret(tree),
+	}, nil
+}
+
+// DOT renders the diagram as a GraphViz program with default options.
+func (r *Result) DOT() string { return dot.Render(r.Diagram) }
+
+// DOTWith renders the diagram with explicit options.
+func (r *Result) DOTWith(o DOTOptions) string { return dot.RenderWith(r.Diagram, o) }
+
+// Text renders the diagram as indented plain text for terminals.
+func (r *Result) Text() string { return dot.Text(r.Diagram) }
+
+// SVG renders the diagram as a standalone SVG document with a layered
+// layout — no GraphViz needed.
+func (r *Result) SVG() string { return svg.Render(r.Diagram) }
+
+// ReadingOrder returns the diagram's table IDs in the Section 4.6
+// reading order (SELECT box first).
+func (r *Result) ReadingOrder() []int { return r.Diagram.ReadingOrder() }
+
+// Validate checks the query's logic tree for the non-degeneracy
+// properties (5.1, 5.2) and the depth bound under which diagrams are
+// provably unambiguous.
+func (r *Result) Validate() error { return r.Tree.Validate() }
+
+// RecoverLT maps a diagram back to its unique logic tree (Proposition
+// 5.1). The diagram must be in ∄ form — built without Options.Simplify.
+func RecoverLT(d *Diagram) (*LogicTree, error) { return inverse.Recover(d) }
+
+// SamePattern reports whether two diagrams share the same logical
+// pattern: isomorphic up to renaming of tables, attributes, and constant
+// values (the Section 1.1 "common visual patterns" notion).
+func SamePattern(a, b *Diagram) bool { return core.Isomorphic(a, b, core.Pattern) }
+
+// EqualDiagrams reports whether two diagrams are isomorphic including
+// names and constants.
+func EqualDiagrams(a, b *Diagram) bool { return core.Isomorphic(a, b, core.Exact) }
+
+// Execute evaluates the query over an in-memory database under the
+// paper's semantics (set semantics, 2-valued logic).
+func Execute(db *Database, sql string, s *Schema) (*EvalResult, error) {
+	return rel.EvalSQL(db, sql, s, false)
+}
+
+// NewDatabase creates an empty in-memory database.
+func NewDatabase() *Database { return rel.NewDatabase() }
+
+// Catalog is a pattern-indexed query repository: stored queries sharing a
+// logical pattern — across schemas — land in one bucket (the paper's
+// Section 1 repository-browsing use case).
+type Catalog = catalog.Catalog
+
+// CatalogEntry is one stored repository query.
+type CatalogEntry = catalog.Entry
+
+// NewCatalog creates an empty query repository.
+func NewCatalog() *Catalog { return catalog.New() }
+
+// PatternFingerprint returns a canonical key for the diagram's logical
+// pattern: equal keys iff SamePattern holds.
+func PatternFingerprint(d *Diagram) string { return core.PatternKey(d) }

@@ -1,0 +1,189 @@
+package queryvis_test
+
+import (
+	"strings"
+	"testing"
+
+	queryvis "repro"
+	"repro/internal/corpus"
+)
+
+func TestFromSQLPipeline(t *testing.T) {
+	s, ok := queryvis.SchemaByName("beers")
+	if !ok {
+		t.Fatal("beers schema missing")
+	}
+	res, err := queryvis.FromSQL(corpus.Fig3QOnly, s, queryvis.Options{Simplify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Query == nil || res.TRC == nil || res.RawTree == nil || res.Tree == nil || res.Diagram == nil {
+		t.Fatal("pipeline stages missing from Result")
+	}
+	if res.Interpretation == "" || !strings.Contains(res.Interpretation, "for all") {
+		t.Errorf("interpretation = %q", res.Interpretation)
+	}
+	if err := res.Validate(); err != nil {
+		t.Errorf("Qonly should be valid: %v", err)
+	}
+	if !strings.Contains(res.DOT(), "digraph") {
+		t.Error("DOT output malformed")
+	}
+	if !strings.Contains(res.Text(), "SELECT") {
+		t.Error("Text output malformed")
+	}
+	if !strings.Contains(res.SVG(), "<svg") {
+		t.Error("SVG output malformed")
+	}
+	if len(res.ReadingOrder()) != len(res.Diagram.Tables) {
+		t.Error("reading order should cover every table")
+	}
+	// RawTree keeps the ∄∄ form while Tree is simplified.
+	if res.RawTree.Canonical() == res.Tree.Canonical() {
+		t.Error("Simplify should change the tree for Qonly")
+	}
+}
+
+func TestFromSQLErrors(t *testing.T) {
+	s, _ := queryvis.SchemaByName("beers")
+	if _, err := queryvis.FromSQL("not sql", s, queryvis.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "parse") {
+		t.Errorf("parse errors should be wrapped: %v", err)
+	}
+	if _, err := queryvis.FromSQL("SELECT x FROM Nope", s, queryvis.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "resolve") {
+		t.Errorf("resolve errors should be wrapped: %v", err)
+	}
+}
+
+func TestRecoverRoundTripViaFacade(t *testing.T) {
+	s, _ := queryvis.SchemaByName("beers")
+	res, err := queryvis.FromSQL(corpus.Fig1UniqueSet, s, queryvis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, err := queryvis.RecoverLT(res.Diagram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Canonical() != res.Tree.Canonical() {
+		t.Error("recovered tree differs from the built one")
+	}
+}
+
+func TestKeepExistsBlocksOption(t *testing.T) {
+	s, _ := queryvis.SchemaByName("sailors")
+	const q = `SELECT S.sname FROM Sailor S
+		WHERE EXISTS (SELECT * FROM Reserves R WHERE R.sid = S.sid)`
+	flat, err := queryvis.FromSQL(q, s, queryvis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, err := queryvis.FromSQL(q, s, queryvis.Options{KeepExistsBlocks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Tree.NodeCount() != 1 {
+		t.Errorf("flattened node count = %d, want 1", flat.Tree.NodeCount())
+	}
+	if kept.Tree.NodeCount() != 2 {
+		t.Errorf("kept node count = %d, want 2", kept.Tree.NodeCount())
+	}
+}
+
+func TestPatternHelpersViaFacade(t *testing.T) {
+	sailors, _ := queryvis.SchemaByName("sailors")
+	students, _ := queryvis.SchemaByName("students")
+	a, err := queryvis.FromSQL(`
+		SELECT S.sname FROM Sailor S WHERE NOT EXISTS(
+		  SELECT * FROM Reserves R WHERE R.sid = S.sid AND NOT EXISTS(
+		    SELECT * FROM Boat B WHERE B.color = 'red' AND R.bid = B.bid))`,
+		sailors, queryvis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := queryvis.FromSQL(`
+		SELECT S.sname FROM Student S WHERE NOT EXISTS(
+		  SELECT * FROM Takes T WHERE T.sid = S.sid AND NOT EXISTS(
+		    SELECT * FROM Class C WHERE C.department = 'art' AND C.cid = T.cid))`,
+		students, queryvis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !queryvis.SamePattern(a.Diagram, b.Diagram) {
+		t.Error("only-pattern should match across schemas")
+	}
+	if queryvis.EqualDiagrams(a.Diagram, b.Diagram) {
+		t.Error("EqualDiagrams must distinguish different schemas")
+	}
+}
+
+func TestExecuteAndSampleDatabases(t *testing.T) {
+	for _, name := range []string{"beers", "chinook", "sailors"} {
+		db, ok := queryvis.SampleDatabase(name)
+		if !ok || db == nil {
+			t.Fatalf("sample database %s missing", name)
+		}
+	}
+	if _, ok := queryvis.SampleDatabase("nope"); ok {
+		t.Error("unknown sample database should fail")
+	}
+	s, _ := queryvis.SchemaByName("sailors")
+	db, _ := queryvis.SampleDatabase("sailors")
+	out, err := queryvis.Execute(db, "SELECT S.sname FROM Sailor S WHERE S.rating > 8", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 {
+		t.Errorf("high-rated sailors = %d rows, want 2:\n%s", len(out.Rows), out)
+	}
+}
+
+func TestCustomSchemaAndDatabase(t *testing.T) {
+	s := queryvis.NewSchema("mini")
+	s.AddTable("P", "id", "tag")
+	db := queryvis.NewDatabase()
+	r := queryvis.NewRelation("P", "id", "tag")
+	r.Add(queryvis.Num(1), queryvis.Str("a"))
+	r.Add(queryvis.Num(2), queryvis.Str("b"))
+	db.Put(r)
+	out, err := queryvis.Execute(db, "SELECT P.id FROM P WHERE P.tag = 'b'", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 1 || out.Rows[0][0].Num != 2 {
+		t.Errorf("result = %s", out)
+	}
+}
+
+func TestStudyFacade(t *testing.T) {
+	cfg := queryvis.DefaultStudyConfig()
+	qs := queryvis.StudyQuestions()
+	if len(qs) != 12 || len(queryvis.QualificationQuestions()) != 6 {
+		t.Fatal("question corpus sizes wrong")
+	}
+	legit, excluded := queryvis.SimulateStudy(cfg, qs)
+	if len(legit) != 42 || len(excluded) != 38 {
+		t.Fatalf("cohort = %d/%d, want 42/38", len(legit), len(excluded))
+	}
+	a := queryvis.AnalyzeStudy(1, legit, qs, nil)
+	if a.N != 42 {
+		t.Errorf("analysis N = %d", a.N)
+	}
+	pw := queryvis.StudyPower(cfg, qs, 12, 0.05, 0.90)
+	if pw.RequiredNRounded6 != 84 {
+		t.Errorf("power n = %d, want the paper's 84", pw.RequiredNRounded6)
+	}
+}
+
+func TestBuiltinSchemaNames(t *testing.T) {
+	names := queryvis.BuiltinSchemaNames()
+	if len(names) != 5 {
+		t.Fatalf("got %d builtin schemas", len(names))
+	}
+	for _, n := range names {
+		if _, ok := queryvis.SchemaByName(n); !ok {
+			t.Errorf("SchemaByName(%q) failed", n)
+		}
+	}
+}

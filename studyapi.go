@@ -1,0 +1,83 @@
+package queryvis
+
+import (
+	"math/rand"
+
+	"repro/internal/corpus"
+	"repro/internal/rel"
+	"repro/internal/study"
+)
+
+// Study-facing re-exports: everything needed to rerun the paper's
+// evaluation (Section 6) through the public API.
+type (
+	// StudyConfig parameterizes the simulated participant cohort.
+	StudyConfig = study.Config
+	// Participant is one simulated study participant.
+	Participant = study.Participant
+	// StudyAnalysis is a complete Fig. 7 / Fig. 19 style analysis.
+	StudyAnalysis = study.Analysis
+	// StudyQuestion is one multiple-choice study question.
+	StudyQuestion = corpus.Question
+	// PowerResult is the Appendix C.2 power analysis outcome.
+	PowerResult = study.PowerResult
+)
+
+// DefaultStudyConfig returns the paper-matching cohort configuration.
+func DefaultStudyConfig() StudyConfig { return study.DefaultConfig() }
+
+// StudyQuestions returns the twelve Appendix-F questions.
+func StudyQuestions() []StudyQuestion { return corpus.StudyQuestions() }
+
+// QualificationQuestions returns the six Appendix-D exam questions.
+func QualificationQuestions() []StudyQuestion { return corpus.QualificationQuestions() }
+
+// SimulateStudy generates a participant pool and applies the exclusion
+// procedure, returning the legitimate and excluded participants.
+func SimulateStudy(cfg StudyConfig, questions []StudyQuestion) (legit, excluded []*Participant) {
+	return study.Exclude(study.Simulate(cfg, questions))
+}
+
+// AnalyzeStudy runs the preregistered analysis. Pass nil for include to
+// analyse all questions (Fig. 19), or filter out the Grouping category
+// for the paper's main 9-question analysis (Fig. 7). The seed drives only
+// the bootstrap confidence intervals.
+func AnalyzeStudy(seed int64, legit []*Participant, questions []StudyQuestion, include func(StudyQuestion) bool) *StudyAnalysis {
+	return study.Analyze(rand.New(rand.NewSource(seed)), legit, questions, include)
+}
+
+// StudyPower reruns the Appendix C.2 power analysis on a fresh pilot.
+func StudyPower(cfg StudyConfig, questions []StudyQuestion, pilotN int, alpha, power float64) PowerResult {
+	return study.Power(cfg, questions, pilotN, alpha, power)
+}
+
+// Engine-facing re-exports for building databases through the public API.
+type (
+	// Relation is one in-memory table.
+	Relation = rel.Relation
+	// Value is a string or numeric cell value.
+	Value = rel.Value
+)
+
+// NewRelation creates an empty relation with the given columns.
+func NewRelation(name string, cols ...string) *Relation { return rel.NewRelation(name, cols...) }
+
+// Str builds a string cell value.
+func Str(s string) Value { return rel.S(s) }
+
+// Num builds a numeric cell value.
+func Num(n float64) Value { return rel.N(n) }
+
+// SampleDatabase returns a bundled sample database for one of the
+// built-in schemas: "beers", "chinook", or "sailors".
+func SampleDatabase(schemaName string) (*Database, bool) {
+	switch schemaName {
+	case "beers":
+		return rel.BeersDB(), true
+	case "chinook":
+		return rel.ChinookDB(), true
+	case "sailors":
+		return rel.SailorsDB(), true
+	}
+	return nil, false
+}
