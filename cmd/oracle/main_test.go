@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs run() with stdout redirected to a pipe and returns the
+// exit code and output.
+func capture(t *testing.T, args []string) (int, string) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run(args, w, w)
+	w.Close()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return code, b.String()
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	c1, out1 := capture(t, []string{"-n", "50", "-seed", "1", "-json"})
+	c2, out2 := capture(t, []string{"-n", "50", "-seed", "1", "-json"})
+	if c1 != 0 || c2 != 0 {
+		t.Fatalf("exit codes %d, %d; output:\n%s", c1, c2, out1)
+	}
+	// The JSON report carries elapsed time; compare only the stream hash.
+	h := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "query_hash") {
+				return line
+			}
+		}
+		return ""
+	}
+	if h(out1) == "" || h(out1) != h(out2) {
+		t.Errorf("same seed produced different query streams:\n%s\nvs\n%s", out1, out2)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if code, _ := capture(t, []string{"-schemas", "nope"}); code != 2 {
+		t.Errorf("unknown schema: exit %d, want 2", code)
+	}
+	if code, _ := capture(t, []string{"-no-such-flag"}); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}

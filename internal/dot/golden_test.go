@@ -1,0 +1,99 @@
+package dot
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/logictree"
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+	"repro/internal/trc"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenCase is one paper figure rendered both raw (∄ form) and
+// simplified (∀ form).
+type goldenCase struct {
+	name string
+	sql  string
+	s    *schema.Schema
+}
+
+// GoldenCases returns the paper figures used as DOT/SVG golden inputs.
+func goldenCases() []goldenCase {
+	beers := schema.Beers()
+	cases := []goldenCase{
+		{"fig1_unique_set", corpus.Fig1UniqueSet, beers},
+		{"fig3_qsome", corpus.Fig3QSome, beers},
+		{"fig3_qonly", corpus.Fig3QOnly, beers},
+	}
+	for i, v := range corpus.Fig24Variants() {
+		cases = append(cases, goldenCase{fmt.Sprintf("fig24_variant%d", i), v, schema.Sailors()})
+	}
+	return cases
+}
+
+// goldenDiagram builds the diagram for one golden case.
+func goldenDiagram(t *testing.T, c goldenCase, simplify bool) *core.Diagram {
+	t.Helper()
+	q := sqlparse.MustParse(c.sql)
+	r, err := sqlparse.Resolve(q, c.s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := trc.Convert(q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := logictree.FromTRC(e).Flatten()
+	if simplify {
+		lt.Simplify()
+	}
+	return core.MustBuild(lt)
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run go test -update to create golden files)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s: output differs from golden file (re-run with -update if the change is intended)\ngot:\n%s", path, got)
+	}
+}
+
+// TestRenderGolden pins the exact DOT output for the paper's figure
+// queries, in both the raw ∄ form and the simplified ∀ form.
+func TestRenderGolden(t *testing.T) {
+	for _, c := range goldenCases() {
+		for _, simplify := range []bool{false, true} {
+			suffix := ""
+			if simplify {
+				suffix = "_simplified"
+			}
+			t.Run(c.name+suffix, func(t *testing.T) {
+				d := goldenDiagram(t, c, simplify)
+				checkGolden(t, c.name+suffix, Render(d))
+			})
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package logictree
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlparse"
+	"repro/internal/trc"
+)
+
+// ToSQL re-derives a SQL query from a logic tree, inverting the
+// SQL → TRC → LT direction of the pipeline. Every ∄ block becomes a
+// NOT EXISTS subquery and every ∃ block an EXISTS subquery; ∀ blocks are
+// first rewritten back into the ∄∄ double negation via Unsimplify (SQL has
+// no universal quantifier). The receiver is not modified.
+//
+// The emitted query uses each tuple variable as its table alias, so the
+// tree must not contain two tables with the same variable name (trees
+// produced by the pipeline satisfy this: trc.Convert renames shadowed
+// aliases). Variable names containing '#' — trc.Convert's shadow-renaming
+// marker, which the lexer cannot read back — are sanitized to '_'.
+func (lt *LT) ToSQL() (*sqlparse.Query, error) {
+	t := lt.Clone().Unsimplify()
+	q, err := nodeToQuery(t.Root)
+	if err != nil {
+		return nil, err
+	}
+	if len(t.Select) == 0 {
+		return nil, fmt.Errorf("logic tree has an empty select list")
+	}
+	q.Star = false
+	for _, s := range t.Select {
+		item := sqlparse.SelectItem{Agg: s.Agg, Star: s.Star}
+		if !s.Star {
+			item.Col = sqlparse.ColumnRef{Table: sqlVar(s.Attr.Var), Column: s.Attr.Column}
+		}
+		q.Select = append(q.Select, item)
+	}
+	for _, g := range t.GroupBy {
+		q.GroupBy = append(q.GroupBy, sqlparse.ColumnRef{Table: sqlVar(g.Var), Column: g.Column})
+	}
+	return q, nil
+}
+
+func nodeToQuery(n *Node) (*sqlparse.Query, error) {
+	if n.Quant == trc.ForAll {
+		// Unsimplify rewrites every ∀-with-single-∃-child; anything left is
+		// a shape SQL cannot express directly.
+		return nil, fmt.Errorf("cannot translate a ∀ block with %d children to SQL", len(n.Children))
+	}
+	if len(n.Tables) == 0 {
+		return nil, fmt.Errorf("block has no tables; SQL requires a non-empty FROM clause")
+	}
+	q := &sqlparse.Query{Star: true}
+	for _, t := range n.Tables {
+		q.From = append(q.From, sqlparse.TableRef{Table: t.Relation, Alias: sqlVar(t.Var)})
+	}
+	for _, p := range n.Preds {
+		q.Where = append(q.Where, &sqlparse.Compare{
+			Left:  termToOperand(p.Left),
+			Op:    p.Op,
+			Right: termToOperand(p.Right),
+		})
+	}
+	for _, c := range n.Children {
+		sub, err := nodeToQuery(c)
+		if err != nil {
+			return nil, err
+		}
+		q.Where = append(q.Where, &sqlparse.Exists{
+			Negated: c.Quant == trc.NotExists,
+			Sub:     sub,
+		})
+	}
+	return q, nil
+}
+
+func termToOperand(t trc.Term) sqlparse.Operand {
+	if t.Attr != nil {
+		return sqlparse.Operand{
+			Col:    &sqlparse.ColumnRef{Table: sqlVar(t.Attr.Var), Column: t.Attr.Column},
+			Offset: t.Offset,
+		}
+	}
+	c := *t.Const
+	return sqlparse.Operand{Const: &c}
+}
+
+// sqlVar makes a tuple-variable name usable as a SQL alias.
+func sqlVar(v string) string { return strings.ReplaceAll(v, "#", "_") }

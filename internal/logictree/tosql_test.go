@@ -1,0 +1,98 @@
+package logictree_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/logictree"
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+	"repro/internal/trc"
+)
+
+// toLT runs SQL through the forward pipeline to a flattened logic tree.
+func toLT(t *testing.T, src string, s *schema.Schema) *logictree.LT {
+	t.Helper()
+	q, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	r, err := sqlparse.Resolve(q, s)
+	if err != nil {
+		t.Fatalf("resolve: %v\n%s", err, src)
+	}
+	e, err := trc.Convert(q, r)
+	if err != nil {
+		t.Fatalf("convert: %v\n%s", err, src)
+	}
+	return logictree.FromTRC(e).Flatten()
+}
+
+// paperQueries pairs every corpus SQL query with its schema.
+func paperQueries() []struct {
+	name, sql string
+	s         *schema.Schema
+} {
+	beers := schema.Beers()
+	out := []struct {
+		name, sql string
+		s         *schema.Schema
+	}{
+		{"fig1-unique-set", corpus.Fig1UniqueSet, beers},
+		{"fig3-qsome", corpus.Fig3QSome, beers},
+		{"fig3-qonly", corpus.Fig3QOnly, beers},
+	}
+	for i, v := range corpus.Fig24Variants() {
+		out = append(out, struct {
+			name, sql string
+			s         *schema.Schema
+		}{fmt.Sprintf("fig24-variant-%d", i), v, schema.Sailors()})
+	}
+	for i, g := range corpus.AppendixG() {
+		out = append(out, struct {
+			name, sql string
+			s         *schema.Schema
+		}{fmt.Sprintf("appendix-g-%d-%s-%s", i, g.Schema.Name, g.Pattern), g.SQL, g.Schema})
+	}
+	return out
+}
+
+// TestToSQLRoundTrip checks that every paper query survives
+// LT → ToSQL → pipeline → LT with an identical canonical tree.
+func TestToSQLRoundTrip(t *testing.T) {
+	for _, tc := range paperQueries() {
+		t.Run(tc.name, func(t *testing.T) {
+			lt := toLT(t, tc.sql, tc.s)
+			q2, err := lt.ToSQL()
+			if err != nil {
+				t.Fatalf("ToSQL: %v", err)
+			}
+			sql2 := sqlparse.Format(q2)
+			lt2 := toLT(t, sql2, tc.s)
+			if lt.Canonical() != lt2.Canonical() {
+				t.Errorf("round trip changed the tree\noriginal:  %s\nre-derived: %s\nsql: %s",
+					lt.Canonical(), lt2.Canonical(), sql2)
+			}
+		})
+	}
+}
+
+// TestToSQLFromSimplified checks that ToSQL also accepts trees in the
+// reader-friendly ∀ form: Unsimplify must undo Simplify before printing.
+func TestToSQLFromSimplified(t *testing.T) {
+	for _, tc := range paperQueries() {
+		t.Run(tc.name, func(t *testing.T) {
+			lt := toLT(t, tc.sql, tc.s)
+			q2, err := lt.Simplified().ToSQL()
+			if err != nil {
+				t.Fatalf("ToSQL on simplified tree: %v", err)
+			}
+			lt2 := toLT(t, sqlparse.Format(q2), tc.s)
+			if lt.Canonical() != lt2.Canonical() {
+				t.Errorf("simplified round trip changed the tree\noriginal:  %s\nre-derived: %s",
+					lt.Canonical(), lt2.Canonical())
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkDifferential measures end-to-end oracle throughput: one
+// iteration generates a query and its databases and runs every
+// differential stage. Report the inverse of ns/op as queries/sec; the
+// checked-in baseline lives in BENCH_oracle.json.
+func BenchmarkDifferential(b *testing.B) {
+	cfg := DefaultConfig()
+	rep, err := Run(cfg, b.N, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(rep.Failures) > 0 {
+		b.Fatalf("oracle found %d counterexamples during benchmark", len(rep.Failures))
+	}
+}
+
+// BenchmarkGenerate isolates query+database generation from checking.
+func BenchmarkGenerate(b *testing.B) {
+	cfg := DefaultConfig()
+	schemas, err := cfg.schemaSet()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := newBenchRand()
+	for i := 0; i < b.N; i++ {
+		s := schemas[rng.Intn(len(schemas))]
+		q := Generate(rng, s, cfg)
+		_ = q
+		for j := 0; j < cfg.Databases; j++ {
+			RandomDB(rng, s, cfg)
+		}
+	}
+}
+
+// newBenchRand gives benchmarks a fixed-seed source without importing
+// math/rand at every call site.
+func newBenchRand() *rand.Rand { return rand.New(rand.NewSource(1)) }

@@ -1,0 +1,102 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/rel"
+	"repro/internal/schema"
+)
+
+// TestDB is a generated database kept as an ordered relation list, so it
+// can be dumped and shrunk deterministically (rel.Database itself hides
+// its relations in a map).
+type TestDB struct {
+	Rels []*rel.Relation
+}
+
+// RandomDB builds a random database for a schema. Table sizes are uniform
+// in [0, cfg.RowsPerTable] — empty relations included, since they make
+// NOT EXISTS trivially true — and cell values come from the same skewed
+// column domains the query generator draws constants from.
+func RandomDB(rng *rand.Rand, s *schema.Schema, cfg Config) *TestDB {
+	db := &TestDB{}
+	for _, t := range s.Tables() {
+		r := rel.NewRelation(t.Name, t.Columns...)
+		for i := rng.Intn(cfg.RowsPerTable + 1); i > 0; i-- {
+			row := make(rel.Tuple, len(t.Columns))
+			for j, c := range t.Columns {
+				d := domainOf(c)
+				k := d.pick(rng, cfg.Skew)
+				if d.numeric {
+					row[j] = rel.N(float64(k))
+				} else {
+					row[j] = rel.S(fmt.Sprintf("%s%d", d.prefix, k))
+				}
+			}
+			r.Rows = append(r.Rows, row)
+		}
+		db.Rels = append(db.Rels, r)
+	}
+	return db
+}
+
+// Database materializes the relation list as an executable rel.Database.
+func (d *TestDB) Database() *rel.Database {
+	db := rel.NewDatabase()
+	for _, r := range d.Rels {
+		db.Put(r)
+	}
+	return db
+}
+
+// Clone copies the database deeply enough for independent row removal
+// (tuples themselves are never mutated).
+func (d *TestDB) Clone() *TestDB {
+	out := &TestDB{Rels: make([]*rel.Relation, len(d.Rels))}
+	for i, r := range d.Rels {
+		out.Rels[i] = &rel.Relation{
+			Name: r.Name,
+			Cols: r.Cols,
+			Rows: append([]rel.Tuple(nil), r.Rows...),
+		}
+	}
+	return out
+}
+
+// RowCount returns the total number of rows across all relations.
+func (d *TestDB) RowCount() int {
+	n := 0
+	for _, r := range d.Rels {
+		n += len(r.Rows)
+	}
+	return n
+}
+
+// Dump renders the database as one relation per block, rows in order —
+// the database half of a minimized repro.
+func (d *TestDB) Dump() string {
+	var b strings.Builder
+	for _, r := range d.Rels {
+		if len(r.Rows) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s(%s):\n", r.Name, strings.Join(r.Cols, ", "))
+		for _, row := range r.Rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				if v.IsString {
+					parts[i] = "'" + v.Str + "'"
+				} else {
+					parts[i] = v.String()
+				}
+			}
+			fmt.Fprintf(&b, "  (%s)\n", strings.Join(parts, ", "))
+		}
+	}
+	if b.Len() == 0 {
+		return "(all relations empty)\n"
+	}
+	return b.String()
+}

@@ -1,0 +1,232 @@
+package oracle
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/inverse"
+	"repro/internal/logictree"
+	"repro/internal/rel"
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+	"repro/internal/trc"
+)
+
+// Stage identifies which differential check a failure came from.
+type Stage string
+
+const (
+	// StageGen: the generated SQL was rejected by parse/resolve/convert —
+	// the generator claims to emit only the supported fragment.
+	StageGen Stage = "generate"
+	// StageValidate: the flattened tree violates the non-degeneracy
+	// properties the generator is supposed to guarantee.
+	StageValidate Stage = "validate"
+	// StageBuild: diagram construction failed.
+	StageBuild Stage = "build"
+	// StageRecover: inverse.Recover failed or found ≠1 solutions — an
+	// unambiguity (Theorem 5.4) violation.
+	StageRecover Stage = "recover"
+	// StageRecoverLT: the recovered tree differs from the original.
+	StageRecoverLT Stage = "recovered-tree"
+	// StageReSQL: SQL re-derived from the recovered tree failed the
+	// pipeline or came back as a different tree.
+	StageReSQL Stage = "resql"
+	// StageExec: result sets differ on some database.
+	StageExec Stage = "execution"
+	// StagePattern: SamePattern / PatternFingerprint disagree between the
+	// original diagram and the recovered tree's diagram.
+	StagePattern Stage = "pattern"
+)
+
+// Failure describes one differential mismatch.
+type Failure struct {
+	Stage  Stage
+	Detail string
+}
+
+func (f *Failure) Error() string { return fmt.Sprintf("[%s] %s", f.Stage, f.Detail) }
+
+// pipelineLT runs SQL → TRC → flattened logic tree, the ∄-form the
+// diagram and its recovery are defined on.
+func pipelineLT(src string, s *schema.Schema) (*logictree.LT, error) {
+	q, err := sqlparse.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	r, err := sqlparse.Resolve(q, s)
+	if err != nil {
+		return nil, fmt.Errorf("resolve: %w", err)
+	}
+	e, err := trc.Convert(q, r)
+	if err != nil {
+		return nil, fmt.Errorf("convert: %w", err)
+	}
+	return logictree.FromTRC(e).Flatten(), nil
+}
+
+// canonKey is logictree.Canonical with the GROUP BY attribute order
+// normalized: recovery reads GROUP BY rows back in diagram order, which
+// is a permutation of the written order and semantically identical.
+func canonKey(lt *logictree.LT) string {
+	c := lt.Clone()
+	sort.Slice(c.GroupBy, func(i, j int) bool {
+		return c.GroupBy[i].String() < c.GroupBy[j].String()
+	})
+	return c.Canonical()
+}
+
+// Check runs the full differential on one SQL query: forward pipeline,
+// diagram recovery, SQL re-derivation, pattern cross-checks, and
+// execution on every database. nil means every stage agreed.
+func Check(sql string, s *schema.Schema, dbs []*TestDB) *Failure {
+	lt, err := pipelineLT(sql, s)
+	if err != nil {
+		return &Failure{StageGen, err.Error()}
+	}
+	if err := lt.Validate(); err != nil {
+		return &Failure{StageValidate, err.Error()}
+	}
+	d, err := core.Build(lt)
+	if err != nil {
+		return &Failure{StageBuild, err.Error()}
+	}
+
+	rec, err := inverse.Recover(d)
+	if err != nil {
+		return &Failure{StageRecover, err.Error()}
+	}
+	if canonKey(rec) != canonKey(lt) {
+		return &Failure{StageRecoverLT, fmt.Sprintf(
+			"recovered tree differs from original\noriginal:  %s\nrecovered: %s",
+			canonKey(lt), canonKey(rec))}
+	}
+
+	q2, err := rec.ToSQL()
+	if err != nil {
+		return &Failure{StageReSQL, err.Error()}
+	}
+	sql2 := sqlparse.Format(q2)
+	lt2, err := pipelineLT(sql2, s)
+	if err != nil {
+		return &Failure{StageReSQL, fmt.Sprintf("re-derived SQL rejected: %v\n%s", err, sql2)}
+	}
+	if canonKey(lt2) != canonKey(lt) {
+		return &Failure{StageReSQL, fmt.Sprintf(
+			"re-derived SQL is a different query\nsql:       %s\noriginal:  %s\nre-derived: %s",
+			sql2, canonKey(lt), canonKey(lt2))}
+	}
+
+	d2, err := core.Build(rec)
+	if err != nil {
+		return &Failure{StagePattern, fmt.Sprintf("recovered tree does not build: %v", err)}
+	}
+	same := core.Isomorphic(d, d2, core.Pattern)
+	fpEq := core.PatternKey(d) == core.PatternKey(d2)
+	if !same || !fpEq {
+		return &Failure{StagePattern, fmt.Sprintf(
+			"SamePattern=%v but fingerprint equality=%v between original and recovered diagrams",
+			same, fpEq)}
+	}
+
+	// Execution differential: the original tree versus every equivalent
+	// form, on every database.
+	alts := []struct {
+		name string
+		lt   *logictree.LT
+	}{
+		{"recovered", rec},
+		{"re-derived", lt2},
+		{"simplified", lt.Simplified()},
+	}
+	for i, tdb := range dbs {
+		db := tdb.Database()
+		r0, err := rel.EvalLT(db, lt)
+		if err != nil {
+			return &Failure{StageExec, fmt.Sprintf("db %d: original eval: %v", i, err)}
+		}
+		for _, a := range alts {
+			r1, err := rel.EvalLT(db, a.lt)
+			if err != nil {
+				return &Failure{StageExec, fmt.Sprintf("db %d: %s eval: %v", i, a.name, err)}
+			}
+			if !r0.Equal(r1) {
+				return &Failure{StageExec, fmt.Sprintf(
+					"db %d: %s form returns different rows\noriginal:\n%s%s:\n%s",
+					i, a.name, r0, a.name, r1)}
+			}
+		}
+	}
+	return nil
+}
+
+// Report summarizes a Run.
+type Report struct {
+	Queries  int               `json:"queries"`
+	Failures []*Counterexample `json:"failures,omitempty"`
+	Elapsed  time.Duration     `json:"elapsed_ns"`
+	// QueryHash fingerprints the generated SQL stream: equal seeds and
+	// configs produce equal hashes, which is how determinism is asserted.
+	QueryHash uint64 `json:"query_hash"`
+}
+
+// QueriesPerSec is the oracle's end-to-end throughput.
+func (r *Report) QueriesPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Queries) / r.Elapsed.Seconds()
+}
+
+// maxFailures bounds how many counterexamples a run collects before
+// stopping: each one is shrunk (expensive) and one is usually enough.
+const maxFailures = 5
+
+// Run generates and differentially checks n queries. The i-th query
+// depends only on (seed, i, cfg), so runs with the same arguments are
+// byte-identical — same queries, same databases, same outcome.
+func Run(cfg Config, n int, seed int64) (*Report, error) {
+	return RunFor(cfg, n, seed, 0)
+}
+
+// RunFor is Run with an optional wall-clock budget; timeout <= 0 means no
+// limit. A timed-out run is a prefix of the corresponding full run.
+func RunFor(cfg Config, n int, seed int64, timeout time.Duration) (*Report, error) {
+	schemas, err := cfg.schemaSet()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	h := fnv.New64a()
+	rep := &Report{}
+	master := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		qseed := master.Int63()
+		if timeout > 0 && time.Since(start) > timeout {
+			break
+		}
+		rng := rand.New(rand.NewSource(qseed))
+		s := schemas[rng.Intn(len(schemas))]
+		q := Generate(rng, s, cfg)
+		sql := sqlparse.Format(q)
+		h.Write([]byte(sql))
+		dbs := make([]*TestDB, cfg.Databases)
+		for j := range dbs {
+			dbs[j] = RandomDB(rng, s, cfg)
+		}
+		rep.Queries++
+		if f := Check(sql, s, dbs); f != nil {
+			rep.Failures = append(rep.Failures, Minimize(q, s, dbs, f, Check))
+			if len(rep.Failures) >= maxFailures {
+				break
+			}
+		}
+	}
+	rep.QueryHash = h.Sum64()
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}

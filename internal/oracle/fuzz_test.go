@@ -1,0 +1,35 @@
+package oracle
+
+import (
+	"testing"
+)
+
+// fuzzConfig is a slimmer configuration for per-input fuzzing: fewer
+// tables and rows keep a single differential check fast while still
+// exercising every connective.
+func fuzzConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MaxTables = 4
+	cfg.Databases = 2
+	cfg.RowsPerTable = 4
+	return cfg
+}
+
+// FuzzDifferential treats the fuzzer's input as a generator seed and runs
+// one full differential check on it. Any mismatch anywhere in the
+// pipeline fails with a minimized counterexample.
+func FuzzDifferential(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	cfg := fuzzConfig()
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rep, err := Run(cfg, 1, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range rep.Failures {
+			t.Errorf("%s", c)
+		}
+	})
+}

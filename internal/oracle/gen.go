@@ -1,0 +1,416 @@
+package oracle
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+)
+
+// Column domains. Every column name hashes to one of a few value classes;
+// columns in the same class draw from the same value pool in both the
+// query generator (constants) and the database generator (cells). That
+// shared typing is what makes random joins match: Reserves.bid and
+// Boat.bid land in the same class, so an equality join over random data is
+// satisfiable, and a constant in a selection predicate actually occurs in
+// the column it filters.
+//
+// Half the classes are numeric and half are string-valued, so the
+// generator can exercise arithmetic offsets and SUM/AVG (numeric only)
+// as well as lexicographic comparisons.
+
+type domain struct {
+	numeric bool
+	size    int    // values are 0..size-1 (numeric) or prefix0..prefixN
+	prefix  string // string classes only
+}
+
+const numClasses = 6
+
+func classOf(col string) int {
+	h := fnv.New32a()
+	h.Write([]byte(strings.ToLower(col)))
+	return int(h.Sum32() % numClasses)
+}
+
+func domainOf(col string) domain {
+	c := classOf(col)
+	if c < numClasses/2 {
+		return domain{numeric: true, size: 3 + c}
+	}
+	k := c - numClasses/2
+	return domain{size: 3 + k, prefix: string(rune('x' + k))}
+}
+
+// pick returns a skewed random index into the domain: skew 0 is uniform;
+// larger values concentrate mass on low indices.
+func (d domain) pick(rng *rand.Rand, skew float64) int {
+	i := int(math.Pow(rng.Float64(), 1+skew) * float64(d.size))
+	if i >= d.size {
+		i = d.size - 1
+	}
+	return i
+}
+
+func (d domain) constant(i int) sqlparse.Constant {
+	if d.numeric {
+		return sqlparse.NumberConst(float64(i))
+	}
+	return sqlparse.StringConst(fmt.Sprintf("%s%d", d.prefix, i))
+}
+
+// genVar is one table instance in scope during generation.
+type genVar struct {
+	alias string
+	tbl   *schema.Table
+}
+
+type generator struct {
+	rng        *rand.Rand
+	s          *schema.Schema
+	cfg        Config
+	nAlias     int
+	tablesLeft int
+}
+
+// Generate emits one random SQL query AST over the schema. By
+// construction the query resolves cleanly and desugars into a valid
+// non-degenerate logic tree (root ∃, nesting depth ≤ MaxNegDepth, unique
+// aliases, every nested block correlated to its parent — Properties 5.1
+// and 5.2), so the diagram built from it is provably unambiguous and
+// inverse.Recover must succeed on it.
+func Generate(rng *rand.Rand, s *schema.Schema, cfg Config) *sqlparse.Query {
+	g := &generator{rng: rng, s: s, cfg: cfg, tablesLeft: cfg.MaxTables}
+	n := 1
+	if g.tablesLeft >= 2 && rng.Intn(2) == 0 {
+		n = 2
+	}
+	q, locals := g.newBlock(n)
+	g.fillPreds(q, locals, nil, nil)
+	g.addSubqueries(q, locals, nil, 0)
+	g.selectList(q, locals)
+	return q
+}
+
+// newBlock creates a query block with n fresh table instances. Aliases
+// are globally unique ("T0", "T1", ...) so no tuple variable is ever
+// shadowed or renamed by trc.Convert.
+func (g *generator) newBlock(n int) (*sqlparse.Query, []genVar) {
+	q := &sqlparse.Query{}
+	var locals []genVar
+	tbls := g.s.Tables()
+	for i := 0; i < n; i++ {
+		t := tbls[g.rng.Intn(len(tbls))]
+		alias := fmt.Sprintf("T%d", g.nAlias)
+		g.nAlias++
+		g.tablesLeft--
+		q.From = append(q.From, sqlparse.TableRef{Table: t.Name, Alias: alias})
+		locals = append(locals, genVar{alias: alias, tbl: t})
+	}
+	return q, locals
+}
+
+func (g *generator) pickCol(vars []genVar) (genVar, string) {
+	v := vars[g.rng.Intn(len(vars))]
+	return v, v.tbl.Columns[g.rng.Intn(len(v.tbl.Columns))]
+}
+
+// matchingCol picks a column among vars in the given value class, so the
+// two sides of a join share a value pool. ok is false when no column of
+// that class exists among vars.
+func (g *generator) matchingCol(vars []genVar, class int) (genVar, string, bool) {
+	type cand struct {
+		v genVar
+		c string
+	}
+	var cands []cand
+	for _, v := range vars {
+		for _, c := range v.tbl.Columns {
+			if classOf(c) == class {
+				cands = append(cands, cand{v, c})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return genVar{}, "", false
+	}
+	k := cands[g.rng.Intn(len(cands))]
+	return k.v, k.c, true
+}
+
+// compareOp picks an operator, biased toward equality (the common case in
+// real queries, and the one that makes joins selective rather than
+// near-vacuous).
+func (g *generator) compareOp() sqlparse.Op {
+	if g.rng.Intn(100) < 60 {
+		return sqlparse.OpEq
+	}
+	ops := [...]sqlparse.Op{sqlparse.OpLt, sqlparse.OpLe, sqlparse.OpNe, sqlparse.OpGe, sqlparse.OpGt}
+	return ops[g.rng.Intn(len(ops))]
+}
+
+// smallOffset returns a ±1/±2 arithmetic offset.
+func (g *generator) smallOffset() float64 {
+	off := float64(1 + g.rng.Intn(2))
+	if g.rng.Intn(2) == 0 {
+		off = -off
+	}
+	return off
+}
+
+// fillPreds adds selection predicates, local join predicates, and
+// (occasionally) an extra join to an enclosing block. parentLocals, when
+// non-nil, receives a mandatory correlation predicate first, which is what
+// keeps every nested block connected to its parent (Property 5.2).
+func (g *generator) fillPreds(q *sqlparse.Query, locals, parentLocals, ancestors []genVar) {
+	if parentLocals != nil {
+		lv, lc := g.pickCol(locals)
+		pv, pc, ok := g.matchingCol(parentLocals, classOf(lc))
+		if !ok {
+			pv, pc = g.pickCol(parentLocals)
+		}
+		op := sqlparse.OpEq
+		if g.rng.Intn(100) < 15 {
+			op = g.compareOp()
+		}
+		q.Where = append(q.Where, &sqlparse.Compare{
+			Left:  sqlparse.ColOperand(lv.alias, lc),
+			Op:    op,
+			Right: sqlparse.ColOperand(pv.alias, pc),
+		})
+	}
+
+	// Selection predicates against domain constants.
+	for n := g.rng.Intn(3); n > 0; n-- {
+		v, c := g.pickCol(locals)
+		d := domainOf(c)
+		left := sqlparse.ColOperand(v.alias, c)
+		if d.numeric && g.rng.Intn(4) == 0 {
+			left.Offset = g.smallOffset()
+		}
+		q.Where = append(q.Where, &sqlparse.Compare{
+			Left:  left,
+			Op:    g.compareOp(),
+			Right: sqlparse.ConstOperand(d.constant(d.pick(g.rng, g.cfg.Skew))),
+		})
+	}
+
+	// Join predicate between two local tables.
+	if len(locals) > 1 && g.rng.Intn(100) < 80 {
+		v, c := g.pickCol(locals)
+		if v2, c2, ok := g.matchingCol(locals, classOf(c)); ok && !(v2.alias == v.alias && c2 == c) {
+			right := sqlparse.ColOperand(v2.alias, c2)
+			if domainOf(c).numeric && g.rng.Intn(5) == 0 {
+				right.Offset = g.smallOffset()
+			}
+			q.Where = append(q.Where, &sqlparse.Compare{
+				Left:  sqlparse.ColOperand(v.alias, c),
+				Op:    g.compareOp(),
+				Right: right,
+			})
+		}
+	}
+
+	// Extra join to a (possibly distant) enclosing block, exercising the
+	// depth-difference arrow rules.
+	if len(ancestors) > 0 && g.rng.Intn(100) < 30 {
+		v, c := g.pickCol(locals)
+		if v2, c2, ok := g.matchingCol(ancestors, classOf(c)); ok {
+			right := sqlparse.ColOperand(v2.alias, c2)
+			if domainOf(c).numeric && g.rng.Intn(5) == 0 {
+				right.Offset = g.smallOffset()
+			}
+			q.Where = append(q.Where, &sqlparse.Compare{
+				Left:  sqlparse.ColOperand(v.alias, c),
+				Op:    g.compareOp(),
+				Right: right,
+			})
+		}
+	}
+}
+
+// Subquery connectives, with the sign of the quantifier each desugars to
+// (trc.Convert: op ALL flips the negation).
+type connective int
+
+const (
+	cExists connective = iota
+	cNotExists
+	cIn
+	cNotIn
+	cAny
+	cNotAny
+	cAll
+	cNotAll
+)
+
+func (c connective) desugarsNegated() bool {
+	switch c {
+	case cNotExists, cNotIn, cNotAny, cAll:
+		return true
+	}
+	return false
+}
+
+// addSubqueries appends 0..2 subquery predicates to a block, with
+// probability decaying as nesting gets deeper. negDepth counts negated
+// enclosing blocks — the nesting depth of the flattened logic tree, since
+// positive ∃ blocks merge into their parents.
+func (g *generator) addSubqueries(q *sqlparse.Query, locals, ancestors []genVar, negDepth int) {
+	scope := append(append([]genVar{}, ancestors...), locals...)
+	chance := 70 - 25*negDepth
+	for g.tablesLeft > 0 && g.rng.Intn(100) < chance {
+		g.subquery(q, locals, scope, negDepth)
+		chance -= 30
+	}
+}
+
+func (g *generator) subquery(parent *sqlparse.Query, parentLocals, scope []genVar, negDepth int) {
+	n := 1
+	if g.tablesLeft >= 2 && g.rng.Intn(3) == 0 {
+		n = 2
+	}
+	sub, locals := g.newBlock(n)
+
+	// Choose a connective; negated ones (twice the weight — they are the
+	// interesting part of the fragment) need depth headroom.
+	canNegate := negDepth < g.cfg.MaxNegDepth
+	var kinds []connective
+	for c := cExists; c <= cNotAll; c++ {
+		if c.desugarsNegated() && !canNegate {
+			continue
+		}
+		kinds = append(kinds, c)
+		if c.desugarsNegated() {
+			kinds = append(kinds, c)
+		}
+	}
+	kind := kinds[g.rng.Intn(len(kinds))]
+	childNegDepth := negDepth
+	if kind.desugarsNegated() {
+		childNegDepth++
+	}
+
+	var pred sqlparse.Predicate
+	switch kind {
+	case cExists, cNotExists:
+		sub.Star = true
+		g.fillPreds(sub, locals, parentLocals, scope)
+		pred = &sqlparse.Exists{Negated: kind == cNotExists, Sub: sub}
+	default:
+		// Membership / quantified: the subquery selects a single column
+		// and the desugared linking predicate supplies the correlation.
+		sv, sc := g.pickCol(locals)
+		ov, oc, ok := g.matchingCol(parentLocals, classOf(sc))
+		if !ok {
+			ov, oc = g.pickCol(parentLocals)
+		}
+		sub.Select = []sqlparse.SelectItem{{Col: sqlparse.ColumnRef{Table: sv.alias, Column: sc}}}
+		g.fillPreds(sub, locals, nil, scope)
+		outer := sqlparse.ColumnRef{Table: ov.alias, Column: oc}
+		switch kind {
+		case cIn, cNotIn:
+			pred = &sqlparse.In{Col: outer, Negated: kind == cNotIn, Sub: sub}
+		default:
+			pred = &sqlparse.Quantified{
+				Negated: kind == cNotAny || kind == cNotAll,
+				Col:     outer,
+				Op:      g.compareOp(),
+				All:     kind == cAll || kind == cNotAll,
+				Sub:     sub,
+			}
+		}
+	}
+	g.addSubqueries(sub, locals, scope, childNegDepth)
+	parent.Where = append(parent.Where, pred)
+}
+
+// selectList writes the root select list: either plain columns, or a
+// GROUP BY with its keys plus one aggregate.
+func (g *generator) selectList(q *sqlparse.Query, locals []genVar) {
+	seen := map[string]bool{}
+	add := func(v genVar, c string) bool {
+		key := v.alias + "." + c
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		return true
+	}
+	if g.rng.Intn(100) < 20 {
+		for i := 1 + g.rng.Intn(2); i > 0; i-- {
+			v, c := g.pickCol(locals)
+			if !add(v, c) {
+				continue
+			}
+			cr := sqlparse.ColumnRef{Table: v.alias, Column: c}
+			q.Select = append(q.Select, sqlparse.SelectItem{Col: cr})
+			q.GroupBy = append(q.GroupBy, cr)
+		}
+		if len(q.Select) == 0 { // both picks collided
+			v, c := g.pickCol(locals)
+			add(v, c)
+			cr := sqlparse.ColumnRef{Table: v.alias, Column: c}
+			q.Select = append(q.Select, sqlparse.SelectItem{Col: cr})
+			q.GroupBy = append(q.GroupBy, cr)
+		}
+		q.Select = append(q.Select, g.aggItem(locals))
+		return
+	}
+	for i := 1 + g.rng.Intn(2); i > 0; i-- {
+		v, c := g.pickCol(locals)
+		if !add(v, c) {
+			continue
+		}
+		q.Select = append(q.Select, sqlparse.SelectItem{Col: sqlparse.ColumnRef{Table: v.alias, Column: c}})
+	}
+	if len(q.Select) == 0 {
+		v, c := g.pickCol(locals)
+		q.Select = append(q.Select, sqlparse.SelectItem{Col: sqlparse.ColumnRef{Table: v.alias, Column: c}})
+	}
+}
+
+// aggItem picks one aggregate select item. SUM and AVG require a numeric
+// column; when the block has none, COUNT is used instead.
+func (g *generator) aggItem(locals []genVar) sqlparse.SelectItem {
+	switch g.rng.Intn(5) {
+	case 0:
+		return sqlparse.SelectItem{Agg: sqlparse.AggCount, Star: true}
+	case 1:
+		v, c := g.pickCol(locals)
+		return sqlparse.SelectItem{Agg: sqlparse.AggCount, Col: sqlparse.ColumnRef{Table: v.alias, Column: c}}
+	case 2:
+		v, c := g.pickCol(locals)
+		agg := sqlparse.AggMin
+		if g.rng.Intn(2) == 0 {
+			agg = sqlparse.AggMax
+		}
+		return sqlparse.SelectItem{Agg: agg, Col: sqlparse.ColumnRef{Table: v.alias, Column: c}}
+	default:
+		type cand struct {
+			v genVar
+			c string
+		}
+		var numeric []cand
+		for _, v := range locals {
+			for _, c := range v.tbl.Columns {
+				if domainOf(c).numeric {
+					numeric = append(numeric, cand{v, c})
+				}
+			}
+		}
+		if len(numeric) == 0 {
+			return sqlparse.SelectItem{Agg: sqlparse.AggCount, Star: true}
+		}
+		k := numeric[g.rng.Intn(len(numeric))]
+		agg := sqlparse.AggSum
+		if g.rng.Intn(2) == 0 {
+			agg = sqlparse.AggAvg
+		}
+		return sqlparse.SelectItem{Agg: agg, Col: sqlparse.ColumnRef{Table: k.v.alias, Column: k.c}}
+	}
+}

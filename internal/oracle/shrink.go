@@ -1,0 +1,227 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+)
+
+// Counterexample is a shrunk, self-contained repro for one differential
+// failure: a minimized SQL string plus (for execution failures) a
+// minimized database dump.
+type Counterexample struct {
+	Schema string `json:"schema"`
+	SQL    string `json:"sql"`     // as generated
+	MinSQL string `json:"min_sql"` // after shrinking
+	Stage  Stage  `json:"stage"`   // of the minimized failure
+	Detail string `json:"detail"`
+	// MinDBs holds the minimized databases when the failure is
+	// execution-dependent; nil for purely structural failures.
+	MinDBs []*TestDB `json:"-"`
+}
+
+// String renders the minimized repro.
+func (c *Counterexample) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "oracle counterexample (stage %s, schema %s)\n", c.Stage, c.Schema)
+	fmt.Fprintf(&b, "-- minimized query\n%s\n", c.MinSQL)
+	if c.MinSQL != c.SQL {
+		fmt.Fprintf(&b, "-- original query\n%s\n", c.SQL)
+	}
+	for i, db := range c.MinDBs {
+		fmt.Fprintf(&b, "-- minimized database %d\n%s", i, db.Dump())
+	}
+	fmt.Fprintf(&b, "-- failure\n%s\n", c.Detail)
+	return b.String()
+}
+
+// CheckFn is the differential a shrink candidate is re-tested against;
+// production callers pass Check, tests can substitute a fake.
+type CheckFn func(sql string, s *schema.Schema, dbs []*TestDB) *Failure
+
+// Minimize shrinks a failing (query, databases) pair while the
+// differential keeps failing, then packages it as a Counterexample. The
+// reduction passes alternate removing query parts (predicates,
+// subqueries, tables, select items, GROUP BY) and database rows until a
+// fixpoint.
+func Minimize(q *sqlparse.Query, s *schema.Schema, dbs []*TestDB, orig *Failure, check CheckFn) *Counterexample {
+	origSQL := sqlparse.Format(q)
+	// A reduction that merely breaks the SQL is not a smaller
+	// counterexample — unless the original failure was exactly that the
+	// pipeline rejected generated SQL.
+	stillFails := func(cand *sqlparse.Query, cdbs []*TestDB) *Failure {
+		f := check(sqlparse.Format(cand), s, cdbs)
+		if f == nil {
+			return nil
+		}
+		if f.Stage == StageGen && orig.Stage != StageGen {
+			return nil
+		}
+		return f
+	}
+
+	cur, last := q, orig
+	for changed := true; changed; {
+		changed = false
+		for _, cand := range reductions(cur) {
+			if f := stillFails(cand, dbs); f != nil {
+				cur, last = cand, f
+				changed = true
+				break // re-enumerate reductions of the smaller query
+			}
+		}
+	}
+
+	// Database rows matter only when the failure depends on execution.
+	var minDBs []*TestDB
+	if last.Stage == StageExec {
+		minDBs = dbs
+		for changed := true; changed; {
+			changed = false
+			for _, cand := range dbReductions(minDBs) {
+				if f := stillFails(cur, cand); f != nil {
+					minDBs, last = cand, f
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	return &Counterexample{
+		Schema: s.Name,
+		SQL:    origSQL,
+		MinSQL: sqlparse.Format(cur),
+		Stage:  last.Stage,
+		Detail: last.Detail,
+		MinDBs: minDBs,
+	}
+}
+
+// cloneQuery deep-copies a query through its own printer; Format/Parse
+// round-tripping is an invariant the fuzz tests enforce.
+func cloneQuery(q *sqlparse.Query) *sqlparse.Query {
+	c, err := sqlparse.Parse(sqlparse.Format(q))
+	if err != nil {
+		return nil
+	}
+	return c
+}
+
+// queryBlocks lists every block of q in pre-order, so a block index
+// addresses the same block in a structural clone.
+func queryBlocks(q *sqlparse.Query) []*sqlparse.Query {
+	out := []*sqlparse.Query{q}
+	for _, s := range q.Subqueries() {
+		out = append(out, queryBlocks(s)...)
+	}
+	return out
+}
+
+// reductions enumerates every one-step-smaller variant of q.
+func reductions(q *sqlparse.Query) []*sqlparse.Query {
+	var out []*sqlparse.Query
+	// mutate must return true iff it actually removed something; an
+	// unchanged clone would keep "failing" and loop the shrinker forever.
+	variant := func(mutate func(blocks []*sqlparse.Query) bool) {
+		c := cloneQuery(q)
+		if c == nil {
+			return
+		}
+		if mutate(queryBlocks(c)) {
+			out = append(out, c)
+		}
+	}
+	blocks := queryBlocks(q)
+	for bi, b := range blocks {
+		for pi := range b.Where {
+			pi := pi
+			bi := bi
+			variant(func(cb []*sqlparse.Query) bool {
+				t := cb[bi]
+				t.Where = append(t.Where[:pi:pi], t.Where[pi+1:]...)
+				return true
+			})
+		}
+		if len(b.From) > 1 {
+			for fi := range b.From {
+				fi := fi
+				bi := bi
+				variant(func(cb []*sqlparse.Query) bool {
+					t := cb[bi]
+					t.From = append(t.From[:fi:fi], t.From[fi+1:]...)
+					return true
+				})
+			}
+		}
+	}
+	// Root select-list reductions.
+	if len(q.Select) > 1 {
+		for si := range q.Select {
+			si := si
+			variant(func(cb []*sqlparse.Query) bool {
+				t := cb[0]
+				item := t.Select[si]
+				t.Select = append(t.Select[:si:si], t.Select[si+1:]...)
+				if item.Agg == sqlparse.AggNone {
+					for gi, g := range t.GroupBy {
+						if g.String() == item.Col.String() {
+							t.GroupBy = append(t.GroupBy[:gi:gi], t.GroupBy[gi+1:]...)
+							break
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Drop grouping entirely: keep the non-aggregated items as a plain
+	// select list.
+	if len(q.GroupBy) > 0 {
+		variant(func(cb []*sqlparse.Query) bool {
+			t := cb[0]
+			var plain []sqlparse.SelectItem
+			for _, it := range t.Select {
+				if it.Agg == sqlparse.AggNone {
+					plain = append(plain, it)
+				} else if !it.Star {
+					plain = append(plain, sqlparse.SelectItem{Col: it.Col})
+				}
+			}
+			if len(plain) == 0 {
+				return false // COUNT(*) alone: nothing to select without it
+			}
+			t.Select = plain
+			t.GroupBy = nil
+			return true
+		})
+	}
+	return out
+}
+
+// dbReductions enumerates one-step-smaller database lists: drop one
+// database, or drop one row of one relation.
+func dbReductions(dbs []*TestDB) [][]*TestDB {
+	var out [][]*TestDB
+	if len(dbs) > 1 {
+		for i := range dbs {
+			cand := append(append([]*TestDB{}, dbs[:i]...), dbs[i+1:]...)
+			out = append(out, cand)
+		}
+	}
+	for di, db := range dbs {
+		for ri, r := range db.Rels {
+			for rowi := range r.Rows {
+				cand := append([]*TestDB{}, dbs...)
+				c := db.Clone()
+				cr := c.Rels[ri]
+				cr.Rows = append(cr.Rows[:rowi:rowi], cr.Rows[rowi+1:]...)
+				cand[di] = c
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}

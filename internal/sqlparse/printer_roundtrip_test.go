@@ -1,0 +1,172 @@
+package sqlparse
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// astGen builds random ASTs directly — independently of the parser — so
+// the printer is exercised on trees the string-level fuzzer cannot reach
+// systematically.
+type astGen struct {
+	rng    *rand.Rand
+	nAlias int
+}
+
+func (g *astGen) alias() string {
+	g.nAlias++
+	return fmt.Sprintf("t%d", g.nAlias-1)
+}
+
+func (g *astGen) column() string {
+	return fmt.Sprintf("c%d", g.rng.Intn(6))
+}
+
+// colRef is qualified by one of the in-scope aliases, or occasionally
+// left bare (the parser accepts unqualified references).
+func (g *astGen) colRef(scope []string) ColumnRef {
+	if len(scope) == 0 || g.rng.Intn(10) == 0 {
+		return ColumnRef{Column: g.column()}
+	}
+	return ColumnRef{Table: scope[g.rng.Intn(len(scope))], Column: g.column()}
+}
+
+func (g *astGen) constant() Constant {
+	if g.rng.Intn(2) == 0 {
+		return NumberConst(float64(g.rng.Intn(10)))
+	}
+	return StringConst(fmt.Sprintf("v%d", g.rng.Intn(10)))
+}
+
+func (g *astGen) op() Op {
+	return Op(g.rng.Intn(6))
+}
+
+// colOperand optionally carries an integer offset, the "T.a + 5" form.
+func (g *astGen) colOperand(scope []string) Operand {
+	o := Operand{Col: &ColumnRef{}}
+	*o.Col = g.colRef(scope)
+	if g.rng.Intn(4) == 0 {
+		o.Offset = float64(g.rng.Intn(5) - 2)
+	}
+	return o
+}
+
+// compare builds "col op col" or "col op const" — never const op const,
+// which the parser rejects.
+func (g *astGen) compare(scope []string) *Compare {
+	c := &Compare{Left: g.colOperand(scope), Op: g.op()}
+	if g.rng.Intn(2) == 0 {
+		c.Right = ConstOperand(g.constant())
+	} else {
+		c.Right = g.colOperand(scope)
+	}
+	return c
+}
+
+// query builds a random block; depth bounds subquery nesting and outer
+// is the enclosing scope usable in correlated predicates.
+func (g *astGen) query(depth int, outer []string) *Query {
+	q := &Query{}
+	nFrom := 1 + g.rng.Intn(2)
+	var locals []string
+	for i := 0; i < nFrom; i++ {
+		a := g.alias()
+		q.From = append(q.From, TableRef{Table: fmt.Sprintf("Rel%d", g.rng.Intn(4)), Alias: a})
+		locals = append(locals, a)
+	}
+	scope := append(append([]string{}, outer...), locals...)
+
+	// Select list: star, plain columns, or GROUP BY + aggregates.
+	switch g.rng.Intn(4) {
+	case 0:
+		q.Star = true
+	case 1:
+		key := g.colRef(locals)
+		q.Select = append(q.Select, SelectItem{Col: key})
+		q.GroupBy = append(q.GroupBy, key)
+		agg := Agg(1 + g.rng.Intn(5))
+		if agg == AggCount && g.rng.Intn(2) == 0 {
+			q.Select = append(q.Select, SelectItem{Agg: agg, Star: true})
+		} else {
+			q.Select = append(q.Select, SelectItem{Agg: agg, Col: g.colRef(locals)})
+		}
+	default:
+		for i := 1 + g.rng.Intn(2); i > 0; i-- {
+			q.Select = append(q.Select, SelectItem{Col: g.colRef(locals)})
+		}
+	}
+
+	for i := g.rng.Intn(3); i > 0; i-- {
+		q.Where = append(q.Where, g.compare(scope))
+	}
+	if depth > 0 {
+		for i := g.rng.Intn(3); i > 0; i-- {
+			q.Where = append(q.Where, g.subquery(depth-1, scope))
+		}
+	}
+	return q
+}
+
+// subquery builds one of the four subquery predicate forms. IN and
+// quantified subqueries get the single-plain-column select list the
+// parser's checkSingleColumnSub demands.
+func (g *astGen) subquery(depth int, scope []string) Predicate {
+	switch g.rng.Intn(3) {
+	case 0:
+		sub := g.query(depth, scope)
+		return &Exists{Negated: g.rng.Intn(2) == 0, Sub: sub}
+	case 1:
+		sub := g.narrowQuery(depth, scope)
+		return &In{Col: g.colRef(scope), Negated: g.rng.Intn(2) == 0, Sub: sub}
+	default:
+		sub := g.narrowQuery(depth, scope)
+		return &Quantified{
+			Negated: g.rng.Intn(4) == 0,
+			Col:     g.colRef(scope),
+			Op:      g.op(),
+			All:     g.rng.Intn(2) == 0,
+			Sub:     sub,
+		}
+	}
+}
+
+// narrowQuery is query() constrained to a single-column select list.
+func (g *astGen) narrowQuery(depth int, outer []string) *Query {
+	q := g.query(depth, outer)
+	q.Star = false
+	q.GroupBy = nil
+	q.Select = []SelectItem{{Col: g.colRef(blockAliases(q))}}
+	return q
+}
+
+func blockAliases(q *Query) []string {
+	var out []string
+	for _, f := range q.From {
+		out = append(out, f.Name())
+	}
+	return out
+}
+
+// TestPrinterRoundTrip is the printer's property test: for random ASTs q,
+// Parse(Format(q)) must be structurally identical to q (via String), and
+// Format must be a fixpoint.
+func TestPrinterRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 500; seed++ {
+		g := &astGen{rng: rand.New(rand.NewSource(seed))}
+		q := g.query(2, nil)
+		text := Format(q)
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("seed %d: printed AST failed to parse: %v\n%s", seed, err, text)
+		}
+		if q.String() != q2.String() {
+			t.Fatalf("seed %d: round trip changed the query\nbuilt:    %s\nreparsed: %s\nprinted:\n%s",
+				seed, q, q2, text)
+		}
+		if Format(q2) != text {
+			t.Fatalf("seed %d: Format is not a fixpoint\nfirst:\n%s\nsecond:\n%s", seed, text, Format(q2))
+		}
+	}
+}

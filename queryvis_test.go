@@ -4,8 +4,11 @@ import (
 	"strings"
 	"testing"
 
+	"testing/quick"
+
 	queryvis "repro"
 	"repro/internal/corpus"
+	"repro/internal/oracle"
 )
 
 func TestFromSQLPipeline(t *testing.T) {
@@ -185,5 +188,30 @@ func TestBuiltinSchemaNames(t *testing.T) {
 		if _, ok := queryvis.SchemaByName(n); !ok {
 			t.Errorf("SchemaByName(%q) failed", n)
 		}
+	}
+}
+
+// TestQuickDifferential runs the differential oracle under testing/quick:
+// each quick iteration draws a random seed and pushes one generated query
+// through every pipeline stage and execution on random databases. The
+// long soak lives in internal/oracle; this keeps the facade-level suite
+// exercising the whole system end to end on fresh queries every run.
+func TestQuickDifferential(t *testing.T) {
+	cfg := oracle.DefaultConfig()
+	cfg.MaxTables = 4
+	cfg.Databases = 2
+	cfg.RowsPerTable = 4
+	agree := func(seed int64) bool {
+		rep, err := oracle.Run(cfg, 1, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range rep.Failures {
+			t.Errorf("%s", c)
+		}
+		return len(rep.Failures) == 0
+	}
+	if err := quick.Check(agree, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
 	}
 }

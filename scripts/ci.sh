@@ -1,0 +1,25 @@
+#!/bin/sh
+# ci.sh — the checks CI runs, runnable locally with no arguments.
+#
+#   build      go build ./...
+#   vet        go vet ./...
+#   test       go test -race ./...
+#   oracle     30-second differential-oracle smoke run (seeded, so any
+#              counterexample it prints is reproducible with cmd/oracle)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build"
+go build ./...
+
+echo "== vet"
+go vet ./...
+
+echo "== test (race)"
+go test -race ./...
+
+echo "== oracle smoke (30s)"
+go run ./cmd/oracle -n 100000 -seed 1 -timeout 30s
+
+echo "== ok"
