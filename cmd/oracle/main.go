@@ -17,11 +17,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/oracle"
@@ -57,7 +60,18 @@ func run(args []string, stdout, stderr *os.File) int {
 	cfg.RowsPerTable = *rows
 	cfg.Skew = *skew
 
-	rep, err := oracle.RunFor(cfg, *n, *seed, *timeout)
+	// The budget is enforced through a context threaded into every
+	// pipeline stage, so a slow query is interrupted mid-check rather
+	// than overshooting. SIGINT/SIGTERM cancel the same context, turning
+	// an interrupted run into a partial report instead of lost work.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rep, err := oracle.RunContext(ctx, cfg, *n, *seed)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
@@ -73,6 +87,9 @@ func run(args []string, stdout, stderr *os.File) int {
 	} else {
 		fmt.Fprintf(stdout, "oracle: %d queries in %s (%.0f queries/sec), stream hash %016x\n",
 			rep.Queries, rep.Elapsed.Round(time.Millisecond), rep.QueriesPerSec(), rep.QueryHash)
+		if rep.TimedOut {
+			fmt.Fprintf(stdout, "oracle: budget expired after %d queries; report is partial\n", rep.Queries)
+		}
 		for i, c := range rep.Failures {
 			fmt.Fprintf(stdout, "\n=== counterexample %d ===\n%s", i+1, c)
 		}

@@ -1,0 +1,133 @@
+// Command queryvisd serves the QueryVis pipeline over HTTP: POST a SQL
+// query and a built-in schema name to /v1/diagram and get back the
+// rendered diagram (DOT, SVG, or plain text) plus its natural-language
+// interpretation; /v1/interpret returns the reading without rendering;
+// GET /v1/healthz reports liveness and load.
+//
+// Usage:
+//
+//	queryvisd [-addr :8080] [-timeout 5s] [-max-concurrent 64] \
+//	          [-max-body 1048576] [-shutdown-grace 10s] \
+//	          [-max-query-bytes N] [-max-nesting-depth N] \
+//	          [-max-predicates N] [-max-diagram-nodes N] \
+//	          [-max-diagram-edges N] [-max-output-bytes N] [-unlimited]
+//
+// Every request runs under a deadline and the configured resource
+// limits; load beyond -max-concurrent is shed with 429 + Retry-After
+// rather than queued. On SIGINT/SIGTERM the server stops accepting
+// connections and drains in-flight requests for -shutdown-grace before
+// exiting. Exit status is 2 on usage or bind errors, 0 on clean
+// shutdown.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	queryvis "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("queryvisd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	def := queryvis.DefaultLimits()
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		timeout = fs.Duration("timeout", 5*time.Second, "per-request pipeline deadline")
+		maxConc = fs.Int("max-concurrent", 64, "max simultaneous requests before shedding 429s")
+		maxBody = fs.Int64("max-body", 1<<20, "max request body bytes")
+		grace   = fs.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight requests on shutdown")
+
+		maxQueryBytes   = fs.Int("max-query-bytes", def.MaxQueryBytes, "max SQL text bytes (0 = unbounded)")
+		maxNestingDepth = fs.Int("max-nesting-depth", def.MaxNestingDepth, "max subquery nesting depth (0 = unbounded)")
+		maxPredicates   = fs.Int("max-predicates", def.MaxPredicates, "max WHERE predicates across all blocks (0 = unbounded)")
+		maxDiagramNodes = fs.Int("max-diagram-nodes", def.MaxDiagramNodes, "max diagram table nodes (0 = unbounded)")
+		maxDiagramEdges = fs.Int("max-diagram-edges", def.MaxDiagramEdges, "max diagram edges (0 = unbounded)")
+		maxOutputBytes  = fs.Int("max-output-bytes", def.MaxOutputBytes, "max rendered output bytes (0 = unbounded)")
+		unlimited       = fs.Bool("unlimited", false, "disable all per-query resource limits")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := server.Config{
+		Limits: queryvis.Limits{
+			MaxQueryBytes:   *maxQueryBytes,
+			MaxNestingDepth: *maxNestingDepth,
+			MaxPredicates:   *maxPredicates,
+			MaxDiagramNodes: *maxDiagramNodes,
+			MaxDiagramEdges: *maxDiagramEdges,
+			MaxOutputBytes:  *maxOutputBytes,
+		},
+		Unlimited:      *unlimited,
+		RequestTimeout: *timeout,
+		MaxConcurrent:  *maxConc,
+		MaxBodyBytes:   *maxBody,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "queryvisd:", err)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := serveWith(ctx, ln, cfg, *grace, stdout); err != nil {
+		fmt.Fprintln(stderr, "queryvisd:", err)
+		return 2
+	}
+	return 0
+}
+
+// serveWith runs the server on ln until ctx is canceled, then shuts down
+// gracefully: the listener closes, in-flight requests drain for up to
+// grace, and only then does the function return. Factored out of run so
+// tests can drive the full serve/shutdown cycle on an ephemeral port.
+func serveWith(ctx context.Context, ln net.Listener, cfg server.Config, grace time.Duration, stdout *os.File) error {
+	srv := &http.Server{
+		Handler:           server.New(cfg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	fmt.Fprintf(stdout, "queryvisd: listening on %s\n", ln.Addr())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "queryvisd: shutting down, draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		// Drain window expired; cut the stragglers loose.
+		_ = srv.Close()
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	<-errc
+	fmt.Fprintln(stdout, "queryvisd: bye")
+	return nil
+}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/leak"
+	"repro/internal/server"
+)
+
+// TestServeHealthzShutdown drives the daemon's full lifecycle on an
+// ephemeral port: start, answer /v1/healthz and /v1/diagram, then shut
+// down gracefully and verify the serve loop exits clean with no
+// goroutines left behind. CI runs this in place of a shell-scripted
+// curl check.
+func TestServeHealthzShutdown(t *testing.T) {
+	defer leak.Check(t)()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	done := make(chan error, 1)
+	go func() {
+		done <- serveWith(ctx, ln, server.Config{}, 5*time.Second, os.Stdout)
+	}()
+
+	base := "http://" + ln.Addr().String()
+
+	// Liveness.
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz = %d %+v", resp.StatusCode, h)
+	}
+
+	// One real diagram request through the running daemon.
+	body, _ := json.Marshal(map[string]any{"sql": corpus.Fig1UniqueSet, "schema": "beers"})
+	resp, err = http.Post(base+"/v1/diagram", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("diagram: %v", err)
+	}
+	var dr struct {
+		Diagram string `json:"diagram"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatalf("decode diagram: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(dr.Diagram, "digraph") {
+		t.Fatalf("diagram = %d %.80q", resp.StatusCode, dr.Diagram)
+	}
+
+	// Graceful shutdown: cancel the serve context and wait for a clean exit.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveWith: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down within 10s")
+	}
+
+	// The listener must actually be closed.
+	if _, err := http.Get(base + "/v1/healthz"); err == nil {
+		t.Fatal("server still answering after shutdown")
+	}
+	http.DefaultClient.CloseIdleConnections()
+}
+
+// TestShutdownDrainsInflight verifies an in-flight request completes
+// during the drain window instead of being cut off.
+func TestShutdownDrainsInflight(t *testing.T) {
+	defer leak.Check(t)()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	done := make(chan error, 1)
+	go func() {
+		done <- serveWith(ctx, ln, server.Config{RequestTimeout: 10 * time.Second},
+			5*time.Second, os.Stdout)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	// A request whose body arrives slowly, so it is still in flight when
+	// shutdown starts.
+	slow := make(chan struct{ code int }, 1)
+	go func() {
+		body, _ := json.Marshal(map[string]any{"sql": corpus.Fig1UniqueSet, "schema": "beers"})
+		req, _ := http.NewRequest(http.MethodPost, base+"/v1/diagram", &trickleReader{data: body})
+		req.Header.Set("Content-Type", "application/json")
+		req.ContentLength = int64(len(body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			slow <- struct{ code int }{0}
+			return
+		}
+		defer resp.Body.Close()
+		slow <- struct{ code int }{resp.StatusCode}
+	}()
+
+	time.Sleep(50 * time.Millisecond) // let the slow request reach the handler
+	cancel()
+
+	got := <-slow
+	if got.code != http.StatusOK {
+		t.Fatalf("in-flight request got %d, want 200 (drained)", got.code)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serveWith: %v", err)
+	}
+	http.DefaultClient.CloseIdleConnections()
+}
+
+// trickleReader drips its payload a few bytes at a time to keep a
+// request in flight across a shutdown.
+type trickleReader struct {
+	data []byte
+	off  int
+}
+
+func (r *trickleReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	time.Sleep(10 * time.Millisecond)
+	if len(p) > 16 {
+		p = p[:16]
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func TestUsageError(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if got := run([]string{"-no-such-flag"}, devnull, devnull); got != 2 {
+		t.Fatalf("run with bad flag = %d, want 2", got)
+	}
+	if got := run([]string{"-addr", "256.256.256.256:99999"}, devnull, devnull); got != 2 {
+		t.Fatalf("run with bad addr = %d, want 2", got)
+	}
+}

@@ -1,0 +1,231 @@
+package queryvis
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/core"
+	"repro/internal/dot"
+	"repro/internal/faults"
+	"repro/internal/logictree"
+	"repro/internal/sqlparse"
+	"repro/internal/svg"
+	"repro/internal/trc"
+)
+
+// Pipeline stage names, as carried by StageError.Stage and used as
+// fault-injection points (internal/faults registers one per stage).
+const (
+	StageParse   = string(faults.StageParse)
+	StageResolve = string(faults.StageResolve)
+	StageConvert = string(faults.StageConvert)
+	StageTree    = string(faults.StageTree)
+	StageBuild   = string(faults.StageBuild)
+	StageRender  = string(faults.StageRender)
+)
+
+// StageError wraps a failure with the pipeline stage it occurred in, so
+// callers can distinguish a parse error (the user's fault) from, say, a
+// diagram-construction error without string matching. Unwrap exposes the
+// underlying error for errors.Is/As — including context.DeadlineExceeded
+// and *LimitError.
+type StageError struct {
+	Stage string
+	Err   error
+}
+
+func (e *StageError) Error() string { return e.Stage + ": " + e.Err.Error() }
+
+func (e *StageError) Unwrap() error { return e.Err }
+
+// InternalError is a panic converted to an error at the facade boundary:
+// an internal invariant violation that, without the boundary, would have
+// taken down the caller. It is never the user's fault.
+type InternalError struct {
+	Stage string
+	Value any    // the recovered panic value
+	Stack []byte // stack trace captured at recovery
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("internal error in stage %s: %v", e.Stage, e.Value)
+}
+
+// panicBoundary converts a panic into an *InternalError through the
+// pointed-to error. Deferred at every facade entry point, it guarantees
+// that no internal invariant violation escapes as a panic.
+func panicBoundary(stage string, errp *error) {
+	if r := recover(); r != nil {
+		*errp = &InternalError{Stage: stage, Value: r, Stack: debug.Stack()}
+	}
+}
+
+// stageErr wraps non-nil errors with their stage; already-staged errors
+// and limit errors pass through untouched.
+func stageErr(stage string, err error) error {
+	switch err.(type) {
+	case *StageError, *LimitError:
+		return err
+	}
+	return &StageError{Stage: stage, Err: err}
+}
+
+// FromSQLContext runs the full pipeline — parse, resolve, convert to
+// TRC, build and optionally simplify the logic tree, construct the
+// diagram — under a context and the Options' resource limits.
+//
+// Cancellation is cooperative at every stage: once ctx is done the
+// pipeline returns promptly (well within 2× of a deadline even on
+// pathologically deep inputs) with an error satisfying
+// errors.Is(err, ctx.Err()). Limit violations surface as *LimitError,
+// stage failures as *StageError, and internal panics are contained at
+// this boundary and returned as *InternalError — FromSQLContext never
+// panics, whatever the input.
+func FromSQLContext(ctx context.Context, sql string, s *Schema, opts Options) (res *Result, err error) {
+	defer panicBoundary("pipeline", &err)
+	lim := opts.Limits
+
+	if lim != nil {
+		if err := check(LimitQueryBytes, len(sql), lim.MaxQueryBytes); err != nil {
+			return nil, err
+		}
+	}
+	if err := faults.Fire(ctx, faults.StageParse); err != nil {
+		return nil, stageErr(StageParse, err)
+	}
+	q, err := sqlparse.ParseContext(ctx, sql)
+	if err != nil {
+		return nil, stageErr(StageParse, err)
+	}
+	if lim != nil {
+		if err := check(LimitNestingDepth, q.NestingDepth(), lim.MaxNestingDepth); err != nil {
+			return nil, err
+		}
+		if err := check(LimitPredicates, q.PredicateCount(), lim.MaxPredicates); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := faults.Fire(ctx, faults.StageResolve); err != nil {
+		return nil, stageErr(StageResolve, err)
+	}
+	r, err := sqlparse.ResolveContext(ctx, q, s)
+	if err != nil {
+		return nil, stageErr(StageResolve, err)
+	}
+
+	if err := faults.Fire(ctx, faults.StageConvert); err != nil {
+		return nil, stageErr(StageConvert, err)
+	}
+	e, err := trc.ConvertContext(ctx, q, r)
+	if err != nil {
+		return nil, stageErr(StageConvert, err)
+	}
+
+	if err := faults.Fire(ctx, faults.StageTree); err != nil {
+		return nil, stageErr(StageTree, err)
+	}
+	raw, err := logictree.FromTRCContext(ctx, e)
+	if err != nil {
+		return nil, stageErr(StageTree, err)
+	}
+	if !opts.KeepExistsBlocks {
+		if _, err := raw.FlattenContext(ctx); err != nil {
+			return nil, stageErr(StageTree, err)
+		}
+	}
+	tree := raw
+	if opts.Simplify {
+		tree, err = raw.SimplifiedContext(ctx)
+		if err != nil {
+			return nil, stageErr(StageTree, err)
+		}
+	}
+
+	if err := faults.Fire(ctx, faults.StageBuild); err != nil {
+		return nil, stageErr(StageBuild, err)
+	}
+	d, err := core.BuildContext(ctx, tree)
+	if err != nil {
+		return nil, stageErr(StageBuild, err)
+	}
+	if lim != nil {
+		if err := check(LimitDiagramNodes, len(d.Tables), lim.MaxDiagramNodes); err != nil {
+			return nil, err
+		}
+		if err := check(LimitDiagramEdges, len(d.Edges), lim.MaxDiagramEdges); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		Query:          q,
+		TRC:            e,
+		RawTree:        raw,
+		Tree:           tree,
+		Diagram:        d,
+		Interpretation: core.Interpret(tree),
+		limits:         lim,
+	}, nil
+}
+
+// checkOutput enforces MaxOutputBytes on a rendered artifact.
+func (r *Result) checkOutput(n int) error {
+	if r.limits == nil {
+		return nil
+	}
+	return check(LimitOutputBytes, n, r.limits.MaxOutputBytes)
+}
+
+// DOTContext renders the diagram as a GraphViz program under a context:
+// rendering is cancelable, its size is bounded by the pipeline's
+// MaxOutputBytes limit, and panics are contained at this boundary.
+func (r *Result) DOTContext(ctx context.Context, o DOTOptions) (s string, err error) {
+	defer panicBoundary(StageRender, &err)
+	if err := faults.Fire(ctx, faults.StageRender); err != nil {
+		return "", stageErr(StageRender, err)
+	}
+	out, err := dot.RenderContext(ctx, r.Diagram, o)
+	if err != nil {
+		return "", stageErr(StageRender, err)
+	}
+	if err := r.checkOutput(len(out)); err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// SVGContext renders the diagram as a standalone SVG document under a
+// context, with the same cancellation, output-size, and panic guarantees
+// as DOTContext.
+func (r *Result) SVGContext(ctx context.Context) (s string, err error) {
+	defer panicBoundary(StageRender, &err)
+	if err := faults.Fire(ctx, faults.StageRender); err != nil {
+		return "", stageErr(StageRender, err)
+	}
+	out, err := svg.RenderContext(ctx, r.Diagram)
+	if err != nil {
+		return "", stageErr(StageRender, err)
+	}
+	if err := r.checkOutput(len(out)); err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// TextContext renders the plain-text diagram under the pipeline's
+// output-size limit and panic boundary.
+func (r *Result) TextContext(ctx context.Context) (s string, err error) {
+	defer panicBoundary(StageRender, &err)
+	if err := faults.Fire(ctx, faults.StageRender); err != nil {
+		return "", stageErr(StageRender, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return "", stageErr(StageRender, err)
+	}
+	out := dot.Text(r.Diagram)
+	if err := r.checkOutput(len(out)); err != nil {
+		return "", err
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package queryvis
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/faults"
+)
+
+// deepStress builds a valid query nesting depth NOT EXISTS levels with
+// several predicates per level — heavy enough that the unbounded
+// pipeline takes hundreds of milliseconds, which is what makes the
+// deadline assertions below meaningful.
+func deepStress(depth int) string {
+	var b strings.Builder
+	b.WriteString("SELECT L0.drinker FROM Likes L0 WHERE ")
+	for i := 1; i <= depth; i++ {
+		fmt.Fprintf(&b,
+			"NOT EXISTS (SELECT * FROM Likes L%d WHERE L%d.drinker = L%d.drinker "+
+				"AND L%d.beer = L%d.beer AND L%d.person = L%d.person "+
+				"AND L%d.drink <> 'water' AND L%d.drink <> 'soda' AND ",
+			i, i, i-1, i, i-1, i, i-1, i, i)
+	}
+	fmt.Fprintf(&b, "L%d.beer = L%d.beer", depth, depth)
+	b.WriteString(strings.Repeat(")", depth))
+	return b.String()
+}
+
+func beersSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, ok := SchemaByName("beers")
+	if !ok {
+		t.Fatal("beers schema missing")
+	}
+	return s
+}
+
+// TestFromSQLContextPreCanceled: an already-canceled context fails fast
+// with an error that still satisfies errors.Is(err, context.Canceled)
+// through the stage wrapping.
+func TestFromSQLContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	start := time.Now()
+	_, err := FromSQLContext(ctx, deepStress(999), beersSchema(t), Options{})
+	if err == nil {
+		t.Fatal("pre-canceled pipeline succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("pre-canceled pipeline took %v", el)
+	}
+}
+
+// TestFromSQLContextDeadline: on the deep-nesting stress corpus —
+// which the unbounded pipeline needs hundreds of milliseconds for — a
+// deadline must be honored within about 2x, proving cancellation is
+// checked inside the recursive hot paths, not just between stages.
+func TestFromSQLContextDeadline(t *testing.T) {
+	const deadline = 100 * time.Millisecond
+	s := beersSchema(t)
+
+	for _, depth := range []int{600, 999} {
+		sql := deepStress(depth)
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		start := time.Now()
+		_, err := FromSQLContext(ctx, sql, s, Options{})
+		elapsed := time.Since(start)
+		cancel()
+
+		if err == nil {
+			// Fast machine finished under the deadline: nothing to assert.
+			continue
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("depth %d: err = %v, want deadline exceeded", depth, err)
+		}
+		if elapsed > 2*deadline {
+			t.Fatalf("depth %d: returned after %v, want within 2x the %v deadline",
+				depth, elapsed, deadline)
+		}
+	}
+}
+
+// TestRenderContextDeadline: the render stages are cancelable too.
+func TestRenderContextDeadline(t *testing.T) {
+	res, err := FromSQL(corpus.Fig1UniqueSet, beersSchema(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := res.DOTContext(ctx, DOTOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DOTContext err = %v", err)
+	}
+	if _, err := res.SVGContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SVGContext err = %v", err)
+	}
+	if _, err := res.TextContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TextContext err = %v", err)
+	}
+}
+
+// TestPanicContainment: an injected panic at every stage surfaces as a
+// typed *InternalError from the facade — never as a panic.
+func TestPanicContainment(t *testing.T) {
+	s := beersSchema(t)
+	for _, stage := range faults.Stages {
+		plan := &faults.Plan{
+			Seed:   1,
+			Faults: map[faults.Stage]faults.Fault{stage: {Action: faults.ActPanic}},
+		}
+		ctx := faults.WithPlan(context.Background(), plan)
+
+		var err error
+		if stage == faults.StageRender {
+			var res *Result
+			res, err = FromSQL(corpus.Fig1UniqueSet, s, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = res.DOTContext(ctx, DOTOptions{})
+		} else {
+			_, err = FromSQLContext(ctx, corpus.Fig1UniqueSet, s, Options{})
+		}
+		if err == nil {
+			t.Fatalf("stage %s: injected panic vanished", stage)
+		}
+		var ie *InternalError
+		if !errors.As(err, &ie) {
+			t.Fatalf("stage %s: err = %T %v, want *InternalError", stage, err, err)
+		}
+		if len(ie.Stack) == 0 {
+			t.Fatalf("stage %s: InternalError carries no stack", stage)
+		}
+	}
+}
+
+// TestInjectedErrorIsStageError: injected errors keep their stage and
+// their sentinel through the wrapping.
+func TestInjectedErrorIsStageError(t *testing.T) {
+	plan := &faults.Plan{
+		Seed:   1,
+		Faults: map[faults.Stage]faults.Fault{faults.StageResolve: {Action: faults.ActError}},
+	}
+	ctx := faults.WithPlan(context.Background(), plan)
+	_, err := FromSQLContext(ctx, corpus.Fig1UniqueSet, beersSchema(t), Options{})
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected in chain", err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != StageResolve {
+		t.Fatalf("err = %v, want StageError at resolve", err)
+	}
+}

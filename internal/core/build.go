@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/logictree"
@@ -23,8 +24,19 @@ import (
 // sane tree can be drawn — but only valid trees (lt.Validate() == nil) are
 // guaranteed to produce unambiguous diagrams.
 func Build(lt *logictree.LT) (*Diagram, error) {
+	return BuildContext(context.Background(), lt)
+}
+
+// BuildContext is Build with cooperative cancellation: the breadth-first
+// block walk and the predicate pass check ctx periodically, so diagram
+// construction for enormous trees stops promptly once ctx is done.
+func BuildContext(ctx context.Context, lt *logictree.LT) (*Diagram, error) {
+	if lt == nil || lt.Root == nil {
+		return nil, fmt.Errorf("cannot build a diagram from an empty logic tree")
+	}
 	b := &builder{
-		lt: lt,
+		ctx: ctx,
+		lt:  lt,
 		d: &Diagram{
 			depth:   map[int]int{},
 			groupID: map[int]int{},
@@ -44,6 +56,11 @@ func Build(lt *logictree.LT) (*Diagram, error) {
 		n := queue[0]
 		queue = queue[1:]
 		group++
+		if group&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		b.groupOf[n] = group
 		var ids []int
 		for _, t := range n.Tables {
@@ -100,6 +117,7 @@ func MustBuild(lt *logictree.LT) *Diagram {
 }
 
 type builder struct {
+	ctx     context.Context
 	lt      *logictree.LT
 	d       *Diagram
 	tableOf map[string]int
@@ -166,10 +184,19 @@ func (b *builder) addSelect() error {
 
 func (b *builder) addPredicates() error {
 	queue := []*logictree.Node{b.lt.Root}
+	preds := 0
 	for len(queue) > 0 {
 		n := queue[0]
 		queue = queue[1:]
 		for _, p := range n.Preds {
+			// isAncestor makes cross-block predicates O(tree), so this loop
+			// is the quadratic hot spot for adversarial inputs; check the
+			// context often enough that cancellation stays prompt.
+			if preds++; preds&63 == 0 {
+				if err := b.ctx.Err(); err != nil {
+					return err
+				}
+			}
 			if err := b.addPred(p); err != nil {
 				return err
 			}

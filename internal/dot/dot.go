@@ -14,6 +14,7 @@
 package dot
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -47,12 +48,45 @@ func (o Options) withDefaults() Options {
 // Render emits the diagram as a DOT program with default options.
 func Render(d *core.Diagram) string { return RenderWith(d, Options{}) }
 
+// RenderContext is RenderWith with cooperative cancellation: rendering
+// checks ctx every few hundred tables and edges and stops with ctx.Err()
+// once the context is done, so emitting DOT for an enormous diagram
+// cannot outlive its request.
+func RenderContext(ctx context.Context, d *core.Diagram, opts Options) (string, error) {
+	opts = opts.withDefaults()
+	var b strings.Builder
+	if err := render(ctx, &b, d, opts); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
 // RenderWith emits the diagram as a DOT program.
 func RenderWith(d *core.Diagram, opts Options) string {
 	opts = opts.withDefaults()
 	var b strings.Builder
-	fmt.Fprintf(&b, "digraph %s {\n", quoteID(opts.Name))
-	fmt.Fprintf(&b, "  rankdir=%s;\n", opts.RankDir)
+	// context.Background() is never done, so render cannot fail here.
+	_ = render(context.Background(), &b, d, opts)
+	return b.String()
+}
+
+// render is the single rendering implementation behind RenderWith and
+// RenderContext.
+func render(ctx context.Context, b *strings.Builder, d *core.Diagram, opts Options) error {
+	step := 0
+	check := func() error {
+		if step++; step&255 != 0 {
+			return nil
+		}
+		return ctx.Err()
+	}
+	// The amortized check only fires every 256 steps; small diagrams need
+	// this upfront check to notice a done context at all.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	fmt.Fprintf(b, "digraph %s {\n", quoteID(opts.Name))
+	fmt.Fprintf(b, "  rankdir=%s;\n", opts.RankDir)
 	b.WriteString("  node [shape=plaintext fontname=\"Helvetica\"];\n")
 	b.WriteString("  edge [fontname=\"Helvetica\" arrowsize=0.7];\n")
 
@@ -65,13 +99,19 @@ func RenderWith(d *core.Diagram, opts Options) string {
 
 	// Unboxed tables first, then one cluster per quantifier box.
 	for _, t := range d.Tables {
+		if err := check(); err != nil {
+			return err
+		}
 		if _, ok := boxed[t.ID]; ok {
 			continue
 		}
-		writeTable(&b, t, "  ", opts)
+		writeTable(b, t, "  ", opts)
 	}
 	for i, bx := range d.Boxes {
-		fmt.Fprintf(&b, "  subgraph cluster_%d {\n", i)
+		if err := check(); err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "  subgraph cluster_%d {\n", i)
 		switch bx.Quant {
 		case trc.ForAll:
 			b.WriteString("    style=\"rounded\"; peripheries=2; label=\"\";\n")
@@ -81,12 +121,15 @@ func RenderWith(d *core.Diagram, opts Options) string {
 		ids := append([]int(nil), bx.Tables...)
 		sort.Ints(ids)
 		for _, id := range ids {
-			writeTable(&b, d.Table(id), "    ", opts)
+			writeTable(b, d.Table(id), "    ", opts)
 		}
 		b.WriteString("  }\n")
 	}
 
 	for _, e := range d.Edges {
+		if err := check(); err != nil {
+			return err
+		}
 		from := fmt.Sprintf("t%d:r%d", e.From.Table, e.From.Row)
 		to := fmt.Sprintf("t%d:r%d", e.To.Table, e.To.Row)
 		var attrs []string
@@ -100,13 +143,13 @@ func RenderWith(d *core.Diagram, opts Options) string {
 			attrs = append(attrs, "style=solid")
 		}
 		if len(attrs) > 0 {
-			fmt.Fprintf(&b, "  %s -> %s [%s];\n", from, to, strings.Join(attrs, " "))
+			fmt.Fprintf(b, "  %s -> %s [%s];\n", from, to, strings.Join(attrs, " "))
 		} else {
-			fmt.Fprintf(&b, "  %s -> %s;\n", from, to)
+			fmt.Fprintf(b, "  %s -> %s;\n", from, to)
 		}
 	}
 	b.WriteString("}\n")
-	return b.String()
+	return nil
 }
 
 func writeTable(b *strings.Builder, t *core.TableNode, pad string, opts Options) {

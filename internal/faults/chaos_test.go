@@ -1,0 +1,350 @@
+// Chaos test: drive the full hardened HTTP service with a seeded mixed
+// corpus — healthy paper queries, malformed mutations, pathologically
+// deep nesting, oversized inputs, mid-request client cancellations, and
+// injected stage faults — and assert the global robustness properties:
+// the server never panics, never hangs, never leaks a goroutine, and
+// every response carries a well-formed JSON body with a known category.
+//
+// The test lives in package faults_test (not faults) because it imports
+// internal/server, which transitively imports the queryvis facade, which
+// imports internal/faults: an in-package test file would close an import
+// cycle.
+//
+// Reproducibility: every request's behavior is a pure function of the
+// run seed (chaosSeed) and its request index. A failure log line names
+// both, and re-running with the same pair replays the identical request
+// against the identically planned fault set.
+package faults_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/faults"
+	"repro/internal/leak"
+	"repro/internal/server"
+)
+
+// chaosSeed fixes the whole run; change it to explore a different slice
+// of the input space (and record the new value in any bug report).
+const chaosSeed = 20260806
+
+// chaosRequests is the corpus size. The acceptance bar is ≥500 mixed
+// requests surviving under -race.
+const chaosRequests = 600
+
+// healthyQueries are known-good (sql, schema) pairs from the paper.
+var healthyQueries = []struct{ sql, schema string }{
+	{corpus.Fig1UniqueSet, "beers"},
+	{corpus.Fig3QSome, "beers"},
+	{corpus.Fig3QOnly, "beers"},
+}
+
+// deepQuery nests NOT EXISTS blocks depth levels — beyond the default
+// MaxNestingDepth (24) it must be rejected by a limit, and beyond the
+// parser's hard cap it must be rejected by a parse error; either way,
+// never by stack exhaustion.
+func deepQuery(depth int) string {
+	var b strings.Builder
+	b.WriteString("SELECT L0.drinker FROM Likes L0 WHERE ")
+	for i := 1; i <= depth; i++ {
+		fmt.Fprintf(&b, "NOT EXISTS (SELECT * FROM Likes L%d WHERE L%d.drinker = L%d.drinker AND ", i, i, i-1)
+	}
+	fmt.Fprintf(&b, "L%d.beer = L%d.beer", depth, depth)
+	b.WriteString(strings.Repeat(")", depth))
+	return b.String()
+}
+
+// giantQuery strings together enough conjuncts to trip MaxPredicates or
+// MaxQueryBytes.
+func giantQuery(preds int) string {
+	var b strings.Builder
+	b.WriteString("SELECT L.drinker FROM Likes L WHERE L.beer = 'x'")
+	for i := 0; i < preds; i++ {
+		fmt.Fprintf(&b, " AND L.beer <> 'beer%d'", i)
+	}
+	return b.String()
+}
+
+// mutate corrupts sql deterministically: truncation, byte substitution,
+// or token deletion.
+func mutate(rng *rand.Rand, sql string) string {
+	switch rng.Intn(3) {
+	case 0: // truncate
+		if len(sql) < 2 {
+			return sql
+		}
+		return sql[:1+rng.Intn(len(sql)-1)]
+	case 1: // clobber one byte
+		b := []byte(sql)
+		b[rng.Intn(len(b))] = byte("(;'#!"[rng.Intn(5)])
+		return string(b)
+	default: // drop a keyword occurrence
+		for _, kw := range []string{"SELECT", "FROM", "WHERE", "EXISTS"} {
+			if i := strings.Index(strings.ToUpper(sql), kw); i >= 0 {
+				return sql[:i] + sql[i+len(kw):]
+			}
+		}
+		return sql
+	}
+}
+
+// chaosOutcome tallies one request's classification for the summary.
+type chaosOutcome struct {
+	status   int
+	category string
+	clientTO bool // request aborted client-side (cancellation kind)
+}
+
+func TestChaos(t *testing.T) {
+	t.Cleanup(leak.Check(t))
+
+	cfg := server.Config{
+		RequestTimeout:      500 * time.Millisecond,
+		MaxConcurrent:       32,
+		AllowFaultInjection: true,
+	}
+	ts := httptest.NewServer(server.New(cfg))
+	t.Cleanup(ts.Close)
+
+	// A second instance with a deadline shorter than any injected delay,
+	// so the timeout path gets deterministic coverage (the main server's
+	// 500ms deadline outlasts every possible fault plan).
+	tsSlow := httptest.NewServer(server.New(server.Config{
+		RequestTimeout:      2 * time.Millisecond,
+		MaxConcurrent:       32,
+		AllowFaultInjection: true,
+	}))
+	t.Cleanup(tsSlow.Close)
+
+	// One seed whose plan delays the parse stage well past 2ms.
+	delaySeed := int64(-1)
+	for seed := int64(1); seed < 1_000_000; seed++ {
+		f := faults.NewPlan(seed).Faults[faults.StageParse]
+		if f.Action == faults.ActDelay && f.Delay >= 20*time.Millisecond {
+			delaySeed = seed
+			break
+		}
+	}
+	if delaySeed < 0 {
+		t.Fatal("no delay seed found")
+	}
+
+	validCats := map[string]bool{
+		"bad_request": true, "too_large": true, "parse": true,
+		"semantic": true, "limit": true, "timeout": true,
+		"canceled": true, "overloaded": true, "internal": true,
+	}
+
+	var (
+		mu       sync.Mutex
+		byStatus = map[int]int{}
+		byCat    = map[string]int{}
+		clientTO int64
+		failures int64
+	)
+	fail := func(idx int, format string, args ...any) {
+		atomic.AddInt64(&failures, 1)
+		t.Errorf("request %d (run seed %d): %s", idx, chaosSeed, fmt.Sprintf(format, args...))
+	}
+
+	const workers = 12
+	var wg sync.WaitGroup
+	idxc := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			for idx := range idxc {
+				out, ok := fireChaosRequest(client, ts.URL, tsSlow.URL, delaySeed, idx, fail)
+				if !ok {
+					continue
+				}
+				mu.Lock()
+				byStatus[out.status]++
+				if out.category != "" {
+					byCat[out.category]++
+				}
+				mu.Unlock()
+				if out.clientTO {
+					atomic.AddInt64(&clientTO, 1)
+				}
+				if out.status != http.StatusOK && out.category != "" && !validCats[out.category] {
+					fail(idx, "unknown error category %q", out.category)
+				}
+			}
+		}()
+	}
+	for i := 0; i < chaosRequests; i++ {
+		idxc <- i
+	}
+	close(idxc)
+	wg.Wait()
+
+	total := 0
+	for _, n := range byStatus {
+		total += n
+	}
+	t.Logf("chaos: %d requests (%d canceled client-side), statuses %v, categories %v",
+		total+int(clientTO), clientTO, byStatus, byCat)
+
+	// The corpus must actually have exercised the interesting paths.
+	if byStatus[http.StatusOK] == 0 {
+		t.Error("no request succeeded — corpus degenerate")
+	}
+	for _, cat := range []string{"parse", "limit", "internal", "timeout"} {
+		if byCat[cat] == 0 {
+			t.Errorf("category %q never produced — corpus did not cover it", cat)
+		}
+	}
+	if atomic.LoadInt64(&failures) == 0 {
+		// Final liveness probe: the server must still answer cleanly.
+		resp, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatalf("healthz after chaos: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz after chaos = %d", resp.StatusCode)
+		}
+	}
+}
+
+// fireChaosRequest builds and sends request idx. Returns ok=false when
+// the outcome is uninteresting to tally (client-side abort with no
+// response, which the cancellation kinds expect).
+func fireChaosRequest(client *http.Client, baseURL, slowURL string, delaySeed int64, idx int, fail func(int, string, ...any)) (chaosOutcome, bool) {
+	rng := rand.New(rand.NewSource(chaosSeed + int64(idx)))
+	hq := healthyQueries[rng.Intn(len(healthyQueries))]
+
+	var (
+		body     []byte
+		header   = map[string]string{}
+		endpoint = "/v1/diagram"
+		cancelIn time.Duration
+	)
+	marshal := func(sql, schema string) []byte {
+		format := []string{"dot", "svg", "text", ""}[rng.Intn(4)]
+		raw, err := json.Marshal(map[string]any{
+			"sql": sql, "schema": schema,
+			"simplify": rng.Intn(2) == 0, "format": format,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return raw
+	}
+
+	switch kind := rng.Intn(11); kind {
+	case 0, 1: // healthy query
+		body = marshal(hq.sql, hq.schema)
+	case 2: // healthy via /v1/interpret
+		endpoint = "/v1/interpret"
+		body = marshal(hq.sql, hq.schema)
+	case 3, 4: // malformed SQL mutation
+		body = marshal(mutate(rng, hq.sql), hq.schema)
+	case 5: // deep nesting: below, at, and far beyond the limit
+		body = marshal(deepQuery(5+rng.Intn(120)), "beers")
+	case 6: // giant query
+		body = marshal(giantQuery(100+rng.Intn(1500)), "beers")
+	case 7: // garbage body / wrong envelope
+		body = [][]byte{
+			[]byte(`{"sql":`),
+			[]byte(`[]`),
+			[]byte(`{"sql":"SELECT 1","schema":"beers","x":1}`),
+			[]byte(`{"sql":"SELECT L.drinker FROM Likes L","schema":"nope"}`),
+		}[rng.Intn(4)]
+	case 8: // injected stage faults, healthy query
+		body = marshal(hq.sql, hq.schema)
+		header["X-Fault-Seed"] = fmt.Sprint(chaosSeed + int64(idx))
+	case 9: // server-side timeout: slow instance + guaranteed parse delay
+		baseURL = slowURL
+		body = marshal(hq.sql, hq.schema)
+		header["X-Fault-Seed"] = fmt.Sprint(delaySeed)
+	default: // mid-request cancellation
+		body = marshal(hq.sql, hq.schema)
+		cancelIn = time.Duration(1+rng.Intn(5)) * time.Millisecond
+		if rng.Intn(2) == 0 { // cancel during an injected delay for good measure
+			header["X-Fault-Seed"] = fmt.Sprint(chaosSeed + int64(idx))
+		}
+	}
+
+	ctx := context.Background()
+	if cancelIn > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cancelIn)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+endpoint, bytes.NewReader(body))
+	if err != nil {
+		fail(idx, "build request: %v", err)
+		return chaosOutcome{}, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+
+	resp, err := client.Do(req)
+	if err != nil {
+		if cancelIn > 0 {
+			// Client-side abort is this kind's expected outcome.
+			return chaosOutcome{clientTO: true}, true
+		}
+		fail(idx, "request failed: %v", err)
+		return chaosOutcome{}, false
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if cancelIn > 0 {
+			return chaosOutcome{clientTO: true}, true
+		}
+		fail(idx, "read body: %v", err)
+		return chaosOutcome{}, false
+	}
+
+	out := chaosOutcome{status: resp.StatusCode}
+	if resp.StatusCode == http.StatusOK {
+		var okBody map[string]any
+		if err := json.Unmarshal(raw, &okBody); err != nil {
+			fail(idx, "200 body not JSON: %v\n%s", err, raw)
+			return chaosOutcome{}, false
+		}
+		return out, true
+	}
+	var eb struct {
+		Error struct {
+			Category string `json:"category"`
+			Message  string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &eb); err != nil {
+		fail(idx, "status %d body not a JSON error: %v\n%s", resp.StatusCode, err, raw)
+		return chaosOutcome{}, false
+	}
+	if eb.Error.Category == "" || eb.Error.Message == "" {
+		fail(idx, "status %d error body incomplete: %s", resp.StatusCode, raw)
+		return chaosOutcome{}, false
+	}
+	// Injected panics must never leak their panic text to the client.
+	if strings.Contains(eb.Error.Message, "injected panic") {
+		fail(idx, "panic value leaked: %s", eb.Error.Message)
+		return chaosOutcome{}, false
+	}
+	out.category = eb.Error.Category
+	return out, true
+}

@@ -1,0 +1,174 @@
+// Package faults is a deterministic fault-injection harness for the
+// SQL → TRC → logic-tree → diagram pipeline. The facade registers one
+// injection point per pipeline stage (see Stages); a test selects which
+// points misbehave — and how — by building a Plan from a seed and
+// attaching it to the request context. Production requests carry no plan,
+// so Fire is a single context-value lookup returning nil.
+//
+// Plans are pure functions of their seed: the same seed always injects
+// the same faults at the same stages, which is what makes a chaos-test
+// failure reproducible from its logged seed alone.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stage names one pipeline injection point.
+type Stage string
+
+const (
+	StageParse   Stage = "parse"
+	StageResolve Stage = "resolve"
+	StageConvert Stage = "convert"
+	StageTree    Stage = "logictree"
+	StageBuild   Stage = "build"
+	StageRender  Stage = "render"
+)
+
+// Stages lists every injection point in pipeline order.
+var Stages = []Stage{
+	StageParse, StageResolve, StageConvert, StageTree, StageBuild, StageRender,
+}
+
+// Action is what an injection point does when fired.
+type Action int
+
+const (
+	// ActNone leaves the stage untouched.
+	ActNone Action = iota
+	// ActError makes the stage fail with an error wrapping ErrInjected.
+	ActError
+	// ActPanic makes the stage panic, exercising the facade's recovery
+	// boundary.
+	ActPanic
+	// ActDelay stalls the stage, exercising deadline and cancellation
+	// handling. The stall honors context cancellation, modeling a slow but
+	// cooperative stage.
+	ActDelay
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActNone:
+		return "none"
+	case ActError:
+		return "error"
+	case ActPanic:
+		return "panic"
+	case ActDelay:
+		return "delay"
+	}
+	return "unknown"
+}
+
+// ErrInjected is the sentinel wrapped by every injected error.
+var ErrInjected = errors.New("injected fault")
+
+// Fault is one injection point's behavior.
+type Fault struct {
+	Action Action
+	Delay  time.Duration // only meaningful for ActDelay
+}
+
+// Plan assigns a Fault to each pipeline stage. The zero value injects
+// nothing.
+type Plan struct {
+	Seed   int64
+	Faults map[Stage]Fault
+}
+
+// NewPlan derives a plan deterministically from seed. Roughly 70% of
+// stages are left alone; the rest split between errors, panics, and
+// cancellation-respecting delays of 5–45ms.
+func NewPlan(seed int64) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{Seed: seed, Faults: make(map[Stage]Fault, len(Stages))}
+	for _, s := range Stages {
+		switch v := rng.Float64(); {
+		case v < 0.70:
+			// healthy stage
+		case v < 0.82:
+			p.Faults[s] = Fault{Action: ActError}
+		case v < 0.91:
+			p.Faults[s] = Fault{Action: ActPanic}
+		default:
+			p.Faults[s] = Fault{
+				Action: ActDelay,
+				Delay:  5*time.Millisecond + time.Duration(rng.Intn(41))*time.Millisecond,
+			}
+		}
+	}
+	return p
+}
+
+// Describe renders the plan's non-trivial faults in stage order, e.g.
+// "parse:panic build:delay(12ms)".
+func (p *Plan) Describe() string {
+	var parts []string
+	for _, s := range Stages {
+		f, ok := p.Faults[s]
+		if !ok || f.Action == ActNone {
+			continue
+		}
+		if f.Action == ActDelay {
+			parts = append(parts, fmt.Sprintf("%s:delay(%s)", s, f.Delay))
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s:%s", s, f.Action))
+	}
+	sort.Strings(parts)
+	if len(parts) == 0 {
+		return "healthy"
+	}
+	return strings.Join(parts, " ")
+}
+
+type planKey struct{}
+
+// WithPlan attaches a fault plan to the context. Passing nil returns ctx
+// unchanged.
+func WithPlan(ctx context.Context, p *Plan) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, planKey{}, p)
+}
+
+// FromContext returns the plan attached to ctx, or nil.
+func FromContext(ctx context.Context) *Plan {
+	p, _ := ctx.Value(planKey{}).(*Plan)
+	return p
+}
+
+// Fire triggers the injection point for stage s according to the plan on
+// ctx. Without a plan (the production path) it returns nil immediately.
+// With one it returns an injected error, panics, or stalls until the
+// delay elapses or the context is done — whichever the plan dictates.
+func Fire(ctx context.Context, s Stage) error {
+	p := FromContext(ctx)
+	if p == nil {
+		return nil
+	}
+	switch f := p.Faults[s]; f.Action {
+	case ActError:
+		return fmt.Errorf("%w at stage %s (seed %d)", ErrInjected, s, p.Seed)
+	case ActPanic:
+		panic(fmt.Sprintf("faults: injected panic at stage %s (seed %d)", s, p.Seed))
+	case ActDelay:
+		t := time.NewTimer(f.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}

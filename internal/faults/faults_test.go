@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestPlanDeterminism: same seed, same plan — the property chaos-failure
+// reproduction rests on.
+func TestPlanDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 2000; seed++ {
+		a, b := NewPlan(seed), NewPlan(seed)
+		if a.Describe() != b.Describe() {
+			t.Fatalf("seed %d: %q vs %q", seed, a.Describe(), b.Describe())
+		}
+		for s, fa := range a.Faults {
+			if b.Faults[s] != fa {
+				t.Fatalf("seed %d stage %s: %+v vs %+v", seed, s, fa, b.Faults[s])
+			}
+		}
+	}
+}
+
+// TestPlanMix: over many seeds, every action kind occurs and healthy
+// stages dominate — the distribution the chaos test relies on to cover
+// all paths.
+func TestPlanMix(t *testing.T) {
+	counts := map[Action]int{}
+	total := 0
+	for seed := int64(1); seed <= 500; seed++ {
+		p := NewPlan(seed)
+		for _, s := range Stages {
+			counts[p.Faults[s].Action]++
+			total++
+		}
+	}
+	if counts[ActError] == 0 || counts[ActPanic] == 0 || counts[ActDelay] == 0 {
+		t.Fatalf("action mix incomplete: %v", counts)
+	}
+	if healthy := total - counts[ActError] - counts[ActPanic] - counts[ActDelay]; healthy < total/2 {
+		t.Fatalf("healthy stages %d/%d — too few for the chaos corpus", healthy, total)
+	}
+}
+
+func TestFireWithoutPlan(t *testing.T) {
+	if err := Fire(context.Background(), StageParse); err != nil {
+		t.Fatalf("Fire without plan = %v, want nil", err)
+	}
+}
+
+func TestFireError(t *testing.T) {
+	p := &Plan{Seed: 7, Faults: map[Stage]Fault{StageConvert: {Action: ActError}}}
+	ctx := WithPlan(context.Background(), p)
+	err := Fire(ctx, StageConvert)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if err := Fire(ctx, StageParse); err != nil {
+		t.Fatalf("untouched stage fired: %v", err)
+	}
+}
+
+func TestFirePanic(t *testing.T) {
+	p := &Plan{Seed: 7, Faults: map[Stage]Fault{StageBuild: {Action: ActPanic}}}
+	ctx := WithPlan(context.Background(), p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fire did not panic")
+		}
+	}()
+	_ = Fire(ctx, StageBuild)
+}
+
+// TestFireDelayHonorsCancellation: a delayed stage must return the
+// context error promptly once the context is done, not sleep on.
+func TestFireDelayHonorsCancellation(t *testing.T) {
+	p := &Plan{Seed: 7, Faults: map[Stage]Fault{StageParse: {Action: ActDelay, Delay: 10 * time.Second}}}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	ctx = WithPlan(ctx, p)
+
+	start := time.Now()
+	err := Fire(ctx, StageParse)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("delayed stage held for %v after cancellation", el)
+	}
+}
+
+func TestFireDelayElapses(t *testing.T) {
+	p := &Plan{Seed: 7, Faults: map[Stage]Fault{StageParse: {Action: ActDelay, Delay: time.Millisecond}}}
+	ctx := WithPlan(context.Background(), p)
+	if err := Fire(ctx, StageParse); err != nil {
+		t.Fatalf("elapsed delay returned %v", err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if got := (&Plan{}).Describe(); got != "healthy" {
+		t.Fatalf("zero plan = %q", got)
+	}
+	p := &Plan{Faults: map[Stage]Fault{
+		StageParse: {Action: ActPanic},
+		StageBuild: {Action: ActDelay, Delay: 12 * time.Millisecond},
+	}}
+	if got := p.Describe(); got != "build:delay(12ms) parse:panic" {
+		t.Fatalf("Describe = %q", got)
+	}
+}

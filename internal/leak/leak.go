@@ -1,0 +1,50 @@
+// Package leak is a small goroutine-leak checker for tests: snapshot the
+// goroutine count when the test starts, and verify — with retries, since
+// goroutines wind down asynchronously — that the count returns to the
+// baseline before the test ends.
+//
+// Usage:
+//
+//	defer leak.Check(t)()
+//
+// The checker is count-based rather than stack-based, which is enough to
+// catch the failure modes the server tests care about (handlers blocked
+// past shutdown, abandoned semaphore waiters, renderers outliving their
+// request) without depending on goroutine-identity heuristics.
+package leak
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// Check records the current goroutine count and returns a function that
+// fails t if the count has not returned to the baseline within a grace
+// period. Call it before starting servers or workers and defer the
+// result.
+func Check(t testing.TB) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		var buf bytes.Buffer
+		_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
+		t.Errorf("goroutine leak: %d goroutines at start, %d after grace period\n%s",
+			base, n, buf.String())
+	}
+}

@@ -1,0 +1,54 @@
+package logictree
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/trc"
+)
+
+// TestFromTRCNilExpr: a nil (or rootless) TRC expression used to send
+// FromTRC straight into a nil-pointer dereference. Regression test for
+// the guards: the context variant reports the error, the legacy variant
+// degrades to an empty tree, and the empty tree survives every
+// downstream operation without panicking.
+func TestFromTRCNilExpr(t *testing.T) {
+	ctx := context.Background()
+
+	for _, tc := range []struct {
+		name string
+		e    *trc.Expr
+	}{
+		{"nil expr", nil},
+		{"nil root", &trc.Expr{}},
+	} {
+		if _, err := FromTRCContext(ctx, tc.e); err == nil {
+			t.Fatalf("%s: FromTRCContext accepted it", tc.name)
+		} else if !strings.Contains(err.Error(), "no root block") {
+			t.Fatalf("%s: unexpected error: %v", tc.name, err)
+		}
+
+		lt := FromTRC(tc.e)
+		if lt == nil || lt.Root == nil {
+			t.Fatalf("%s: FromTRC returned nil tree/root", tc.name)
+		}
+	}
+}
+
+// TestEmptyTreeOperations: the degenerate trees the guards produce must
+// be inert, not booby-trapped.
+func TestEmptyTreeOperations(t *testing.T) {
+	ctx := context.Background()
+	for _, lt := range []*LT{{}, {Root: &Node{}}, FromTRC(nil)} {
+		_ = lt.String()
+		_ = lt.ToTRC()
+		_ = lt.Clone()
+		if _, err := lt.FlattenContext(ctx); err != nil {
+			t.Fatalf("FlattenContext on empty tree: %v", err)
+		}
+		if _, err := lt.SimplifyContext(ctx); err != nil {
+			t.Fatalf("SimplifyContext on empty tree: %v", err)
+		}
+	}
+}

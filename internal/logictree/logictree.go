@@ -11,6 +11,7 @@
 package logictree
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,6 +19,25 @@ import (
 	"repro/internal/sqlparse"
 	"repro/internal/trc"
 )
+
+// ctxStepper amortizes cancellation checks over tree traversals: one
+// ctx.Err() call every few hundred visited nodes. A nil ctx disables
+// checking entirely, so the non-context entry points pay only an
+// increment per node.
+type ctxStepper struct {
+	ctx context.Context
+	n   uint
+}
+
+func (s *ctxStepper) step() error {
+	if s.ctx == nil {
+		return nil
+	}
+	if s.n++; s.n&255 != 0 {
+		return nil
+	}
+	return s.ctx.Err()
+}
 
 // Table is one table instance in a node: a tuple-variable name bound to a
 // relation, e.g. {Var: "L2", Relation: "Likes"}.
@@ -46,52 +66,112 @@ type LT struct {
 
 // FromTRC builds a logic tree from a TRC expression. The structures are
 // isomorphic (Fig. 8: "TRC = LT"); this is a deep structural copy so that
-// later transformations never alias the TRC expression.
+// later transformations never alias the TRC expression. A nil expression
+// or missing root yields an empty tree (which Validate rejects) rather
+// than a nil-dereference panic.
 func FromTRC(e *trc.Expr) *LT {
+	lt, err := FromTRCContext(context.Background(), e)
+	if err != nil {
+		return &LT{Root: &Node{}}
+	}
+	return lt
+}
+
+// FromTRCContext is FromTRC with cooperative cancellation and an error
+// for structurally unusable input (nil expression or root).
+func FromTRCContext(ctx context.Context, e *trc.Expr) (*LT, error) {
+	if e == nil || e.Root == nil {
+		return nil, fmt.Errorf("logictree: TRC expression has no root block")
+	}
+	st := &ctxStepper{ctx: ctx}
 	lt := &LT{
 		Select:  append([]trc.SelectItem(nil), e.Select...),
 		GroupBy: append([]trc.Attr(nil), e.GroupBy...),
 	}
-	var conv func(b *trc.Block) *Node
-	conv = func(b *trc.Block) *Node {
+	var conv func(b *trc.Block) (*Node, error)
+	conv = func(b *trc.Block) (*Node, error) {
+		if err := st.step(); err != nil {
+			return nil, err
+		}
 		n := &Node{Quant: b.Quant}
 		for _, v := range b.Vars {
 			n.Tables = append(n.Tables, Table{Var: v.Name, Relation: v.Relation})
 		}
 		n.Preds = append(n.Preds, b.Preds...)
 		for _, s := range b.Subs {
-			n.Children = append(n.Children, conv(s))
+			c, err := conv(s)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, c)
 		}
-		return n
+		return n, nil
 	}
-	lt.Root = conv(e.Root)
-	return lt
+	root, err := conv(e.Root)
+	if err != nil {
+		return nil, err
+	}
+	lt.Root = root
+	return lt, nil
 }
 
 // ToTRC converts the logic tree back to a TRC expression (used to render
 // simplified TRC as in Fig. 9b).
 func (lt *LT) ToTRC() *trc.Expr {
-	var conv func(n *Node) *trc.Block
-	conv = func(n *Node) *trc.Block {
+	e, _ := lt.toTRC(nil) // nil stepper ctx: cannot fail
+	return e
+}
+
+func (lt *LT) toTRC(ctx context.Context) (*trc.Expr, error) {
+	if lt.Root == nil {
+		return &trc.Expr{
+			Select:  append([]trc.SelectItem(nil), lt.Select...),
+			GroupBy: append([]trc.Attr(nil), lt.GroupBy...),
+			Root:    &trc.Block{},
+		}, nil
+	}
+	st := &ctxStepper{ctx: ctx}
+	var conv func(n *Node) (*trc.Block, error)
+	conv = func(n *Node) (*trc.Block, error) {
+		if err := st.step(); err != nil {
+			return nil, err
+		}
 		b := &trc.Block{Quant: n.Quant}
 		for _, t := range n.Tables {
 			b.Vars = append(b.Vars, trc.Var{Name: t.Var, Relation: t.Relation})
 		}
 		b.Preds = append(b.Preds, n.Preds...)
 		for _, c := range n.Children {
-			b.Subs = append(b.Subs, conv(c))
+			s, err := conv(c)
+			if err != nil {
+				return nil, err
+			}
+			b.Subs = append(b.Subs, s)
 		}
-		return b
+		return b, nil
+	}
+	root, err := conv(lt.Root)
+	if err != nil {
+		return nil, err
 	}
 	return &trc.Expr{
 		Select:  append([]trc.SelectItem(nil), lt.Select...),
 		GroupBy: append([]trc.Attr(nil), lt.GroupBy...),
-		Root:    conv(lt.Root),
-	}
+		Root:    root,
+	}, nil
 }
 
 // Clone returns a deep copy of the tree.
 func (lt *LT) Clone() *LT { return FromTRC(lt.ToTRC()) }
+
+// CloneContext is Clone with cooperative cancellation.
+func (lt *LT) CloneContext(ctx context.Context) (*LT, error) {
+	e, err := lt.toTRC(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return FromTRCContext(ctx, e)
+}
 
 // Walk visits every node in depth-first pre-order.
 func (lt *LT) Walk(fn func(n *Node, depth int)) {
@@ -163,25 +243,52 @@ func (lt *LT) DepthOf(varName string) int {
 // and L5/L6 pairs both transform while L2 (two children) is left as ∄,
 // exactly as in Fig. 10b.
 func (lt *LT) Simplify() *LT {
-	var rec func(n *Node)
-	rec = func(n *Node) {
+	lt2, _ := lt.SimplifyContext(nil) // nil ctx: cannot fail
+	return lt2
+}
+
+// SimplifyContext is Simplify with cooperative cancellation.
+func (lt *LT) SimplifyContext(ctx context.Context) (*LT, error) {
+	if lt.Root == nil {
+		return lt, nil
+	}
+	st := &ctxStepper{ctx: ctx}
+	var rec func(n *Node) error
+	rec = func(n *Node) error {
+		if err := st.step(); err != nil {
+			return err
+		}
 		if n.Quant == trc.NotExists && len(n.Children) == 1 &&
 			n.Children[0].Quant == trc.NotExists {
 			n.Quant = trc.ForAll
 			n.Children[0].Quant = trc.Exists
 		}
 		for _, c := range n.Children {
-			rec(c)
+			if err := rec(c); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
 	for _, c := range lt.Root.Children {
-		rec(c)
+		if err := rec(c); err != nil {
+			return nil, err
+		}
 	}
-	return lt
+	return lt, nil
 }
 
 // Simplified returns a simplified deep copy, leaving the receiver intact.
 func (lt *LT) Simplified() *LT { return lt.Clone().Simplify() }
+
+// SimplifiedContext is Simplified with cooperative cancellation.
+func (lt *LT) SimplifiedContext(ctx context.Context) (*LT, error) {
+	c, err := lt.CloneContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return c.SimplifyContext(ctx)
+}
 
 // Flatten merges every ∃ block into its parent block and returns the
 // receiver. An EXISTS subquery over a conjunction is logically identical
@@ -191,9 +298,22 @@ func (lt *LT) Simplified() *LT { return lt.Clone().Simplify() }
 // so that diagram → LT recovery is exact. The single ∃ child of a ∀ block
 // is the implication's consequent and is never merged.
 func (lt *LT) Flatten() *LT {
-	var rec func(n *Node)
-	rec = func(n *Node) {
+	lt2, _ := lt.FlattenContext(nil) // nil ctx: cannot fail
+	return lt2
+}
+
+// FlattenContext is Flatten with cooperative cancellation.
+func (lt *LT) FlattenContext(ctx context.Context) (*LT, error) {
+	if lt.Root == nil {
+		return lt, nil
+	}
+	st := &ctxStepper{ctx: ctx}
+	var rec func(n *Node) error
+	rec = func(n *Node) error {
 		for {
+			if err := st.step(); err != nil {
+				return err
+			}
 			merged := false
 			var kept []*Node
 			for _, c := range n.Children {
@@ -212,11 +332,16 @@ func (lt *LT) Flatten() *LT {
 			}
 		}
 		for _, c := range n.Children {
-			rec(c)
+			if err := rec(c); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	rec(lt.Root)
-	return lt
+	if err := rec(lt.Root); err != nil {
+		return nil, err
+	}
+	return lt, nil
 }
 
 // Flattened returns a flattened deep copy, leaving the receiver intact.
@@ -273,7 +398,11 @@ func (lt *LT) String() string {
 			rec(c, depth+1)
 		}
 	}
-	rec(lt.Root, 0)
+	// A rootless tree (the degenerate value the nil-TRC guards produce)
+	// renders as just its header instead of dereferencing nil.
+	if lt.Root != nil {
+		rec(lt.Root, 0)
+	}
 	return strings.TrimRight(b.String(), "\n")
 }
 

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -54,19 +55,33 @@ func (f *Failure) Error() string { return fmt.Sprintf("[%s] %s", f.Stage, f.Deta
 // pipelineLT runs SQL → TRC → flattened logic tree, the ∄-form the
 // diagram and its recovery are defined on.
 func pipelineLT(src string, s *schema.Schema) (*logictree.LT, error) {
-	q, err := sqlparse.Parse(src)
+	return pipelineLTContext(context.Background(), src, s)
+}
+
+// pipelineLTContext is pipelineLT under a context: every stage is
+// cancelable, so a deadline interrupts even a single slow query instead
+// of waiting for it to finish.
+func pipelineLTContext(ctx context.Context, src string, s *schema.Schema) (*logictree.LT, error) {
+	q, err := sqlparse.ParseContext(ctx, src)
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
-	r, err := sqlparse.Resolve(q, s)
+	r, err := sqlparse.ResolveContext(ctx, q, s)
 	if err != nil {
 		return nil, fmt.Errorf("resolve: %w", err)
 	}
-	e, err := trc.Convert(q, r)
+	e, err := trc.ConvertContext(ctx, q, r)
 	if err != nil {
 		return nil, fmt.Errorf("convert: %w", err)
 	}
-	return logictree.FromTRC(e).Flatten(), nil
+	lt, err := logictree.FromTRCContext(ctx, e)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := lt.FlattenContext(ctx); err != nil {
+		return nil, err
+	}
+	return lt, nil
 }
 
 // canonKey is logictree.Canonical with the GROUP BY attribute order
@@ -84,14 +99,22 @@ func canonKey(lt *logictree.LT) string {
 // diagram recovery, SQL re-derivation, pattern cross-checks, and
 // execution on every database. nil means every stage agreed.
 func Check(sql string, s *schema.Schema, dbs []*TestDB) *Failure {
-	lt, err := pipelineLT(sql, s)
+	return CheckContext(context.Background(), sql, s, dbs)
+}
+
+// CheckContext is Check under a context. When the context is done the
+// differential aborts mid-stage and returns a Failure wrapping the
+// context error; callers that care must test ctx.Err() before treating
+// the result as a genuine counterexample.
+func CheckContext(ctx context.Context, sql string, s *schema.Schema, dbs []*TestDB) *Failure {
+	lt, err := pipelineLTContext(ctx, sql, s)
 	if err != nil {
 		return &Failure{StageGen, err.Error()}
 	}
 	if err := lt.Validate(); err != nil {
 		return &Failure{StageValidate, err.Error()}
 	}
-	d, err := core.Build(lt)
+	d, err := core.BuildContext(ctx, lt)
 	if err != nil {
 		return &Failure{StageBuild, err.Error()}
 	}
@@ -111,7 +134,7 @@ func Check(sql string, s *schema.Schema, dbs []*TestDB) *Failure {
 		return &Failure{StageReSQL, err.Error()}
 	}
 	sql2 := sqlparse.Format(q2)
-	lt2, err := pipelineLT(sql2, s)
+	lt2, err := pipelineLTContext(ctx, sql2, s)
 	if err != nil {
 		return &Failure{StageReSQL, fmt.Sprintf("re-derived SQL rejected: %v\n%s", err, sql2)}
 	}
@@ -121,7 +144,7 @@ func Check(sql string, s *schema.Schema, dbs []*TestDB) *Failure {
 			sql2, canonKey(lt), canonKey(lt2))}
 	}
 
-	d2, err := core.Build(rec)
+	d2, err := core.BuildContext(ctx, rec)
 	if err != nil {
 		return &Failure{StagePattern, fmt.Sprintf("recovered tree does not build: %v", err)}
 	}
@@ -144,6 +167,9 @@ func Check(sql string, s *schema.Schema, dbs []*TestDB) *Failure {
 		{"simplified", lt.Simplified()},
 	}
 	for i, tdb := range dbs {
+		if err := ctx.Err(); err != nil {
+			return &Failure{StageExec, fmt.Sprintf("db %d: %v", i, err)}
+		}
 		db := tdb.Database()
 		r0, err := rel.EvalLT(db, lt)
 		if err != nil {
@@ -172,6 +198,10 @@ type Report struct {
 	// QueryHash fingerprints the generated SQL stream: equal seeds and
 	// configs produce equal hashes, which is how determinism is asserted.
 	QueryHash uint64 `json:"query_hash"`
+	// TimedOut marks a run cut short by its deadline (or canceled). The
+	// report is then the partial result over the queries that did finish —
+	// a prefix of the corresponding unbounded run.
+	TimedOut bool `json:"timed_out,omitempty"`
 }
 
 // QueriesPerSec is the oracle's end-to-end throughput.
@@ -196,6 +226,22 @@ func Run(cfg Config, n int, seed int64) (*Report, error) {
 // RunFor is Run with an optional wall-clock budget; timeout <= 0 means no
 // limit. A timed-out run is a prefix of the corresponding full run.
 func RunFor(cfg Config, n int, seed int64, timeout time.Duration) (*Report, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return RunContext(ctx, cfg, n, seed)
+}
+
+// RunContext is Run under a context. The deadline is honored end to end:
+// it is checked between queries and threaded through every pipeline
+// stage of the differential, so even one pathologically slow query
+// cannot hold the run past its budget. A timed-out or canceled run
+// returns the partial report (TimedOut set) rather than an error — the
+// queries that did complete remain a valid, reproducible prefix.
+func RunContext(ctx context.Context, cfg Config, n int, seed int64) (*Report, error) {
 	schemas, err := cfg.schemaSet()
 	if err != nil {
 		return nil, err
@@ -206,7 +252,8 @@ func RunFor(cfg Config, n int, seed int64, timeout time.Duration) (*Report, erro
 	master := rand.New(rand.NewSource(seed))
 	for i := 0; i < n; i++ {
 		qseed := master.Int63()
-		if timeout > 0 && time.Since(start) > timeout {
+		if ctx.Err() != nil {
+			rep.TimedOut = true
 			break
 		}
 		rng := rand.New(rand.NewSource(qseed))
@@ -219,7 +266,14 @@ func RunFor(cfg Config, n int, seed int64, timeout time.Duration) (*Report, erro
 			dbs[j] = RandomDB(rng, s, cfg)
 		}
 		rep.Queries++
-		if f := Check(sql, s, dbs); f != nil {
+		if f := CheckContext(ctx, sql, s, dbs); f != nil {
+			if ctx.Err() != nil {
+				// The "failure" is the deadline firing mid-check, not a real
+				// counterexample; the interrupted query does not count.
+				rep.Queries--
+				rep.TimedOut = true
+				break
+			}
 			rep.Failures = append(rep.Failures, Minimize(q, s, dbs, f, Check))
 			if len(rep.Failures) >= maxFailures {
 				break

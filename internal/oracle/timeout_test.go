@@ -1,0 +1,82 @@
+package oracle
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRunContextCanceled: a context that is already done yields an empty
+// partial report immediately — no error, no phantom counterexamples.
+func TestRunContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	start := time.Now()
+	rep, err := RunContext(ctx, DefaultConfig(), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries != 0 || len(rep.Failures) != 0 {
+		t.Fatalf("canceled run checked %d queries with %d failures", rep.Queries, len(rep.Failures))
+	}
+	if !rep.TimedOut {
+		t.Fatal("canceled run did not set TimedOut")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("canceled run took %v", el)
+	}
+}
+
+// TestRunContextPartial: a deadline in the middle of a large run returns
+// a partial report promptly, and the completed prefix is the same prefix
+// the unbounded run would have checked.
+func TestRunContextPartial(t *testing.T) {
+	cfg := DefaultConfig()
+	const n = 100_000 // far more than fits the budget
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	rep, err := RunContext(ctx, cfg, n, 7)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TimedOut {
+		t.Fatal("run did not report TimedOut")
+	}
+	if rep.Queries == 0 || rep.Queries >= n {
+		t.Fatalf("partial run checked %d queries, want 0 < q < %d", rep.Queries, n)
+	}
+	// End-to-end enforcement: the run must stop close to the budget even
+	// though individual checks are in flight when it expires.
+	if elapsed > 2*time.Second {
+		t.Fatalf("run overshot its 300ms budget: %v", elapsed)
+	}
+
+	// The completed prefix must match an unbounded run over the same seed:
+	// same queries in the same order, and no failures the full run lacks.
+	full, err := Run(cfg, rep.Queries, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Queries != rep.Queries {
+		t.Fatalf("prefix re-run checked %d queries, want %d", full.Queries, rep.Queries)
+	}
+	if len(full.Failures) != len(rep.Failures) {
+		t.Fatalf("prefix failures differ: %d vs %d", len(full.Failures), len(rep.Failures))
+	}
+}
+
+// TestRunForDelegatesToContext: the wall-clock flag path produces the
+// same partial-report shape.
+func TestRunForDelegatesToContext(t *testing.T) {
+	rep, err := RunFor(DefaultConfig(), 100_000, 7, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TimedOut || rep.Queries == 0 {
+		t.Fatalf("RunFor: TimedOut=%v Queries=%d", rep.TimedOut, rep.Queries)
+	}
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+)
+
+// BenchmarkDiagramEndpoint measures the full HTTP round trip for
+// /v1/diagram on the paper's Fig. 1 query, reporting throughput and the
+// p99 request latency — the numbers recorded in BENCH_server.json.
+func BenchmarkDiagramEndpoint(b *testing.B) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+
+	body, err := json.Marshal(diagramRequest{SQL: corpus.Fig1UniqueSet, Schema: "beers"})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const workers = 8
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+	)
+	b.ResetTimer()
+	start := time.Now()
+	b.SetParallelism(workers)
+	b.RunParallel(func(pb *testing.PB) {
+		client := ts.Client()
+		var local []time.Duration
+		for pb.Next() {
+			t0 := time.Now()
+			resp, err := client.Post(ts.URL+"/v1/diagram", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status = %d", resp.StatusCode)
+				return
+			}
+			local = append(local, time.Since(t0))
+		}
+		mu.Lock()
+		latencies = append(latencies, local...)
+		mu.Unlock()
+	})
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	if len(latencies) == 0 {
+		return
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[len(latencies)*99/100]
+	if len(latencies)*99/100 >= len(latencies) {
+		p99 = latencies[len(latencies)-1]
+	}
+	b.ReportMetric(float64(len(latencies))/elapsed.Seconds(), "req/s")
+	b.ReportMetric(float64(p99.Microseconds())/1000, "p99-ms")
+}

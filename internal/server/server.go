@@ -1,0 +1,371 @@
+// Package server is the hardened HTTP facade over the QueryVis pipeline:
+// JSON-over-HTTP endpoints with per-request deadlines, a concurrency-
+// limiting semaphore that sheds load instead of queueing it, request- and
+// response-size caps, a machine-readable error taxonomy (see errors.go),
+// and panic containment — an internal invariant violation produces a 500
+// with a structured body, never a dropped connection.
+//
+// Endpoints:
+//
+//	POST /v1/diagram   {"sql", "schema", "simplify", "format"} → rendered diagram
+//	POST /v1/interpret {"sql", "schema", "simplify"}           → NL reading + TRC
+//	GET  /v1/healthz                                           → liveness + load
+//
+// The server itself is only an http.Handler; listener lifecycle (and
+// graceful shutdown draining in-flight requests) belongs to the caller —
+// see cmd/queryvisd.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	queryvis "repro"
+	"repro/internal/faults"
+	"repro/internal/schema"
+)
+
+// Config tunes the service's resource guards. Zero fields take the
+// documented defaults.
+type Config struct {
+	// Limits bounds each query's resource use; the zero value means
+	// DefaultLimits. Use Unlimited to disable bounds entirely.
+	Limits queryvis.Limits
+	// Unlimited disables per-query limits (Limits is ignored).
+	Unlimited bool
+	// RequestTimeout is the per-request pipeline deadline (default 5s).
+	RequestTimeout time.Duration
+	// MaxConcurrent bounds simultaneously served requests; excess load is
+	// shed with 429 + Retry-After (default 64).
+	MaxConcurrent int
+	// MaxBodyBytes caps the request body (default 1 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// AllowFaultInjection honors the X-Fault-Seed request header by
+	// attaching a deterministic fault plan to the request context. For
+	// chaos tests only — never enable it on a production listener.
+	AllowFaultInjection bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Limits == (queryvis.Limits{}) && !c.Unlimited {
+		c.Limits = queryvis.DefaultLimits()
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the http.Handler for the hardened service.
+type Server struct {
+	cfg      Config
+	sem      chan struct{}
+	mux      *http.ServeMux
+	start    time.Time
+	inflight atomic.Int64
+	served   atomic.Int64
+	shed     atomic.Int64
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("/v1/diagram", s.guarded(s.handleDiagram))
+	s.mux.HandleFunc("/v1/interpret", s.guarded(s.handleInterpret))
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// InFlight reports the number of requests currently inside the
+// semaphore; it drains to zero once shutdown finishes.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// guarded wraps a query handler with the full guard stack: method check,
+// load shedding, per-request deadline, body cap, optional fault-plan
+// attachment, and a last-resort panic boundary (the facade already
+// contains pipeline panics; this one contains handler bugs).
+func (s *Server) guarded(h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeAPIError(w, http.StatusMethodNotAllowed, apiError{
+				Category: CatBadRequest, Message: "use POST",
+			})
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			writeAPIError(w, http.StatusTooManyRequests, apiError{
+				Category: CatOverloaded,
+				Message:  fmt.Sprintf("all %d workers busy; retry later", s.cfg.MaxConcurrent),
+			})
+			return
+		}
+		s.inflight.Add(1)
+		defer func() {
+			s.inflight.Add(-1)
+			<-s.sem
+		}()
+		s.served.Add(1)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		if s.cfg.AllowFaultInjection {
+			if hv := r.Header.Get("X-Fault-Seed"); hv != "" {
+				seed, err := strconv.ParseInt(hv, 10, 64)
+				if err != nil {
+					writeAPIError(w, http.StatusBadRequest, apiError{
+						Category: CatBadRequest, Message: "X-Fault-Seed must be an integer",
+					})
+					return
+				}
+				ctx = faults.WithPlan(ctx, faults.NewPlan(seed))
+			}
+		}
+		r = r.WithContext(ctx)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+		defer func() {
+			if rec := recover(); rec != nil {
+				writeAPIError(w, http.StatusInternalServerError, apiError{
+					Category: CatInternal,
+					Message:  "internal error",
+					Stage:    "handler",
+				})
+			}
+		}()
+		if err := h(w, r); err != nil {
+			writeError(w, err)
+		}
+	}
+}
+
+// decode reads the JSON request body into v, distinguishing an oversized
+// body from a malformed one.
+func (s *Server) decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &requestError{http.StatusRequestEntityTooLarge, apiError{
+				Category: CatTooLarge,
+				Message:  fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+			}}
+		}
+		return &requestError{http.StatusBadRequest, apiError{
+			Category: CatBadRequest, Message: "malformed JSON body: " + err.Error(),
+		}}
+	}
+	return nil
+}
+
+// requestError is an envelope-level failure with its own status code.
+type requestError struct {
+	status int
+	ae     apiError
+}
+
+func (e *requestError) Error() string { return e.ae.Message }
+
+// diagramRequest is the body of /v1/diagram and /v1/interpret.
+type diagramRequest struct {
+	SQL    string `json:"sql"`
+	Schema string `json:"schema"`
+	// Simplify applies the ∄∄ → ∀∃ rewrite before rendering.
+	Simplify bool `json:"simplify,omitempty"`
+	// Format selects the rendering: "dot" (default), "svg", or "text".
+	// Only /v1/diagram reads it.
+	Format string `json:"format,omitempty"`
+}
+
+// validate resolves the request's schema and defaults its format.
+func (s *Server) validate(req *diagramRequest) (*schema.Schema, error) {
+	if req.SQL == "" {
+		return nil, &requestError{http.StatusBadRequest, apiError{
+			Category: CatBadRequest, Message: `missing "sql" field`,
+		}}
+	}
+	if req.Schema == "" {
+		return nil, &requestError{http.StatusBadRequest, apiError{
+			Category: CatBadRequest, Message: `missing "schema" field`,
+		}}
+	}
+	sch, ok := schema.ByName(req.Schema)
+	if !ok {
+		return nil, &requestError{http.StatusBadRequest, apiError{
+			Category: CatBadRequest,
+			Message:  fmt.Sprintf("unknown schema %q; one of %v", req.Schema, schema.BuiltinNames()),
+		}}
+	}
+	switch req.Format {
+	case "":
+		req.Format = "dot"
+	case "dot", "svg", "text":
+	default:
+		return nil, &requestError{http.StatusBadRequest, apiError{
+			Category: CatBadRequest,
+			Message:  fmt.Sprintf("unknown format %q; one of dot, svg, text", req.Format),
+		}}
+	}
+	return sch, nil
+}
+
+// writeRequestError reports envelope-level failures; pipeline errors go
+// through classify.
+func (s *Server) fail(w http.ResponseWriter, err error) error {
+	var re *requestError
+	if errors.As(err, &re) {
+		writeAPIError(w, re.status, re.ae)
+		return nil
+	}
+	return err
+}
+
+func (s *Server) options(req *diagramRequest) queryvis.Options {
+	opts := queryvis.Options{Simplify: req.Simplify}
+	if !s.cfg.Unlimited {
+		lim := s.cfg.Limits
+		opts.Limits = &lim
+	}
+	return opts
+}
+
+type diagramResponse struct {
+	Format         string `json:"format"`
+	Diagram        string `json:"diagram"`
+	Interpretation string `json:"interpretation"`
+	ReadingOrder   []int  `json:"reading_order"`
+	Tables         int    `json:"tables"`
+	Edges          int    `json:"edges"`
+	ElapsedMS      int64  `json:"elapsed_ms"`
+}
+
+func (s *Server) handleDiagram(w http.ResponseWriter, r *http.Request) error {
+	started := time.Now()
+	var req diagramRequest
+	if err := s.decode(r, &req); err != nil {
+		return s.fail(w, err)
+	}
+	sch, err := s.validate(&req)
+	if err != nil {
+		return s.fail(w, err)
+	}
+	res, err := queryvis.FromSQLContext(r.Context(), req.SQL, sch, s.options(&req))
+	if err != nil {
+		return err
+	}
+	var out string
+	switch req.Format {
+	case "svg":
+		out, err = res.SVGContext(r.Context())
+	case "text":
+		out, err = res.TextContext(r.Context())
+	default:
+		out, err = res.DOTContext(r.Context(), queryvis.DOTOptions{})
+	}
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, diagramResponse{
+		Format:         req.Format,
+		Diagram:        out,
+		Interpretation: res.Interpretation,
+		ReadingOrder:   res.ReadingOrder(),
+		Tables:         len(res.Diagram.Tables),
+		Edges:          len(res.Diagram.Edges),
+		ElapsedMS:      time.Since(started).Milliseconds(),
+	})
+	return nil
+}
+
+type interpretResponse struct {
+	Interpretation string `json:"interpretation"`
+	TRC            string `json:"trc"`
+	Tree           string `json:"tree"`
+	NestingDepth   int    `json:"nesting_depth"`
+	ElapsedMS      int64  `json:"elapsed_ms"`
+}
+
+func (s *Server) handleInterpret(w http.ResponseWriter, r *http.Request) error {
+	started := time.Now()
+	var req diagramRequest
+	if err := s.decode(r, &req); err != nil {
+		return s.fail(w, err)
+	}
+	sch, err := s.validate(&req)
+	if err != nil {
+		return s.fail(w, err)
+	}
+	res, err := queryvis.FromSQLContext(r.Context(), req.SQL, sch, s.options(&req))
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, interpretResponse{
+		Interpretation: res.Interpretation,
+		TRC:            res.TRC.String(),
+		Tree:           res.Tree.String(),
+		NestingDepth:   res.Tree.MaxDepth(),
+		ElapsedMS:      time.Since(started).Milliseconds(),
+	})
+	return nil
+}
+
+type healthzResponse struct {
+	Status        string `json:"status"`
+	UptimeMS      int64  `json:"uptime_ms"`
+	InFlight      int64  `json:"in_flight"`
+	Served        int64  `json:"served"`
+	Shed          int64  `json:"shed"`
+	MaxConcurrent int    `json:"max_concurrent"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeAPIError(w, http.StatusMethodNotAllowed, apiError{
+			Category: CatBadRequest, Message: "use GET",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:        "ok",
+		UptimeMS:      time.Since(s.start).Milliseconds(),
+		InFlight:      s.inflight.Load(),
+		Served:        s.served.Load(),
+		Shed:          s.shed.Load(),
+		MaxConcurrent: s.cfg.MaxConcurrent,
+	})
+}

@@ -1,0 +1,402 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	queryvis "repro"
+	"repro/internal/corpus"
+	"repro/internal/faults"
+	"repro/internal/leak"
+)
+
+// newTestServer starts an httptest server (fault injection enabled) and
+// registers its shutdown with the test. The goroutine-leak check is
+// registered first, so — cleanups running LIFO — it fires after the
+// server has shut down and must see the pre-server goroutine count.
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	t.Cleanup(leak.Check(t))
+	cfg.AllowFaultInjection = true
+	ts := httptest.NewServer(New(cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// post sends a JSON body and returns status + decoded body bytes.
+func post(t *testing.T, client *http.Client, url string, body any, hdr map[string]string) (int, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	switch b := body.(type) {
+	case string:
+		buf.WriteString(b)
+	default:
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+	}
+	req, err := http.NewRequest(http.MethodPost, url, &buf)
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, raw
+}
+
+// wantError decodes raw as an error body and asserts its category.
+func wantError(t *testing.T, raw []byte, cat Category) apiError {
+	t.Helper()
+	var eb errorBody
+	if err := json.Unmarshal(raw, &eb); err != nil {
+		t.Fatalf("error body is not JSON: %v\n%s", err, raw)
+	}
+	if eb.Error.Category != cat {
+		t.Fatalf("category = %q, want %q (message: %s)", eb.Error.Category, cat, eb.Error.Message)
+	}
+	return eb.Error
+}
+
+// findSeed scans seeds until the derived plan satisfies pred, so fault
+// tests stay deterministic without hardcoding magic seeds.
+func findSeed(t *testing.T, pred func(*faults.Plan) bool) int64 {
+	t.Helper()
+	for seed := int64(1); seed < 1_000_000; seed++ {
+		if pred(faults.NewPlan(seed)) {
+			return seed
+		}
+	}
+	t.Fatal("no seed satisfies the predicate")
+	return 0
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var h healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if h.Status != "ok" || h.MaxConcurrent != 64 {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	// Wrong method on healthz.
+	st, raw := post(t, ts.Client(), ts.URL+"/v1/healthz", map[string]string{}, nil)
+	if st != http.StatusMethodNotAllowed {
+		t.Fatalf("POST healthz status = %d, want 405\n%s", st, raw)
+	}
+}
+
+func TestDiagramFormats(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	for _, format := range []string{"dot", "svg", "text", ""} {
+		st, raw := post(t, ts.Client(), ts.URL+"/v1/diagram", diagramRequest{
+			SQL: corpus.Fig1UniqueSet, Schema: "beers", Format: format,
+		}, nil)
+		if st != http.StatusOK {
+			t.Fatalf("format %q: status = %d\n%s", format, st, raw)
+		}
+		var dr diagramResponse
+		if err := json.Unmarshal(raw, &dr); err != nil {
+			t.Fatalf("format %q: decode: %v", format, err)
+		}
+		if dr.Diagram == "" || dr.Interpretation == "" {
+			t.Fatalf("format %q: empty diagram or interpretation", format)
+		}
+		want := format
+		if want == "" {
+			want = "dot"
+		}
+		if dr.Format != want {
+			t.Fatalf("format echoed as %q, want %q", dr.Format, want)
+		}
+		if dr.Tables == 0 || len(dr.ReadingOrder) != dr.Tables {
+			t.Fatalf("format %q: tables=%d reading_order=%v", format, dr.Tables, dr.ReadingOrder)
+		}
+	}
+}
+
+func TestInterpret(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	st, raw := post(t, ts.Client(), ts.URL+"/v1/interpret", diagramRequest{
+		SQL: corpus.Fig1UniqueSet, Schema: "beers", Simplify: true,
+	}, nil)
+	if st != http.StatusOK {
+		t.Fatalf("status = %d\n%s", st, raw)
+	}
+	var ir interpretResponse
+	if err := json.Unmarshal(raw, &ir); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if ir.Interpretation == "" || ir.TRC == "" || ir.Tree == "" {
+		t.Fatalf("empty fields in %+v", ir)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	url := ts.URL + "/v1/diagram"
+
+	cases := []struct {
+		name string
+		body any
+		cat  Category
+		st   int
+	}{
+		{"malformed JSON", `{"sql": `, CatBadRequest, 400},
+		{"unknown field", `{"sequel": "SELECT 1"}`, CatBadRequest, 400},
+		{"missing sql", diagramRequest{Schema: "beers"}, CatBadRequest, 400},
+		{"missing schema", diagramRequest{SQL: "SELECT 1"}, CatBadRequest, 400},
+		{"unknown schema", diagramRequest{SQL: "SELECT 1", Schema: "nope"}, CatBadRequest, 400},
+		{"unknown format", diagramRequest{SQL: corpus.Fig1UniqueSet, Schema: "beers", Format: "png"}, CatBadRequest, 400},
+		{"parse error", diagramRequest{SQL: "SELEC drinker FROM Likes", Schema: "beers"}, CatParse, 422},
+		{"semantic error", diagramRequest{SQL: "SELECT x.a FROM NoSuchTable x", Schema: "beers"}, CatSemantic, 422},
+	}
+	for _, tc := range cases {
+		st, raw := post(t, ts.Client(), url, tc.body, nil)
+		if st != tc.st {
+			t.Fatalf("%s: status = %d, want %d\n%s", tc.name, st, tc.st, raw)
+		}
+		wantError(t, raw, tc.cat)
+	}
+}
+
+func TestBodyTooLarge(t *testing.T) {
+	ts := newTestServer(t, Config{MaxBodyBytes: 256})
+
+	big := diagramRequest{SQL: "SELECT x.a FROM T x WHERE " + strings.Repeat("x.a = 1 AND ", 100) + "x.a = 1", Schema: "beers"}
+	st, raw := post(t, ts.Client(), ts.URL+"/v1/diagram", big, nil)
+	if st != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413\n%s", st, raw)
+	}
+	wantError(t, raw, CatTooLarge)
+}
+
+func TestLimitExceeded(t *testing.T) {
+	ts := newTestServer(t, Config{Limits: queryvis.Limits{MaxNestingDepth: 1}})
+
+	st, raw := post(t, ts.Client(), ts.URL+"/v1/diagram", diagramRequest{
+		SQL: corpus.Fig1UniqueSet, Schema: "beers",
+	}, nil)
+	if st != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422\n%s", st, raw)
+	}
+	ae := wantError(t, raw, CatLimit)
+	if ae.Limit != queryvis.LimitNestingDepth {
+		t.Fatalf("limit = %q, want %q", ae.Limit, queryvis.LimitNestingDepth)
+	}
+}
+
+func TestInjectedPanicBecomes500(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	seed := findSeed(t, func(p *faults.Plan) bool {
+		return p.Faults[faults.StageParse].Action == faults.ActPanic
+	})
+	st, raw := post(t, ts.Client(), ts.URL+"/v1/diagram", diagramRequest{
+		SQL: corpus.Fig1UniqueSet, Schema: "beers",
+	}, map[string]string{"X-Fault-Seed": fmt.Sprint(seed)})
+	if st != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500\n%s", st, raw)
+	}
+	ae := wantError(t, raw, CatInternal)
+	// The panic value must not leak into the body.
+	if strings.Contains(ae.Message, "injected panic") {
+		t.Fatalf("panic value leaked into error body: %s", ae.Message)
+	}
+}
+
+func TestInjectedErrorBecomes500(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	seed := findSeed(t, func(p *faults.Plan) bool {
+		return p.Faults[faults.StageConvert].Action == faults.ActError &&
+			p.Faults[faults.StageParse].Action == faults.ActNone &&
+			p.Faults[faults.StageResolve].Action == faults.ActNone
+	})
+	st, raw := post(t, ts.Client(), ts.URL+"/v1/diagram", diagramRequest{
+		SQL: corpus.Fig1UniqueSet, Schema: "beers",
+	}, map[string]string{"X-Fault-Seed": fmt.Sprint(seed)})
+	if st != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500\n%s", st, raw)
+	}
+	ae := wantError(t, raw, CatInternal)
+	if ae.Stage != "convert" {
+		t.Fatalf("stage = %q, want convert", ae.Stage)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	// A delay at parse longer than any plausible 1ms pipeline, with the
+	// request deadline well below it.
+	seed := findSeed(t, func(p *faults.Plan) bool {
+		f := p.Faults[faults.StageParse]
+		return f.Action == faults.ActDelay && f.Delay >= 20*time.Millisecond
+	})
+	ts := newTestServer(t, Config{RequestTimeout: 5 * time.Millisecond})
+
+	start := time.Now()
+	st, raw := post(t, ts.Client(), ts.URL+"/v1/diagram", diagramRequest{
+		SQL: corpus.Fig1UniqueSet, Schema: "beers",
+	}, map[string]string{"X-Fault-Seed": fmt.Sprint(seed)})
+	if st != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504\n%s", st, raw)
+	}
+	wantError(t, raw, CatTimeout)
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("timed-out request took %v", el)
+	}
+}
+
+func TestCanceledRequest(t *testing.T) {
+	defer leak.Check(t)()
+	// Exercise the 499 path directly through the handler: a request whose
+	// context is already canceled when the pipeline starts.
+	s := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	var buf bytes.Buffer
+	_ = json.NewEncoder(&buf).Encode(diagramRequest{SQL: corpus.Fig1UniqueSet, Schema: "beers"})
+	req := httptest.NewRequest(http.MethodPost, "/v1/diagram", &buf).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+
+	if rec.Code != statusCanceled {
+		t.Fatalf("status = %d, want %d\n%s", rec.Code, statusCanceled, rec.Body.String())
+	}
+	wantError(t, rec.Body.Bytes(), CatCanceled)
+}
+
+func TestOverloadSheds429(t *testing.T) {
+	// One worker, held busy by an injected delay; the second request must
+	// be shed immediately with 429 + Retry-After.
+	seed := findSeed(t, func(p *faults.Plan) bool {
+		f := p.Faults[faults.StageParse]
+		return f.Action == faults.ActDelay && f.Delay >= 40*time.Millisecond
+	})
+	ts := newTestServer(t, Config{MaxConcurrent: 1, RetryAfter: 3 * time.Second})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		post(t, ts.Client(), ts.URL+"/v1/diagram", diagramRequest{
+			SQL: corpus.Fig1UniqueSet, Schema: "beers",
+		}, map[string]string{"X-Fault-Seed": fmt.Sprint(seed)})
+	}()
+
+	// Wait until the slow request holds the semaphore, then probe.
+	srv := ts.Config.Handler.(*Server)
+	for i := 0; srv.InFlight() == 0 && i < 500; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.InFlight() == 0 {
+		t.Fatal("slow request never entered the semaphore")
+	}
+
+	st, raw := post(t, ts.Client(), ts.URL+"/v1/diagram", diagramRequest{
+		SQL: corpus.Fig1UniqueSet, Schema: "beers",
+	}, nil)
+	wg.Wait()
+	if st != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429\n%s", st, raw)
+	}
+	wantError(t, raw, CatOverloaded)
+}
+
+func TestRetryAfterHeader(t *testing.T) {
+	seed := findSeed(t, func(p *faults.Plan) bool {
+		f := p.Faults[faults.StageParse]
+		return f.Action == faults.ActDelay && f.Delay >= 40*time.Millisecond
+	})
+	ts := newTestServer(t, Config{MaxConcurrent: 1, RetryAfter: 2 * time.Second})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		post(t, ts.Client(), ts.URL+"/v1/diagram", diagramRequest{
+			SQL: corpus.Fig1UniqueSet, Schema: "beers",
+		}, map[string]string{"X-Fault-Seed": fmt.Sprint(seed)})
+	}()
+	srv := ts.Config.Handler.(*Server)
+	for i := 0; srv.InFlight() == 0 && i < 500; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/diagram",
+		strings.NewReader(`{"sql":"SELECT 1","schema":"beers"}`))
+	resp, err := ts.Client().Do(req)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", got)
+	}
+}
+
+func TestFaultSeedRejectedWhenDisabled(t *testing.T) {
+	// With AllowFaultInjection off (the production default), the header is
+	// ignored: a panic-everything seed must not perturb the request.
+	t.Cleanup(leak.Check(t))
+	ts := httptest.NewServer(New(Config{}))
+	t.Cleanup(ts.Close)
+
+	seed := findSeed(t, func(p *faults.Plan) bool {
+		return p.Faults[faults.StageParse].Action == faults.ActPanic
+	})
+	st, raw := post(t, ts.Client(), ts.URL+"/v1/diagram", diagramRequest{
+		SQL: corpus.Fig1UniqueSet, Schema: "beers",
+	}, map[string]string{"X-Fault-Seed": fmt.Sprint(seed)})
+	if st != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (header must be ignored)\n%s", st, raw)
+	}
+}
+
+func TestBadFaultSeedHeader(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	st, raw := post(t, ts.Client(), ts.URL+"/v1/diagram", diagramRequest{
+		SQL: corpus.Fig1UniqueSet, Schema: "beers",
+	}, map[string]string{"X-Fault-Seed": "not-a-number"})
+	if st != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400\n%s", st, raw)
+	}
+	wantError(t, raw, CatBadRequest)
+}

@@ -393,6 +393,16 @@ func (q *Query) Subqueries() []*Query {
 	return subs
 }
 
+// PredicateCount returns the total number of WHERE-clause conjuncts
+// across this block and every nested subquery block.
+func (q *Query) PredicateCount() int {
+	n := len(q.Where)
+	for _, s := range q.Subqueries() {
+		n += s.PredicateCount()
+	}
+	return n
+}
+
 // NestingDepth returns the maximum subquery nesting depth: 0 for a flat
 // query, 1 if it has subqueries with no further nesting, and so on.
 func (q *Query) NestingDepth() int {

@@ -1,0 +1,61 @@
+package sqlparse
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// nested builds a syntactically valid query with depth levels of NOT
+// EXISTS nesting.
+func nested(depth int) string {
+	var b strings.Builder
+	b.WriteString("SELECT L0.drinker FROM Likes L0 WHERE ")
+	for i := 1; i <= depth; i++ {
+		fmt.Fprintf(&b, "NOT EXISTS (SELECT * FROM Likes L%d WHERE L%d.drinker = L%d.drinker AND ", i, i, i-1)
+	}
+	fmt.Fprintf(&b, "L%d.beer = L%d.beer", depth, depth)
+	b.WriteString(strings.Repeat(")", depth))
+	return b.String()
+}
+
+// TestParseDepthCap: nesting beyond MaxNestingDepth must fail with a
+// parse error, not blow the goroutine stack — recover() cannot catch
+// stack exhaustion, so the recursive-descent parser enforces a hard cap.
+// Regression test for the unguarded recursion in parseSubquery.
+func TestParseDepthCap(t *testing.T) {
+	if _, err := Parse(nested(MaxNestingDepth + 1)); err == nil {
+		t.Fatal("parse accepted nesting beyond the cap")
+	} else if !strings.Contains(err.Error(), "nesting exceeds the maximum depth") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// Just below the cap must still parse.
+	q, err := Parse(nested(MaxNestingDepth - 1))
+	if err != nil {
+		t.Fatalf("parse at cap-1 failed: %v", err)
+	}
+	if got := q.NestingDepth(); got != MaxNestingDepth-1 {
+		t.Fatalf("NestingDepth = %d, want %d", got, MaxNestingDepth-1)
+	}
+}
+
+// TestParseDepthCapFarBeyond: even nesting an order of magnitude past
+// the cap — deep enough to overflow the stack without the guard — is
+// rejected cleanly.
+func TestParseDepthCapFarBeyond(t *testing.T) {
+	if _, err := Parse(nested(10 * MaxNestingDepth)); err == nil {
+		t.Fatal("parse accepted 10x-cap nesting")
+	}
+}
+
+// TestParseContextCanceled: a canceled context aborts the parse with the
+// context error.
+func TestParseContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ParseContext(ctx, nested(500)); err == nil {
+		t.Fatal("canceled parse succeeded")
+	}
+}

@@ -1,6 +1,7 @@
 package sqlparse
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -13,14 +14,31 @@ var reserved = map[string]bool{
 	"as": true, "group": true, "by": true, "order": true, "having": true,
 }
 
+// MaxNestingDepth is the hard cap on subquery nesting the parser accepts.
+// The parser descends recursively, one Go stack frame chain per nesting
+// level, so without a cap an adversarial input of megabytes of "NOT
+// EXISTS (SELECT ..." could exhaust the goroutine stack — a crash no
+// recover() can contain. Inputs deeper than this cap are rejected with a
+// positioned error instead. The cap is far above both the paper's
+// observed maximum (3 levels, Section 5.2) and any configurable
+// application limit layered on top.
+const MaxNestingDepth = 1000
+
 // Parse parses a single SQL query in the supported fragment. A trailing
 // semicolon is allowed. Errors carry 1-based line:column positions.
 func Parse(src string) (*Query, error) {
-	toks, err := lexAll(src)
+	return ParseContext(context.Background(), src)
+}
+
+// ParseContext is Parse with cooperative cancellation: the lexer and the
+// recursive descent check ctx periodically and abandon the parse with
+// ctx.Err() once the context is done.
+func ParseContext(ctx context.Context, src string) (*Query, error) {
+	toks, err := lexAllContext(ctx, src)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{toks: toks, ctx: ctx}
 	q, err := p.parseQuery()
 	if err != nil {
 		return nil, err
@@ -45,11 +63,24 @@ func MustParse(src string) *Query {
 }
 
 type parser struct {
-	toks []token
-	pos  int
+	toks  []token
+	pos   int
+	ctx   context.Context
+	depth int  // current subquery nesting depth
+	steps uint // predicate counter driving periodic ctx checks
 }
 
 func (p *parser) cur() token { return p.toks[p.pos] }
+
+// checkCtx reports the context's error every few hundred predicates, so
+// that parsing a pathologically large query stops promptly after
+// cancellation without paying a per-token synchronization cost.
+func (p *parser) checkCtx() error {
+	if p.steps++; p.steps&255 != 0 {
+		return nil
+	}
+	return p.ctx.Err()
+}
 
 func (p *parser) advance() token {
 	t := p.toks[p.pos]
@@ -133,6 +164,9 @@ func (p *parser) parseQuery() (*Query, error) {
 	if p.cur().keyword("where") {
 		p.advance()
 		for {
+			if err := p.checkCtx(); err != nil {
+				return nil, err
+			}
 			pred, err := p.parsePredicate()
 			if err != nil {
 				return nil, err
@@ -312,10 +346,18 @@ func (p *parser) peekSign() (float64, bool) {
 }
 
 func (p *parser) parseSubquery() (*Query, error) {
+	if p.depth >= MaxNestingDepth {
+		return nil, p.errorf("subquery nesting exceeds the maximum depth %d", MaxNestingDepth)
+	}
+	if err := p.ctx.Err(); err != nil {
+		return nil, err
+	}
 	if _, err := p.expect(tokLParen); err != nil {
 		return nil, err
 	}
+	p.depth++
 	q, err := p.parseQuery()
+	p.depth--
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package sqlparse
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,6 +28,7 @@ type Resolution struct {
 	Depth   map[*Query]int
 	Parent  map[*Query]*Query
 	byAlias map[*Query]map[string]*Binding // visible scope at each block
+	ctx     context.Context                // cancellation during resolution
 }
 
 // Binding returns the binding visible at the given block for an alias.
@@ -53,6 +55,13 @@ func (r *Resolution) AllBindings() []*Binding {
 // schema. On success the AST has been rewritten so that every ColumnRef
 // carries the alias of its table and the schema-canonical column name.
 func Resolve(q *Query, s *schema.Schema) (*Resolution, error) {
+	return ResolveContext(context.Background(), q, s)
+}
+
+// ResolveContext is Resolve with cooperative cancellation: each query
+// block checks ctx before resolving, so deeply nested or very wide
+// queries stop promptly once the context is done.
+func ResolveContext(ctx context.Context, q *Query, s *schema.Schema) (*Resolution, error) {
 	r := &Resolution{
 		Schema:  s,
 		Root:    q,
@@ -60,6 +69,7 @@ func Resolve(q *Query, s *schema.Schema) (*Resolution, error) {
 		Depth:   make(map[*Query]int),
 		Parent:  make(map[*Query]*Query),
 		byAlias: make(map[*Query]map[string]*Binding),
+		ctx:     ctx,
 	}
 	if err := r.resolveBlock(q, nil, 0, map[string]*Binding{}); err != nil {
 		return nil, err
@@ -68,6 +78,9 @@ func Resolve(q *Query, s *schema.Schema) (*Resolution, error) {
 }
 
 func (r *Resolution) resolveBlock(q *Query, parent *Query, depth int, outer map[string]*Binding) error {
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
 	if len(q.From) == 0 {
 		return fmt.Errorf("query block at depth %d has an empty FROM clause", depth)
 	}

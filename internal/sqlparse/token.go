@@ -1,6 +1,7 @@
 package sqlparse
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"unicode"
@@ -266,6 +267,12 @@ func (l *lexer) next() (token, error) {
 
 // lexAll tokenizes the entire input.
 func lexAll(src string) ([]token, error) {
+	return lexAllContext(context.Background(), src)
+}
+
+// lexAllContext tokenizes the entire input, checking the context every
+// few thousand tokens so lexing megabytes of input stays cancelable.
+func lexAllContext(ctx context.Context, src string) ([]token, error) {
 	l := newLexer(src)
 	var toks []token
 	for {
@@ -274,6 +281,11 @@ func lexAll(src string) ([]token, error) {
 			return nil, err
 		}
 		toks = append(toks, t)
+		if len(toks)&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if t.kind == tokEOF {
 			return toks, nil
 		}

@@ -9,6 +9,7 @@
 package svg
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -200,6 +201,27 @@ func esc(s string) string {
 
 // Render produces a standalone SVG document for the diagram.
 func Render(d *core.Diagram) string {
+	// context.Background() is never done, so render cannot fail here.
+	s, _ := RenderContext(context.Background(), d)
+	return s
+}
+
+// RenderContext is Render with cooperative cancellation: layout and
+// emission check ctx every few hundred elements and abandon the render
+// with ctx.Err() once the context is done.
+func RenderContext(ctx context.Context, d *core.Diagram) (string, error) {
+	step := 0
+	check := func() error {
+		if step++; step&255 != 0 {
+			return nil
+		}
+		return ctx.Err()
+	}
+	// The amortized check only fires every 256 steps; small diagrams need
+	// this upfront check to notice a done context at all.
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	l := computeLayout(d)
 	var b strings.Builder
 	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f" font-family="Helvetica, Arial, sans-serif" font-size="%d">`,
@@ -226,6 +248,9 @@ func Render(d *core.Diagram) string {
 
 	// Edges beneath tables so lines attach cleanly.
 	for _, e := range d.Edges {
+		if err := check(); err != nil {
+			return "", err
+		}
 		fl, frt := l.rowAnchor(e.From)
 		tl, trt := l.rowAnchor(e.To)
 		// Pick the closer pair of anchors.
@@ -253,6 +278,9 @@ func Render(d *core.Diagram) string {
 
 	// Tables.
 	for _, t := range d.Tables {
+		if err := check(); err != nil {
+			return "", err
+		}
 		fr := l.tables[t.ID]
 		headFill, headText := "#000", "#fff"
 		if t.IsSelect() {
@@ -265,6 +293,9 @@ func Render(d *core.Diagram) string {
 			fr.x+fr.w/2, fr.y+rowH-7, headText, esc(t.Name))
 		b.WriteString("\n")
 		for i, r := range t.Rows {
+			if err := check(); err != nil {
+				return "", err
+			}
 			y := fr.y + float64(1+i)*rowH
 			fill := "#fff"
 			switch r.Kind {
@@ -282,5 +313,5 @@ func Render(d *core.Diagram) string {
 		}
 	}
 	b.WriteString("</svg>\n")
-	return b.String()
+	return b.String(), nil
 }

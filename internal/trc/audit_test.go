@@ -1,0 +1,64 @@
+package trc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+)
+
+// TestMembershipMalformedSubquery: Convert is reachable with hand-built
+// (or mutated) ASTs that never went through Resolve; a membership
+// subquery without exactly one plain select column used to be an
+// index-out-of-range panic in converter.membership. Regression test for
+// the guard.
+func TestMembershipMalformedSubquery(t *testing.T) {
+	s := schema.Beers()
+	src := `SELECT L.drinker FROM Likes L WHERE L.beer IN (SELECT S.beer FROM Serves S)`
+	q, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	r, err := sqlparse.Resolve(q, s)
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+
+	// Sanity: the untouched query converts.
+	if _, err := Convert(q, r); err != nil {
+		t.Fatalf("convert baseline: %v", err)
+	}
+
+	// Mutate the IN subquery into each malformed shape and require an
+	// error, never a panic.
+	in, ok := q.Where[0].(*sqlparse.In)
+	if !ok {
+		t.Fatalf("predicate is %T, want *In", q.Where[0])
+	}
+	mutations := []struct {
+		name   string
+		mutate func()
+		undo   func()
+	}{
+		{"empty select list",
+			func() { in.Sub.Select = nil },
+			func() {}},
+		{"star select",
+			func() { in.Sub.Star = true },
+			func() { in.Sub.Star = false }},
+	}
+	orig := in.Sub.Select
+	for _, m := range mutations {
+		m.mutate()
+		_, err := Convert(q, r)
+		if err == nil {
+			t.Fatalf("%s: convert accepted malformed membership subquery", m.name)
+		}
+		if !strings.Contains(err.Error(), "membership subquery") {
+			t.Fatalf("%s: unexpected error: %v", m.name, err)
+		}
+		in.Sub.Select = orig
+		m.undo()
+	}
+}

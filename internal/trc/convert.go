@@ -1,6 +1,7 @@
 package trc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sqlparse"
@@ -23,7 +24,14 @@ import (
 // Aliases shadowed across nesting depths are renamed so that every tuple
 // variable name is unique in the expression.
 func Convert(q *sqlparse.Query, r *sqlparse.Resolution) (*Expr, error) {
+	return ConvertContext(context.Background(), q, r)
+}
+
+// ConvertContext is Convert with cooperative cancellation: each query
+// block checks ctx before converting.
+func ConvertContext(ctx context.Context, q *sqlparse.Query, r *sqlparse.Resolution) (*Expr, error) {
 	c := &converter{
+		ctx:   ctx,
 		r:     r,
 		names: make(map[*sqlparse.Binding]string),
 		used:  make(map[string]bool),
@@ -55,6 +63,7 @@ func Convert(q *sqlparse.Query, r *sqlparse.Resolution) (*Expr, error) {
 }
 
 type converter struct {
+	ctx   context.Context
 	r     *sqlparse.Resolution
 	names map[*sqlparse.Binding]string
 	used  map[string]bool
@@ -103,6 +112,9 @@ func (c *converter) term(block *sqlparse.Query, o sqlparse.Operand) (Term, error
 // the outer scope (the column) and partly in this block (the subquery's
 // single select column).
 func (c *converter) block(q *sqlparse.Query, quant Quant, extra *Pred) (*Block, error) {
+	if err := c.ctx.Err(); err != nil {
+		return nil, err
+	}
 	blk := &Block{Quant: quant}
 	for _, b := range c.r.Blocks[q] {
 		blk.Vars = append(blk.Vars, Var{Name: c.varName(b), Relation: b.Table.Name})
@@ -161,6 +173,12 @@ func (c *converter) membership(outer *sqlparse.Query, col sqlparse.ColumnRef, op
 	left, err := c.attr(outer, col)
 	if err != nil {
 		return nil, err
+	}
+	// Resolve guarantees this shape for queries that went through it, but
+	// Convert is also reachable with hand-built ASTs; without the guard a
+	// malformed membership subquery is an index-out-of-range panic.
+	if sub.Star || len(sub.Select) != 1 || sub.Select[0].Agg != sqlparse.AggNone {
+		return nil, fmt.Errorf("membership subquery of %s must select exactly one plain column", col)
 	}
 	right, err := c.attr(sub, sub.Select[0].Col)
 	if err != nil {

@@ -1,0 +1,173 @@
+package queryvis
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// TestLimitsEachFieldTriggers binary-searches, for every Limits field,
+// the smallest query (by the field's own measure) that trips it, and
+// asserts three things at the boundary: one step below passes, the
+// first failing size returns a *LimitError, and the error names exactly
+// the field under test — proving each bound is individually live and
+// none shadows another.
+func TestLimitsEachFieldTriggers(t *testing.T) {
+	s, ok := SchemaByName("beers")
+	if !ok {
+		t.Fatal("beers schema missing")
+	}
+
+	// chain builds a valid n-way self-join; its diagram has n table nodes
+	// plus edges that grow with n, and its rendered output grows with n.
+	chain := func(n int) string {
+		var b strings.Builder
+		b.WriteString("SELECT L1.drinker FROM ")
+		for i := 1; i <= n; i++ {
+			if i > 1 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "Likes L%d", i)
+		}
+		b.WriteString(" WHERE ")
+		for i := 2; i <= n; i++ {
+			if i > 2 {
+				b.WriteString(" AND ")
+			}
+			fmt.Fprintf(&b, "L%d.drinker = L%d.drinker", i-1, i)
+		}
+		if n == 1 {
+			b.WriteString("L1.drinker = L1.drinker")
+		}
+		return b.String()
+	}
+	// deep nests n NOT EXISTS levels.
+	deep := func(n int) string {
+		var b strings.Builder
+		b.WriteString("SELECT L0.drinker FROM Likes L0 WHERE ")
+		for i := 1; i <= n; i++ {
+			fmt.Fprintf(&b, "NOT EXISTS (SELECT * FROM Likes L%d WHERE L%d.drinker = L%d.drinker AND ", i, i, i-1)
+		}
+		fmt.Fprintf(&b, "L%d.beer = L%d.beer", n, n)
+		b.WriteString(strings.Repeat(")", n))
+		return b.String()
+	}
+	// preds is a flat query with n WHERE conjuncts.
+	preds := func(n int) string {
+		var b strings.Builder
+		b.WriteString("SELECT L.drinker FROM Likes L WHERE ")
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			fmt.Fprintf(&b, "L.beer <> 'beer%d'", i)
+		}
+		return b.String()
+	}
+	// padded is a fixed valid query padded with n bytes of whitespace, so
+	// only its byte length varies.
+	padded := func(n int) string {
+		return "SELECT L.drinker FROM Likes L" + strings.Repeat(" ", n)
+	}
+
+	// run pushes query n of the generator through the pipeline under lim;
+	// rendering included, since MaxOutputBytes is enforced at render time.
+	run := func(gen func(int) string, lim Limits) func(int) error {
+		return func(n int) error {
+			res, err := FromSQLContext(context.Background(), gen(n), s, Options{Limits: &lim})
+			if err != nil {
+				return err
+			}
+			_, err = res.DOTContext(context.Background(), DOTOptions{})
+			return err
+		}
+	}
+
+	cases := []struct {
+		limit  string // the Limit* constant expected in the error
+		lim    Limits // only the field under test is set
+		gen    func(int) string
+		lo, hi int // lo must pass, hi must fail; the boundary is inside
+	}{
+		{LimitQueryBytes, Limits{MaxQueryBytes: 100}, padded, 0, 200},
+		{LimitNestingDepth, Limits{MaxNestingDepth: 6}, deep, 0, 30},
+		{LimitPredicates, Limits{MaxPredicates: 12}, preds, 1, 40},
+		{LimitDiagramNodes, Limits{MaxDiagramNodes: 8}, chain, 1, 30},
+		{LimitDiagramEdges, Limits{MaxDiagramEdges: 8}, chain, 1, 30},
+		{LimitOutputBytes, Limits{MaxOutputBytes: 2000}, chain, 1, 60},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.limit, func(t *testing.T) {
+			check := run(tc.gen, tc.lim)
+			if err := check(tc.lo); err != nil {
+				t.Fatalf("smallest candidate n=%d already fails: %v", tc.lo, err)
+			}
+			if err := check(tc.hi); err == nil {
+				t.Fatalf("largest candidate n=%d does not fail", tc.hi)
+			}
+			// Binary-search the first failing size in (lo, hi].
+			first := tc.lo + sort.Search(tc.hi-tc.lo, func(d int) bool {
+				return check(tc.lo+1+d) != nil
+			}) + 1
+
+			err := check(first)
+			if err == nil {
+				t.Fatalf("n=%d expected to fail", first)
+			}
+			var le *LimitError
+			if !errors.As(err, &le) {
+				t.Fatalf("n=%d: err = %T %v, want *LimitError", first, err, err)
+			}
+			if le.Limit != tc.limit {
+				t.Fatalf("n=%d: tripped %q, want %q", first, le.Limit, tc.limit)
+			}
+			if le.Actual <= le.Max {
+				t.Fatalf("n=%d: LimitError actual %d <= max %d", first, le.Actual, le.Max)
+			}
+			if err := check(first - 1); err != nil {
+				t.Fatalf("n=%d (one below the boundary) fails: %v", first-1, err)
+			}
+			t.Logf("%s: first failing size n=%d (%d > %d)", tc.limit, first, le.Actual, le.Max)
+		})
+	}
+}
+
+// TestNilLimitsUnbounded: nil Limits (and the zero per-field value)
+// disable enforcement.
+func TestNilLimitsUnbounded(t *testing.T) {
+	s, _ := SchemaByName("beers")
+	sql := "SELECT L.drinker FROM Likes L" + strings.Repeat(" ", 1<<17)
+	if _, err := FromSQL(sql, s, Options{}); err != nil {
+		t.Fatalf("nil limits rejected a big query: %v", err)
+	}
+	lim := Limits{MaxNestingDepth: 3} // MaxQueryBytes zero → unbounded
+	if _, err := FromSQL(sql, s, Options{Limits: &lim}); err != nil {
+		t.Fatalf("zero MaxQueryBytes rejected a big query: %v", err)
+	}
+}
+
+// TestDefaultLimitsAdmitPaperQueries: the service defaults must not
+// reject any query the paper itself uses.
+func TestDefaultLimitsAdmitPaperQueries(t *testing.T) {
+	s, _ := SchemaByName("beers")
+	lim := DefaultLimits()
+	for name, sql := range map[string]string{
+		"fig1":     corpus.Fig1UniqueSet,
+		"fig3some": corpus.Fig3QSome,
+		"fig3only": corpus.Fig3QOnly,
+	} {
+		res, err := FromSQL(sql, s, Options{Limits: &lim})
+		if err != nil {
+			t.Fatalf("%s rejected by default limits: %v", name, err)
+		}
+		if _, err := res.DOTContext(context.Background(), DOTOptions{}); err != nil {
+			t.Fatalf("%s render rejected by default limits: %v", name, err)
+		}
+	}
+}

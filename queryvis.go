@@ -19,7 +19,7 @@
 package queryvis
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -77,6 +77,9 @@ type Options struct {
 	// diagrams, which draw no box for ∃, and is required for diagram → LT
 	// recovery.
 	KeepExistsBlocks bool
+	// Limits bounds the resources the pipeline may spend on this query;
+	// nil disables all bounds. See DefaultLimits for the service defaults.
+	Limits *Limits
 }
 
 // Result bundles every pipeline stage for one query.
@@ -87,44 +90,16 @@ type Result struct {
 	Tree           *LogicTree // after options are applied
 	Diagram        *Diagram
 	Interpretation string // natural-language reading (Section 4.6)
+
+	limits *Limits // bounds applied by the pipeline; nil = unbounded
 }
 
 // FromSQL runs the full pipeline: parse, resolve against the schema,
 // convert to TRC, build and (optionally) simplify the logic tree, and
-// construct the diagram.
+// construct the diagram. It is FromSQLContext without a deadline; like
+// it, FromSQL contains internal panics and returns them as errors.
 func FromSQL(sql string, s *Schema, opts Options) (*Result, error) {
-	q, err := sqlparse.Parse(sql)
-	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
-	}
-	r, err := sqlparse.Resolve(q, s)
-	if err != nil {
-		return nil, fmt.Errorf("resolve: %w", err)
-	}
-	e, err := trc.Convert(q, r)
-	if err != nil {
-		return nil, fmt.Errorf("convert to TRC: %w", err)
-	}
-	raw := logictree.FromTRC(e)
-	if !opts.KeepExistsBlocks {
-		raw.Flatten()
-	}
-	tree := raw
-	if opts.Simplify {
-		tree = raw.Simplified()
-	}
-	d, err := core.Build(tree)
-	if err != nil {
-		return nil, fmt.Errorf("build diagram: %w", err)
-	}
-	return &Result{
-		Query:          q,
-		TRC:            e,
-		RawTree:        raw,
-		Tree:           tree,
-		Diagram:        d,
-		Interpretation: core.Interpret(tree),
-	}, nil
+	return FromSQLContext(context.Background(), sql, s, opts)
 }
 
 // DOT renders the diagram as a GraphViz program with default options.

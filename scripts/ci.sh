@@ -4,6 +4,11 @@
 #   build      go build ./...
 #   vet        go vet ./...
 #   test       go test -race ./...
+#   chaos      seeded fault-injection smoke against the hardened HTTP
+#              service, under the race detector (any failure names the
+#              run seed + request index it reproduces from)
+#   serve      queryvisd start / healthz / graceful-shutdown cycle on an
+#              ephemeral port
 #   oracle     30-second differential-oracle smoke run (seeded, so any
 #              counterexample it prints is reproducible with cmd/oracle)
 set -eu
@@ -18,6 +23,12 @@ go vet ./...
 
 echo "== test (race)"
 go test -race ./...
+
+echo "== chaos smoke (race)"
+go test -count=1 -run TestChaos -race ./internal/faults/...
+
+echo "== queryvisd serve/healthz/shutdown"
+go test -count=1 -run TestServeHealthzShutdown ./cmd/queryvisd
 
 echo "== oracle smoke (30s)"
 go run ./cmd/oracle -n 100000 -seed 1 -timeout 30s
