@@ -9,11 +9,20 @@
 //	oracle [-n 1000] [-seed 1] [-timeout 30s] [-json] \
 //	       [-schemas beers,sailors] [-max-tables 5] [-databases 3] \
 //	       [-rows 6] [-skew 1.5]
+//	oracle -replay DIR [-timeout 30s] [-json]
 //
 // The run is deterministic in (seed, n, configuration): two invocations
 // with the same flags generate byte-identical query streams, which the
 // printed stream hash makes checkable. Exit status is 1 when any
 // counterexample was found, 2 on usage errors.
+//
+// -replay switches to the quarantine corpus: every entry under DIR
+// (scrubbed inputs persisted by the verified service, see
+// internal/quarantine) is re-run with its recorded schema, verify
+// budget, and fault-plan seed. An entry passes when it either
+// reproduces its recorded verification status (the failure is still
+// filed correctly) or now verifies cleanly (the bug was fixed); any
+// other divergence is a regression and exits 1.
 package main
 
 import (
@@ -49,6 +58,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		databases = fs.Int("databases", def.Databases, "random databases per query")
 		rows      = fs.Int("rows", def.RowsPerTable, "max rows per generated relation")
 		skew      = fs.Float64("skew", def.Skew, "value skew (0 = uniform)")
+		replay    = fs.String("replay", "", "replay the quarantine corpus under this directory instead of generating queries")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,6 +80,9 @@ func run(args []string, stdout, stderr *os.File) int {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	if *replay != "" {
+		return runReplay(ctx, *replay, *asJSON, stdout, stderr)
 	}
 	rep, err := oracle.RunContext(ctx, cfg, *n, *seed)
 	if err != nil {

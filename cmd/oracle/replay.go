@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/quarantine"
+)
+
+// replayReport is the -json form of a replay run.
+type replayReport struct {
+	Dir        string         `json:"dir"`
+	Entries    int            `json:"entries"`
+	Reproduced int            `json:"reproduced"`
+	Fixed      int            `json:"fixed"`
+	Divergent  int            `json:"divergent"`
+	Outcomes   []replayRecord `json:"outcomes"`
+}
+
+type replayRecord struct {
+	Key      string `json:"key"`
+	Schema   string `json:"schema"`
+	Recorded string `json:"recorded_status"`
+	Observed string `json:"observed_status"`
+	Rung     string `json:"rung,omitempty"`
+	Verdict  string `json:"verdict"` // reproduced | fixed | divergent
+	Error    string `json:"error,omitempty"`
+}
+
+// runReplay re-runs every quarantined entry and classifies each as
+// reproduced (failure intact), fixed (now verifies), or divergent
+// (failure changed shape — a regression). Exit 0 means zero divergence.
+func runReplay(ctx context.Context, dir string, asJSON bool, stdout, stderr *os.File) int {
+	outcomes, err := quarantine.ReplayDir(ctx, dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "oracle:", err)
+		return 2
+	}
+
+	rep := replayReport{Dir: dir, Entries: len(outcomes)}
+	for _, o := range outcomes {
+		r := replayRecord{
+			Key:      o.Key,
+			Schema:   o.Entry.Schema,
+			Recorded: o.Entry.Status,
+			Observed: o.Status,
+			Rung:     o.Rung,
+		}
+		if o.Err != nil {
+			r.Error = o.Err.Error()
+		}
+		switch {
+		case o.Verified && o.Entry.Status != o.Status:
+			r.Verdict = "fixed"
+			rep.Fixed++
+		case o.Reproduced:
+			r.Verdict = "reproduced"
+			rep.Reproduced++
+		default:
+			r.Verdict = "divergent"
+			rep.Divergent++
+		}
+		rep.Outcomes = append(rep.Outcomes, r)
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "oracle:", err)
+			return 2
+		}
+	} else {
+		fmt.Fprintf(stdout, "oracle: replayed %d quarantined entr%s from %s: %d reproduced, %d fixed, %d divergent\n",
+			rep.Entries, plural(rep.Entries), dir, rep.Reproduced, rep.Fixed, rep.Divergent)
+		for _, r := range rep.Outcomes {
+			if r.Verdict != "divergent" {
+				continue
+			}
+			fmt.Fprintf(stdout, "  DIVERGENT %s (%s): recorded %q, observed %q (rung %q) %s\n",
+				r.Key, r.Schema, r.Recorded, r.Observed, r.Rung, r.Error)
+		}
+	}
+	if rep.Divergent > 0 {
+		fmt.Fprintf(stderr, "oracle: %d divergent replay(s)\n", rep.Divergent)
+		return 1
+	}
+	return 0
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}

@@ -10,7 +10,16 @@
 //	          [-max-body 1048576] [-shutdown-grace 10s] \
 //	          [-max-query-bytes N] [-max-nesting-depth N] \
 //	          [-max-predicates N] [-max-diagram-nodes N] \
-//	          [-max-diagram-edges N] [-max-output-bytes N] [-unlimited]
+//	          [-max-diagram-edges N] [-max-output-bytes N] [-unlimited] \
+//	          [-verify off|degrade|strict] [-verify-budget N] \
+//	          [-quarantine-dir DIR] [-quarantine-max-bytes N] \
+//	          [-breaker-threshold N] [-breaker-cooldown 30s]
+//
+// By default every response is self-verified: the served diagram is
+// mapped back to a logic tree (Proposition 5.1) and required to match
+// the query's; failures degrade down a ladder of weaker artifacts with
+// an honest verify_status instead of erroring. -quarantine-dir persists
+// scrubbed failing inputs for replay via "oracle -replay".
 //
 // Every request runs under a deadline and the configured resource
 // limits; load beyond -max-concurrent is shed with 429 + Retry-After
@@ -33,6 +42,7 @@ import (
 	"time"
 
 	queryvis "repro"
+	"repro/internal/quarantine"
 	"repro/internal/server"
 )
 
@@ -58,9 +68,29 @@ func run(args []string, stdout, stderr *os.File) int {
 		maxDiagramEdges = fs.Int("max-diagram-edges", def.MaxDiagramEdges, "max diagram edges (0 = unbounded)")
 		maxOutputBytes  = fs.Int("max-output-bytes", def.MaxOutputBytes, "max rendered output bytes (0 = unbounded)")
 		unlimited       = fs.Bool("unlimited", false, "disable all per-query resource limits")
+
+		verify           = fs.String("verify", "degrade", "default verification mode: off, degrade, or strict (requests can override via the \"verify\" field)")
+		verifyBudget     = fs.Int("verify-budget", 0, "inverse-search node budget per verification (0 = package default, negative = unbounded)")
+		quarantineDir    = fs.String("quarantine-dir", "", "directory for the failure corpus; empty disables quarantining")
+		quarantineBytes  = fs.Int64("quarantine-max-bytes", quarantine.DefaultMaxBytes, "size bound on the quarantine directory (oldest entries evicted)")
+		breakerThreshold = fs.Int("breaker-threshold", 5, "consecutive verification cost blowouts that trip the circuit breaker")
+		breakerCooldown  = fs.Duration("breaker-cooldown", 30*time.Second, "how long the tripped breaker stays open before probing again")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	verifyMode, err := queryvis.ParseVerifyMode(*verify)
+	if err != nil {
+		fmt.Fprintln(stderr, "queryvisd:", err)
+		return 2
+	}
+	var quarStore *quarantine.Store
+	if *quarantineDir != "" {
+		var err error
+		if quarStore, err = quarantine.Open(*quarantineDir, *quarantineBytes); err != nil {
+			fmt.Fprintln(stderr, "queryvisd:", err)
+			return 2
+		}
 	}
 
 	cfg := server.Config{
@@ -72,10 +102,15 @@ func run(args []string, stdout, stderr *os.File) int {
 			MaxDiagramEdges: *maxDiagramEdges,
 			MaxOutputBytes:  *maxOutputBytes,
 		},
-		Unlimited:      *unlimited,
-		RequestTimeout: *timeout,
-		MaxConcurrent:  *maxConc,
-		MaxBodyBytes:   *maxBody,
+		Unlimited:        *unlimited,
+		RequestTimeout:   *timeout,
+		MaxConcurrent:    *maxConc,
+		MaxBodyBytes:     *maxBody,
+		DefaultVerify:    verifyMode,
+		VerifyBudget:     *verifyBudget,
+		Quarantine:       quarStore,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	}
 
 	ln, err := net.Listen("tcp", *addr)

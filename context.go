@@ -22,6 +22,7 @@ const (
 	StageConvert = string(faults.StageConvert)
 	StageTree    = string(faults.StageTree)
 	StageBuild   = string(faults.StageBuild)
+	StageVerify  = string(faults.StageVerify)
 	StageRender  = string(faults.StageRender)
 )
 
@@ -73,100 +74,119 @@ func stageErr(stage string, err error) error {
 
 // FromSQLContext runs the full pipeline — parse, resolve, convert to
 // TRC, build and optionally simplify the logic tree, construct the
-// diagram — under a context and the Options' resource limits.
+// diagram — under a context and the Options' resource limits. With
+// Options.Verify enabled it additionally proves the diagram correct by
+// round-tripping it through inverse recovery, degrading per the ladder
+// in verify.go when it cannot.
 //
 // Cancellation is cooperative at every stage: once ctx is done the
 // pipeline returns promptly (well within 2× of a deadline even on
 // pathologically deep inputs) with an error satisfying
 // errors.Is(err, ctx.Err()). Limit violations surface as *LimitError,
-// stage failures as *StageError, and internal panics are contained at
-// this boundary and returned as *InternalError — FromSQLContext never
-// panics, whatever the input.
-func FromSQLContext(ctx context.Context, sql string, s *Schema, opts Options) (res *Result, err error) {
-	defer panicBoundary("pipeline", &err)
+// stage failures as *StageError, verification failures in strict mode as
+// *VerifyError, and internal panics are contained at this boundary and
+// returned as *InternalError — FromSQLContext never panics, whatever the
+// input.
+func FromSQLContext(ctx context.Context, sql string, s *Schema, opts Options) (*Result, error) {
+	res, err := runPipeline(ctx, sql, s, opts)
+	if opts.Verify == VerifyOff {
+		if err != nil {
+			return nil, err
+		}
+		res.VerifyStatus = VerifyStatusOff
+		return res, nil
+	}
+	return verifyOrDegrade(ctx, res, err, opts)
+}
+
+// runPipeline executes the forward pipeline, filling the Result stage by
+// stage so that on failure the completed prefix survives alongside the
+// error — the degradation ladder feeds on those partial artifacts. The
+// returned Result is never nil; fields beyond the failed stage are zero.
+func runPipeline(ctx context.Context, sql string, s *Schema, opts Options) (res *Result, err error) {
 	lim := opts.Limits
+	res = &Result{limits: lim}
+	defer panicBoundary("pipeline", &err)
 
 	if lim != nil {
 		if err := check(LimitQueryBytes, len(sql), lim.MaxQueryBytes); err != nil {
-			return nil, err
+			return res, err
 		}
 	}
 	if err := faults.Fire(ctx, faults.StageParse); err != nil {
-		return nil, stageErr(StageParse, err)
+		return res, stageErr(StageParse, err)
 	}
 	q, err := sqlparse.ParseContext(ctx, sql)
 	if err != nil {
-		return nil, stageErr(StageParse, err)
+		return res, stageErr(StageParse, err)
 	}
+	res.Query = q
 	if lim != nil {
 		if err := check(LimitNestingDepth, q.NestingDepth(), lim.MaxNestingDepth); err != nil {
-			return nil, err
+			return res, err
 		}
 		if err := check(LimitPredicates, q.PredicateCount(), lim.MaxPredicates); err != nil {
-			return nil, err
+			return res, err
 		}
 	}
 
 	if err := faults.Fire(ctx, faults.StageResolve); err != nil {
-		return nil, stageErr(StageResolve, err)
+		return res, stageErr(StageResolve, err)
 	}
 	r, err := sqlparse.ResolveContext(ctx, q, s)
 	if err != nil {
-		return nil, stageErr(StageResolve, err)
+		return res, stageErr(StageResolve, err)
 	}
 
 	if err := faults.Fire(ctx, faults.StageConvert); err != nil {
-		return nil, stageErr(StageConvert, err)
+		return res, stageErr(StageConvert, err)
 	}
 	e, err := trc.ConvertContext(ctx, q, r)
 	if err != nil {
-		return nil, stageErr(StageConvert, err)
+		return res, stageErr(StageConvert, err)
 	}
+	res.TRC = e
 
 	if err := faults.Fire(ctx, faults.StageTree); err != nil {
-		return nil, stageErr(StageTree, err)
+		return res, stageErr(StageTree, err)
 	}
 	raw, err := logictree.FromTRCContext(ctx, e)
 	if err != nil {
-		return nil, stageErr(StageTree, err)
+		return res, stageErr(StageTree, err)
 	}
 	if !opts.KeepExistsBlocks {
 		if _, err := raw.FlattenContext(ctx); err != nil {
-			return nil, stageErr(StageTree, err)
+			return res, stageErr(StageTree, err)
 		}
 	}
+	res.RawTree = raw
 	tree := raw
 	if opts.Simplify {
 		tree, err = raw.SimplifiedContext(ctx)
 		if err != nil {
-			return nil, stageErr(StageTree, err)
+			return res, stageErr(StageTree, err)
 		}
 	}
+	res.Tree = tree
 
 	if err := faults.Fire(ctx, faults.StageBuild); err != nil {
-		return nil, stageErr(StageBuild, err)
+		return res, stageErr(StageBuild, err)
 	}
 	d, err := core.BuildContext(ctx, tree)
 	if err != nil {
-		return nil, stageErr(StageBuild, err)
+		return res, stageErr(StageBuild, err)
 	}
 	if lim != nil {
 		if err := check(LimitDiagramNodes, len(d.Tables), lim.MaxDiagramNodes); err != nil {
-			return nil, err
+			return res, err
 		}
 		if err := check(LimitDiagramEdges, len(d.Edges), lim.MaxDiagramEdges); err != nil {
-			return nil, err
+			return res, err
 		}
 	}
-	return &Result{
-		Query:          q,
-		TRC:            e,
-		RawTree:        raw,
-		Tree:           tree,
-		Diagram:        d,
-		Interpretation: core.Interpret(tree),
-		limits:         lim,
-	}, nil
+	res.Diagram = d
+	res.Interpretation = core.Interpret(tree)
+	return res, nil
 }
 
 // checkOutput enforces MaxOutputBytes on a rendered artifact.

@@ -121,14 +121,19 @@ func TestPanicContainment(t *testing.T) {
 		ctx := faults.WithPlan(context.Background(), plan)
 
 		var err error
-		if stage == faults.StageRender {
+		switch stage {
+		case faults.StageRender:
 			var res *Result
 			res, err = FromSQL(corpus.Fig1UniqueSet, s, Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
 			_, err = res.DOTContext(ctx, DOTOptions{})
-		} else {
+		case faults.StageVerify:
+			// The verify point only fires when verification runs; strict
+			// mode turns the contained panic into the returned error.
+			_, err = FromSQLContext(ctx, corpus.Fig1UniqueSet, s, Options{Verify: VerifyStrict})
+		default:
 			_, err = FromSQLContext(ctx, corpus.Fig1UniqueSet, s, Options{})
 		}
 		if err == nil {

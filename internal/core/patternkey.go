@@ -16,8 +16,24 @@ import (
 // permuted (restricted to signature-compatible candidates, then refined
 // by backtracking) and the lexicographically smallest serialization of
 // (tables, boxes, edges) wins. Diagrams are small (a handful of tables),
-// so the pruned search is cheap.
+// so the pruned search is cheap — but see PatternKeyBounded before
+// fingerprinting inputs you did not generate yourself.
 func PatternKey(d *Diagram) string {
+	key, _ := PatternKeyBounded(d, 0)
+	return key
+}
+
+// PatternKeyBounded is PatternKey with a cost bound. The labeling search
+// visits one serialization per signature-preserving permutation, so its
+// cost is the product of the factorials of the signature-class sizes; a
+// diagram of k mutually symmetric tables costs k! serializations, which
+// adversarial (or merely wide) input can drive to seconds. When that
+// product exceeds maxPerms the function returns ("", false) without
+// searching. The bound is decided on an isomorphism invariant — pattern-
+// equal diagrams have equal class-size multisets — so two isomorphic
+// diagrams always agree on whether a key exists, and keys that are
+// produced remain canonical. maxPerms <= 0 means unbounded.
+func PatternKeyBounded(d *Diagram, maxPerms int) (string, bool) {
 	n := len(d.Tables)
 	// Group tables (excluding SELECT) by signature: only same-signature
 	// tables may swap labels.
@@ -45,6 +61,22 @@ func PatternKey(d *Diagram) string {
 		classSig[p+1] = sigs[id]
 	}
 
+	if maxPerms > 0 {
+		perms := 1
+		run := 0
+		for p := 1; p < n; p++ {
+			if p > 1 && classSig[p] == classSig[p-1] {
+				run++
+			} else {
+				run = 1
+			}
+			perms *= run // running product of per-class factorials
+			if perms > maxPerms {
+				return "", false
+			}
+		}
+	}
+
 	best := ""
 	label := make([]int, n) // table ID -> canonical label
 	used := make([]bool, n)
@@ -70,7 +102,7 @@ func PatternKey(d *Diagram) string {
 		}
 	}
 	rec(1)
-	return best
+	return best, true
 }
 
 // serializePattern renders the diagram under a labeling, in Pattern mode.

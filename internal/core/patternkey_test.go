@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/schema"
+)
+
+// wideSiblingSQL builds a query whose diagram has boxes mutually
+// symmetric sibling NOT EXISTS tables — the worst case for canonical
+// labeling, which must try a permutation per symmetric ordering.
+func wideSiblingSQL(boxes int) string {
+	var b strings.Builder
+	b.WriteString("SELECT L0.drinker FROM Likes L0 WHERE ")
+	for i := 1; i <= boxes; i++ {
+		if i > 1 {
+			b.WriteString(" AND ")
+		}
+		fmt.Fprintf(&b,
+			"NOT EXISTS (SELECT * FROM Likes L%d WHERE L%d.drinker = L0.drinker AND L%d.beer = 'b%d')",
+			i, i, i, i)
+	}
+	return b.String()
+}
+
+func TestPatternKeyBounded(t *testing.T) {
+	beers, _ := schema.ByName("beers")
+
+	// Small diagram: the bounded search succeeds and agrees with the
+	// unbounded one.
+	small, _ := buildDiagram(t, uniqueSetSQL, beers, true)
+	key, ok := PatternKeyBounded(small, 720)
+	if !ok {
+		t.Fatalf("bounded labeling refused a %d-table paper diagram", len(small.Tables))
+	}
+	if want := PatternKey(small); key != want {
+		t.Fatalf("bounded key %q != unbounded %q", key, want)
+	}
+
+	// Seven mutually symmetric siblings cost 7! = 5040 serializations:
+	// over a 720-permutation bound the search must refuse, and refuse
+	// fast — this is the request path's defense, not an optimization.
+	wide, _ := buildDiagram(t, wideSiblingSQL(7), beers, true)
+	start := time.Now()
+	if key, ok := PatternKeyBounded(wide, 720); ok {
+		t.Fatalf("bounded labeling accepted a 7!-symmetric diagram (key %q)", key)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("refusal took %s — the bound must be decided before searching", elapsed)
+	}
+
+	// The refusal is isomorphism-invariant: a pattern-equal diagram
+	// (same shape, different literals) refuses identically.
+	wide2, _ := buildDiagram(t, strings.ReplaceAll(wideSiblingSQL(7), "'b", "'x"), beers, true)
+	if _, ok := PatternKeyBounded(wide2, 720); ok {
+		t.Fatal("pattern-equal diagram disagreed on key existence")
+	}
+
+	// maxPerms <= 0 disables the bound entirely.
+	if key, ok := PatternKeyBounded(wide, 0); !ok || key != PatternKey(wide) {
+		t.Fatal("unbounded call must match PatternKey")
+	}
+}

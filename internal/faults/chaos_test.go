@@ -31,9 +31,11 @@ import (
 	"testing"
 	"time"
 
+	queryvis "repro"
 	"repro/internal/corpus"
 	"repro/internal/faults"
 	"repro/internal/leak"
+	"repro/internal/quarantine"
 	"repro/internal/server"
 )
 
@@ -101,20 +103,63 @@ func mutate(rng *rand.Rand, sql string) string {
 	}
 }
 
+// wideChaosQuery fans out sibling NOT EXISTS boxes: legal input whose
+// inverse-search space dwarfs the chaos server's verify budget.
+func wideChaosQuery(boxes int) string {
+	var b strings.Builder
+	b.WriteString("SELECT L0.drinker FROM Likes L0 WHERE ")
+	for i := 1; i <= boxes; i++ {
+		if i > 1 {
+			b.WriteString(" AND ")
+		}
+		fmt.Fprintf(&b,
+			"NOT EXISTS (SELECT * FROM Likes L%d WHERE L%d.drinker = L0.drinker AND L%d.beer = 'b%d')",
+			i, i, i, i)
+	}
+	return b.String()
+}
+
 // chaosOutcome tallies one request's classification for the summary.
 type chaosOutcome struct {
-	status   int
-	category string
-	clientTO bool // request aborted client-side (cancellation kind)
+	status       int
+	category     string
+	clientTO     bool   // request aborted client-side (cancellation kind)
+	verifyStatus string // verify_status on a 200, "" when absent
+	degraded     string // degraded rung on a 200
+}
+
+// verifyStatuses is every value verify_status may legally take on a 200.
+var verifyStatuses = map[string]bool{
+	queryvis.VerifyStatusVerified: true, queryvis.VerifyStatusSkipped: true,
+	queryvis.VerifyStatusMismatch: true, queryvis.VerifyStatusAmbiguous: true,
+	queryvis.VerifyStatusBudget: true, queryvis.VerifyStatusTimeout: true,
+	queryvis.VerifyStatusError: true,
+}
+
+// degradedRungs is every value the degraded marker may legally take.
+var degradedRungs = map[string]bool{
+	queryvis.RungSimplified: true, queryvis.RungExistsForm: true, queryvis.RungTRC: true,
 }
 
 func TestChaos(t *testing.T) {
 	t.Cleanup(leak.Check(t))
 
+	// Quarantine store for the run: inputs the verified kinds fail on
+	// must land here, deduped, and replay deterministically afterwards.
+	qdir := t.TempDir()
+	qstore, err := quarantine.Open(qdir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	cfg := server.Config{
 		RequestTimeout:      500 * time.Millisecond,
 		MaxConcurrent:       32,
 		AllowFaultInjection: true,
+		// Sized so the paper queries verify comfortably while the wide
+		// fan-out kind reliably exhausts the inverse-search budget.
+		VerifyBudget: 50_000,
+		Quarantine:   qstore,
 	}
 	ts := httptest.NewServer(server.New(cfg))
 	t.Cleanup(ts.Close)
@@ -146,12 +191,15 @@ func TestChaos(t *testing.T) {
 		"bad_request": true, "too_large": true, "parse": true,
 		"semantic": true, "limit": true, "timeout": true,
 		"canceled": true, "overloaded": true, "internal": true,
+		"verify_failed": true,
 	}
 
 	var (
 		mu       sync.Mutex
 		byStatus = map[int]int{}
 		byCat    = map[string]int{}
+		byVerify = map[string]int{}
+		byRung   = map[string]int{}
 		clientTO int64
 		failures int64
 	)
@@ -178,6 +226,12 @@ func TestChaos(t *testing.T) {
 				if out.category != "" {
 					byCat[out.category]++
 				}
+				if out.verifyStatus != "" {
+					byVerify[out.verifyStatus]++
+				}
+				if out.degraded != "" {
+					byRung[out.degraded]++
+				}
 				mu.Unlock()
 				if out.clientTO {
 					atomic.AddInt64(&clientTO, 1)
@@ -198,8 +252,8 @@ func TestChaos(t *testing.T) {
 	for _, n := range byStatus {
 		total += n
 	}
-	t.Logf("chaos: %d requests (%d canceled client-side), statuses %v, categories %v",
-		total+int(clientTO), clientTO, byStatus, byCat)
+	t.Logf("chaos: %d requests (%d canceled client-side), statuses %v, categories %v, verify %v, rungs %v",
+		total+int(clientTO), clientTO, byStatus, byCat, byVerify, byRung)
 
 	// The corpus must actually have exercised the interesting paths.
 	if byStatus[http.StatusOK] == 0 {
@@ -210,6 +264,48 @@ func TestChaos(t *testing.T) {
 			t.Errorf("category %q never produced — corpus did not cover it", cat)
 		}
 	}
+	// The verified kinds must have both proven diagrams and walked the
+	// degradation ladder at least once.
+	if byVerify[queryvis.VerifyStatusVerified] == 0 {
+		t.Error("no response verified — verification never succeeded")
+	}
+	if byVerify[queryvis.VerifyStatusBudget] == 0 {
+		t.Error("no budget exhaustion observed — wide-query kind ineffective")
+	}
+	degradedTotal := 0
+	for _, n := range byRung {
+		degradedTotal += n
+	}
+	if degradedTotal == 0 {
+		t.Error("no degraded response observed — ladder never walked")
+	}
+
+	// Every input the run quarantined must replay deterministically: two
+	// fresh replays agree with each other, and each either reproduces the
+	// recorded failure or verifies cleanly (never a third shape).
+	entries, err := quarantine.Load(qdir)
+	if err != nil {
+		t.Fatalf("load quarantine corpus: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Error("chaos run quarantined nothing — verified kinds ineffective")
+	}
+	replayCtx, cancelReplay := context.WithTimeout(context.Background(), time.Minute)
+	defer cancelReplay()
+	for _, e := range entries {
+		a := quarantine.Replay(replayCtx, e)
+		b := quarantine.Replay(replayCtx, e)
+		if a.Status != b.Status || a.Rung != b.Rung {
+			t.Errorf("quarantine entry %s replays nondeterministically: (%s,%s) vs (%s,%s)",
+				e.Key(), a.Status, a.Rung, b.Status, b.Rung)
+		}
+		if a.Divergent() {
+			t.Errorf("quarantine entry %s divergent: recorded %q, observed %q (rung %q, err %v)",
+				e.Key(), e.Status, a.Status, a.Rung, a.Err)
+		}
+	}
+	t.Logf("chaos: %d quarantined entries replayed deterministically", len(entries))
+
 	if atomic.LoadInt64(&failures) == 0 {
 		// Final liveness probe: the server must still answer cleanly.
 		resp, err := http.Get(ts.URL + "/v1/healthz")
@@ -231,35 +327,40 @@ func fireChaosRequest(client *http.Client, baseURL, slowURL string, delaySeed in
 	hq := healthyQueries[rng.Intn(len(healthyQueries))]
 
 	var (
-		body     []byte
-		header   = map[string]string{}
-		endpoint = "/v1/diagram"
-		cancelIn time.Duration
+		body       []byte
+		header     = map[string]string{}
+		endpoint   = "/v1/diagram"
+		cancelIn   time.Duration
+		wantVerify bool // request asked for verification; 200 must carry a status
 	)
-	marshal := func(sql, schema string) []byte {
+	marshal := func(sql, schema, verify string) []byte {
 		format := []string{"dot", "svg", "text", ""}[rng.Intn(4)]
-		raw, err := json.Marshal(map[string]any{
+		m := map[string]any{
 			"sql": sql, "schema": schema,
 			"simplify": rng.Intn(2) == 0, "format": format,
-		})
+		}
+		if verify != "" {
+			m["verify"] = verify
+		}
+		raw, err := json.Marshal(m)
 		if err != nil {
 			panic(err)
 		}
 		return raw
 	}
 
-	switch kind := rng.Intn(11); kind {
+	switch kind := rng.Intn(14); kind {
 	case 0, 1: // healthy query
-		body = marshal(hq.sql, hq.schema)
+		body = marshal(hq.sql, hq.schema, "")
 	case 2: // healthy via /v1/interpret
 		endpoint = "/v1/interpret"
-		body = marshal(hq.sql, hq.schema)
+		body = marshal(hq.sql, hq.schema, "")
 	case 3, 4: // malformed SQL mutation
-		body = marshal(mutate(rng, hq.sql), hq.schema)
+		body = marshal(mutate(rng, hq.sql), hq.schema, "")
 	case 5: // deep nesting: below, at, and far beyond the limit
-		body = marshal(deepQuery(5+rng.Intn(120)), "beers")
+		body = marshal(deepQuery(5+rng.Intn(120)), "beers", "")
 	case 6: // giant query
-		body = marshal(giantQuery(100+rng.Intn(1500)), "beers")
+		body = marshal(giantQuery(100+rng.Intn(1500)), "beers", "")
 	case 7: // garbage body / wrong envelope
 		body = [][]byte{
 			[]byte(`{"sql":`),
@@ -268,18 +369,29 @@ func fireChaosRequest(client *http.Client, baseURL, slowURL string, delaySeed in
 			[]byte(`{"sql":"SELECT L.drinker FROM Likes L","schema":"nope"}`),
 		}[rng.Intn(4)]
 	case 8: // injected stage faults, healthy query
-		body = marshal(hq.sql, hq.schema)
+		body = marshal(hq.sql, hq.schema, "")
 		header["X-Fault-Seed"] = fmt.Sprint(chaosSeed + int64(idx))
 	case 9: // server-side timeout: slow instance + guaranteed parse delay
 		baseURL = slowURL
-		body = marshal(hq.sql, hq.schema)
+		body = marshal(hq.sql, hq.schema, "")
 		header["X-Fault-Seed"] = fmt.Sprint(delaySeed)
-	default: // mid-request cancellation
-		body = marshal(hq.sql, hq.schema)
+	case 10: // mid-request cancellation
+		body = marshal(hq.sql, hq.schema, "")
 		cancelIn = time.Duration(1+rng.Intn(5)) * time.Millisecond
 		if rng.Intn(2) == 0 { // cancel during an injected delay for good measure
 			header["X-Fault-Seed"] = fmt.Sprint(chaosSeed + int64(idx))
 		}
+	case 11: // healthy query under verification, both modes
+		wantVerify = true
+		body = marshal(hq.sql, hq.schema, []string{"degrade", "strict"}[rng.Intn(2)])
+	case 12: // verify-budget blowout: wide fan-out in degrade mode
+		wantVerify = true
+		body = marshal(wideChaosQuery(7), "beers", "degrade")
+	default: // injected stage faults under degrade-mode verification —
+		// the ladder must produce a truthful 200 or a classified error
+		wantVerify = true
+		body = marshal(hq.sql, hq.schema, "degrade")
+		header["X-Fault-Seed"] = fmt.Sprint(chaosSeed + int64(idx))
 	}
 
 	ctx := context.Background()
@@ -319,10 +431,44 @@ func fireChaosRequest(client *http.Client, baseURL, slowURL string, delaySeed in
 
 	out := chaosOutcome{status: resp.StatusCode}
 	if resp.StatusCode == http.StatusOK {
-		var okBody map[string]any
+		var okBody struct {
+			VerifyStatus string `json:"verify_status"`
+			Degraded     string `json:"degraded"`
+		}
 		if err := json.Unmarshal(raw, &okBody); err != nil {
 			fail(idx, "200 body not JSON: %v\n%s", err, raw)
 			return chaosOutcome{}, false
+		}
+		out.verifyStatus, out.degraded = okBody.VerifyStatus, okBody.Degraded
+
+		// Truthfulness: every 200 is either verified, honestly carrying a
+		// non-verified status, or silent because verification was off.
+		if out.verifyStatus != "" && !verifyStatuses[out.verifyStatus] {
+			fail(idx, "unknown verify_status %q", out.verifyStatus)
+		}
+		if out.degraded != "" {
+			if !degradedRungs[out.degraded] {
+				fail(idx, "unknown degraded rung %q", out.degraded)
+			}
+			// A degraded body must say so via its status too; the only
+			// verified-yet-degraded shape is the render-stage fall-back to
+			// the TRC rung, after the diagram itself was proven.
+			if out.verifyStatus == "" {
+				fail(idx, "degraded rung %q on a response with no verify_status", out.degraded)
+			}
+			if out.verifyStatus == queryvis.VerifyStatusVerified && out.degraded != queryvis.RungTRC {
+				fail(idx, "verified response claims degraded rung %q", out.degraded)
+			}
+		}
+		if wantVerify && out.verifyStatus == "" {
+			fail(idx, "verification requested but 200 carries no verify_status\n%s", raw)
+		}
+		// The headers must agree with the body.
+		if h := resp.Header.Get("X-QueryVis-Verify-Status"); h != out.verifyStatus {
+			fail(idx, "verify status header %q != body %q", h, out.verifyStatus)
+		}
+		if h := resp.Header.Get("X-QueryVis-Degraded"); h != out.degraded {
+			fail(idx, "degraded header %q != body %q", h, out.degraded)
 		}
 		return out, true
 	}

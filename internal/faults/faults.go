@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -29,12 +30,14 @@ const (
 	StageConvert Stage = "convert"
 	StageTree    Stage = "logictree"
 	StageBuild   Stage = "build"
+	StageVerify  Stage = "verify"
 	StageRender  Stage = "render"
 )
 
 // Stages lists every injection point in pipeline order.
 var Stages = []Stage{
-	StageParse, StageResolve, StageConvert, StageTree, StageBuild, StageRender,
+	StageParse, StageResolve, StageConvert, StageTree, StageBuild,
+	StageVerify, StageRender,
 }
 
 // Action is what an injection point does when fired.
@@ -75,13 +78,41 @@ var ErrInjected = errors.New("injected fault")
 type Fault struct {
 	Action Action
 	Delay  time.Duration // only meaningful for ActDelay
+	// OnCall, when positive, restricts the fault to the n-th Fire call for
+	// its stage within one plan: earlier and later calls stay healthy. The
+	// degradation ladder re-fires stages it re-runs, so OnCall lets a test
+	// fail, say, only the ladder's rebuild (call 2) while the pipeline's
+	// original build (call 1) succeeds. 0 (the default, and what NewPlan
+	// generates) fires on every call.
+	OnCall int
 }
 
 // Plan assigns a Fault to each pipeline stage. The zero value injects
-// nothing.
+// nothing. A plan may be fired from one request flow at a time; the
+// per-stage call counters behind OnCall are guarded for safety but the
+// sequence of Fire calls must be deterministic for reproducibility.
 type Plan struct {
 	Seed   int64
 	Faults map[Stage]Fault
+
+	mu    sync.Mutex
+	calls map[Stage]int
+}
+
+// fire returns the stage's fault if it applies to this call, counting the
+// call either way.
+func (p *Plan) fire(s Stage) (Fault, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.calls == nil {
+		p.calls = make(map[Stage]int)
+	}
+	p.calls[s]++
+	f, ok := p.Faults[s]
+	if !ok || (f.OnCall > 0 && p.calls[s] != f.OnCall) {
+		return Fault{}, false
+	}
+	return f, true
 }
 
 // NewPlan derives a plan deterministically from seed. Roughly 70% of
@@ -156,7 +187,11 @@ func Fire(ctx context.Context, s Stage) error {
 	if p == nil {
 		return nil
 	}
-	switch f := p.Faults[s]; f.Action {
+	f, ok := p.fire(s)
+	if !ok {
+		return nil
+	}
+	switch f.Action {
 	case ActError:
 		return fmt.Errorf("%w at stage %s (seed %d)", ErrInjected, s, p.Seed)
 	case ActPanic:

@@ -1,0 +1,36 @@
+package inverse
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// BenchmarkRecoverBudgetPath measures the budget-bounded search on a
+// diagram whose space exceeds the budget — the worst case the serving
+// path pays before degrading. The cost is the budget itself (here 10k
+// nodes), not the full 7^7 enumeration.
+func BenchmarkRecoverBudgetPath(b *testing.B) {
+	d, _ := wideDiagram(b, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := RecoverContext(context.Background(), d, 10_000)
+		var be *BudgetError
+		if !errors.As(err, &be) {
+			b.Fatalf("err = %v, want *BudgetError", err)
+		}
+	}
+}
+
+// BenchmarkRecoverWithinBudget measures a complete budgeted recovery on a
+// paper-sized diagram — the cost Verify mode adds to every healthy
+// request.
+func BenchmarkRecoverWithinBudget(b *testing.B) {
+	d, _ := wideDiagram(b, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RecoverContext(context.Background(), d, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package inverse
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/logictree"
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+	"repro/internal/trc"
+)
+
+// wideQuery builds a query with `boxes` sibling NOT EXISTS blocks, each
+// linked to the root. Every block is one table group, so the recovery
+// search enumerates (boxes)^(boxes) parent assignments — the knob the
+// budget tests turn.
+func wideQuery(boxes int) string {
+	var b strings.Builder
+	b.WriteString("SELECT L0.drinker FROM Likes L0 WHERE ")
+	for i := 1; i <= boxes; i++ {
+		if i > 1 {
+			b.WriteString(" AND ")
+		}
+		fmt.Fprintf(&b,
+			"NOT EXISTS (SELECT * FROM Likes L%d WHERE L%d.drinker = L0.drinker AND L%d.beer = 'b%d')",
+			i, i, i, i)
+	}
+	return b.String()
+}
+
+func wideDiagram(t testing.TB, boxes int) (*core.Diagram, *logictree.LT) {
+	t.Helper()
+	s := schema.Beers()
+	q, err := sqlparse.Parse(wideQuery(boxes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sqlparse.Resolve(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := trc.Convert(q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt := logictree.FromTRC(e).Flatten()
+	d, err := core.Build(lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, lt
+}
+
+// TestRecoverContextBudgetExhaustion: a wide diagram whose search space
+// exceeds a small budget must stop with a *BudgetError naming the budget,
+// not run the enumeration hot.
+func TestRecoverContextBudgetExhaustion(t *testing.T) {
+	d, _ := wideDiagram(t, 7) // 8 groups -> 7^7 ≈ 824k assignments
+	_, err := RecoverContext(context.Background(), d, 10_000)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+	if be.Budget != 10_000 || be.Nodes <= be.Budget {
+		t.Fatalf("BudgetError = %+v, want Nodes > Budget = 10000", be)
+	}
+}
+
+// TestRecoverContextWithinBudget: the same diagram recovers to the right
+// tree when the budget covers the search space, and with the default
+// budget on a normal-width diagram.
+func TestRecoverContextWithinBudget(t *testing.T) {
+	d, lt := wideDiagram(t, 4)
+	rec, err := RecoverContext(context.Background(), d, 0) // default budget
+	if err != nil {
+		t.Fatalf("RecoverContext: %v", err)
+	}
+	if rec.Canonical() != lt.Canonical() {
+		t.Fatalf("recovered tree differs:\n%s\n%s", rec.Canonical(), lt.Canonical())
+	}
+}
+
+// TestRecoverContextUnboundedMatchesRecover: budget < 0 disables the
+// bound; the result must equal the legacy exhaustive Recover.
+func TestRecoverContextUnboundedMatchesRecover(t *testing.T) {
+	d, _ := wideDiagram(t, 5)
+	a, errA := Recover(d)
+	b, errB := RecoverContext(context.Background(), d, -1)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("errors differ: %v vs %v", errA, errB)
+	}
+	if errA == nil && a.Canonical() != b.Canonical() {
+		t.Fatal("unbounded RecoverContext disagrees with Recover")
+	}
+}
+
+// TestRecoverContextCancellation: a canceled context stops the search
+// with the context's error.
+func TestRecoverContextCancellation(t *testing.T) {
+	d, _ := wideDiagram(t, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RecoverContext(ctx, d, -1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSolutionsContextBudget: the Solutions entry point honors the same
+// budget plumbing.
+func TestSolutionsContextBudget(t *testing.T) {
+	d, _ := wideDiagram(t, 7)
+	_, err := SolutionsContext(context.Background(), d, 1)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+	if _, err := SolutionsContext(context.Background(), d, -1); err != nil {
+		t.Fatalf("unbounded SolutionsContext: %v", err)
+	}
+}

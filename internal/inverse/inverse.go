@@ -18,6 +18,7 @@
 package inverse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -38,6 +39,59 @@ func (e *AmbiguityError) Error() string {
 		return "diagram admits no consistent logic tree"
 	}
 	return fmt.Sprintf("diagram is ambiguous: %d consistent logic trees", e.Solutions)
+}
+
+// DefaultSearchBudget is the node budget production callers (the facade's
+// Verify mode) use when they pass budget 0. The search space over n table
+// groups is (n-1)^(n-1) parent assignments; every valid paper query stays
+// below a few hundred nodes, so half a million is two-plus orders of
+// magnitude of headroom while still bounding an adversarial diagram to
+// milliseconds of work.
+const DefaultSearchBudget = 500_000
+
+// BudgetError reports that the constraint search was stopped after
+// spending its node budget without completing the enumeration. It is a
+// resource verdict, not a correctness one: the diagram may well be
+// unambiguous, but proving it was too expensive under the given budget.
+type BudgetError struct {
+	Nodes  int // search nodes visited before stopping
+	Budget int // the budget that was exhausted
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("inverse search budget exhausted: %d nodes visited (budget %d)", e.Nodes, e.Budget)
+}
+
+// search carries the per-call resource accounting of the constraint
+// enumeration: a visited-node counter checked against the budget, and an
+// amortized context check (one ctx.Err() poll every 256 nodes, so the
+// unbounded fast path stays an increment).
+type search struct {
+	ctx    context.Context
+	budget int // <= 0: unbounded
+	nodes  int
+	err    error // first budget/context error; sticky
+}
+
+// step accounts for one visited search node. It returns a non-nil error —
+// sticky across calls — once the budget is exhausted or the context is
+// done.
+func (st *search) step() error {
+	if st.err != nil {
+		return st.err
+	}
+	st.nodes++
+	if st.budget > 0 && st.nodes > st.budget {
+		st.err = &BudgetError{Nodes: st.nodes, Budget: st.budget}
+		return st.err
+	}
+	if st.ctx != nil && st.nodes&255 == 0 {
+		if err := st.ctx.Err(); err != nil {
+			st.err = err
+			return st.err
+		}
+	}
+	return nil
 }
 
 // graph is the group-level view of a diagram used during recovery.
@@ -278,8 +332,22 @@ func parseConst(s string) sqlparse.Constant {
 
 // Solutions returns every logic tree consistent with the diagram that is
 // also a valid non-degenerate tree. Valid diagrams have exactly one.
+// The enumeration is exhaustive and unbounded; production callers should
+// use SolutionsContext with a budget.
 func Solutions(d *core.Diagram) ([]*logictree.LT, error) {
-	return solutions(d, true)
+	return solutions(context.Background(), d, true, 0)
+}
+
+// SolutionsContext is Solutions under a context and a search-node budget.
+// budget 0 selects DefaultSearchBudget; a negative budget disables the
+// bound. When the budget runs out the enumeration stops with a
+// *BudgetError; when the context is done it stops promptly with the
+// context's error.
+func SolutionsContext(ctx context.Context, d *core.Diagram, budget int) ([]*logictree.LT, error) {
+	if budget == 0 {
+		budget = DefaultSearchBudget
+	}
+	return solutions(ctx, d, true, budget)
 }
 
 // SolutionsRelaxed is Solutions without the non-degeneracy filter
@@ -289,54 +357,76 @@ func Solutions(d *core.Diagram) ([]*logictree.LT, error) {
 // — degenerate queries may admit several relaxed solutions — so the
 // non-degeneracy properties are what buy unambiguity.
 func SolutionsRelaxed(d *core.Diagram) ([]*logictree.LT, error) {
-	return solutions(d, false)
+	return solutions(context.Background(), d, false, 0)
 }
 
-func solutions(d *core.Diagram, validate bool) ([]*logictree.LT, error) {
+func solutions(ctx context.Context, d *core.Diagram, validate bool, budget int) ([]*logictree.LT, error) {
 	g, err := buildGraph(d)
 	if err != nil {
 		return nil, err
 	}
+	st := &search{ctx: ctx, budget: budget}
 	n := len(g.groups)
 	var out []*logictree.LT
 	seen := map[string]bool{}
 	parent := make([]int, n)
 	parent[0] = -1
 
-	var rec func(i int)
-	rec = func(i int) {
+	var rec func(i int) error
+	rec = func(i int) error {
+		if err := st.step(); err != nil {
+			return err
+		}
 		if i == n {
 			if !g.consistent(parent) {
-				return
+				return nil
 			}
 			lt := g.ltFromAssignment(parent)
 			if validate && lt.Validate() != nil {
-				return
+				return nil
 			}
 			key := lt.Canonical()
 			if !seen[key] {
 				seen[key] = true
 				out = append(out, lt)
 			}
-			return
+			return nil
 		}
 		for p := 0; p < n; p++ {
 			if p == i {
 				continue
 			}
 			parent[i] = p
-			rec(i + 1)
+			if err := rec(i + 1); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	rec(1)
+	if err := rec(1); err != nil {
+		return nil, err
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Canonical() < out[j].Canonical() })
 	return out, nil
 }
 
 // Recover returns the unique logic tree for a valid diagram, or an
-// AmbiguityError when the diagram admits zero or several.
+// AmbiguityError when the diagram admits zero or several. Like Solutions
+// it is unbounded; the serving path uses RecoverContext.
 func Recover(d *core.Diagram) (*logictree.LT, error) {
-	sols, err := Solutions(d)
+	return RecoverContext(context.Background(), d, -1)
+}
+
+// RecoverContext is Recover under a context and a search-node budget
+// (0 selects DefaultSearchBudget, negative disables the bound). A search
+// stopped by the budget returns a *BudgetError, and one stopped by the
+// context returns the context's error — both distinct from the
+// *AmbiguityError a completed search may report.
+func RecoverContext(ctx context.Context, d *core.Diagram, budget int) (*logictree.LT, error) {
+	if budget == 0 {
+		budget = DefaultSearchBudget
+	}
+	sols, err := solutions(ctx, d, true, budget)
 	if err != nil {
 		return nil, err
 	}

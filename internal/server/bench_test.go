@@ -14,18 +14,10 @@ import (
 	"repro/internal/corpus"
 )
 
-// BenchmarkDiagramEndpoint measures the full HTTP round trip for
-// /v1/diagram on the paper's Fig. 1 query, reporting throughput and the
-// p99 request latency — the numbers recorded in BENCH_server.json.
-func BenchmarkDiagramEndpoint(b *testing.B) {
-	ts := httptest.NewServer(New(Config{}))
-	defer ts.Close()
-
-	body, err := json.Marshal(diagramRequest{SQL: corpus.Fig1UniqueSet, Schema: "beers"})
-	if err != nil {
-		b.Fatal(err)
-	}
-
+// benchEndpoint hammers /v1/diagram with body from 8 parallel workers
+// and reports throughput plus p50/p99 request latency.
+func benchEndpoint(b *testing.B, ts *httptest.Server, body []byte) {
+	b.Helper()
 	const workers = 8
 	var (
 		mu        sync.Mutex
@@ -63,10 +55,50 @@ func BenchmarkDiagramEndpoint(b *testing.B) {
 		return
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	p99 := latencies[len(latencies)*99/100]
-	if len(latencies)*99/100 >= len(latencies) {
-		p99 = latencies[len(latencies)-1]
+	pct := func(p int) time.Duration {
+		i := len(latencies) * p / 100
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return latencies[i]
 	}
 	b.ReportMetric(float64(len(latencies))/elapsed.Seconds(), "req/s")
-	b.ReportMetric(float64(p99.Microseconds())/1000, "p99-ms")
+	b.ReportMetric(float64(pct(50).Microseconds())/1000, "p50-ms")
+	b.ReportMetric(float64(pct(99).Microseconds())/1000, "p99-ms")
+}
+
+// BenchmarkDiagramEndpoint measures the full HTTP round trip for
+// /v1/diagram on the paper's Fig. 1 query, reporting throughput and the
+// p99 request latency — the numbers recorded in BENCH_server.json.
+func BenchmarkDiagramEndpoint(b *testing.B) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+
+	body, err := json.Marshal(diagramRequest{SQL: corpus.Fig1UniqueSet, Schema: "beers"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEndpoint(b, ts, body)
+}
+
+// BenchmarkDiagramEndpointVerify measures what runtime verification
+// costs on the serving path: the same Fig. 1 round trip under
+// verify=off, degrade, and strict. Off is the baseline; degrade and
+// strict both run the full inverse recovery + isomorphism check, so
+// their overhead is the price of a per-response proof.
+func BenchmarkDiagramEndpointVerify(b *testing.B) {
+	for _, mode := range []string{"off", "degrade", "strict"} {
+		b.Run(mode, func(b *testing.B) {
+			ts := httptest.NewServer(New(Config{}))
+			defer ts.Close()
+
+			body, err := json.Marshal(diagramRequest{
+				SQL: corpus.Fig1UniqueSet, Schema: "beers", Verify: mode,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchEndpoint(b, ts, body)
+		})
+	}
 }

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker automaton.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	}
+	return "closed"
+}
+
+// breaker protects the service from verification cost blowups. Diagram
+// verification is normally cheap, but adversarial (or merely wide)
+// inputs drive the inverse search into its node budget; a stream of
+// such requests would burn a budget's worth of CPU on every one. After
+// threshold consecutive blowouts (budget exhaustion or verification
+// timeout) the breaker opens: degrade-mode requests skip verification
+// entirely — honestly flagged verify_status "skipped" — until the
+// cooldown elapses. Then the breaker half-opens, letting requests
+// verify again: one more blowout re-opens it, one clean verdict closes
+// it. Strict-mode requests bypass the breaker — the caller explicitly
+// demanded proof — but their outcomes still count toward it.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu       sync.Mutex
+	state    breakerState
+	streak   int // consecutive costly outcomes while closed
+	openedAt time.Time
+	trips    int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether verification should run for the next request,
+// transitioning open → half-open once the cooldown has elapsed.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		return true
+	default:
+		return true
+	}
+}
+
+// record feeds one verification outcome into the automaton. costly
+// means the verification burned its budget (or the request deadline)
+// without reaching a verdict; mismatches and clean verdicts are not
+// costly — they prove verification is affordable, whatever it found.
+func (b *breaker) record(costly bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !costly {
+		b.streak = 0
+		if b.state == breakerHalfOpen {
+			b.state = breakerClosed
+		}
+		return
+	}
+	b.streak++
+	if b.state == breakerHalfOpen || b.streak >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.trips++
+		b.streak = 0
+	}
+}
+
+// snapshot reports the automaton for /v1/healthz.
+func (b *breaker) snapshot() (state string, trips int64, streak int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String(), b.trips, b.streak
+}

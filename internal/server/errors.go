@@ -42,6 +42,11 @@ const (
 	// CatInternal: an internal invariant violation (contained panic) or
 	// injected fault. HTTP 500.
 	CatInternal Category = "internal"
+	// CatVerifyFailed: a verify=strict request whose diagram could not be
+	// proven correct (mismatch, ambiguity, budget exhaustion, or an
+	// internal verification fault). The SQL itself was fine — retry with
+	// verify=degrade to get the best servable artifact. HTTP 500.
+	CatVerifyFailed Category = "verify_failed"
 )
 
 // statusCanceled is nginx's non-standard 499 "client closed request";
@@ -83,6 +88,14 @@ func classify(err error) (int, apiError) {
 	if errors.Is(err, context.Canceled) {
 		return statusCanceled, apiError{
 			Category: CatCanceled, Message: "request canceled",
+		}
+	}
+	var ve *queryvis.VerifyError
+	if errors.As(err, &ve) {
+		return http.StatusInternalServerError, apiError{
+			Category: CatVerifyFailed,
+			Message:  err.Error(),
+			Stage:    queryvis.StageVerify,
 		}
 	}
 	var ie *queryvis.InternalError

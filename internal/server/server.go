@@ -28,6 +28,7 @@ import (
 
 	queryvis "repro"
 	"repro/internal/faults"
+	"repro/internal/quarantine"
 	"repro/internal/schema"
 )
 
@@ -52,6 +53,24 @@ type Config struct {
 	// attaching a deterministic fault plan to the request context. For
 	// chaos tests only — never enable it on a production listener.
 	AllowFaultInjection bool
+
+	// DefaultVerify is the verification mode for requests that do not set
+	// the "verify" field. The zero value is VerifyOff, preserving the
+	// historical behavior.
+	DefaultVerify queryvis.VerifyMode
+	// VerifyBudget bounds the inverse search per verification (0 = the
+	// package default, negative = unbounded).
+	VerifyBudget int
+	// Quarantine, when non-nil, persists inputs that fail verification or
+	// trip panic containment to the on-disk corpus.
+	Quarantine *quarantine.Store
+	// BreakerThreshold is how many consecutive verification cost blowouts
+	// (budget exhaustion / timeout) trip the circuit breaker open
+	// (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before
+	// half-opening to probe again (default 30s).
+	BreakerCooldown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +89,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
 	return c
 }
 
@@ -79,6 +104,7 @@ type Server struct {
 	sem      chan struct{}
 	mux      *http.ServeMux
 	start    time.Time
+	breaker  *breaker
 	inflight atomic.Int64
 	served   atomic.Int64
 	shed     atomic.Int64
@@ -88,10 +114,11 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 	}
 	s.mux.HandleFunc("/v1/diagram", s.guarded(s.handleDiagram))
 	s.mux.HandleFunc("/v1/interpret", s.guarded(s.handleInterpret))
@@ -209,6 +236,9 @@ type diagramRequest struct {
 	// Format selects the rendering: "dot" (default), "svg", or "text".
 	// Only /v1/diagram reads it.
 	Format string `json:"format,omitempty"`
+	// Verify overrides the server's default verification mode for this
+	// request: "off", "degrade", or "strict".
+	Verify string `json:"verify,omitempty"`
 }
 
 // validate resolves the request's schema and defaults its format.
@@ -263,6 +293,150 @@ func (s *Server) options(req *diagramRequest) queryvis.Options {
 	return opts
 }
 
+// verifyMode resolves the request's effective verification mode.
+func (s *Server) verifyMode(req *diagramRequest) (queryvis.VerifyMode, error) {
+	if req.Verify == "" {
+		return s.cfg.DefaultVerify, nil
+	}
+	m, err := queryvis.ParseVerifyMode(req.Verify)
+	if err != nil {
+		return queryvis.VerifyOff, &requestError{http.StatusBadRequest, apiError{
+			Category: CatBadRequest, Message: err.Error(),
+		}}
+	}
+	return m, nil
+}
+
+// runVerified executes the pipeline under the request's verification
+// mode with the circuit breaker and quarantine wired in:
+//
+//   - breaker open + degrade mode → verification is skipped and the
+//     result flagged verify_status "skipped" (strict requests bypass the
+//     breaker: the caller explicitly demanded proof);
+//   - every verification verdict feeds the breaker — budget exhaustion
+//     and timeouts count as cost blowouts, anything else resets them;
+//   - inputs that failed verification or tripped panic containment are
+//     scrubbed and quarantined.
+func (s *Server) runVerified(r *http.Request, req *diagramRequest, sch *schema.Schema) (*queryvis.Result, queryvis.VerifyMode, error) {
+	requested, err := s.verifyMode(req)
+	if err != nil {
+		return nil, requested, err
+	}
+	mode := requested
+	skipped := false
+	if mode == queryvis.VerifyDegrade && !s.breaker.allow() {
+		mode = queryvis.VerifyOff
+		skipped = true
+	}
+	opts := s.options(req)
+	opts.Verify = mode
+	opts.VerifyBudget = s.cfg.VerifyBudget
+
+	res, err := queryvis.FromSQLContext(r.Context(), req.SQL, sch, opts)
+
+	status := verifyOutcome(res, err)
+	if mode != queryvis.VerifyOff && status != "" {
+		s.breaker.record(status == queryvis.VerifyStatusBudget ||
+			status == queryvis.VerifyStatusTimeout)
+	}
+	s.maybeQuarantine(r, req, res, err, status)
+
+	if err != nil {
+		return nil, requested, err
+	}
+	if skipped {
+		res.VerifyStatus = queryvis.VerifyStatusSkipped
+		res.VerifyDetail = "verification circuit breaker open"
+	}
+	return res, requested, nil
+}
+
+// verifyOutcome extracts the verification verdict from a pipeline
+// outcome: the result's status on success, the VerifyError's status on a
+// strict failure, "" when verification never reached a verdict.
+func verifyOutcome(res *queryvis.Result, err error) string {
+	if err != nil {
+		var ve *queryvis.VerifyError
+		if errors.As(err, &ve) {
+			return ve.Status
+		}
+		return ""
+	}
+	return res.VerifyStatus
+}
+
+// maxFingerprintPerms caps the canonical-labeling search when
+// fingerprinting a quarantined diagram: 720 = 6! keeps the worst case
+// around a millisecond while covering every paper query with room to
+// spare.
+const maxFingerprintPerms = 720
+
+// maybeQuarantine persists the request's scrubbed input when it failed
+// verification (including served-degraded responses) or tripped panic
+// containment. Deduplication lives in the store: re-filing a known
+// failure is a no-op.
+func (s *Server) maybeQuarantine(r *http.Request, req *diagramRequest, res *queryvis.Result, err error, status string) {
+	if s.cfg.Quarantine == nil {
+		return
+	}
+	var stage, detail, rung string
+	switch {
+	case err != nil:
+		var ie *queryvis.InternalError
+		var ve *queryvis.VerifyError
+		switch {
+		case errors.As(err, &ie):
+			stage, status = "panic", queryvis.VerifyStatusError
+		case errors.As(err, &ve):
+			stage, status = ve.Status, ve.Status
+		default:
+			return // user faults, limits, timeouts: not corpus material
+		}
+		detail = err.Error()
+	case status == "" || status == queryvis.VerifyStatusOff ||
+		status == queryvis.VerifyStatusVerified || status == queryvis.VerifyStatusSkipped:
+		return
+	default:
+		stage, detail, rung = status, res.VerifyDetail, res.Degraded
+	}
+
+	e := quarantine.Entry{
+		Stage:    stage,
+		Schema:   req.Schema,
+		SQL:      quarantine.ScrubSQL(req.SQL),
+		Status:   status,
+		Rung:     rung,
+		Detail:   detail,
+		Budget:   s.cfg.VerifyBudget,
+		Simplify: req.Simplify,
+	}
+	if p := faults.FromContext(r.Context()); p != nil {
+		e.FaultSeed = p.Seed
+	}
+	// Fingerprinting is a factorial-cost canonical labeling, and this is
+	// the request path on input that just failed — bound it, and let the
+	// scrubbed SQL carry dedup for diagrams too symmetric to label
+	// cheaply (a wide query's sibling boxes are exactly that case).
+	if res != nil && res.Diagram != nil {
+		if k, ok := queryvis.PatternFingerprintBounded(res.Diagram, maxFingerprintPerms); ok {
+			e.PatternKey = k
+		}
+	}
+	_, _, _ = s.cfg.Quarantine.Add(e) // best-effort: serving beats filing
+}
+
+// setVerifyHeaders exposes the verification outcome out-of-band so
+// clients (and proxies) can spot degraded artifacts without parsing the
+// body.
+func setVerifyHeaders(w http.ResponseWriter, res *queryvis.Result) {
+	if res.VerifyStatus != "" && res.VerifyStatus != queryvis.VerifyStatusOff {
+		w.Header().Set("X-QueryVis-Verify-Status", res.VerifyStatus)
+	}
+	if res.Degraded != "" {
+		w.Header().Set("X-QueryVis-Degraded", res.Degraded)
+	}
+}
+
 type diagramResponse struct {
 	Format         string `json:"format"`
 	Diagram        string `json:"diagram"`
@@ -271,6 +445,10 @@ type diagramResponse struct {
 	Tables         int    `json:"tables"`
 	Edges          int    `json:"edges"`
 	ElapsedMS      int64  `json:"elapsed_ms"`
+	// VerifyStatus and Degraded mirror the X-QueryVis-Verify-Status and
+	// X-QueryVis-Degraded headers (see verify.go in the root package).
+	VerifyStatus string `json:"verify_status,omitempty"`
+	Degraded     string `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleDiagram(w http.ResponseWriter, r *http.Request) error {
@@ -283,31 +461,57 @@ func (s *Server) handleDiagram(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return s.fail(w, err)
 	}
-	res, err := queryvis.FromSQLContext(r.Context(), req.SQL, sch, s.options(&req))
+	res, mode, err := s.runVerified(r, &req, sch)
 	if err != nil {
-		return err
+		return s.fail(w, err)
 	}
-	var out string
-	switch req.Format {
-	case "svg":
-		out, err = res.SVGContext(r.Context())
-	case "text":
-		out, err = res.TextContext(r.Context())
-	default:
-		out, err = res.DOTContext(r.Context(), queryvis.DOTOptions{})
+
+	format, out := req.Format, ""
+	if res.Degraded == queryvis.RungTRC {
+		// The ladder bottomed out below diagrams: serve the calculus text.
+		format, out = "trc", res.TRCText
+	} else {
+		switch format {
+		case "svg":
+			out, err = res.SVGContext(r.Context())
+		case "text":
+			out, err = res.TextContext(r.Context())
+		default:
+			out, err = res.DOTContext(r.Context(), queryvis.DOTOptions{})
+		}
+		if err != nil {
+			// In degrade mode a broken renderer drops the response to the TRC
+			// rung rather than erroring; limit and context errors stay errors
+			// (a policy bound or a dead client, not a degradable fault).
+			var le *queryvis.LimitError
+			if mode != queryvis.VerifyDegrade ||
+				errors.As(err, &le) || r.Context().Err() != nil || res.TRC == nil {
+				return err
+			}
+			format, out = "trc", res.TRC.String()
+			res.Degraded = queryvis.RungTRC
+			res.Diagram = nil
+		}
 	}
-	if err != nil {
-		return err
-	}
-	writeJSON(w, http.StatusOK, diagramResponse{
-		Format:         req.Format,
+
+	resp := diagramResponse{
+		Format:         format,
 		Diagram:        out,
 		Interpretation: res.Interpretation,
-		ReadingOrder:   res.ReadingOrder(),
-		Tables:         len(res.Diagram.Tables),
-		Edges:          len(res.Diagram.Edges),
 		ElapsedMS:      time.Since(started).Milliseconds(),
-	})
+		VerifyStatus:   res.VerifyStatus,
+		Degraded:       res.Degraded,
+	}
+	if res.VerifyStatus == queryvis.VerifyStatusOff {
+		resp.VerifyStatus = "" // keep the historical wire shape for verify=off
+	}
+	if res.Diagram != nil {
+		resp.ReadingOrder = res.ReadingOrder()
+		resp.Tables = len(res.Diagram.Tables)
+		resp.Edges = len(res.Diagram.Edges)
+	}
+	setVerifyHeaders(w, res)
+	writeJSON(w, http.StatusOK, resp)
 	return nil
 }
 
@@ -317,6 +521,8 @@ type interpretResponse struct {
 	Tree           string `json:"tree"`
 	NestingDepth   int    `json:"nesting_depth"`
 	ElapsedMS      int64  `json:"elapsed_ms"`
+	VerifyStatus   string `json:"verify_status,omitempty"`
+	Degraded       string `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleInterpret(w http.ResponseWriter, r *http.Request) error {
@@ -329,17 +535,28 @@ func (s *Server) handleInterpret(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return s.fail(w, err)
 	}
-	res, err := queryvis.FromSQLContext(r.Context(), req.SQL, sch, s.options(&req))
+	res, _, err := s.runVerified(r, &req, sch)
 	if err != nil {
-		return err
+		return s.fail(w, err)
 	}
-	writeJSON(w, http.StatusOK, interpretResponse{
+	resp := interpretResponse{
 		Interpretation: res.Interpretation,
 		TRC:            res.TRC.String(),
-		Tree:           res.Tree.String(),
-		NestingDepth:   res.Tree.MaxDepth(),
 		ElapsedMS:      time.Since(started).Milliseconds(),
-	})
+		VerifyStatus:   res.VerifyStatus,
+		Degraded:       res.Degraded,
+	}
+	if res.VerifyStatus == queryvis.VerifyStatusOff {
+		resp.VerifyStatus = ""
+	}
+	// A result degraded to the TRC rung carries no tree; the calculus
+	// text above is the whole answer.
+	if res.Tree != nil && res.Degraded != queryvis.RungTRC {
+		resp.Tree = res.Tree.String()
+		resp.NestingDepth = res.Tree.MaxDepth()
+	}
+	setVerifyHeaders(w, res)
+	writeJSON(w, http.StatusOK, resp)
 	return nil
 }
 
@@ -350,6 +567,15 @@ type healthzResponse struct {
 	Served        int64  `json:"served"`
 	Shed          int64  `json:"shed"`
 	MaxConcurrent int    `json:"max_concurrent"`
+
+	// Verification posture: the default mode, the circuit breaker's
+	// state, how often it has tripped, and the current blowout streak.
+	VerifyMode    string `json:"verify_mode"`
+	BreakerState  string `json:"breaker_state"`
+	BreakerTrips  int64  `json:"breaker_trips"`
+	BreakerStreak int    `json:"breaker_streak"`
+	// Quarantine summarizes the failure corpus when one is attached.
+	Quarantine *quarantine.Stats `json:"quarantine,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -360,12 +586,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, healthzResponse{
+	state, trips, streak := s.breaker.snapshot()
+	resp := healthzResponse{
 		Status:        "ok",
 		UptimeMS:      time.Since(s.start).Milliseconds(),
 		InFlight:      s.inflight.Load(),
 		Served:        s.served.Load(),
 		Shed:          s.shed.Load(),
 		MaxConcurrent: s.cfg.MaxConcurrent,
-	})
+		VerifyMode:    s.cfg.DefaultVerify.String(),
+		BreakerState:  state,
+		BreakerTrips:  trips,
+		BreakerStreak: streak,
+	}
+	if s.cfg.Quarantine != nil {
+		if st, err := s.cfg.Quarantine.Stats(); err == nil {
+			resp.Quarantine = &st
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -80,6 +80,14 @@ type Options struct {
 	// Limits bounds the resources the pipeline may spend on this query;
 	// nil disables all bounds. See DefaultLimits for the service defaults.
 	Limits *Limits
+	// Verify selects the self-verification mode: VerifyOff (default) skips
+	// the check, VerifyDegrade proves the diagram via inverse recovery and
+	// walks the degradation ladder when it cannot, VerifyStrict fails the
+	// pipeline with a *VerifyError instead of degrading. See verify.go.
+	Verify VerifyMode
+	// VerifyBudget bounds the inverse search in nodes: 0 means
+	// inverse.DefaultSearchBudget, negative disables the bound.
+	VerifyBudget int
 }
 
 // Result bundles every pipeline stage for one query.
@@ -90,6 +98,23 @@ type Result struct {
 	Tree           *LogicTree // after options are applied
 	Diagram        *Diagram
 	Interpretation string // natural-language reading (Section 4.6)
+
+	// Recovered is the logic tree inverse-recovered from the diagram when
+	// verification succeeded (Proposition 5.1's witness), nil otherwise.
+	Recovered *LogicTree
+	// VerifyStatus reports the verification outcome: one of the
+	// VerifyStatus* constants ("off" unless Options.Verify was enabled).
+	VerifyStatus string
+	// VerifyDetail carries the human-readable reason behind a
+	// non-verified status.
+	VerifyDetail string
+	// Degraded names the degradation-ladder rung that served this result
+	// ("" when the requested artifact itself was served): RungSimplified,
+	// RungExistsForm, or RungTRC.
+	Degraded string
+	// TRCText is the Fig. 9-style calculus rendering served by the RungTRC
+	// rung, where no diagram could be produced.
+	TRCText string
 
 	limits *Limits // bounds applied by the pipeline; nil = unbounded
 }
@@ -160,3 +185,14 @@ func NewCatalog() *Catalog { return catalog.New() }
 // PatternFingerprint returns a canonical key for the diagram's logical
 // pattern: equal keys iff SamePattern holds.
 func PatternFingerprint(d *Diagram) string { return core.PatternKey(d) }
+
+// PatternFingerprintBounded is PatternFingerprint with a cost bound for
+// untrusted input: canonical labeling costs one serialization per
+// signature-preserving table permutation, so a diagram of k mutually
+// symmetric tables costs k! of them. When that count exceeds maxPerms it
+// returns ("", false) without searching. The decision is made on an
+// isomorphism invariant, so pattern-equal diagrams agree on whether a
+// key exists and any key produced is still canonical.
+func PatternFingerprintBounded(d *Diagram, maxPerms int) (string, bool) {
+	return core.PatternKeyBounded(d, maxPerms)
+}

@@ -11,6 +11,9 @@
 #              ephemeral port
 #   oracle     30-second differential-oracle smoke run (seeded, so any
 #              counterexample it prints is reproducible with cmd/oracle)
+#   replay     the checked-in quarantine corpus must replay with zero
+#              divergence: every entry either reproduces its recorded
+#              verification failure or verifies cleanly (a fixed bug)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,5 +35,8 @@ go test -count=1 -run TestServeHealthzShutdown ./cmd/queryvisd
 
 echo "== oracle smoke (30s)"
 go run ./cmd/oracle -n 100000 -seed 1 -timeout 30s
+
+echo "== quarantine replay smoke"
+go run ./cmd/oracle -replay testdata/quarantine -timeout 30s
 
 echo "== ok"
