@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -63,6 +64,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	logger := slog.New(slog.NewTextHandler(stderr, nil))
 	cfg := def
 	cfg.Schemas = strings.Split(*schemas, ",")
 	cfg.MaxTables = *maxTables
@@ -82,11 +84,11 @@ func run(args []string, stdout, stderr *os.File) int {
 		defer cancel()
 	}
 	if *replay != "" {
-		return runReplay(ctx, *replay, *asJSON, stdout, stderr)
+		return runReplay(ctx, *replay, *asJSON, stdout, logger)
 	}
 	rep, err := oracle.RunContext(ctx, cfg, *n, *seed)
 	if err != nil {
-		fmt.Fprintln(stderr, err)
+		logger.Error("run failed", "err", err)
 		return 2
 	}
 
@@ -94,7 +96,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintln(stderr, "oracle:", err)
+			logger.Error("encoding report", "err", err)
 			return 2
 		}
 	} else {
@@ -108,7 +110,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 	if len(rep.Failures) > 0 {
-		fmt.Fprintf(stderr, "oracle: %d counterexample(s) found\n", len(rep.Failures))
+		logger.Error("counterexamples found", "count", len(rep.Failures))
 		return 1
 	}
 	return 0

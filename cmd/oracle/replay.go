@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"repro/internal/quarantine"
@@ -32,10 +33,10 @@ type replayRecord struct {
 // runReplay re-runs every quarantined entry and classifies each as
 // reproduced (failure intact), fixed (now verifies), or divergent
 // (failure changed shape — a regression). Exit 0 means zero divergence.
-func runReplay(ctx context.Context, dir string, asJSON bool, stdout, stderr *os.File) int {
+func runReplay(ctx context.Context, dir string, asJSON bool, stdout *os.File, logger *slog.Logger) int {
 	outcomes, err := quarantine.ReplayDir(ctx, dir)
 	if err != nil {
-		fmt.Fprintln(stderr, "oracle:", err)
+		logger.Error("replay failed", "dir", dir, "err", err)
 		return 2
 	}
 
@@ -69,7 +70,7 @@ func runReplay(ctx context.Context, dir string, asJSON bool, stdout, stderr *os.
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintln(stderr, "oracle:", err)
+			logger.Error("encoding report", "err", err)
 			return 2
 		}
 	} else {
@@ -84,7 +85,7 @@ func runReplay(ctx context.Context, dir string, asJSON bool, stdout, stderr *os.
 		}
 	}
 	if rep.Divergent > 0 {
-		fmt.Fprintf(stderr, "oracle: %d divergent replay(s)\n", rep.Divergent)
+		logger.Error("divergent replays", "count", rep.Divergent)
 		return 1
 	}
 	return 0

@@ -13,7 +13,15 @@
 //	          [-max-diagram-edges N] [-max-output-bytes N] [-unlimited] \
 //	          [-verify off|degrade|strict] [-verify-budget N] \
 //	          [-quarantine-dir DIR] [-quarantine-max-bytes N] \
-//	          [-breaker-threshold N] [-breaker-cooldown 30s]
+//	          [-breaker-threshold N] [-breaker-cooldown 30s] \
+//	          [-metrics] [-pprof] [-slow-query-ms N]
+//
+// Observability: GET /v1/metrics serves a Prometheus text exposition
+// (disable with -metrics=false), every response carries an X-Request-ID
+// header, and requests slower than -slow-query-ms land in the slow-query
+// log with their string literals scrubbed. -pprof additionally mounts
+// net/http/pprof under /debug/pprof/ and a goroutine dump at
+// /debug/goroutines — off by default; never expose those publicly.
 //
 // By default every response is self-verified: the served diagram is
 // mapped back to a logic tree (Proposition 5.1) and required to match
@@ -34,14 +42,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	queryvis "repro"
+	"repro/internal/leak"
 	"repro/internal/quarantine"
 	"repro/internal/server"
 )
@@ -75,20 +86,25 @@ func run(args []string, stdout, stderr *os.File) int {
 		quarantineBytes  = fs.Int64("quarantine-max-bytes", quarantine.DefaultMaxBytes, "size bound on the quarantine directory (oldest entries evicted)")
 		breakerThreshold = fs.Int("breaker-threshold", 5, "consecutive verification cost blowouts that trip the circuit breaker")
 		breakerCooldown  = fs.Duration("breaker-cooldown", 30*time.Second, "how long the tripped breaker stays open before probing again")
+
+		metrics     = fs.Bool("metrics", true, "serve Prometheus metrics on /v1/metrics and instrument requests")
+		enablePprof = fs.Bool("pprof", false, "mount /debug/pprof/ and /debug/goroutines (never expose publicly)")
+		slowQueryMS = fs.Int("slow-query-ms", 500, "log requests at least this slow with scrubbed SQL (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	logger := slog.New(slog.NewTextHandler(stderr, nil))
 	verifyMode, err := queryvis.ParseVerifyMode(*verify)
 	if err != nil {
-		fmt.Fprintln(stderr, "queryvisd:", err)
+		logger.Error("bad -verify flag", "err", err)
 		return 2
 	}
 	var quarStore *quarantine.Store
 	if *quarantineDir != "" {
 		var err error
 		if quarStore, err = quarantine.Open(*quarantineDir, *quarantineBytes); err != nil {
-			fmt.Fprintln(stderr, "queryvisd:", err)
+			logger.Error("opening quarantine", "err", err)
 			return 2
 		}
 	}
@@ -102,40 +118,66 @@ func run(args []string, stdout, stderr *os.File) int {
 			MaxDiagramEdges: *maxDiagramEdges,
 			MaxOutputBytes:  *maxOutputBytes,
 		},
-		Unlimited:        *unlimited,
-		RequestTimeout:   *timeout,
-		MaxConcurrent:    *maxConc,
-		MaxBodyBytes:     *maxBody,
-		DefaultVerify:    verifyMode,
-		VerifyBudget:     *verifyBudget,
-		Quarantine:       quarStore,
-		BreakerThreshold: *breakerThreshold,
-		BreakerCooldown:  *breakerCooldown,
+		Unlimited:          *unlimited,
+		RequestTimeout:     *timeout,
+		MaxConcurrent:      *maxConc,
+		MaxBodyBytes:       *maxBody,
+		DefaultVerify:      verifyMode,
+		VerifyBudget:       *verifyBudget,
+		Quarantine:         quarStore,
+		BreakerThreshold:   *breakerThreshold,
+		BreakerCooldown:    *breakerCooldown,
+		DisableTelemetry:   !*metrics,
+		Logger:             logger,
+		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(stderr, "queryvisd:", err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
 		return 2
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := serveWith(ctx, ln, cfg, *grace, stdout); err != nil {
-		fmt.Fprintln(stderr, "queryvisd:", err)
+	if err := serveWith(ctx, ln, newHandler(cfg, *enablePprof), *grace, logger); err != nil {
+		logger.Error("serve failed", "err", err)
 		return 2
 	}
 	return 0
 }
 
-// serveWith runs the server on ln until ctx is canceled, then shuts down
-// gracefully: the listener closes, in-flight requests drain for up to
-// grace, and only then does the function return. Factored out of run so
-// tests can drive the full serve/shutdown cycle on an ephemeral port.
-func serveWith(ctx context.Context, ln net.Listener, cfg server.Config, grace time.Duration, stdout *os.File) error {
+// newHandler assembles the daemon's full handler: the hardened API
+// server, plus — only when enablePprof — the net/http/pprof endpoints
+// and a plain-text goroutine dump. Without the flag the debug paths
+// don't exist (404), so a production listener can't leak stacks.
+func newHandler(cfg server.Config, enablePprof bool) http.Handler {
+	api := server.New(cfg)
+	if !enablePprof {
+		return api
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/goroutines", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write(leak.Dump())
+	})
+	return mux
+}
+
+// serveWith runs the handler on ln until ctx is canceled, then shuts
+// down gracefully: the listener closes, in-flight requests drain for up
+// to grace, and only then does the function return. Factored out of run
+// so tests can drive the full serve/shutdown cycle on an ephemeral port.
+func serveWith(ctx context.Context, ln net.Listener, h http.Handler, grace time.Duration, logger *slog.Logger) error {
 	srv := &http.Server{
-		Handler:           server.New(cfg),
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errc := make(chan error, 1)
@@ -146,7 +188,7 @@ func serveWith(ctx context.Context, ln net.Listener, cfg server.Config, grace ti
 		}
 		errc <- nil
 	}()
-	fmt.Fprintf(stdout, "queryvisd: listening on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
 
 	select {
 	case err := <-errc:
@@ -154,7 +196,7 @@ func serveWith(ctx context.Context, ln net.Listener, cfg server.Config, grace ti
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintln(stdout, "queryvisd: shutting down, draining in-flight requests")
+	logger.Info("shutting down, draining in-flight requests")
 	sctx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
@@ -163,6 +205,6 @@ func serveWith(ctx context.Context, ln net.Listener, cfg server.Config, grace ti
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	<-errc
-	fmt.Fprintln(stdout, "queryvisd: bye")
+	logger.Info("bye")
 	return nil
 }

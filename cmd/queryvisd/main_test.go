@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -16,6 +17,11 @@ import (
 	"repro/internal/leak"
 	"repro/internal/server"
 )
+
+// testLogger keeps daemon chatter out of test output.
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
 
 // TestServeHealthzShutdown drives the daemon's full lifecycle on an
 // ephemeral port: start, answer /v1/healthz and /v1/diagram, then shut
@@ -33,7 +39,7 @@ func TestServeHealthzShutdown(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		done <- serveWith(ctx, ln, server.Config{}, 5*time.Second, os.Stdout)
+		done <- serveWith(ctx, ln, newHandler(server.Config{}, false), 5*time.Second, testLogger())
 	}()
 
 	base := "http://" + ln.Addr().String()
@@ -102,8 +108,8 @@ func TestShutdownDrainsInflight(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		done <- serveWith(ctx, ln, server.Config{RequestTimeout: 10 * time.Second},
-			5*time.Second, os.Stdout)
+		done <- serveWith(ctx, ln, newHandler(server.Config{RequestTimeout: 10 * time.Second}, false),
+			5*time.Second, testLogger())
 	}()
 	base := "http://" + ln.Addr().String()
 
@@ -155,6 +161,111 @@ func (r *trickleReader) Read(p []byte) (int, error) {
 	n := copy(p, r.data[r.off:])
 	r.off += n
 	return n, nil
+}
+
+// startDaemon runs serveWith on an ephemeral port and returns its base
+// URL; shutdown is registered with the test.
+func startDaemon(t *testing.T, h http.Handler) string {
+	t.Helper()
+	// Registered before the shutdown cleanup, so — cleanups running LIFO —
+	// the leak check fires after the daemon has fully drained.
+	t.Cleanup(leak.Check(t))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveWith(ctx, ln, h, 5*time.Second, testLogger()) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("serveWith: %v", err)
+		}
+		http.DefaultClient.CloseIdleConnections()
+	})
+	return "http://" + ln.Addr().String()
+}
+
+// TestMetricsSmoke is the CI metrics check: boot the daemon, serve one
+// Fig. 1 diagram, and require /v1/metrics to expose the core families
+// with a non-zero stage histogram — proof the whole telemetry path is
+// live, not just compiled in.
+func TestMetricsSmoke(t *testing.T) {
+	base := startDaemon(t, newHandler(server.Config{}, false))
+
+	body, _ := json.Marshal(map[string]any{"sql": corpus.Fig1UniqueSet, "schema": "beers"})
+	resp, err := http.Post(base+"/v1/diagram", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("diagram: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diagram status = %d", resp.StatusCode)
+	}
+	if id := resp.Header.Get("X-Request-ID"); id == "" {
+		t.Fatal("diagram response missing X-Request-ID")
+	}
+
+	mresp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer mresp.Body.Close()
+	raw, _ := io.ReadAll(mresp.Body)
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", mresp.StatusCode)
+	}
+	exposition := string(raw)
+	for _, want := range []string{
+		"# TYPE queryvis_http_requests_total counter",
+		"# TYPE queryvis_stage_duration_seconds histogram",
+		"# TYPE queryvis_breaker_state gauge",
+		"queryvis_verify_total",
+		"queryvis_http_errors_total",
+		`queryvis_stage_duration_seconds_count{stage="parse"} 1`,
+		`queryvis_stage_duration_seconds_count{stage="render"} 1`,
+		`queryvis_http_requests_total{code="200",route="/v1/diagram"} 1`,
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+// TestPprofGate: debug endpoints exist only behind -pprof.
+func TestPprofGate(t *testing.T) {
+	get := func(base, path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}
+
+	gated := startDaemon(t, newHandler(server.Config{}, false))
+	if st, _ := get(gated, "/debug/pprof/"); st != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ without -pprof = %d, want 404", st)
+	}
+	if st, _ := get(gated, "/debug/goroutines"); st != http.StatusNotFound {
+		t.Fatalf("/debug/goroutines without -pprof = %d, want 404", st)
+	}
+
+	open := startDaemon(t, newHandler(server.Config{}, true))
+	if st, body := get(open, "/debug/pprof/"); st != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ with -pprof = %d", st)
+	}
+	if st, body := get(open, "/debug/goroutines"); st != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/goroutines with -pprof = %d\n%.200s", st, body)
+	}
+	// The API keeps working through the debug mux.
+	if st, _ := get(open, "/v1/healthz"); st != http.StatusOK {
+		t.Fatalf("/v1/healthz through debug mux = %d", st)
+	}
 }
 
 func TestUsageError(t *testing.T) {

@@ -2,6 +2,7 @@ package queryvis
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/logictree"
 	"repro/internal/sqlparse"
 	"repro/internal/svg"
+	"repro/internal/telemetry"
 	"repro/internal/trc"
 )
 
@@ -88,6 +90,9 @@ func stageErr(stage string, err error) error {
 // returned as *InternalError — FromSQLContext never panics, whatever the
 // input.
 func FromSQLContext(ctx context.Context, sql string, s *Schema, opts Options) (*Result, error) {
+	if opts.Tracer != nil {
+		ctx = telemetry.WithTracer(ctx, opts.Tracer)
+	}
 	res, err := runPipeline(ctx, sql, s, opts)
 	if opts.Verify == VerifyOff {
 		if err != nil {
@@ -96,96 +101,151 @@ func FromSQLContext(ctx context.Context, sql string, s *Schema, opts Options) (*
 		res.VerifyStatus = VerifyStatusOff
 		return res, nil
 	}
-	return verifyOrDegrade(ctx, res, err, opts)
+	sp := telemetry.StartSpan(ctx, StageVerify)
+	defer sp.End()
+	out, verr := verifyOrDegrade(ctx, res, err, opts, sp)
+	switch {
+	case out != nil:
+		if out.VerifyStatus != "" {
+			sp.Annotate("status", out.VerifyStatus)
+		}
+		if out.Degraded != "" {
+			sp.Annotate("rung", out.Degraded)
+		}
+	case verr != nil:
+		var ve *VerifyError
+		if errors.As(verr, &ve) {
+			sp.Annotate("status", ve.Status)
+		}
+	}
+	return out, verr
 }
 
 // runPipeline executes the forward pipeline, filling the Result stage by
 // stage so that on failure the completed prefix survives alongside the
 // error — the degradation ladder feeds on those partial artifacts. The
 // returned Result is never nil; fields beyond the failed stage are zero.
+//
+// Each stage runs under a telemetry span (a no-op when no tracer is on
+// the context): the span opens before the stage's fault-injection point
+// and closes on every exit, panics included, so a trace always shows
+// exactly the stages that were entered.
 func runPipeline(ctx context.Context, sql string, s *Schema, opts Options) (res *Result, err error) {
 	lim := opts.Limits
 	res = &Result{limits: lim}
 	defer panicBoundary("pipeline", &err)
+
+	// stage brackets one pipeline stage with its span; defer guarantees
+	// the span ends even when f panics into the pipeline boundary above.
+	stage := func(name string, f func() error) error {
+		sp := telemetry.StartSpan(ctx, name)
+		defer sp.End()
+		return f()
+	}
 
 	if lim != nil {
 		if err := check(LimitQueryBytes, len(sql), lim.MaxQueryBytes); err != nil {
 			return res, err
 		}
 	}
-	if err := faults.Fire(ctx, faults.StageParse); err != nil {
-		return res, stageErr(StageParse, err)
-	}
-	q, err := sqlparse.ParseContext(ctx, sql)
-	if err != nil {
-		return res, stageErr(StageParse, err)
-	}
-	res.Query = q
-	if lim != nil {
-		if err := check(LimitNestingDepth, q.NestingDepth(), lim.MaxNestingDepth); err != nil {
-			return res, err
+	if err := stage(StageParse, func() error {
+		if err := faults.Fire(ctx, faults.StageParse); err != nil {
+			return stageErr(StageParse, err)
 		}
-		if err := check(LimitPredicates, q.PredicateCount(), lim.MaxPredicates); err != nil {
-			return res, err
-		}
-	}
-
-	if err := faults.Fire(ctx, faults.StageResolve); err != nil {
-		return res, stageErr(StageResolve, err)
-	}
-	r, err := sqlparse.ResolveContext(ctx, q, s)
-	if err != nil {
-		return res, stageErr(StageResolve, err)
-	}
-
-	if err := faults.Fire(ctx, faults.StageConvert); err != nil {
-		return res, stageErr(StageConvert, err)
-	}
-	e, err := trc.ConvertContext(ctx, q, r)
-	if err != nil {
-		return res, stageErr(StageConvert, err)
-	}
-	res.TRC = e
-
-	if err := faults.Fire(ctx, faults.StageTree); err != nil {
-		return res, stageErr(StageTree, err)
-	}
-	raw, err := logictree.FromTRCContext(ctx, e)
-	if err != nil {
-		return res, stageErr(StageTree, err)
-	}
-	if !opts.KeepExistsBlocks {
-		if _, err := raw.FlattenContext(ctx); err != nil {
-			return res, stageErr(StageTree, err)
-		}
-	}
-	res.RawTree = raw
-	tree := raw
-	if opts.Simplify {
-		tree, err = raw.SimplifiedContext(ctx)
+		q, err := sqlparse.ParseContext(ctx, sql)
 		if err != nil {
-			return res, stageErr(StageTree, err)
+			return stageErr(StageParse, err)
 		}
+		res.Query = q
+		if lim != nil {
+			if err := check(LimitNestingDepth, q.NestingDepth(), lim.MaxNestingDepth); err != nil {
+				return err
+			}
+			if err := check(LimitPredicates, q.PredicateCount(), lim.MaxPredicates); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return res, err
 	}
-	res.Tree = tree
 
-	if err := faults.Fire(ctx, faults.StageBuild); err != nil {
-		return res, stageErr(StageBuild, err)
-	}
-	d, err := core.BuildContext(ctx, tree)
-	if err != nil {
-		return res, stageErr(StageBuild, err)
-	}
-	if lim != nil {
-		if err := check(LimitDiagramNodes, len(d.Tables), lim.MaxDiagramNodes); err != nil {
-			return res, err
+	var r *sqlparse.Resolution
+	if err := stage(StageResolve, func() error {
+		if err := faults.Fire(ctx, faults.StageResolve); err != nil {
+			return stageErr(StageResolve, err)
 		}
-		if err := check(LimitDiagramEdges, len(d.Edges), lim.MaxDiagramEdges); err != nil {
-			return res, err
+		var err error
+		if r, err = sqlparse.ResolveContext(ctx, res.Query, s); err != nil {
+			return stageErr(StageResolve, err)
 		}
+		return nil
+	}); err != nil {
+		return res, err
 	}
-	res.Diagram = d
-	res.Interpretation = core.Interpret(tree)
+
+	if err := stage(StageConvert, func() error {
+		if err := faults.Fire(ctx, faults.StageConvert); err != nil {
+			return stageErr(StageConvert, err)
+		}
+		e, err := trc.ConvertContext(ctx, res.Query, r)
+		if err != nil {
+			return stageErr(StageConvert, err)
+		}
+		res.TRC = e
+		return nil
+	}); err != nil {
+		return res, err
+	}
+
+	if err := stage(StageTree, func() error {
+		if err := faults.Fire(ctx, faults.StageTree); err != nil {
+			return stageErr(StageTree, err)
+		}
+		raw, err := logictree.FromTRCContext(ctx, res.TRC)
+		if err != nil {
+			return stageErr(StageTree, err)
+		}
+		if !opts.KeepExistsBlocks {
+			if _, err := raw.FlattenContext(ctx); err != nil {
+				return stageErr(StageTree, err)
+			}
+		}
+		res.RawTree = raw
+		tree := raw
+		if opts.Simplify {
+			if tree, err = raw.SimplifiedContext(ctx); err != nil {
+				return stageErr(StageTree, err)
+			}
+		}
+		res.Tree = tree
+		return nil
+	}); err != nil {
+		return res, err
+	}
+
+	if err := stage(StageBuild, func() error {
+		if err := faults.Fire(ctx, faults.StageBuild); err != nil {
+			return stageErr(StageBuild, err)
+		}
+		d, err := core.BuildContext(ctx, res.Tree)
+		if err != nil {
+			return stageErr(StageBuild, err)
+		}
+		if lim != nil {
+			if err := check(LimitDiagramNodes, len(d.Tables), lim.MaxDiagramNodes); err != nil {
+				return err
+			}
+			if err := check(LimitDiagramEdges, len(d.Edges), lim.MaxDiagramEdges); err != nil {
+				return err
+			}
+		}
+		res.Diagram = d
+		res.Interpretation = core.Interpret(res.Tree)
+		return nil
+	}); err != nil {
+		return res, err
+	}
 	return res, nil
 }
 
@@ -201,6 +261,8 @@ func (r *Result) checkOutput(n int) error {
 // rendering is cancelable, its size is bounded by the pipeline's
 // MaxOutputBytes limit, and panics are contained at this boundary.
 func (r *Result) DOTContext(ctx context.Context, o DOTOptions) (s string, err error) {
+	sp := telemetry.StartSpan(ctx, StageRender)
+	defer sp.End()
 	defer panicBoundary(StageRender, &err)
 	if err := faults.Fire(ctx, faults.StageRender); err != nil {
 		return "", stageErr(StageRender, err)
@@ -219,6 +281,8 @@ func (r *Result) DOTContext(ctx context.Context, o DOTOptions) (s string, err er
 // context, with the same cancellation, output-size, and panic guarantees
 // as DOTContext.
 func (r *Result) SVGContext(ctx context.Context) (s string, err error) {
+	sp := telemetry.StartSpan(ctx, StageRender)
+	defer sp.End()
 	defer panicBoundary(StageRender, &err)
 	if err := faults.Fire(ctx, faults.StageRender); err != nil {
 		return "", stageErr(StageRender, err)
@@ -236,6 +300,8 @@ func (r *Result) SVGContext(ctx context.Context) (s string, err error) {
 // TextContext renders the plain-text diagram under the pipeline's
 // output-size limit and panic boundary.
 func (r *Result) TextContext(ctx context.Context) (s string, err error) {
+	sp := telemetry.StartSpan(ctx, StageRender)
+	defer sp.End()
 	defer panicBoundary(StageRender, &err)
 	if err := faults.Fire(ctx, faults.StageRender); err != nil {
 		return "", stageErr(StageRender, err)

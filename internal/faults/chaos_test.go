@@ -25,6 +25,9 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
+	"slices"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -37,6 +40,7 @@ import (
 	"repro/internal/leak"
 	"repro/internal/quarantine"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 // chaosSeed fixes the whole run; change it to explore a different slice
@@ -161,17 +165,19 @@ func TestChaos(t *testing.T) {
 		VerifyBudget: 50_000,
 		Quarantine:   qstore,
 	}
-	ts := httptest.NewServer(server.New(cfg))
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 
 	// A second instance with a deadline shorter than any injected delay,
 	// so the timeout path gets deterministic coverage (the main server's
 	// 500ms deadline outlasts every possible fault plan).
-	tsSlow := httptest.NewServer(server.New(server.Config{
+	srvSlow := server.New(server.Config{
 		RequestTimeout:      2 * time.Millisecond,
 		MaxConcurrent:       32,
 		AllowFaultInjection: true,
-	}))
+	})
+	tsSlow := httptest.NewServer(srvSlow)
 	t.Cleanup(tsSlow.Close)
 
 	// One seed whose plan delays the parse stage well past 2ms.
@@ -305,6 +311,37 @@ func TestChaos(t *testing.T) {
 		}
 	}
 	t.Logf("chaos: %d quarantined entries replayed deterministically", len(entries))
+
+	// The telemetry registry must still be internally consistent after the
+	// storm: spans and histograms agree stage by stage, and the pipeline
+	// prefix property (a stage is entered only if its predecessor finished)
+	// survives injected errors, panics, and timeouts.
+	assertRegistryConsistent(t, "main", srv.Metrics())
+	assertRegistryConsistent(t, "slow", srvSlow.Metrics())
+
+	// The servers' request counters must reconcile with the client-side
+	// tallies: every response the client classified was counted server-side
+	// (per status code), and the servers never counted more requests than
+	// the run sent. Only ≥/≤ bounds are available — a client that canceled
+	// mid-flight may or may not have produced a countable response.
+	serverByCode := requestsByCode(t, srv.Metrics(), srvSlow.Metrics())
+	serverTotal := 0
+	for _, n := range serverByCode {
+		serverTotal += n
+	}
+	if serverTotal > chaosRequests {
+		t.Errorf("servers counted %d requests, but only %d were sent", serverTotal, chaosRequests)
+	}
+	// byStatus[0] tallies client-side aborts — no response was received, so
+	// they are excluded from the reconciliation.
+	if answered := total - byStatus[0]; serverTotal < answered {
+		t.Errorf("servers counted %d requests, client saw %d responses", serverTotal, answered)
+	}
+	for code, n := range byStatus {
+		if code != 0 && serverByCode[code] < n {
+			t.Errorf("requests_total{code=%d} = %d server-side, client saw %d", code, serverByCode[code], n)
+		}
+	}
 
 	if atomic.LoadInt64(&failures) == 0 {
 		// Final liveness probe: the server must still answer cleanly.
@@ -493,4 +530,114 @@ func fireChaosRequest(client *http.Client, baseURL, slowURL string, delaySeed in
 	}
 	out.category = eb.Error.Category
 	return out, true
+}
+
+// pipelineStages is the forward pipeline in execution order; a stage can
+// only be entered after every earlier one returned cleanly.
+var pipelineStages = []string{"parse", "resolve", "convert", "logictree", "build"}
+
+// assertRegistryConsistent checks the invariants that must hold on a
+// server's registry no matter what faults were injected: every stage's
+// span counter equals its duration histogram's observation count (both
+// are derived from the same span list), and span counts are monotonically
+// non-increasing along the pipeline.
+func assertRegistryConsistent(t *testing.T, name string, reg *telemetry.Registry) {
+	t.Helper()
+	for _, s := range append(slices.Clone(pipelineStages), "verify", "render") {
+		spans := reg.Value("queryvis_stage_spans_total", "stage", s)
+		obs := reg.Value("queryvis_stage_duration_seconds", "stage", s)
+		if spans != obs {
+			t.Errorf("%s server: stage %q spans_total %v != duration count %v", name, s, spans, obs)
+		}
+	}
+	for i := 1; i < len(pipelineStages); i++ {
+		prev := reg.Value("queryvis_stage_spans_total", "stage", pipelineStages[i-1])
+		cur := reg.Value("queryvis_stage_spans_total", "stage", pipelineStages[i])
+		if cur > prev {
+			t.Errorf("%s server: stage %q entered %v times but predecessor %q only %v",
+				name, pipelineStages[i], cur, pipelineStages[i-1], prev)
+		}
+	}
+}
+
+// requestsByCode sums queryvis_http_requests_total over the API routes of
+// every given registry, keyed by status code, by parsing the Prometheus
+// exposition (the registry has no enumeration API — the exposition is the
+// contract).
+func requestsByCode(t *testing.T, regs ...*telemetry.Registry) map[int]int {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^queryvis_http_requests_total\{code="(\d+)",route="/v1/(?:diagram|interpret)"\} (\d+)$`)
+	out := map[int]int{}
+	for _, reg := range regs {
+		var buf bytes.Buffer
+		reg.WritePrometheus(&buf)
+		for _, m := range re.FindAllStringSubmatch(buf.String(), -1) {
+			code, _ := strconv.Atoi(m[1])
+			n, _ := strconv.Atoi(m[2])
+			out[code] += n
+		}
+	}
+	return out
+}
+
+// TestSpansMatchStagesEntered pins the span/stage contract at the facade:
+// for any fault plan, the trace contains exactly one span per pipeline
+// stage entered — a stage killed by an injected error or panic still
+// emits its (closed) span, and no span appears for stages never reached.
+// Deterministic per seed, so a failure names its plan exactly.
+func TestSpansMatchStagesEntered(t *testing.T) {
+	s, ok := queryvis.SchemaByName("beers")
+	if !ok {
+		t.Fatal("beers schema missing")
+	}
+
+	const seeds = 200
+	const workers = 8
+	var wg sync.WaitGroup
+	seedc := make(chan int64)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seedc {
+				plan := faults.NewPlan(seed)
+
+				// Expected trace: the pipeline prefix up to and including the
+				// first stage an injected error or panic kills. Delays elapse
+				// (the context has no deadline) and the stage completes, so
+				// they extend the prefix rather than cutting it.
+				var want []string
+				for _, st := range faults.Stages[:len(pipelineStages)] {
+					want = append(want, string(st))
+					if a := plan.Faults[st].Action; a == faults.ActError || a == faults.ActPanic {
+						break
+					}
+				}
+
+				tr := telemetry.NewTracer()
+				ctx := faults.WithPlan(context.Background(), plan)
+				// Verify off: verification would re-fire stages outside the
+				// span'd pipeline and append its own span, clouding the map
+				// from plan to expected trace.
+				_, _ = queryvis.FromSQLContext(ctx, corpus.Fig1UniqueSet, s, queryvis.Options{Tracer: tr})
+
+				spans := tr.Spans()
+				got := make([]string, len(spans))
+				for i, sp := range spans {
+					got[i] = sp.Name
+					if !sp.Done {
+						t.Errorf("seed %d (plan %s): span %q left open", seed, plan.Describe(), sp.Name)
+					}
+				}
+				if !slices.Equal(got, want) {
+					t.Errorf("seed %d (plan %s): spans %v, want %v", seed, plan.Describe(), got, want)
+				}
+			}
+		}()
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		seedc <- seed
+	}
+	close(seedc)
+	wg.Wait()
 }

@@ -361,9 +361,16 @@ func SolutionsRelaxed(d *core.Diagram) ([]*logictree.LT, error) {
 }
 
 func solutions(ctx context.Context, d *core.Diagram, validate bool, budget int) ([]*logictree.LT, error) {
+	out, _, err := solutionsN(ctx, d, validate, budget)
+	return out, err
+}
+
+// solutionsN is solutions, additionally reporting the number of search
+// nodes visited — the cost actually spent against the budget.
+func solutionsN(ctx context.Context, d *core.Diagram, validate bool, budget int) ([]*logictree.LT, int, error) {
 	g, err := buildGraph(d)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	st := &search{ctx: ctx, budget: budget}
 	n := len(g.groups)
@@ -404,10 +411,10 @@ func solutions(ctx context.Context, d *core.Diagram, validate bool, budget int) 
 		return nil
 	}
 	if err := rec(1); err != nil {
-		return nil, err
+		return nil, st.nodes, err
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Canonical() < out[j].Canonical() })
-	return out, nil
+	return out, st.nodes, nil
 }
 
 // Recover returns the unique logic tree for a valid diagram, or an
@@ -423,17 +430,27 @@ func Recover(d *core.Diagram) (*logictree.LT, error) {
 // context returns the context's error — both distinct from the
 // *AmbiguityError a completed search may report.
 func RecoverContext(ctx context.Context, d *core.Diagram, budget int) (*logictree.LT, error) {
+	lt, _, err := RecoverContextStats(ctx, d, budget)
+	return lt, err
+}
+
+// RecoverContextStats is RecoverContext, additionally reporting how many
+// search nodes the enumeration visited — the budget actually spent,
+// whether or not the search completed. The telemetry layer annotates
+// verify spans with it, turning "how close are we to the budget?" into a
+// measured quantity instead of a binary exhausted/fine signal.
+func RecoverContextStats(ctx context.Context, d *core.Diagram, budget int) (*logictree.LT, int, error) {
 	if budget == 0 {
 		budget = DefaultSearchBudget
 	}
-	sols, err := solutions(ctx, d, true, budget)
+	sols, nodes, err := solutionsN(ctx, d, true, budget)
 	if err != nil {
-		return nil, err
+		return nil, nodes, err
 	}
 	if len(sols) != 1 {
-		return nil, &AmbiguityError{Solutions: len(sols)}
+		return nil, nodes, &AmbiguityError{Solutions: len(sols)}
 	}
-	return sols[0], nil
+	return sols[0], nodes, nil
 }
 
 // DecomposeAtRoot implements the depth-0 decomposition of Appendix B.2.1:

@@ -21,6 +21,15 @@ import (
 	"time"
 )
 
+// Dump returns the stacks of all live goroutines in pprof's debug=1
+// text form. Check embeds it in failure messages; queryvisd serves it
+// on the -pprof-gated /debug/goroutines endpoint.
+func Dump() []byte {
+	var buf bytes.Buffer
+	_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
+	return buf.Bytes()
+}
+
 // Check records the current goroutine count and returns a function that
 // fails t if the count has not returned to the baseline within a grace
 // period. Call it before starting servers or workers and defer the
@@ -42,9 +51,7 @@ func Check(t testing.TB) func() {
 			}
 			time.Sleep(20 * time.Millisecond)
 		}
-		var buf bytes.Buffer
-		_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
 		t.Errorf("goroutine leak: %d goroutines at start, %d after grace period\n%s",
-			base, n, buf.String())
+			base, n, Dump())
 	}
 }

@@ -9,11 +9,13 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/inverse"
 	"repro/internal/logictree"
 	"repro/internal/rel"
 	"repro/internal/schema"
 	"repro/internal/sqlparse"
+	"repro/internal/telemetry"
 	"repro/internal/trc"
 )
 
@@ -60,20 +62,30 @@ func pipelineLT(src string, s *schema.Schema) (*logictree.LT, error) {
 
 // pipelineLTContext is pipelineLT under a context: every stage is
 // cancelable, so a deadline interrupts even a single slow query instead
-// of waiting for it to finish.
+// of waiting for it to finish. Each stage runs under a telemetry span
+// (no-op without a tracer on ctx) feeding the report's per-stage
+// timing aggregates.
 func pipelineLTContext(ctx context.Context, src string, s *schema.Schema) (*logictree.LT, error) {
+	sp := telemetry.StartSpan(ctx, string(faults.StageParse))
 	q, err := sqlparse.ParseContext(ctx, src)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
+	sp = telemetry.StartSpan(ctx, string(faults.StageResolve))
 	r, err := sqlparse.ResolveContext(ctx, q, s)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("resolve: %w", err)
 	}
+	sp = telemetry.StartSpan(ctx, string(faults.StageConvert))
 	e, err := trc.ConvertContext(ctx, q, r)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("convert: %w", err)
 	}
+	sp = telemetry.StartSpan(ctx, string(faults.StageTree))
+	defer sp.End()
 	lt, err := logictree.FromTRCContext(ctx, e)
 	if err != nil {
 		return nil, err
@@ -114,12 +126,16 @@ func CheckContext(ctx context.Context, sql string, s *schema.Schema, dbs []*Test
 	if err := lt.Validate(); err != nil {
 		return &Failure{StageValidate, err.Error()}
 	}
+	sp := telemetry.StartSpan(ctx, string(faults.StageBuild))
 	d, err := core.BuildContext(ctx, lt)
+	sp.End()
 	if err != nil {
 		return &Failure{StageBuild, err.Error()}
 	}
 
+	sp = telemetry.StartSpan(ctx, string(faults.StageVerify))
 	rec, err := inverse.Recover(d)
+	sp.End()
 	if err != nil {
 		return &Failure{StageRecover, err.Error()}
 	}
@@ -158,6 +174,8 @@ func CheckContext(ctx context.Context, sql string, s *schema.Schema, dbs []*Test
 
 	// Execution differential: the original tree versus every equivalent
 	// form, on every database.
+	esp := telemetry.StartSpan(ctx, "execute")
+	defer esp.End()
 	alts := []struct {
 		name string
 		lt   *logictree.LT
@@ -190,6 +208,34 @@ func CheckContext(ctx context.Context, sql string, s *schema.Schema, dbs []*Test
 	return nil
 }
 
+// StageAgg aggregates span timings for one pipeline stage across a run.
+type StageAgg struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+	MinNS   int64 `json:"min_ns"`
+	MaxNS   int64 `json:"max_ns"`
+}
+
+// MeanNS is the stage's average duration.
+func (a *StageAgg) MeanNS() int64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.TotalNS / a.Count
+}
+
+func (a *StageAgg) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if a.Count == 0 || ns < a.MinNS {
+		a.MinNS = ns
+	}
+	if ns > a.MaxNS {
+		a.MaxNS = ns
+	}
+	a.Count++
+	a.TotalNS += ns
+}
+
 // Report summarizes a Run.
 type Report struct {
 	Queries  int               `json:"queries"`
@@ -202,6 +248,26 @@ type Report struct {
 	// report is then the partial result over the queries that did finish —
 	// a prefix of the corresponding unbounded run.
 	TimedOut bool `json:"timed_out,omitempty"`
+	// StageTimings aggregates per-stage span durations across every
+	// differential check in the run (shrinking excluded, so the numbers
+	// describe the stream itself). Keys are the pipeline stage names plus
+	// "execute" for the execution differential.
+	StageTimings map[string]*StageAgg `json:"stage_timings,omitempty"`
+}
+
+// observeSpans folds one check's trace into the per-stage aggregates.
+func (r *Report) observeSpans(spans []telemetry.Span) {
+	for _, sp := range spans {
+		if r.StageTimings == nil {
+			r.StageTimings = make(map[string]*StageAgg)
+		}
+		agg := r.StageTimings[sp.Name]
+		if agg == nil {
+			agg = &StageAgg{}
+			r.StageTimings[sp.Name] = agg
+		}
+		agg.observe(sp.Duration)
+	}
 }
 
 // QueriesPerSec is the oracle's end-to-end throughput.
@@ -266,7 +332,13 @@ func RunContext(ctx context.Context, cfg Config, n int, seed int64) (*Report, er
 			dbs[j] = RandomDB(rng, s, cfg)
 		}
 		rep.Queries++
-		if f := CheckContext(ctx, sql, s, dbs); f != nil {
+		// A fresh tracer per query keeps the per-stage aggregates exact;
+		// the shrinker below runs without one, so its re-checks don't skew
+		// the numbers.
+		tr := telemetry.NewTracer()
+		f := CheckContext(telemetry.WithTracer(ctx, tr), sql, s, dbs)
+		rep.observeSpans(tr.Spans())
+		if f != nil {
 			if ctx.Err() != nil {
 				// The "failure" is the deadline firing mid-check, not a real
 				// counterexample; the interrupted query does not count.

@@ -67,18 +67,62 @@ func benchEndpoint(b *testing.B, ts *httptest.Server, body []byte) {
 	b.ReportMetric(float64(pct(99).Microseconds())/1000, "p99-ms")
 }
 
+// telemetryColumns runs fn once with telemetry disabled and once fully
+// instrumented — the two columns recorded in BENCH_server.json. The
+// deltas between them price the whole observability layer: request IDs,
+// per-stage spans, route/stage/duration metrics, and the request log.
+func telemetryColumns(b *testing.B, fn func(b *testing.B, cfg Config)) {
+	for _, col := range []struct {
+		name    string
+		disable bool
+	}{{"telemetry-off", true}, {"telemetry-on", false}} {
+		b.Run(col.name, func(b *testing.B) {
+			fn(b, Config{DisableTelemetry: col.disable})
+		})
+	}
+}
+
+// BenchmarkDiagramHandler measures the handler in-process and serially —
+// no sockets, no client goroutine scheduling — which is stable enough to
+// price the telemetry layer itself: the telemetry-on minus telemetry-off
+// delta is the per-request cost of request IDs, stage spans, and metric
+// updates, free of the HTTP round-trip noise that dominates the
+// endpoint benchmarks on a busy host.
+func BenchmarkDiagramHandler(b *testing.B) {
+	telemetryColumns(b, func(b *testing.B, cfg Config) {
+		srv := New(cfg)
+		body, err := json.Marshal(diagramRequest{SQL: corpus.Fig1UniqueSet, Schema: "beers"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/v1/diagram", bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status = %d", w.Code)
+			}
+		}
+	})
+}
+
 // BenchmarkDiagramEndpoint measures the full HTTP round trip for
 // /v1/diagram on the paper's Fig. 1 query, reporting throughput and the
 // p99 request latency — the numbers recorded in BENCH_server.json.
 func BenchmarkDiagramEndpoint(b *testing.B) {
-	ts := httptest.NewServer(New(Config{}))
-	defer ts.Close()
+	telemetryColumns(b, func(b *testing.B, cfg Config) {
+		ts := httptest.NewServer(New(cfg))
+		defer ts.Close()
 
-	body, err := json.Marshal(diagramRequest{SQL: corpus.Fig1UniqueSet, Schema: "beers"})
-	if err != nil {
-		b.Fatal(err)
-	}
-	benchEndpoint(b, ts, body)
+		body, err := json.Marshal(diagramRequest{SQL: corpus.Fig1UniqueSet, Schema: "beers"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchEndpoint(b, ts, body)
+	})
 }
 
 // BenchmarkDiagramEndpointVerify measures what runtime verification
@@ -89,16 +133,18 @@ func BenchmarkDiagramEndpoint(b *testing.B) {
 func BenchmarkDiagramEndpointVerify(b *testing.B) {
 	for _, mode := range []string{"off", "degrade", "strict"} {
 		b.Run(mode, func(b *testing.B) {
-			ts := httptest.NewServer(New(Config{}))
-			defer ts.Close()
+			telemetryColumns(b, func(b *testing.B, cfg Config) {
+				ts := httptest.NewServer(New(cfg))
+				defer ts.Close()
 
-			body, err := json.Marshal(diagramRequest{
-				SQL: corpus.Fig1UniqueSet, Schema: "beers", Verify: mode,
+				body, err := json.Marshal(diagramRequest{
+					SQL: corpus.Fig1UniqueSet, Schema: "beers", Verify: mode,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchEndpoint(b, ts, body)
 			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			benchEndpoint(b, ts, body)
 		})
 	}
 }

@@ -138,6 +138,11 @@ func writeError(w http.ResponseWriter, err error) {
 }
 
 func writeAPIError(w http.ResponseWriter, status int, ae apiError) {
+	// Every error response funnels through here; note the category on the
+	// instrument wrapper's recorder so it lands in the error counters.
+	if rec, ok := w.(*statusRecorder); ok {
+		rec.category = ae.Category
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(errorBody{Error: ae})

@@ -1,0 +1,294 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	queryvis "repro"
+	"repro/internal/quarantine"
+	"repro/internal/telemetry"
+)
+
+// Metric family names served on GET /v1/metrics. The registry is the
+// single source of truth for every operational number the service
+// reports: /v1/healthz reads the same series, so the two endpoints can
+// never disagree.
+const (
+	mRequests      = "queryvis_http_requests_total"
+	mErrors        = "queryvis_http_errors_total"
+	mInFlight      = "queryvis_http_in_flight"
+	mServed        = "queryvis_http_served_total"
+	mShed          = "queryvis_http_shed_total"
+	mDuration      = "queryvis_http_request_duration_seconds"
+	mVerify        = "queryvis_verify_total"
+	mBreakerState  = "queryvis_breaker_state"
+	mBreakerTrips  = "queryvis_breaker_trips_total"
+	mBreakerStreak = "queryvis_breaker_streak"
+	mQuarEntries   = "queryvis_quarantine_entries"
+	mQuarBytes     = "queryvis_quarantine_bytes"
+	mStageDur      = "queryvis_stage_duration_seconds"
+	mStageSpans    = "queryvis_stage_spans_total"
+	mSlowQueries   = "queryvis_slow_queries_total"
+)
+
+const (
+	helpRequests = "Total HTTP requests by route and status code."
+	helpErrors   = "Error responses by category."
+	helpDuration = "End-to-end request latency by route."
+	helpVerify   = "Verification verdicts by status."
+	helpStageDur = "Pipeline stage latency by stage."
+	helpSpans    = "Pipeline stage spans entered by stage."
+)
+
+// stageNames is the full pipeline taxonomy; every stage histogram is
+// pre-registered so /v1/metrics covers all seven stages from the first
+// scrape, observed or not.
+var stageNames = []string{
+	queryvis.StageParse, queryvis.StageResolve, queryvis.StageConvert,
+	queryvis.StageTree, queryvis.StageBuild, queryvis.StageVerify,
+	queryvis.StageRender,
+}
+
+// errorCategories mirrors the taxonomy in errors.go.
+var errorCategories = []Category{
+	CatBadRequest, CatTooLarge, CatParse, CatSemantic, CatLimit,
+	CatTimeout, CatCanceled, CatOverloaded, CatInternal, CatVerifyFailed,
+}
+
+// verifyOutcomes are the verdicts counted by queryvis_verify_total.
+// "off" is absent by design: an unrequested verification is not an
+// outcome.
+var verifyOutcomes = []string{
+	queryvis.VerifyStatusVerified, queryvis.VerifyStatusSkipped,
+	queryvis.VerifyStatusMismatch, queryvis.VerifyStatusAmbiguous,
+	queryvis.VerifyStatusBudget, queryvis.VerifyStatusTimeout,
+	queryvis.VerifyStatusError,
+}
+
+// serverMetrics owns the registry and the hot-path instrument handles.
+// The load-tracking gauges live here — not as separate atomics on Server
+// — so healthz and the exposition read the same storage.
+type serverMetrics struct {
+	reg         *telemetry.Registry
+	inFlight    *telemetry.Gauge
+	served      *telemetry.Counter
+	shed        *telemetry.Counter
+	slowQueries *telemetry.Counter
+}
+
+// initMetrics builds the metric surface: load gauges, pre-registered
+// per-stage/per-category/per-outcome families (so zero-valued series
+// still appear in the exposition), and gauge funcs reading the breaker
+// and quarantine through the same snapshots healthz historically used.
+func (s *Server) initMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	m := &serverMetrics{
+		reg:      reg,
+		inFlight: reg.Gauge(mInFlight, "Requests currently being served."),
+		served:   reg.Counter(mServed, "Requests admitted past the load shedder."),
+		shed:     reg.Counter(mShed, "Requests shed with 429 by the concurrency limiter."),
+		slowQueries: reg.Counter(mSlowQueries,
+			"Requests slower than the slow-query threshold."),
+	}
+	for _, st := range stageNames {
+		reg.Histogram(mStageDur, helpStageDur, nil, "stage", st)
+		reg.Counter(mStageSpans, helpSpans, "stage", st)
+	}
+	for _, cat := range errorCategories {
+		reg.Counter(mErrors, helpErrors, "category", string(cat))
+	}
+	for _, outcome := range verifyOutcomes {
+		reg.Counter(mVerify, helpVerify, "status", outcome)
+	}
+	reg.GaugeFunc(mBreakerState,
+		"Circuit breaker state (0 closed, 1 half-open, 2 open).",
+		func() float64 {
+			state, _, _ := s.breaker.snapshot()
+			return float64(breakerStateValue(state))
+		})
+	reg.GaugeFunc(mBreakerTrips, "Times the circuit breaker has tripped open.",
+		func() float64 {
+			_, trips, _ := s.breaker.snapshot()
+			return float64(trips)
+		})
+	reg.GaugeFunc(mBreakerStreak, "Current consecutive verification cost blowouts.",
+		func() float64 {
+			_, _, streak := s.breaker.snapshot()
+			return float64(streak)
+		})
+	if s.cfg.Quarantine != nil {
+		reg.GaugeFunc(mQuarEntries, "Entries in the quarantine corpus.",
+			func() float64 { return float64(s.quarantineStats().Entries) })
+		reg.GaugeFunc(mQuarBytes, "Bytes in the quarantine corpus.",
+			func() float64 { return float64(s.quarantineStats().Bytes) })
+	}
+	s.metrics = m
+}
+
+// quarantineStats snapshots the corpus, absorbing errors into zeros —
+// the exposition writer is no place to fail a scrape.
+func (s *Server) quarantineStats() quarantine.Stats {
+	st, _ := s.cfg.Quarantine.Stats()
+	return st
+}
+
+// breakerStateValue maps the breaker's state name onto a stable gauge
+// encoding.
+func breakerStateValue(state string) int {
+	switch state {
+	case "half_open":
+		return 1
+	case "open":
+		return 2
+	}
+	return 0
+}
+
+// breakerStateName inverts breakerStateValue for healthz, which reads
+// the state back out of the registry.
+func breakerStateName(v int) string {
+	switch v {
+	case 1:
+		return "half_open"
+	case 2:
+		return "open"
+	}
+	return "closed"
+}
+
+// Metrics exposes the registry, primarily so tests (the chaos suite in
+// internal/faults) can cross-check counters against observed traffic.
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics.reg }
+
+// statusRecorder captures what a handler wrote — status code, error
+// category (recorded by writeAPIError), and the request's SQL (recorded
+// by the query handlers for the slow-query log) — for the instrument
+// wrapper to turn into series after the handler returns.
+type statusRecorder struct {
+	http.ResponseWriter
+	status   int
+	category Category
+	sql      string
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// noteSQL stores the decoded query text on the recorder when one wraps
+// the writer (it does not when telemetry is disabled).
+func noteSQL(w http.ResponseWriter, sql string) {
+	if rec, ok := w.(*statusRecorder); ok {
+		rec.sql = sql
+	}
+}
+
+// instrument wraps a route with per-request telemetry: request-ID
+// generation and echo, a fresh tracer on the context (the pipeline's
+// stage spans land there), and — after the handler returns — route/code
+// counters, the route latency histogram, per-stage histograms fed from
+// the trace, the slow-query log, and one structured request log line.
+// With telemetry disabled it is the identity function.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.DisableTelemetry {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		started := time.Now()
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = telemetry.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		tr := telemetry.NewTracer()
+		ctx := telemetry.WithRequestID(telemetry.WithTracer(r.Context(), tr), rid)
+		rec := &statusRecorder{ResponseWriter: w}
+
+		h(rec, r.WithContext(ctx))
+
+		elapsed := time.Since(started)
+		code := rec.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		m := s.metrics
+		m.reg.Counter(mRequests, helpRequests,
+			"route", route, "code", strconv.Itoa(code)).Inc()
+		if rec.category != "" {
+			m.reg.Counter(mErrors, helpErrors, "category", string(rec.category)).Inc()
+		}
+		m.reg.Histogram(mDuration, helpDuration, nil, "route", route).
+			Observe(elapsed.Seconds())
+		for _, sp := range tr.Spans() {
+			m.reg.Counter(mStageSpans, helpSpans, "stage", sp.Name).Inc()
+			m.reg.Histogram(mStageDur, helpStageDur, nil, "stage", sp.Name).
+				Observe(sp.Duration.Seconds())
+		}
+
+		slow := s.cfg.SlowQueryThreshold > 0 && elapsed >= s.cfg.SlowQueryThreshold
+		if slow {
+			m.slowQueries.Inc()
+		}
+		if log := s.cfg.Logger; log != nil {
+			attrs := []any{
+				"request_id", rid,
+				"route", route,
+				"code", code,
+				"elapsed_ms", elapsed.Milliseconds(),
+			}
+			if rec.category != "" {
+				attrs = append(attrs, "category", string(rec.category))
+			}
+			if slow {
+				// Only the slow path pays for scrubbing; the SQL never reaches
+				// a log line unscrubbed.
+				attrs = append(attrs, "slow", true)
+				if rec.sql != "" {
+					attrs = append(attrs, "sql", quarantine.ScrubSQL(rec.sql))
+				}
+				log.Warn("slow query", attrs...)
+			} else {
+				log.Info("request", attrs...)
+			}
+		}
+	}
+}
+
+// recordVerifyOutcome counts one verification verdict.
+func (s *Server) recordVerifyOutcome(status string) {
+	if s.cfg.DisableTelemetry || status == "" || status == queryvis.VerifyStatusOff {
+		return
+	}
+	s.metrics.reg.Counter(mVerify, helpVerify, "status", status).Inc()
+}
+
+// handleMetrics serves the Prometheus text exposition. With telemetry
+// disabled the route does not exist.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.DisableTelemetry {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeAPIError(w, http.StatusMethodNotAllowed, apiError{
+			Category: CatBadRequest, Message: "use GET",
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.reg.WritePrometheus(w)
+}

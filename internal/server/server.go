@@ -21,15 +21,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	queryvis "repro"
 	"repro/internal/faults"
 	"repro/internal/quarantine"
 	"repro/internal/schema"
+	"repro/internal/telemetry"
 )
 
 // Config tunes the service's resource guards. Zero fields take the
@@ -71,6 +73,22 @@ type Config struct {
 	// BreakerCooldown is how long the breaker stays open before
 	// half-opening to probe again (default 30s).
 	BreakerCooldown time.Duration
+
+	// Metrics is the telemetry registry backing /v1/metrics and the
+	// healthz load numbers; nil creates a private one. Supply a registry
+	// to share it across servers or read it from tests.
+	Metrics *telemetry.Registry
+	// DisableTelemetry turns off per-request instrumentation — request
+	// IDs, tracing, histograms, route counters, request logging — and
+	// removes /v1/metrics (404). Load gauges still run: healthz depends
+	// on them.
+	DisableTelemetry bool
+	// Logger, when non-nil, receives one structured line per request and
+	// the slow-query log. Nil disables request logging.
+	Logger *slog.Logger
+	// SlowQueryThreshold promotes requests at least this slow to the
+	// slow-query log with their scrubbed SQL (0 disables).
+	SlowQueryThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -100,14 +118,12 @@ func (c Config) withDefaults() Config {
 
 // Server is the http.Handler for the hardened service.
 type Server struct {
-	cfg      Config
-	sem      chan struct{}
-	mux      *http.ServeMux
-	start    time.Time
-	breaker  *breaker
-	inflight atomic.Int64
-	served   atomic.Int64
-	shed     atomic.Int64
+	cfg     Config
+	sem     chan struct{}
+	mux     *http.ServeMux
+	start   time.Time
+	breaker *breaker
+	metrics *serverMetrics
 }
 
 // New builds a Server from the config.
@@ -120,9 +136,11 @@ func New(cfg Config) *Server {
 		start:   time.Now(),
 		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 	}
-	s.mux.HandleFunc("/v1/diagram", s.guarded(s.handleDiagram))
-	s.mux.HandleFunc("/v1/interpret", s.guarded(s.handleInterpret))
-	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.initMetrics(cfg.Metrics)
+	s.mux.HandleFunc("/v1/diagram", s.instrument("/v1/diagram", s.guarded(s.handleDiagram)))
+	s.mux.HandleFunc("/v1/interpret", s.instrument("/v1/interpret", s.guarded(s.handleInterpret)))
+	s.mux.HandleFunc("/v1/healthz", s.instrument("/v1/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	return s
 }
 
@@ -133,7 +151,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // InFlight reports the number of requests currently inside the
 // semaphore; it drains to zero once shutdown finishes.
-func (s *Server) InFlight() int64 { return s.inflight.Load() }
+func (s *Server) InFlight() int64 { return s.metrics.inFlight.Value() }
+
+// retryAfterSeconds turns the configured retry hint into a header value
+// with jitter: a uniform draw from [base, 2·base] seconds, so a
+// synchronized burst of shed clients does not come back as a
+// synchronized burst of retries.
+func (s *Server) retryAfterSeconds() int {
+	base := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	return base + rand.IntN(base+1)
+}
 
 // guarded wraps a query handler with the full guard stack: method check,
 // load shedding, per-request deadline, body cap, optional fault-plan
@@ -151,21 +178,20 @@ func (s *Server) guarded(h func(http.ResponseWriter, *http.Request) error) http.
 		select {
 		case s.sem <- struct{}{}:
 		default:
-			s.shed.Add(1)
-			w.Header().Set("Retry-After",
-				strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			s.metrics.shed.Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			writeAPIError(w, http.StatusTooManyRequests, apiError{
 				Category: CatOverloaded,
 				Message:  fmt.Sprintf("all %d workers busy; retry later", s.cfg.MaxConcurrent),
 			})
 			return
 		}
-		s.inflight.Add(1)
+		s.metrics.inFlight.Add(1)
 		defer func() {
-			s.inflight.Add(-1)
+			s.metrics.inFlight.Dec()
 			<-s.sem
 		}()
-		s.served.Add(1)
+		s.metrics.served.Inc()
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
@@ -338,6 +364,7 @@ func (s *Server) runVerified(r *http.Request, req *diagramRequest, sch *schema.S
 	if mode != queryvis.VerifyOff && status != "" {
 		s.breaker.record(status == queryvis.VerifyStatusBudget ||
 			status == queryvis.VerifyStatusTimeout)
+		s.recordVerifyOutcome(status)
 	}
 	s.maybeQuarantine(r, req, res, err, status)
 
@@ -347,6 +374,7 @@ func (s *Server) runVerified(r *http.Request, req *diagramRequest, sch *schema.S
 	if skipped {
 		res.VerifyStatus = queryvis.VerifyStatusSkipped
 		res.VerifyDetail = "verification circuit breaker open"
+		s.recordVerifyOutcome(queryvis.VerifyStatusSkipped)
 	}
 	return res, requested, nil
 }
@@ -457,6 +485,7 @@ func (s *Server) handleDiagram(w http.ResponseWriter, r *http.Request) error {
 	if err := s.decode(r, &req); err != nil {
 		return s.fail(w, err)
 	}
+	noteSQL(w, req.SQL)
 	sch, err := s.validate(&req)
 	if err != nil {
 		return s.fail(w, err)
@@ -531,6 +560,7 @@ func (s *Server) handleInterpret(w http.ResponseWriter, r *http.Request) error {
 	if err := s.decode(r, &req); err != nil {
 		return s.fail(w, err)
 	}
+	noteSQL(w, req.SQL)
 	sch, err := s.validate(&req)
 	if err != nil {
 		return s.fail(w, err)
@@ -586,21 +616,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	state, trips, streak := s.breaker.snapshot()
+	// Every number below reads the telemetry registry — the same series
+	// /v1/metrics exposes — so the two endpoints cannot disagree.
+	reg := s.metrics.reg
 	resp := healthzResponse{
 		Status:        "ok",
 		UptimeMS:      time.Since(s.start).Milliseconds(),
-		InFlight:      s.inflight.Load(),
-		Served:        s.served.Load(),
-		Shed:          s.shed.Load(),
+		InFlight:      s.metrics.inFlight.Value(),
+		Served:        s.metrics.served.Value(),
+		Shed:          s.metrics.shed.Value(),
 		MaxConcurrent: s.cfg.MaxConcurrent,
 		VerifyMode:    s.cfg.DefaultVerify.String(),
-		BreakerState:  state,
-		BreakerTrips:  trips,
-		BreakerStreak: streak,
+		BreakerState:  breakerStateName(int(reg.Value(mBreakerState))),
+		BreakerTrips:  int64(reg.Value(mBreakerTrips)),
+		BreakerStreak: int(reg.Value(mBreakerStreak)),
 	}
 	if s.cfg.Quarantine != nil {
 		if st, err := s.cfg.Quarantine.Stats(); err == nil {
+			// The corpus gauges read Stats() too; one call serves both the
+			// registry-sourced fields and the process counters.
+			st.Entries = int(reg.Value(mQuarEntries))
+			st.Bytes = int64(reg.Value(mQuarBytes))
 			resp.Quarantine = &st
 		}
 	}

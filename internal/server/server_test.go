@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -367,8 +368,10 @@ func TestRetryAfterHeader(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", resp.StatusCode)
 	}
-	if got := resp.Header.Get("Retry-After"); got != "2" {
-		t.Fatalf("Retry-After = %q, want \"2\"", got)
+	// The hint is jittered: a uniform draw from [base, 2*base] seconds.
+	got, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || got < 2 || got > 4 {
+		t.Fatalf("Retry-After = %q, want an integer in [2, 4]", resp.Header.Get("Retry-After"))
 	}
 }
 

@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Total requests.", "route", "/a")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // counters only go up; negative deltas are dropped
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same (name, labels) interns to the same instrument, regardless of
+	// label argument order.
+	c2 := r.Counter("multi_total", "x", "a", "1", "b", "2")
+	c3 := r.Counter("multi_total", "x", "b", "2", "a", "1")
+	c2.Inc()
+	if c3.Value() != 1 {
+		t.Fatal("label order changed series identity")
+	}
+
+	g := r.Gauge("in_flight", "Gauge.")
+	g.Set(7)
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+
+	r.GaugeFunc("breaker_state", "Gauge func.", func() float64 { return 2 })
+	if got := r.Value("breaker_state"); got != 2 {
+		t.Fatalf("gauge func via Value = %v, want 2", got)
+	}
+	if got := r.Value("requests_total", "route", "/a"); got != 5 {
+		t.Fatalf("Value(counter) = %v, want 5", got)
+	}
+	if got := r.Value("no_such_metric"); got != 0 {
+		t.Fatalf("Value(missing) = %v, want 0", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-2.565) > 1e-9 {
+		t.Fatalf("sum = %v, want 2.565", h.Sum())
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	for _, want := range []string{
+		`lat_bucket{le="0.01"} 2`, // 0.005 and the boundary value 0.01
+		`lat_bucket{le="0.1"} 3`,
+		`lat_bucket{le="1"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_count 5`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestNilRegistryAndInstruments: the disabled-telemetry path must be
+// callable end to end without panics or effects.
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "x").Inc()
+	r.Gauge("b", "x").Set(3)
+	r.GaugeFunc("c", "x", func() float64 { return 1 })
+	r.Histogram("d", "x", nil).Observe(1)
+	if r.Value("a") != 0 {
+		t.Fatal("nil registry Value != 0")
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if buf.Len() != 0 {
+		t.Fatal("nil registry wrote exposition")
+	}
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments retained values")
+	}
+}
+
+// TestRegistryRace hammers one registry from many goroutines — counter
+// increments, histogram observations, series interning, Value reads, and
+// exposition writes all interleave. The assertion is exact totals; the
+// race detector (CI runs the package under -race) checks the rest.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 16
+		perW    = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stage := []string{"parse", "build", "render"}[w%3]
+			for i := 0; i < perW; i++ {
+				r.Counter("race_total", "x", "stage", stage).Inc()
+				r.Histogram("race_lat", "x", nil, "stage", stage).Observe(0.001)
+				r.Gauge("race_gauge", "x").Add(1)
+				if i%100 == 0 {
+					_ = r.Value("race_total", "stage", stage)
+					r.WritePrometheus(&bytes.Buffer{})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := int64(0)
+	for _, stage := range []string{"parse", "build", "render"} {
+		total += int64(r.Value("race_total", "stage", stage))
+		total -= int64(r.Value("race_lat", "stage", stage)) // histogram count must match counter
+	}
+	if total != 0 {
+		t.Fatalf("counter and histogram totals diverge by %d", total)
+	}
+	if got := r.Gauge("race_gauge", "x").Value(); got != workers*perW {
+		t.Fatalf("gauge = %d, want %d", got, workers*perW)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "x", "detail", "a\"b\\c\nd").Inc()
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	want := `esc_total{detail="a\"b\\c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaped series %q missing from:\n%s", want, buf.String())
+	}
+}
+
+// TestPrometheusGolden locks the full exposition format — HELP/TYPE
+// lines, sorted families and series, bucket cumulation, gauge funcs —
+// against a golden file (re-run with -update to regenerate).
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queryvis_http_requests_total", "Total HTTP requests by route and status code.",
+		"route", "/v1/diagram", "code", "200").Add(41)
+	r.Counter("queryvis_http_requests_total", "Total HTTP requests by route and status code.",
+		"route", "/v1/diagram", "code", "422").Add(3)
+	r.Counter("queryvis_http_errors_total", "Error responses by category.",
+		"category", "parse").Add(3)
+	r.Gauge("queryvis_http_in_flight", "Requests currently being served.").Set(2)
+	r.GaugeFunc("queryvis_breaker_state", "Circuit breaker state (0 closed, 1 half-open, 2 open).",
+		func() float64 { return 0 })
+	h := r.Histogram("queryvis_stage_duration_seconds", "Pipeline stage latency.",
+		[]float64{0.001, 0.01, 0.1}, "stage", "parse")
+	h.Observe(0.0004)
+	h.Observe(0.002)
+	h.Observe(0.25)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+
+	path := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run go test -update to create golden files)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden file (re-run with -update if intended)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

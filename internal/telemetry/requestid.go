@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// ridFallback numbers request IDs when the system's randomness source is
+// unavailable — uniqueness within the process is what logs need most.
+var ridFallback atomic.Uint64
+
+// NewRequestID returns a 16-hex-character request identifier, suitable
+// for the X-Request-ID header and log correlation.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:], ridFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type requestIDKey struct{}
+
+// WithRequestID attaches a request ID to the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID on ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Tracer records the timed stage spans of one request. It is carried via
+// context.Context (WithTracer / StartSpan) so that every pipeline stage —
+// including the render methods, which run after the pipeline returns —
+// lands in the same per-request trace.
+//
+// A span is recorded the moment it starts, not when it ends: a stage
+// that panics mid-flight still appears in Spans (with Done false), which
+// is what lets the chaos test assert spans emitted == stages entered
+// even under injected panics. The nil *Tracer records nothing and costs
+// one nil check per instrumented site.
+type Tracer struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Span is one completed (or still-open) stage timing.
+type Span struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	// Done marks a span whose End ran; an open span means the stage was
+	// entered but never finished (a contained panic, typically).
+	Done bool
+	// Attrs are stage annotations: the verify span carries the inverse
+	// search budget spent and the degradation rung served, for example.
+	Attrs []Attr
+}
+
+// Attr is one span annotation.
+type Attr struct{ Key, Value string }
+
+// Attr returns the value of the named annotation, or "".
+func (s Span) Attr(key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// NewTracer creates an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Start opens a span. On a nil tracer it returns the zero SpanHandle —
+// a no-op — without reading the clock.
+func (t *Tracer) Start(name string) SpanHandle {
+	if t == nil {
+		return SpanHandle{}
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: time.Now()})
+	h := SpanHandle{t: t, idx: len(t.spans) - 1}
+	t.mu.Unlock()
+	return h
+}
+
+// Spans returns a copy of the recorded spans in start order. Open spans
+// (entered but never ended) are included with Done false and their
+// duration measured up to now.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	for i := range out {
+		if !out[i].Done {
+			out[i].Duration = time.Since(out[i].Start)
+		}
+	}
+	return out
+}
+
+// SpanHandle mutates one span inside its tracer. The zero handle (from a
+// nil tracer) ignores every call.
+type SpanHandle struct {
+	t   *Tracer
+	idx int
+}
+
+// End closes the span, fixing its duration. Ending twice keeps the first
+// duration.
+func (h SpanHandle) End() {
+	if h.t == nil {
+		return
+	}
+	h.t.mu.Lock()
+	sp := &h.t.spans[h.idx]
+	if !sp.Done {
+		sp.Duration = time.Since(sp.Start)
+		sp.Done = true
+	}
+	h.t.mu.Unlock()
+}
+
+// Annotate attaches a key/value annotation to the span. Valid before or
+// after End.
+func (h SpanHandle) Annotate(key, value string) {
+	if h.t == nil {
+		return
+	}
+	h.t.mu.Lock()
+	sp := &h.t.spans[h.idx]
+	sp.Attrs = append(sp.Attrs, Attr{key, value})
+	h.t.mu.Unlock()
+}
+
+type tracerKey struct{}
+
+// WithTracer attaches a tracer to the context; a nil tracer returns ctx
+// unchanged, keeping the untraced path free of context wrapping.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the tracer on ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// StartSpan opens a span on the context's tracer. Without a tracer it is
+// a single failed context lookup returning the no-op handle.
+func StartSpan(ctx context.Context, name string) SpanHandle {
+	return TracerFrom(ctx).Start(name)
+}

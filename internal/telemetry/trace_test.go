@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTracerSpans(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+
+	sp := StartSpan(ctx, "parse")
+	time.Sleep(time.Millisecond)
+	sp.Annotate("k", "v")
+	sp.End()
+
+	open := StartSpan(ctx, "build") // never ended: simulates a panic mid-stage
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Name != "parse" || !spans[0].Done || spans[0].Duration <= 0 {
+		t.Fatalf("parse span = %+v", spans[0])
+	}
+	if spans[0].Attr("k") != "v" || spans[0].Attr("missing") != "" {
+		t.Fatalf("annotations = %+v", spans[0].Attrs)
+	}
+	if spans[1].Name != "build" || spans[1].Done {
+		t.Fatalf("open span = %+v (must be recorded at start, not at end)", spans[1])
+	}
+	if spans[1].Duration <= 0 {
+		t.Fatal("open span should report elapsed-so-far duration")
+	}
+
+	// Double End keeps the first duration.
+	open.End()
+	d := tr.Spans()[1].Duration
+	time.Sleep(time.Millisecond)
+	open.End()
+	if got := tr.Spans()[1].Duration; got != d {
+		t.Fatalf("second End changed duration: %v -> %v", d, got)
+	}
+}
+
+func TestNilTracerIsFree(t *testing.T) {
+	ctx := context.Background()
+	if TracerFrom(ctx) != nil {
+		t.Fatal("background context has a tracer")
+	}
+	// Every call on the nil path must be a no-op, not a panic.
+	sp := StartSpan(ctx, "parse")
+	sp.Annotate("k", "v")
+	sp.End()
+	var tr *Tracer
+	if WithTracer(ctx, tr) != ctx {
+		t.Fatal("WithTracer(nil) wrapped the context")
+	}
+	if tr.Spans() != nil {
+		t.Fatal("nil tracer returned spans")
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("request id lengths = %d, %d, want 16", len(a), len(b))
+	}
+	if a == b {
+		t.Fatal("two request ids collided")
+	}
+	ctx := WithRequestID(context.Background(), a)
+	if got := RequestIDFrom(ctx); got != a {
+		t.Fatalf("RequestIDFrom = %q, want %q", got, a)
+	}
+	if RequestIDFrom(context.Background()) != "" {
+		t.Fatal("empty context carried a request id")
+	}
+	if WithRequestID(context.Background(), "") != context.Background() {
+		t.Fatal("empty id wrapped the context")
+	}
+}
+
+func BenchmarkStartSpanNilTracer(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := StartSpan(ctx, "parse")
+		sp.End()
+	}
+}
+
+func BenchmarkStartSpanLiveTracer(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := NewTracer()
+		ctx := WithTracer(context.Background(), tr)
+		for _, s := range []string{"parse", "resolve", "convert", "logictree", "build", "verify", "render"} {
+			sp := StartSpan(ctx, s)
+			sp.End()
+		}
+	}
+}

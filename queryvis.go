@@ -30,6 +30,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/sqlparse"
 	"repro/internal/svg"
+	"repro/internal/telemetry"
 	"repro/internal/trc"
 )
 
@@ -88,6 +89,11 @@ type Options struct {
 	// VerifyBudget bounds the inverse search in nodes: 0 means
 	// inverse.DefaultSearchBudget, negative disables the bound.
 	VerifyBudget int
+	// Tracer, when non-nil, records one timed span per pipeline stage
+	// (parse, resolve, convert, logictree, build, verify, render), with
+	// verification annotated by outcome, ladder rung, and inverse-search
+	// budget spent. Nil disables tracing at near-zero cost.
+	Tracer *telemetry.Tracer
 }
 
 // Result bundles every pipeline stage for one query.

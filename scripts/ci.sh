@@ -9,6 +9,10 @@
 #              run seed + request index it reproduces from)
 #   serve      queryvisd start / healthz / graceful-shutdown cycle on an
 #              ephemeral port
+#   metrics    observability smoke: boot the daemon, serve one Fig. 1
+#              diagram, and require /v1/metrics to expose the metric
+#              families with a non-zero stage histogram; also proves the
+#              /debug/pprof surface is 404 unless -pprof is set
 #   oracle     30-second differential-oracle smoke run (seeded, so any
 #              counterexample it prints is reproducible with cmd/oracle)
 #   replay     the checked-in quarantine corpus must replay with zero
@@ -32,6 +36,9 @@ go test -count=1 -run TestChaos -race ./internal/faults/...
 
 echo "== queryvisd serve/healthz/shutdown"
 go test -count=1 -run TestServeHealthzShutdown ./cmd/queryvisd
+
+echo "== metrics smoke + pprof gate"
+go test -count=1 -run 'TestMetricsSmoke|TestPprofGate' ./cmd/queryvisd
 
 echo "== oracle smoke (30s)"
 go run ./cmd/oracle -n 100000 -seed 1 -timeout 30s

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/inverse"
 	"repro/internal/logictree"
+	"repro/internal/telemetry"
 	"repro/internal/trc"
 )
 
@@ -163,8 +165,10 @@ func userFault(ctx context.Context, err error) bool {
 
 // verifyOrDegrade implements Verify mode on top of a (possibly partial)
 // pipeline result: verify when the pipeline succeeded, then either
-// return, fail strictly, or walk the ladder.
-func verifyOrDegrade(ctx context.Context, res *Result, pipeErr error, opts Options) (*Result, error) {
+// return, fail strictly, or walk the ladder. sp is the enclosing verify
+// span (possibly a no-op handle); verifyResult annotates it with the
+// inverse-search budget spent.
+func verifyOrDegrade(ctx context.Context, res *Result, pipeErr error, opts Options, sp telemetry.SpanHandle) (*Result, error) {
 	if pipeErr != nil {
 		// User-fault and context errors surface unchanged; so does every
 		// pipeline error in strict mode (strict means fail closed).
@@ -176,7 +180,7 @@ func verifyOrDegrade(ctx context.Context, res *Result, pipeErr error, opts Optio
 		return degrade(ctx, res, opts, pipeErr)
 	}
 
-	status, rec, detail, cause := verifyResult(ctx, res, opts)
+	status, rec, detail, cause := verifyResult(ctx, res, opts, sp)
 	res.VerifyStatus = status
 	res.VerifyDetail = detail
 	if status == VerifyStatusVerified {
@@ -197,7 +201,7 @@ func verifyOrDegrade(ctx context.Context, res *Result, pipeErr error, opts Optio
 // verifyResult proves the pipeline's diagram correct by inverse
 // recovery. It never panics (contained locally) and classifies every
 // failure into a VerifyStatus.
-func verifyResult(ctx context.Context, res *Result, opts Options) (status string, rec *logictree.LT, detail string, cause error) {
+func verifyResult(ctx context.Context, res *Result, opts Options, sp telemetry.SpanHandle) (status string, rec *logictree.LT, detail string, cause error) {
 	defer func() {
 		if r := recover(); r != nil {
 			status = VerifyStatusError
@@ -236,7 +240,8 @@ func verifyResult(ctx context.Context, res *Result, opts Options) (status string
 		}
 	}
 
-	rec, err := inverse.RecoverContext(ctx, dNE, opts.VerifyBudget)
+	rec, nodes, err := inverse.RecoverContextStats(ctx, dNE, opts.VerifyBudget)
+	sp.Annotate("budget_spent", strconv.Itoa(nodes))
 	if err != nil {
 		var be *inverse.BudgetError
 		var ae *inverse.AmbiguityError
