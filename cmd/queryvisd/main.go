@@ -14,7 +14,17 @@
 //	          [-verify off|degrade|strict] [-verify-budget N] \
 //	          [-quarantine-dir DIR] [-quarantine-max-bytes N] \
 //	          [-breaker-threshold N] [-breaker-cooldown 30s] \
+//	          [-isolation none|process] [-workers N] \
+//	          [-worker-max-requests N] [-worker-max-rss BYTES] \
 //	          [-metrics] [-pprof] [-slow-query-ms N]
+//
+// With -isolation=process the pipeline runs in a supervised pool of
+// child worker processes (this binary re-executed with -worker): a query
+// that exhausts the stack or the heap kills a sacrificial worker — which
+// is SIGKILLed, respawned with backoff, and its request retried once —
+// never the daemon. See internal/workerpool and the README's "Process
+// isolation" section. The default, -isolation=none, keeps the historical
+// in-process pipeline.
 //
 // Observability: GET /v1/metrics serves a Prometheus text exposition
 // (disable with -metrics=false), every response carries an X-Request-ID
@@ -47,6 +57,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/exec"
 	"os/signal"
 	"syscall"
 	"time"
@@ -55,6 +66,8 @@ import (
 	"repro/internal/leak"
 	"repro/internal/quarantine"
 	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/internal/workerpool"
 )
 
 func main() {
@@ -87,6 +100,13 @@ func run(args []string, stdout, stderr *os.File) int {
 		breakerThreshold = fs.Int("breaker-threshold", 5, "consecutive verification cost blowouts that trip the circuit breaker")
 		breakerCooldown  = fs.Duration("breaker-cooldown", 30*time.Second, "how long the tripped breaker stays open before probing again")
 
+		isolation      = fs.String("isolation", "none", "pipeline isolation: none (in-process) or process (supervised worker pool)")
+		workers        = fs.Int("workers", 4, "worker processes in the pool (with -isolation=process)")
+		workerMaxReqs  = fs.Int("worker-max-requests", 512, "recycle a worker after this many requests (with -isolation=process)")
+		workerMaxRSS   = fs.Int64("worker-max-rss", 512<<20, "SIGKILL a worker whose resident set exceeds this many bytes (with -isolation=process; no-op off Linux)")
+		workerMode     = fs.Bool("worker", false, "run as a pool worker speaking the frame protocol on stdin/stdout (internal; spawned by -isolation=process)")
+		allowFaults    = fs.Bool("allow-fault-injection", false, "honor the X-Fault-Seed and X-Worker-Fault chaos headers (tests only; never in production)")
+
 		metrics     = fs.Bool("metrics", true, "serve Prometheus metrics on /v1/metrics and instrument requests")
 		enablePprof = fs.Bool("pprof", false, "mount /debug/pprof/ and /debug/goroutines (never expose publicly)")
 		slowQueryMS = fs.Int("slow-query-ms", 500, "log requests at least this slow with scrubbed SQL (0 disables)")
@@ -95,6 +115,10 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 	logger := slog.New(slog.NewTextHandler(stderr, nil))
+	if *isolation != "none" && *isolation != "process" {
+		logger.Error("bad -isolation flag", "value", *isolation, "want", "none or process")
+		return 2
+	}
 	verifyMode, err := queryvis.ParseVerifyMode(*verify)
 	if err != nil {
 		logger.Error("bad -verify flag", "err", err)
@@ -118,18 +142,34 @@ func run(args []string, stdout, stderr *os.File) int {
 			MaxDiagramEdges: *maxDiagramEdges,
 			MaxOutputBytes:  *maxOutputBytes,
 		},
-		Unlimited:          *unlimited,
-		RequestTimeout:     *timeout,
-		MaxConcurrent:      *maxConc,
-		MaxBodyBytes:       *maxBody,
-		DefaultVerify:      verifyMode,
-		VerifyBudget:       *verifyBudget,
-		Quarantine:         quarStore,
-		BreakerThreshold:   *breakerThreshold,
-		BreakerCooldown:    *breakerCooldown,
-		DisableTelemetry:   !*metrics,
-		Logger:             logger,
-		SlowQueryThreshold: time.Duration(*slowQueryMS) * time.Millisecond,
+		Unlimited:           *unlimited,
+		RequestTimeout:      *timeout,
+		MaxConcurrent:       *maxConc,
+		MaxBodyBytes:        *maxBody,
+		AllowFaultInjection: *allowFaults,
+		DefaultVerify:       verifyMode,
+		VerifyBudget:        *verifyBudget,
+		Quarantine:          quarStore,
+		BreakerThreshold:    *breakerThreshold,
+		BreakerCooldown:     *breakerCooldown,
+		DisableTelemetry:    !*metrics,
+		Logger:              logger,
+		SlowQueryThreshold:  time.Duration(*slowQueryMS) * time.Millisecond,
+	}
+
+	if *workerMode {
+		// Child mode: no listener, no telemetry surface of its own — just
+		// the frame protocol on stdin/stdout in front of the same hardened
+		// handler stack, one request at a time, expendable by design.
+		cfg.DisableTelemetry = true
+		cfg.Logger = logger
+		if err := workerpool.RunWorker(os.Stdin, stdout, server.New(cfg), workerpool.RunOptions{
+			AllowFaultHeaders: *allowFaults,
+		}); err != nil {
+			logger.Error("worker loop failed", "err", err)
+			return 1
+		}
+		return 0
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -138,14 +178,88 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
+	var pool *workerpool.Pool
+	if *isolation == "process" {
+		reg := telemetry.NewRegistry()
+		cfg.Metrics = reg
+		pool, err = workerpool.New(workerpool.Config{
+			Spawn:                workerSpawner(fs, *allowFaults),
+			Workers:              *workers,
+			MaxRequestsPerWorker: *workerMaxReqs,
+			MaxWorkerRSS:         *workerMaxRSS,
+			// The pool's SIGKILL deadline sits above the worker's own
+			// pipeline deadline, so a slow-but-cooperative worker answers
+			// with a categorized timeout; SIGKILL is for the wedged.
+			RequestTimeout: *timeout + 2*time.Second,
+			Metrics:        reg,
+			Logger:         logger,
+		})
+		if err != nil {
+			_ = ln.Close()
+			logger.Error("starting worker pool", "err", err)
+			return 2
+		}
+		cfg.Pool = pool
+		logger.Info("process isolation enabled", "workers", *workers)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := serveWith(ctx, ln, newHandler(cfg, *enablePprof), *grace, logger); err != nil {
-		logger.Error("serve failed", "err", err)
+	serveErr := serveWith(ctx, ln, newHandler(cfg, *enablePprof), *grace, logger)
+	if pool != nil {
+		// Ordering matters for graceful drain: srv.Shutdown (inside
+		// serveWith) has already waited for in-flight HTTP requests —
+		// including their pool dispatches — so closing the pool here never
+		// yanks a worker out from under a live request.
+		cctx, cancel := context.WithTimeout(context.Background(), *grace)
+		if cerr := pool.Close(cctx); cerr != nil {
+			logger.Warn("worker pool drain incomplete", "err", cerr)
+		}
+		cancel()
+	}
+	if serveErr != nil {
+		logger.Error("serve failed", "err", serveErr)
 		return 2
 	}
 	return 0
+}
+
+// workerSpawner builds the pool's spawn function: this same binary,
+// re-executed in -worker mode with the parent's pipeline flags forwarded
+// verbatim, plus the QUERYVISD_WORKER environment marker so a test
+// binary acting as the daemon routes the child into worker mode before
+// the test framework takes over.
+func workerSpawner(fs *flag.FlagSet, allowFaults bool) func() (*exec.Cmd, error) {
+	args := []string{"-worker"}
+	// Forward exactly the flags the worker's pipeline reads; listener and
+	// pool flags stay parent-side.
+	forward := map[string]bool{
+		"timeout": true, "max-body": true,
+		"max-query-bytes": true, "max-nesting-depth": true, "max-predicates": true,
+		"max-diagram-nodes": true, "max-diagram-edges": true, "max-output-bytes": true,
+		"unlimited": true,
+		"verify":    true, "verify-budget": true,
+		"quarantine-dir": true, "quarantine-max-bytes": true,
+		"breaker-threshold": true, "breaker-cooldown": true,
+	}
+	fs.Visit(func(f *flag.Flag) {
+		if forward[f.Name] {
+			args = append(args, "-"+f.Name+"="+f.Value.String())
+		}
+	})
+	if allowFaults {
+		args = append(args, "-allow-fault-injection")
+	}
+	return func() (*exec.Cmd, error) {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Env = append(os.Environ(), "QUERYVISD_WORKER=1")
+		return cmd, nil
+	}
 }
 
 // newHandler assembles the daemon's full handler: the hardened API

@@ -1,22 +1,42 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"log/slog"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/corpus"
+	"repro/internal/faults"
 	"repro/internal/leak"
 	"repro/internal/server"
 )
+
+// TestMain routes re-executions of this test binary into worker mode:
+// with -isolation=process the daemon spawns os.Executable() as its
+// workers, and when the daemon under test *is* the test binary, the
+// children must run the real run() path — the QUERYVISD_WORKER marker
+// (set by workerSpawner) diverts them before the test framework parses
+// the -worker flag as its own.
+func TestMain(m *testing.M) {
+	if os.Getenv("QUERYVISD_WORKER") == "1" {
+		os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
 
 // testLogger keeps daemon chatter out of test output.
 func testLogger() *slog.Logger {
@@ -43,9 +63,10 @@ func TestServeHealthzShutdown(t *testing.T) {
 	}()
 
 	base := "http://" + ln.Addr().String()
+	hc := client.New(client.Config{})
 
 	// Liveness.
-	resp, err := http.Get(base + "/v1/healthz")
+	resp, err := hc.Get(context.Background(), base+"/v1/healthz")
 	if err != nil {
 		t.Fatalf("healthz: %v", err)
 	}
@@ -61,8 +82,8 @@ func TestServeHealthzShutdown(t *testing.T) {
 	}
 
 	// One real diagram request through the running daemon.
-	body, _ := json.Marshal(map[string]any{"sql": corpus.Fig1UniqueSet, "schema": "beers"})
-	resp, err = http.Post(base+"/v1/diagram", "application/json", bytes.NewReader(body))
+	resp, err = hc.PostJSON(context.Background(), base+"/v1/diagram",
+		map[string]any{"sql": corpus.Fig1UniqueSet, "schema": "beers"})
 	if err != nil {
 		t.Fatalf("diagram: %v", err)
 	}
@@ -193,9 +214,10 @@ func startDaemon(t *testing.T, h http.Handler) string {
 // live, not just compiled in.
 func TestMetricsSmoke(t *testing.T) {
 	base := startDaemon(t, newHandler(server.Config{}, false))
+	hc := client.New(client.Config{})
 
-	body, _ := json.Marshal(map[string]any{"sql": corpus.Fig1UniqueSet, "schema": "beers"})
-	resp, err := http.Post(base+"/v1/diagram", "application/json", bytes.NewReader(body))
+	resp, err := hc.PostJSON(context.Background(), base+"/v1/diagram",
+		map[string]any{"sql": corpus.Fig1UniqueSet, "schema": "beers"})
 	if err != nil {
 		t.Fatalf("diagram: %v", err)
 	}
@@ -208,7 +230,7 @@ func TestMetricsSmoke(t *testing.T) {
 		t.Fatal("diagram response missing X-Request-ID")
 	}
 
-	mresp, err := http.Get(base + "/v1/metrics")
+	mresp, err := hc.Get(context.Background(), base+"/v1/metrics")
 	if err != nil {
 		t.Fatalf("metrics: %v", err)
 	}
@@ -280,4 +302,169 @@ func TestUsageError(t *testing.T) {
 	if got := run([]string{"-addr", "256.256.256.256:99999"}, devnull, devnull); got != 2 {
 		t.Fatalf("run with bad addr = %d, want 2", got)
 	}
+}
+
+// TestProcessIsolationServeDrain is the -isolation=process lifecycle
+// check CI runs: the real run() path boots with a worker pool (workers
+// are this test binary re-executed via TestMain's QUERYVISD_WORKER
+// hook), serves through the pool, and — the regression this guards — a
+// request already dispatched to a worker when SIGTERM lands completes
+// with a real response, never a connection reset. Afterwards run()
+// exits 0 with no worker processes left behind.
+func TestProcessIsolationServeDrain(t *testing.T) {
+	// run() calls signal.NotifyContext, whose first use starts the
+	// runtime's signal-delivery goroutine — which by design never exits.
+	// Start it before the leak baseline so it isn't misread as a leak.
+	sigWarm := make(chan os.Signal, 1)
+	signal.Notify(sigWarm, syscall.SIGHUP)
+	signal.Stop(sigWarm)
+
+	t.Cleanup(leak.CheckChildren(t))
+	t.Cleanup(leak.Check(t))
+
+	// A fault seed whose plan delays the parse stage, so the in-flight
+	// request is genuinely inside a worker when the signal arrives.
+	delaySeed := int64(-1)
+	for seed := int64(1); seed < 1_000_000; seed++ {
+		if f := faults.NewPlan(seed).Faults[faults.StageParse]; f.Action == faults.ActDelay && f.Delay >= 30*time.Millisecond {
+			delaySeed = seed
+			break
+		}
+	}
+	if delaySeed < 0 {
+		t.Fatal("no delay seed found")
+	}
+
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	// run() logs to its stderr *os.File; pipe it to scoop the ephemeral
+	// port out of the "listening" line (and keep draining so the daemon
+	// never blocks on a full pipe).
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrc := make(chan string, 1)
+	var drainWG sync.WaitGroup
+	drainWG.Add(1)
+	go func() {
+		defer drainWG.Done()
+		sc := bufio.NewScanner(pr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "msg=listening addr="); i >= 0 {
+				select {
+				case addrc <- strings.TrimSpace(line[i+len("msg=listening addr="):]):
+				default:
+				}
+			}
+		}
+	}()
+
+	code := make(chan int, 1)
+	go func() {
+		code <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-isolation=process", "-workers", "2",
+			"-allow-fault-injection",
+			"-shutdown-grace", "15s",
+		}, devnull, pw)
+	}()
+
+	var base string
+	select {
+	case addr := <-addrc:
+		base = "http://" + addr
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon never logged its listen address")
+	}
+
+	hc := client.New(client.Config{})
+	ctx := context.Background()
+
+	// The pool is live and visible in healthz.
+	hresp, err := hc.Get(ctx, base+"/v1/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var hz struct {
+		Status string `json:"status"`
+		Pool   *struct {
+			Workers int `json:"workers"`
+			Live    int `json:"live"`
+		} `json:"pool"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&hz); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || hz.Status != "ok" || hz.Pool == nil || hz.Pool.Workers != 2 {
+		t.Fatalf("healthz = %d %+v", hresp.StatusCode, hz)
+	}
+
+	// A diagram request actually crosses the process boundary.
+	dresp, err := hc.PostJSON(ctx, base+"/v1/diagram",
+		map[string]any{"sql": corpus.Fig1UniqueSet, "schema": "beers"})
+	if err != nil {
+		t.Fatalf("diagram via pool: %v", err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("diagram via pool = %d", dresp.StatusCode)
+	}
+
+	// Dispatch the slow request, then SIGTERM the daemon while the worker
+	// is still chewing on it.
+	slow := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/diagram",
+			bytes.NewReader([]byte(fmt.Sprintf(`{"sql":%q,"schema":"beers"}`, corpus.Fig1UniqueSet))))
+		if err != nil {
+			slow <- err
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Fault-Seed", fmt.Sprint(delaySeed))
+		resp, err := client.New(client.Config{MaxAttempts: 1}).Do(req)
+		if err != nil {
+			slow <- fmt.Errorf("in-flight request during drain: %w", err)
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			slow <- fmt.Errorf("in-flight request during drain = %d, want 200", resp.StatusCode)
+			return
+		}
+		slow <- nil
+	}()
+	time.Sleep(15 * time.Millisecond) // let the dispatch reach the worker
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+
+	if err := <-slow; err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-code:
+		if got != 0 {
+			t.Fatalf("run exited %d, want 0", got)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	pw.Close()
+	drainWG.Wait()
+	pr.Close()
+
+	// Fully down: no listener, no workers (the child-leak cleanup checks).
+	if _, err := http.Get(base + "/v1/healthz"); err == nil {
+		t.Fatal("server still answering after SIGTERM drain")
+	}
+	http.DefaultClient.CloseIdleConnections()
 }

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	queryvis "repro"
+	"repro/internal/client"
 	"repro/internal/corpus"
 	"repro/internal/faults"
 	"repro/internal/leak"
@@ -197,7 +198,7 @@ func TestChaos(t *testing.T) {
 		"bad_request": true, "too_large": true, "parse": true,
 		"semantic": true, "limit": true, "timeout": true,
 		"canceled": true, "overloaded": true, "internal": true,
-		"verify_failed": true,
+		"verify_failed": true, "worker_crashed": true,
 	}
 
 	var (
@@ -221,9 +222,9 @@ func TestChaos(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			client := &http.Client{Timeout: 10 * time.Second}
+			hc := client.New(client.Config{HTTPClient: &http.Client{Timeout: 10 * time.Second}})
 			for idx := range idxc {
-				out, ok := fireChaosRequest(client, ts.URL, tsSlow.URL, delaySeed, idx, fail)
+				out, ok := fireChaosRequest(hc, ts.URL, tsSlow.URL, delaySeed, idx, fail)
 				if !ok {
 					continue
 				}
@@ -345,7 +346,7 @@ func TestChaos(t *testing.T) {
 
 	if atomic.LoadInt64(&failures) == 0 {
 		// Final liveness probe: the server must still answer cleanly.
-		resp, err := http.Get(ts.URL + "/v1/healthz")
+		resp, err := client.New(client.Config{}).Get(context.Background(), ts.URL+"/v1/healthz")
 		if err != nil {
 			t.Fatalf("healthz after chaos: %v", err)
 		}
@@ -359,7 +360,7 @@ func TestChaos(t *testing.T) {
 // fireChaosRequest builds and sends request idx. Returns ok=false when
 // the outcome is uninteresting to tally (client-side abort with no
 // response, which the cancellation kinds expect).
-func fireChaosRequest(client *http.Client, baseURL, slowURL string, delaySeed int64, idx int, fail func(int, string, ...any)) (chaosOutcome, bool) {
+func fireChaosRequest(hc *client.Client, baseURL, slowURL string, delaySeed int64, idx int, fail func(int, string, ...any)) (chaosOutcome, bool) {
 	rng := rand.New(rand.NewSource(chaosSeed + int64(idx)))
 	hq := healthyQueries[rng.Intn(len(healthyQueries))]
 
@@ -447,7 +448,7 @@ func fireChaosRequest(client *http.Client, baseURL, slowURL string, delaySeed in
 		req.Header.Set(k, v)
 	}
 
-	resp, err := client.Do(req)
+	resp, err := hc.Do(req)
 	if err != nil {
 		if cancelIn > 0 {
 			// Client-side abort is this kind's expected outcome.

@@ -161,6 +161,62 @@ func (p *Plan) Describe() string {
 	return strings.Join(parts, " ")
 }
 
+// WorkerFault names a fault injected at the process-isolation layer —
+// the supervisor/worker IPC boundary of internal/workerpool — rather
+// than inside a pipeline stage. Pipeline faults exercise the facade's
+// containment; worker faults exercise the supervisor's: a worker that
+// dies, stops answering, or corrupts its pipe must cost one respawn and
+// at most one transparently retried request, never the daemon.
+type WorkerFault string
+
+const (
+	// WorkerFaultCrash makes the worker exit mid-request without
+	// replying, modeling a SIGKILL, an OOM kill, or a runtime fatal error
+	// (stack exhaustion) inside the compilation.
+	WorkerFaultCrash WorkerFault = "crash"
+	// WorkerFaultWedge makes the worker hold the request forever without
+	// replying, modeling a livelocked or deadlocked child. The supervisor
+	// must detect it via the dispatch deadline and SIGKILL it.
+	WorkerFaultWedge WorkerFault = "wedge"
+	// WorkerFaultGarbage makes the worker write bytes that are not a
+	// valid protocol frame before dying, modeling pipe corruption or a
+	// child that prints to stdout.
+	WorkerFaultGarbage WorkerFault = "garbage"
+)
+
+// HeaderWorkerFault is the request header that carries a WorkerFault
+// into the worker child. It is honored only when both the server
+// (Config.AllowFaultInjection) and the worker loop
+// (RunOptions.AllowFaultHeaders) opt in — chaos tests only.
+const HeaderWorkerFault = "X-Worker-Fault"
+
+// ParseWorkerFault validates a header value.
+func ParseWorkerFault(s string) (WorkerFault, bool) {
+	switch WorkerFault(s) {
+	case WorkerFaultCrash, WorkerFaultWedge, WorkerFaultGarbage:
+		return WorkerFault(s), true
+	}
+	return "", false
+}
+
+// WorkerFaultForSeed deterministically maps a seed to a worker fault or,
+// most of the time, to none — the storm helper for kill-storm tests.
+// Roughly 85% of seeds are healthy; the rest split evenly across the
+// three kinds.
+func WorkerFaultForSeed(seed int64) (WorkerFault, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	switch v := rng.Float64(); {
+	case v < 0.85:
+		return "", false
+	case v < 0.90:
+		return WorkerFaultCrash, true
+	case v < 0.95:
+		return WorkerFaultWedge, true
+	default:
+		return WorkerFaultGarbage, true
+	}
+}
+
 type planKey struct{}
 
 // WithPlan attaches a fault plan to the context. Passing nil returns ctx

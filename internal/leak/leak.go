@@ -11,12 +11,21 @@
 // catch the failure modes the server tests care about (handlers blocked
 // past shutdown, abandoned semaphore waiters, renderers outliving their
 // request) without depending on goroutine-identity heuristics.
+//
+// With process isolation in the picture, a leak can also be a child
+// process: Children counts this process's direct children via /proc, and
+// CheckChildren asserts — with the same retry grace — that none outlive
+// the test (a SIGKILLed worker that is never reaped shows up here as a
+// zombie still parented to us).
 package leak
 
 import (
 	"bytes"
+	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 )
@@ -53,5 +62,77 @@ func Check(t testing.TB) func() {
 		}
 		t.Errorf("goroutine leak: %d goroutines at start, %d after grace period\n%s",
 			base, n, Dump())
+	}
+}
+
+// Children lists the PIDs of this process's direct children (zombies
+// included — an unreaped child is precisely the leak worth catching) by
+// scanning /proc/*/stat for our PID in the ppid field. On platforms
+// without procfs it returns nil: no signal, no false alarms.
+func Children() []int {
+	self := os.Getpid()
+	entries, err := os.ReadDir("/proc")
+	if err != nil {
+		return nil
+	}
+	var kids []int
+	for _, e := range entries {
+		pid, err := strconv.Atoi(e.Name())
+		if err != nil {
+			continue
+		}
+		data, err := os.ReadFile("/proc/" + e.Name() + "/stat")
+		if err != nil {
+			continue // racing exit; not ours to count
+		}
+		// Field 4 is the ppid, but field 2 (comm) may contain spaces and
+		// parens; parse after the last ')' per proc(5).
+		s := string(data)
+		i := strings.LastIndexByte(s, ')')
+		if i < 0 {
+			continue
+		}
+		fields := strings.Fields(s[i+1:])
+		if len(fields) < 2 {
+			continue
+		}
+		if ppid, err := strconv.Atoi(fields[1]); err == nil && ppid == self {
+			kids = append(kids, pid)
+		}
+	}
+	return kids
+}
+
+// CheckChildren records the current set of child processes and returns a
+// function that fails t if any new children are still alive (or undead:
+// unreaped zombies count) after a grace period. Use alongside Check in
+// tests that spawn worker pools.
+func CheckChildren(t testing.TB) func() {
+	t.Helper()
+	base := make(map[int]bool)
+	for _, pid := range Children() {
+		base[pid] = true
+	}
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		var extra []int
+		for {
+			extra = extra[:0]
+			for _, pid := range Children() {
+				if !base[pid] {
+					extra = append(extra, pid)
+				}
+			}
+			if len(extra) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Errorf("child process leak: %d unreaped children after grace period: %v",
+			len(extra), extra)
 	}
 }

@@ -12,8 +12,12 @@
 //     input a thousand times costs one file;
 //   - bounded: when the directory exceeds its byte budget the oldest
 //     entries are evicted, never the one just added;
-//   - atomic: entries are written to a temp file and renamed into
-//     place, so a crash mid-write never leaves a torn entry.
+//   - atomic: entries are written to a temp file, fsynced, and renamed
+//     into place, so a crash mid-write never leaves a torn entry; Open
+//     sweeps temp files orphaned by a crash, and a committed file that
+//     somehow ends up torn anyway (pre-fsync power cut, disk fault) is
+//     detected on the next Add of the same key and rewritten rather
+//     than treated as a duplicate forever.
 package quarantine
 
 import (
@@ -160,7 +164,33 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("quarantine: %w", err)
 	}
+	sweepOrphans(dir)
 	return &Store{dir: dir, maxBytes: maxBytes}, nil
+}
+
+// orphanAge is how old a temp file must be before Open deems it a crash
+// leftover. The window exists because cross-process writers are allowed:
+// a live writer's in-flight temp file is seconds old, a crash orphan is
+// not.
+const orphanAge = time.Hour
+
+// sweepOrphans removes temp files abandoned by a writer that died
+// between CreateTemp and Rename. Best-effort: a failed sweep costs disk,
+// not correctness — Load and Stats never look at .tmp-* files.
+func sweepOrphans(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-orphanAge)
+	for _, de := range ents {
+		if de.IsDir() || !strings.HasPrefix(de.Name(), ".tmp-") {
+			continue
+		}
+		if info, err := de.Info(); err == nil && info.ModTime().Before(cutoff) {
+			_ = os.Remove(filepath.Join(dir, de.Name()))
+		}
+	}
 }
 
 // Dir returns the store's root directory.
@@ -176,7 +206,7 @@ func (s *Store) Add(e Entry) (key string, added bool, err error) {
 
 	key = e.Key()
 	path := filepath.Join(s.dir, key+".json")
-	if _, err := os.Stat(path); err == nil {
+	if validEntryFile(path) {
 		s.deduped++
 		return key, false, nil
 	}
@@ -199,6 +229,15 @@ func (s *Store) Add(e Entry) (key string, added bool, err error) {
 		os.Remove(tmpName)
 		return key, false, fmt.Errorf("quarantine: write: %w", err)
 	}
+	// Persist the bytes before the rename makes them visible: rename is
+	// atomic in the namespace, but without the fsync a power cut can
+	// commit the name while the contents are still only in page cache —
+	// the exact torn-entry shape the crash-consistency test constructs.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return key, false, fmt.Errorf("quarantine: sync: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return key, false, fmt.Errorf("quarantine: close: %w", err)
@@ -207,9 +246,28 @@ func (s *Store) Add(e Entry) (key string, added bool, err error) {
 		os.Remove(tmpName)
 		return key, false, fmt.Errorf("quarantine: rename: %w", err)
 	}
+	// Best-effort directory sync so the rename itself survives a crash;
+	// failure here costs durability of this one entry, not consistency.
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
 	s.added++
 	s.evictLocked(key)
 	return key, true, nil
+}
+
+// validEntryFile reports whether path holds a complete, decodable entry.
+// Dedup must not trust bare existence: a torn committed file (crash
+// before the data hit disk) would otherwise satisfy dedup forever and
+// the failure it was meant to record could never be re-filed.
+func validEntryFile(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	var e Entry
+	return json.Unmarshal(data, &e) == nil && e.SQL != ""
 }
 
 // evictLocked removes oldest-first entries until the store fits its

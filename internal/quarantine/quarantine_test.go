@@ -309,3 +309,113 @@ func TestReplayDirRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestCrashConsistency simulates every artifact a crash can leave in the
+// store — a writer killed between CreateTemp and Rename (empty, partial,
+// and complete orphaned temp files) and a committed file whose contents
+// never reached disk (torn or empty .json) — and asserts the corpus
+// always reloads to exactly its valid committed prefix, that crash
+// leftovers are swept on reopen, and that a torn committed file does not
+// satisfy dedup forever.
+func TestCrashConsistency(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Commit a prefix of valid entries.
+	const committed = 5
+	keys := map[string]bool{}
+	for i := 0; i < committed; i++ {
+		e := testEntry("mismatch", fmt.Sprintf("SELECT x FROM T%d WHERE a = 'v%d'", i, i))
+		k, added, err := s.Add(e)
+		if err != nil || !added {
+			t.Fatalf("add %d: key %s added %v err %v", i, k, added, err)
+		}
+		keys[k] = true
+	}
+
+	// Crash shapes 1-3: a writer died before its rename. The temp file
+	// may be empty, half-written, or even complete — none of them were
+	// committed, so none may surface as entries.
+	writeRaw := func(name string, data []byte) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	complete := testEntry("error", "SELECT z FROM U WHERE b = 'w'")
+	completeJSON := fmt.Sprintf(
+		`{"stage":%q,"schema":%q,"sql":%q,"status":%q,"time":"2026-08-06T00:00:00Z"}`,
+		complete.Stage, complete.Schema, complete.SQL, complete.Status)
+	writeRaw(".tmp-crash-empty", nil)
+	writeRaw(".tmp-crash-partial", []byte(`{"stage":"mismatch","sql":"SELECT`))
+	writeRaw(".tmp-crash-complete", []byte(completeJSON))
+
+	// Crash shape 4: a committed name whose data never hit disk — the
+	// state an unsynced rename leaves after a power cut.
+	torn := testEntry("panic", "SELECT y FROM T WHERE c = 'u'")
+	tornPath := torn.Key() + ".json"
+	writeRaw(tornPath, nil)
+	// Crash shape 5: a committed name with half its bytes.
+	writeRaw("mismatch-deadbeefdeadbeef.json", []byte(`{"stage":"mis`))
+
+	// The corpus must reload to exactly the valid prefix.
+	assertPrefix := func(extra int) {
+		t.Helper()
+		got, err := Load(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != committed+extra {
+			t.Fatalf("Load = %d entries, want %d", len(got), committed+extra)
+		}
+		for _, e := range got {
+			if e.SQL == "" || e.Stage == "" {
+				t.Fatalf("loaded a torn entry: %+v", e)
+			}
+		}
+	}
+	assertPrefix(0)
+
+	// Reopening must not sweep a fresh temp file (it could belong to a
+	// live cross-process writer)...
+	if _, err := Open(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, ".tmp-*")); len(m) != 3 {
+		t.Fatalf("fresh temp files swept early: %v", m)
+	}
+	// ...but once they are older than any plausible in-flight write,
+	// they are crash leftovers and reopening clears them.
+	old := time.Now().Add(-2 * orphanAge)
+	for _, name := range []string{".tmp-crash-empty", ".tmp-crash-partial", ".tmp-crash-complete"} {
+		if err := os.Chtimes(filepath.Join(dir, name), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Open(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, ".tmp-*")); len(m) != 0 {
+		t.Fatalf("aged orphan temp files survived reopen: %v", m)
+	}
+	assertPrefix(0)
+
+	// A torn committed file must not block its key: re-adding the same
+	// failure replaces the garbage with a real entry.
+	k, added, err := s.Add(torn)
+	if err != nil || !added {
+		t.Fatalf("re-add over torn file: key %s added %v err %v", k, added, err)
+	}
+	if k+".json" != tornPath {
+		t.Fatalf("re-add key %s, want %s", k+".json", tornPath)
+	}
+	assertPrefix(1)
+	// And ordinary dedup still holds on the now-valid file.
+	if _, added, _ := s.Add(torn); added {
+		t.Fatal("dedup failed on repaired entry")
+	}
+	assertPrefix(1)
+}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 
 	queryvis "repro"
 	"repro/internal/faults"
+	"repro/internal/workerpool"
 )
 
 // Category classifies every non-200 response into a machine-readable
@@ -47,6 +49,11 @@ const (
 	// internal verification fault). The SQL itself was fine — retry with
 	// verify=degrade to get the best servable artifact. HTTP 500.
 	CatVerifyFailed Category = "verify_failed"
+	// CatWorkerCrashed: under process isolation the worker serving this
+	// request died (crash, OOM kill, garbage on its pipe) and so did the
+	// one transparent retry. The daemon itself is healthy and has already
+	// respawned the workers; the request is safe to retry. HTTP 503.
+	CatWorkerCrashed Category = "worker_crashed"
 )
 
 // statusCanceled is nginx's non-standard 499 "client closed request";
@@ -114,6 +121,27 @@ func classify(err error) (int, apiError) {
 		}
 		return http.StatusInternalServerError, apiError{
 			Category: CatInternal, Message: err.Error(), Stage: stage,
+		}
+	}
+	var we *workerpool.WorkerError
+	if errors.As(err, &we) {
+		if we.Kind == workerpool.KindTimeout {
+			return http.StatusGatewayTimeout, apiError{
+				Category: CatTimeout,
+				Message:  "worker overran the request deadline and was killed",
+				Stage:    "worker",
+			}
+		}
+		return http.StatusServiceUnavailable, apiError{
+			Category: CatWorkerCrashed,
+			Message: fmt.Sprintf("worker %s; retried once on a fresh worker without success — safe to retry",
+				we.Kind),
+			Stage: "worker",
+		}
+	}
+	if errors.Is(err, workerpool.ErrPoolClosed) {
+		return http.StatusServiceUnavailable, apiError{
+			Category: CatOverloaded, Message: "server is draining; retry against a healthy instance",
 		}
 	}
 	var se *queryvis.StageError

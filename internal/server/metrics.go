@@ -54,6 +54,7 @@ var stageNames = []string{
 var errorCategories = []Category{
 	CatBadRequest, CatTooLarge, CatParse, CatSemantic, CatLimit,
 	CatTimeout, CatCanceled, CatOverloaded, CatInternal, CatVerifyFailed,
+	CatWorkerCrashed,
 }
 
 // verifyOutcomes are the verdicts counted by queryvis_verify_total.

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/faults"
+	"repro/internal/workerpool"
+)
+
+// poolDispatch builds the process-isolated handler for one endpoint: the
+// request body is read (under the parent's size cap), shipped to an idle
+// worker over the pool's framed pipe protocol, and the worker's verbatim
+// HTTP response — status, headers, body — is copied back to the client.
+// The parent keeps the envelope guards (method check, load shedding,
+// deadline, body cap, panic boundary, instrumentation) while everything
+// that parses or executes untrusted SQL happens inside a sacrificial
+// child.
+func (s *Server) poolDispatch(endpoint string) func(http.ResponseWriter, *http.Request) error {
+	return func(w http.ResponseWriter, r *http.Request) error {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				return &requestError{http.StatusRequestEntityTooLarge, apiError{
+					Category: CatTooLarge,
+					Message:  fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+				}}
+			}
+			return err
+		}
+
+		req := workerpool.Request{
+			Endpoint: endpoint,
+			Body:     body,
+			Header:   map[string]string{},
+		}
+		// Allow-listed header forwarding: the request ID for log
+		// correlation across the process boundary, and — only on listeners
+		// that opted into fault injection — the chaos headers.
+		if rid := r.Header.Get("X-Request-ID"); rid != "" {
+			req.Header["X-Request-ID"] = rid
+		}
+		if s.cfg.AllowFaultInjection {
+			for _, h := range []string{"X-Fault-Seed", faults.HeaderWorkerFault} {
+				if v := r.Header.Get(h); v != "" {
+					req.Header[h] = v
+				}
+			}
+		}
+
+		resp, err := s.cfg.Pool.Do(r.Context(), req)
+		if err != nil {
+			return err
+		}
+		for k, v := range resp.Header {
+			// The recorder recomputes framing; a stale worker-side length
+			// would corrupt the reply.
+			if k == "Content-Length" {
+				continue
+			}
+			w.Header().Set(k, v)
+		}
+		if resp.Status >= 400 {
+			// Surface the worker's error category into this process's error
+			// counters, so /v1/metrics tells one story regardless of where
+			// the request ran.
+			var eb errorBody
+			if json.Unmarshal(resp.Body, &eb) == nil && eb.Error.Category != "" {
+				if rec, ok := w.(*statusRecorder); ok {
+					rec.category = eb.Error.Category
+				}
+			}
+		}
+		w.WriteHeader(resp.Status)
+		_, _ = w.Write(resp.Body)
+		return nil
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/quarantine"
 	"repro/internal/schema"
 	"repro/internal/telemetry"
+	"repro/internal/workerpool"
 )
 
 // Config tunes the service's resource guards. Zero fields take the
@@ -53,8 +54,18 @@ type Config struct {
 	RetryAfter time.Duration
 	// AllowFaultInjection honors the X-Fault-Seed request header by
 	// attaching a deterministic fault plan to the request context. For
-	// chaos tests only — never enable it on a production listener.
+	// chaos tests only — never enable it on a production listener. With a
+	// Pool attached it also forwards X-Fault-Seed and X-Worker-Fault to
+	// the worker, so pipeline- and process-level faults compose.
 	AllowFaultInjection bool
+
+	// Pool, when non-nil, dispatches /v1/diagram and /v1/interpret to
+	// sacrificial child processes (see internal/workerpool) instead of
+	// running the pipeline in-process: a query that exhausts the stack or
+	// the heap kills a worker, never this daemon. The envelope guards
+	// (method, shedding, deadline, body cap) still run here; the pipeline
+	// and its guards run again inside the worker.
+	Pool *workerpool.Pool
 
 	// DefaultVerify is the verification mode for requests that do not set
 	// the "verify" field. The zero value is VerifyOff, preserving the
@@ -137,8 +148,13 @@ func New(cfg Config) *Server {
 		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 	}
 	s.initMetrics(cfg.Metrics)
-	s.mux.HandleFunc("/v1/diagram", s.instrument("/v1/diagram", s.guarded(s.handleDiagram)))
-	s.mux.HandleFunc("/v1/interpret", s.instrument("/v1/interpret", s.guarded(s.handleInterpret)))
+	diagram, interpret := s.handleDiagram, s.handleInterpret
+	if cfg.Pool != nil {
+		diagram = s.poolDispatch("/v1/diagram")
+		interpret = s.poolDispatch("/v1/interpret")
+	}
+	s.mux.HandleFunc("/v1/diagram", s.instrument("/v1/diagram", s.guarded(diagram)))
+	s.mux.HandleFunc("/v1/interpret", s.instrument("/v1/interpret", s.guarded(interpret)))
 	s.mux.HandleFunc("/v1/healthz", s.instrument("/v1/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	return s
@@ -606,6 +622,9 @@ type healthzResponse struct {
 	BreakerStreak int    `json:"breaker_streak"`
 	// Quarantine summarizes the failure corpus when one is attached.
 	Quarantine *quarantine.Stats `json:"quarantine,omitempty"`
+	// Pool reports the worker pool's supervision state when requests are
+	// dispatched to child processes (-isolation=process).
+	Pool *workerpool.State `json:"pool,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -639,6 +658,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			st.Bytes = int64(reg.Value(mQuarBytes))
 			resp.Quarantine = &st
 		}
+	}
+	if s.cfg.Pool != nil {
+		st := s.cfg.Pool.State()
+		resp.Pool = &st
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,140 @@
+// Test harness plumbing for the worker pool: the pool spawns real child
+// processes, and the only binary a test reliably has on disk is itself —
+// so TestMain diverts re-executions of the test binary into the worker
+// loop before the testing framework takes over. The tests below
+// therefore exercise genuine process isolation: real pipes, real
+// SIGKILLs, real respawns, no fakes.
+package workerpool_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime/debug"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/workerpool"
+)
+
+// Environment contract between the parent tests and their re-executed
+// children. MAXSTACK and UNLIMITED exist for the crash-containment test:
+// a worker with a tiny stack limit serving unlimited-depth queries dies
+// of genuine stack exhaustion, not a simulated one.
+const (
+	envWorker    = "QUERYVIS_WORKERPOOL_TEST_WORKER"
+	envMaxStack  = "QUERYVIS_WORKERPOOL_TEST_MAXSTACK"
+	envUnlimited = "QUERYVIS_WORKERPOOL_TEST_UNLIMITED"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(envWorker) == "1" {
+		runTestWorker()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runTestWorker() {
+	if v := os.Getenv(envMaxStack); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			debug.SetMaxStack(n)
+		}
+	}
+	cfg := server.Config{
+		RequestTimeout:      2 * time.Second,
+		AllowFaultInjection: true,
+		DisableTelemetry:    true,
+		Unlimited:           os.Getenv(envUnlimited) == "1",
+	}
+	if err := workerpool.RunWorker(os.Stdin, os.Stdout, server.New(cfg), workerpool.RunOptions{
+		AllowFaultHeaders: true,
+	}); err != nil {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// spawnSelf builds a pool spawn function that re-executes this test
+// binary as a worker, with optional extra environment entries.
+func spawnSelf(extraEnv ...string) func() (*exec.Cmd, error) {
+	return func() (*exec.Cmd, error) {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), envWorker+"=1")
+		cmd.Env = append(cmd.Env, extraEnv...)
+		return cmd, nil
+	}
+}
+
+// newPool builds a pool with test-friendly defaults (fast backoff, self
+// re-exec spawn) and registers a drain on cleanup.
+func newPool(t *testing.T, cfg workerpool.Config) *workerpool.Pool {
+	t.Helper()
+	if cfg.Spawn == nil {
+		cfg.Spawn = spawnSelf()
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = 20 * time.Millisecond
+	}
+	if cfg.BackoffMax == 0 {
+		cfg.BackoffMax = 300 * time.Millisecond
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	p, err := workerpool.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := p.Close(ctx); err != nil {
+			t.Errorf("pool close: %v", err)
+		}
+	})
+	return p
+}
+
+// diagramBody renders the /v1/diagram request body for sql on the beers
+// schema.
+func diagramBody(sql string) []byte {
+	b, _ := json.Marshal(map[string]any{"sql": sql, "schema": "beers"})
+	return b
+}
+
+// doDiagram dispatches one /v1/diagram request through the pool.
+func doDiagram(ctx context.Context, p *workerpool.Pool, sql string, header map[string]string) (*workerpool.Response, error) {
+	return p.Do(ctx, workerpool.Request{
+		Endpoint: "/v1/diagram",
+		Header:   header,
+		Body:     diagramBody(sql),
+	})
+}
+
+// qSome is a known-good paper query (Fig. 3a).
+const qSome = `SELECT F.person FROM Frequents F, Likes L, Serves S
+WHERE F.person = L.person AND F.bar = S.bar AND L.drink = S.drink`
+
+// deepQuery nests NOT EXISTS blocks depth levels — within the parser's
+// hard cap but deep enough to exhaust a worker whose stack was pinned
+// small by the crash-containment test.
+func deepQuery(depth int) string {
+	sql := "SELECT L0.drinker FROM Likes L0 WHERE "
+	for i := 1; i <= depth; i++ {
+		sql += fmt.Sprintf("NOT EXISTS (SELECT * FROM Likes L%d WHERE L%d.drinker = L%d.drinker AND ", i, i, i-1)
+	}
+	sql += fmt.Sprintf("L%d.beer = L%d.beer", depth, depth)
+	for i := 0; i < depth; i++ {
+		sql += ")"
+	}
+	return sql
+}

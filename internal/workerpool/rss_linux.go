@@ -1,0 +1,34 @@
+//go:build linux
+
+package workerpool
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// rssSupported reports whether the platform can measure a child's
+// resident set; the watchdog and RSS-growth recycling are no-ops
+// elsewhere.
+const rssSupported = true
+
+// readRSS returns the process's resident set size in bytes via
+// /proc/<pid>/statm (second field, in pages). Errors — the process died,
+// procfs missing — read as 0, which every caller treats as "unknown,
+// don't act".
+func readRSS(pid int) int64 {
+	data, err := os.ReadFile("/proc/" + strconv.Itoa(pid) + "/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
+}

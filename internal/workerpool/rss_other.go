@@ -1,0 +1,12 @@
+//go:build !linux
+
+package workerpool
+
+// rssSupported: no portable resident-set probe exists off Linux, so the
+// RSS watchdog and growth-based recycling degrade to no-ops; the request
+// count bound and the dispatch deadline still recycle and contain
+// workers.
+const rssSupported = false
+
+// readRSS always reports "unknown" on non-Linux platforms.
+func readRSS(pid int) int64 { return 0 }

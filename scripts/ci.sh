@@ -7,8 +7,14 @@
 #   chaos      seeded fault-injection smoke against the hardened HTTP
 #              service, under the race detector (any failure names the
 #              run seed + request index it reproduces from)
+#   kill-storm seeded SIGKILL/wedge/pipe-garbage storm against the
+#              process-isolated worker pool, under the race detector:
+#              every request must end as a 200 or a categorized error,
+#              with no goroutine or child-process leaks
 #   serve      queryvisd start / healthz / graceful-shutdown cycle on an
-#              ephemeral port
+#              ephemeral port, plus the same lifecycle with
+#              -isolation=process: SIGTERM mid-dispatch must drain the
+#              in-flight worker request and reap every child
 #   metrics    observability smoke: boot the daemon, serve one Fig. 1
 #              diagram, and require /v1/metrics to expose the metric
 #              families with a non-zero stage histogram; also proves the
@@ -34,8 +40,11 @@ go test -race ./...
 echo "== chaos smoke (race)"
 go test -count=1 -run TestChaos -race ./internal/faults/...
 
-echo "== queryvisd serve/healthz/shutdown"
-go test -count=1 -run TestServeHealthzShutdown ./cmd/queryvisd
+echo "== kill-storm smoke (race)"
+go test -count=1 -run 'TestKillStorm|TestCrashContainment' -race ./internal/workerpool
+
+echo "== queryvisd serve/healthz/shutdown (in-process + -isolation=process)"
+go test -count=1 -run 'TestServeHealthzShutdown|TestProcessIsolationServeDrain' ./cmd/queryvisd
 
 echo "== metrics smoke + pprof gate"
 go test -count=1 -run 'TestMetricsSmoke|TestPprofGate' ./cmd/queryvisd
