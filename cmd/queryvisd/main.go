@@ -14,6 +14,7 @@
 //	          [-verify off|degrade|strict] [-verify-budget N] \
 //	          [-quarantine-dir DIR] [-quarantine-max-bytes N] \
 //	          [-breaker-threshold N] [-breaker-cooldown 30s] \
+//	          [-cache-entries N] [-cache-bytes N] [-max-batch-items N] \
 //	          [-isolation none|process] [-workers N] \
 //	          [-worker-max-requests N] [-worker-max-rss BYTES] \
 //	          [-metrics] [-pprof] [-slow-query-ms N]
@@ -107,6 +108,10 @@ func run(args []string, stdout, stderr *os.File) int {
 		workerMode     = fs.Bool("worker", false, "run as a pool worker speaking the frame protocol on stdin/stdout (internal; spawned by -isolation=process)")
 		allowFaults    = fs.Bool("allow-fault-injection", false, "honor the X-Fault-Seed and X-Worker-Fault chaos headers (tests only; never in production)")
 
+		cacheEntries  = fs.Int("cache-entries", 4096, "pattern-keyed diagram cache capacity in entries (0 disables caching)")
+		cacheBytes    = fs.Int64("cache-bytes", 64<<20, "pattern-keyed diagram cache payload bound in bytes")
+		maxBatchItems = fs.Int("max-batch-items", 64, "max items per /v1/diagrams:batch request")
+
 		metrics     = fs.Bool("metrics", true, "serve Prometheus metrics on /v1/metrics and instrument requests")
 		enablePprof = fs.Bool("pprof", false, "mount /debug/pprof/ and /debug/goroutines (never expose publicly)")
 		slowQueryMS = fs.Int("slow-query-ms", 500, "log requests at least this slow with scrubbed SQL (0 disables)")
@@ -152,6 +157,9 @@ func run(args []string, stdout, stderr *os.File) int {
 		Quarantine:          quarStore,
 		BreakerThreshold:    *breakerThreshold,
 		BreakerCooldown:     *breakerCooldown,
+		CacheEntries:        *cacheEntries,
+		CacheMaxBytes:       *cacheBytes,
+		MaxBatchItems:       *maxBatchItems,
 		DisableTelemetry:    !*metrics,
 		Logger:              logger,
 		SlowQueryThreshold:  time.Duration(*slowQueryMS) * time.Millisecond,
@@ -242,6 +250,10 @@ func workerSpawner(fs *flag.FlagSet, allowFaults bool) func() (*exec.Cmd, error)
 		"verify":    true, "verify-budget": true,
 		"quarantine-dir": true, "quarantine-max-bytes": true,
 		"breaker-threshold": true, "breaker-cooldown": true,
+		// Each worker owns a private cache; the parent routes isomorphic
+		// requests to the same worker by pattern affinity so the repeats
+		// concentrate (see internal/server/affinity.go).
+		"cache-entries": true, "cache-bytes": true,
 	}
 	fs.Visit(func(f *flag.Flag) {
 		if forward[f.Name] {

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"hash/fnv"
+	"strconv"
+	"sync"
+)
+
+// affinityIndex lets the parent of a worker pool route pattern-
+// isomorphic requests to the same worker, so each worker's private
+// diagram cache sees all repeats of a pattern instead of 1/N of them.
+// The parent cannot compute pattern keys itself — that requires parsing
+// the SQL, which is exactly what it refuses to do in-process — so it
+// learns them: every worker response carries X-QueryVis-Pattern, and the
+// index remembers body-hash → pattern-hash. Until a body has been seen,
+// its own hash stands in as the routing key (exact repeats still pin).
+//
+// The map is bounded; at capacity it resets wholesale. Affinity is a
+// performance hint, not a correctness property — forgetting it only
+// costs a worker-local cache miss.
+type affinityIndex struct {
+	mu  sync.Mutex
+	cap int
+	m   map[uint64]string
+}
+
+const affinityIndexCap = 4096
+
+func newAffinityIndex(cap int) *affinityIndex {
+	return &affinityIndex{cap: cap, m: make(map[uint64]string)}
+}
+
+// key returns the routing key for a request body: the learned pattern
+// hash when known, else the body hash itself.
+func (a *affinityIndex) key(body []byte) (uint64, string) {
+	h := fnv.New64a()
+	_, _ = h.Write(body)
+	bh := h.Sum64()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if p, ok := a.m[bh]; ok {
+		return bh, p
+	}
+	return bh, strconv.FormatUint(bh, 16)
+}
+
+// learn records the pattern hash a worker reported for a body.
+func (a *affinityIndex) learn(bodyHash uint64, pattern string) {
+	if pattern == "" {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.m) >= a.cap {
+		a.m = make(map[uint64]string, a.cap/4)
+	}
+	a.m[bodyHash] = pattern
+}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// POST /v1/diagrams:batch renders many queries in one round trip with
+// per-item status: the envelope is 200 whenever the batch itself is
+// well-formed, and each item independently succeeds or fails with the
+// same taxonomy the single endpoint uses. Items sharing a logical
+// pattern amortize to one pipeline run through the cache (the first
+// builds, the rest hit), which is the endpoint's reason to exist — bulk
+// repository rendering, the paper's Section 1 browsing use case.
+
+// batchRequest is the body of /v1/diagrams:batch. Top-level fields are
+// defaults every item inherits unless it sets its own.
+type batchRequest struct {
+	Schema   string      `json:"schema,omitempty"`
+	Simplify bool        `json:"simplify,omitempty"`
+	Format   string      `json:"format,omitempty"`
+	Verify   string      `json:"verify,omitempty"`
+	Items    []batchItem `json:"items"`
+}
+
+// batchItem is one query; zero fields fall back to the batch defaults.
+type batchItem struct {
+	SQL      string `json:"sql"`
+	Schema   string `json:"schema,omitempty"`
+	Simplify *bool  `json:"simplify,omitempty"`
+	Format   string `json:"format,omitempty"`
+	Verify   string `json:"verify,omitempty"`
+}
+
+// batchItemResult mirrors one single-endpoint response: Result on
+// success, Error on failure, never both. Cache reports the item's cache
+// disposition ("hit"/"miss", empty when caching is off or bypassed) —
+// the per-item form of the X-QueryVis-Cache header.
+type batchItemResult struct {
+	Status int              `json:"status"`
+	Result *diagramResponse `json:"result,omitempty"`
+	Error  *apiError        `json:"error,omitempty"`
+	Cache  string           `json:"cache,omitempty"`
+}
+
+type batchResponse struct {
+	Items     []batchItemResult `json:"items"`
+	ElapsedMS int64             `json:"elapsed_ms"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
+	started := time.Now()
+	var breq batchRequest
+	if err := s.decode(r, &breq); err != nil {
+		return s.fail(w, err)
+	}
+	if len(breq.Items) == 0 {
+		return s.fail(w, &requestError{http.StatusBadRequest, apiError{
+			Category: CatBadRequest, Message: `missing or empty "items" field`,
+		}})
+	}
+	if len(breq.Items) > s.cfg.MaxBatchItems {
+		return s.fail(w, &requestError{http.StatusRequestEntityTooLarge, apiError{
+			Category: CatTooLarge,
+			Message: fmt.Sprintf("batch of %d items exceeds the %d-item cap",
+				len(breq.Items), s.cfg.MaxBatchItems),
+		}})
+	}
+
+	resp := batchResponse{Items: make([]batchItemResult, len(breq.Items))}
+	for i := range breq.Items {
+		// Items run sequentially under the request's single deadline; the
+		// shared semaphore slot is the unit of admission, not the item.
+		resp.Items[i] = s.serveBatchItem(r.Context(), &breq, &breq.Items[i])
+	}
+	resp.ElapsedMS = time.Since(started).Milliseconds()
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// serveBatchItem resolves one item, folding every failure — envelope
+// validation, pipeline errors, an already-exhausted batch deadline —
+// into the item's own status and error body.
+func (s *Server) serveBatchItem(ctx context.Context, breq *batchRequest, it *batchItem) batchItemResult {
+	if ctx.Err() != nil {
+		// The batch deadline died on an earlier item; every remaining item
+		// reports its own well-formed timeout instead of a truncated reply.
+		status, ae := classify(ctx.Err())
+		return batchItemResult{Status: status, Error: &ae}
+	}
+	req := diagramRequest{
+		SQL:      it.SQL,
+		Schema:   firstNonEmpty(it.Schema, breq.Schema),
+		Simplify: breq.Simplify,
+		Format:   firstNonEmpty(it.Format, breq.Format),
+		Verify:   firstNonEmpty(it.Verify, breq.Verify),
+	}
+	if it.Simplify != nil {
+		req.Simplify = *it.Simplify
+	}
+	sch, err := s.validate(&req)
+	if err != nil {
+		return batchItemError(err)
+	}
+	sv, err := s.serveDiagram(ctx, &req, sch, time.Now())
+	if err != nil {
+		return batchItemError(err)
+	}
+	resp := sv.resp
+	return batchItemResult{Status: http.StatusOK, Result: &resp, Cache: sv.cache}
+}
+
+// batchItemError maps an item failure onto its wire form, reusing the
+// envelope statuses for requestErrors and the pipeline taxonomy for the
+// rest.
+func batchItemError(err error) batchItemResult {
+	if re, ok := err.(*requestError); ok {
+		ae := re.ae
+		return batchItemResult{Status: re.status, Error: &ae}
+	}
+	status, ae := classify(err)
+	return batchItemResult{Status: status, Error: &ae}
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}

@@ -125,6 +125,105 @@ func BenchmarkDiagramEndpoint(b *testing.B) {
 	})
 }
 
+// benchHandlerSerial drives the handler in-process and serially with
+// body, reporting ns/op, allocations, and the p50/p99 per-request
+// latency — the stable columns the cache speedup claim is made on.
+func benchHandlerSerial(b *testing.B, srv http.Handler, body []byte) {
+	b.Helper()
+	latencies := make([]time.Duration, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/diagram", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		t0 := time.Now()
+		srv.ServeHTTP(w, req)
+		latencies = append(latencies, time.Since(t0))
+		if w.Code != http.StatusOK {
+			b.Fatalf("status = %d", w.Code)
+		}
+	}
+	b.StopTimer()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p int) time.Duration {
+		i := len(latencies) * p / 100
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return latencies[i]
+	}
+	b.ReportMetric(float64(pct(50).Nanoseconds())/1e6, "p50-ms")
+	b.ReportMetric(float64(pct(99).Nanoseconds())/1e6, "p99-ms")
+}
+
+// BenchmarkDiagramHandlerCache prices the pattern cache on the serial
+// in-process handler under verify=degrade — the mode whose pipeline the
+// cache amortizes. cold is the cache-less build-and-prove path; warm is
+// the same request against a prewarmed cache, so every iteration is an
+// exact-text hit serving the stored proof. The warm/cold p50 ratio is
+// the headline number in BENCH_server.json.
+func BenchmarkDiagramHandlerCache(b *testing.B) {
+	body, err := json.Marshal(diagramRequest{
+		SQL: corpus.Fig1UniqueSet, Schema: "beers", Verify: "degrade",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		benchHandlerSerial(b, New(Config{}), body)
+	})
+	b.Run("warm", func(b *testing.B) {
+		srv := New(Config{CacheEntries: 64})
+		// Prewarm: the one real build happens off the clock.
+		req := httptest.NewRequest(http.MethodPost, "/v1/diagram", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("prewarm status = %d", w.Code)
+		}
+		benchHandlerSerial(b, srv, body)
+	})
+}
+
+// BenchmarkBatchEndpoint measures POST /v1/diagrams:batch over HTTP
+// with eight spellings of the Fig. 1 pattern per request: after the
+// first batch builds the representative, every later item in every
+// later batch is served from cache, so the cell prices the batch
+// envelope + hit path per item. items/s counts items, not batches.
+func BenchmarkBatchEndpoint(b *testing.B) {
+	ts := httptest.NewServer(New(Config{CacheEntries: 64}))
+	defer ts.Close()
+
+	items := []batchItem{{SQL: corpus.Fig1UniqueSet, Verify: "degrade"}}
+	for _, tag := range []string{"a", "b", "c", "d", "e", "f", "g"} {
+		items = append(items, batchItem{SQL: fig1Isomorph(tag), Verify: "degrade"})
+	}
+	body, err := json.Marshal(batchRequest{Schema: "beers", Items: items})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	client := ts.Client()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/diagrams:batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status = %d", resp.StatusCode)
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(items))/elapsed.Seconds(), "items/s")
+}
+
 // BenchmarkDiagramEndpointVerify measures what runtime verification
 // costs on the serving path: the same Fig. 1 round trip under
 // verify=off, degrade, and strict. Off is the baseline; degrade and

@@ -52,10 +52,14 @@ func (s *Server) poolDispatch(endpoint string) func(http.ResponseWriter, *http.R
 			}
 		}
 
-		resp, err := s.cfg.Pool.Do(r.Context(), req)
+		// Route by pattern affinity: isomorphic requests land on the same
+		// worker, concentrating its private diagram cache (see affinity.go).
+		bodyHash, affKey := s.aff.key(body)
+		resp, err := s.cfg.Pool.DoAffinity(r.Context(), req, affKey)
 		if err != nil {
 			return err
 		}
+		s.aff.learn(bodyHash, resp.Header[headerPattern])
 		for k, v := range resp.Header {
 			// The recorder recomputes framing; a stale worker-side length
 			// would corrupt the reply.

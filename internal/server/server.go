@@ -28,6 +28,7 @@ import (
 	"time"
 
 	queryvis "repro"
+	"repro/internal/diagcache"
 	"repro/internal/faults"
 	"repro/internal/quarantine"
 	"repro/internal/schema"
@@ -66,6 +67,24 @@ type Config struct {
 	// (method, shedding, deadline, body cap) still run here; the pipeline
 	// and its guards run again inside the worker.
 	Pool *workerpool.Pool
+
+	// Cache, when non-nil, is a shared pattern-keyed diagram cache the
+	// query endpoints serve rendered results from (see internal/diagcache).
+	// Its correctness contract: only verified (or verify-off) non-degraded
+	// results are inserted, fault-seeded requests bypass it entirely, and
+	// it is invalidated whenever the bound limits/schema fingerprint
+	// changes.
+	Cache *diagcache.Cache
+	// CacheEntries, when positive and Cache is nil, builds a private cache
+	// bounded to this many entries, registered on this server's metrics
+	// registry. Zero leaves caching off (the historical behavior).
+	CacheEntries int
+	// CacheMaxBytes bounds the private cache's payload bytes (0 = the
+	// diagcache default, 64 MiB).
+	CacheMaxBytes int64
+	// MaxBatchItems caps the items accepted by /v1/diagrams:batch
+	// (default 64).
+	MaxBatchItems int
 
 	// DefaultVerify is the verification mode for requests that do not set
 	// the "verify" field. The zero value is VerifyOff, preserving the
@@ -124,6 +143,9 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 30 * time.Second
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 64
+	}
 	return c
 }
 
@@ -135,6 +157,8 @@ type Server struct {
 	start   time.Time
 	breaker *breaker
 	metrics *serverMetrics
+	cache   *diagcache.Cache
+	aff     *affinityIndex
 }
 
 // New builds a Server from the config.
@@ -148,12 +172,34 @@ func New(cfg Config) *Server {
 		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 	}
 	s.initMetrics(cfg.Metrics)
-	diagram, interpret := s.handleDiagram, s.handleInterpret
+	switch {
+	case cfg.Cache != nil:
+		s.cache = cfg.Cache
+	case cfg.CacheEntries > 0 && cfg.Pool == nil:
+		// With a pool attached the pipeline runs in the workers, each of
+		// which owns its own cache; a parent-side cache would never be
+		// consulted and would only export dead metric series.
+		s.cache = diagcache.New(diagcache.Config{
+			MaxEntries: cfg.CacheEntries,
+			MaxBytes:   cfg.CacheMaxBytes,
+			Metrics:    s.metrics.reg,
+		})
+	}
+	if s.cache != nil {
+		// An entry proven under one limits/schema regime is not evidence
+		// under another: rebinding a shared cache to a differently
+		// configured server flushes it.
+		s.cache.BindConfig(s.configFingerprint())
+	}
+	diagram, interpret, batch := s.handleDiagram, s.handleInterpret, s.handleBatch
 	if cfg.Pool != nil {
+		s.aff = newAffinityIndex(affinityIndexCap)
 		diagram = s.poolDispatch("/v1/diagram")
 		interpret = s.poolDispatch("/v1/interpret")
+		batch = s.poolDispatch("/v1/diagrams:batch")
 	}
 	s.mux.HandleFunc("/v1/diagram", s.instrument("/v1/diagram", s.guarded(diagram)))
+	s.mux.HandleFunc("/v1/diagrams:batch", s.instrument("/v1/diagrams:batch", s.guarded(batch)))
 	s.mux.HandleFunc("/v1/interpret", s.instrument("/v1/interpret", s.guarded(interpret)))
 	s.mux.HandleFunc("/v1/healthz", s.instrument("/v1/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
@@ -359,7 +405,7 @@ func (s *Server) verifyMode(req *diagramRequest) (queryvis.VerifyMode, error) {
 //     and timeouts count as cost blowouts, anything else resets them;
 //   - inputs that failed verification or tripped panic containment are
 //     scrubbed and quarantined.
-func (s *Server) runVerified(r *http.Request, req *diagramRequest, sch *schema.Schema) (*queryvis.Result, queryvis.VerifyMode, error) {
+func (s *Server) runVerified(ctx context.Context, req *diagramRequest, sch *schema.Schema) (*queryvis.Result, queryvis.VerifyMode, error) {
 	requested, err := s.verifyMode(req)
 	if err != nil {
 		return nil, requested, err
@@ -374,7 +420,7 @@ func (s *Server) runVerified(r *http.Request, req *diagramRequest, sch *schema.S
 	opts.Verify = mode
 	opts.VerifyBudget = s.cfg.VerifyBudget
 
-	res, err := queryvis.FromSQLContext(r.Context(), req.SQL, sch, opts)
+	res, err := queryvis.FromSQLContext(ctx, req.SQL, sch, opts)
 
 	status := verifyOutcome(res, err)
 	if mode != queryvis.VerifyOff && status != "" {
@@ -382,7 +428,7 @@ func (s *Server) runVerified(r *http.Request, req *diagramRequest, sch *schema.S
 			status == queryvis.VerifyStatusTimeout)
 		s.recordVerifyOutcome(status)
 	}
-	s.maybeQuarantine(r, req, res, err, status)
+	s.maybeQuarantine(ctx, req, res, err, status)
 
 	if err != nil {
 		return nil, requested, err
@@ -419,7 +465,7 @@ const maxFingerprintPerms = 720
 // verification (including served-degraded responses) or tripped panic
 // containment. Deduplication lives in the store: re-filing a known
 // failure is a no-op.
-func (s *Server) maybeQuarantine(r *http.Request, req *diagramRequest, res *queryvis.Result, err error, status string) {
+func (s *Server) maybeQuarantine(ctx context.Context, req *diagramRequest, res *queryvis.Result, err error, status string) {
 	if s.cfg.Quarantine == nil {
 		return
 	}
@@ -454,7 +500,7 @@ func (s *Server) maybeQuarantine(r *http.Request, req *diagramRequest, res *quer
 		Budget:   s.cfg.VerifyBudget,
 		Simplify: req.Simplify,
 	}
-	if p := faults.FromContext(r.Context()); p != nil {
+	if p := faults.FromContext(ctx); p != nil {
 		e.FaultSeed = p.Seed
 	}
 	// Fingerprinting is a factorial-cost canonical labeling, and this is
@@ -506,57 +552,12 @@ func (s *Server) handleDiagram(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return s.fail(w, err)
 	}
-	res, mode, err := s.runVerified(r, &req, sch)
+	sv, err := s.serveDiagram(r.Context(), &req, sch, started)
 	if err != nil {
 		return s.fail(w, err)
 	}
-
-	format, out := req.Format, ""
-	if res.Degraded == queryvis.RungTRC {
-		// The ladder bottomed out below diagrams: serve the calculus text.
-		format, out = "trc", res.TRCText
-	} else {
-		switch format {
-		case "svg":
-			out, err = res.SVGContext(r.Context())
-		case "text":
-			out, err = res.TextContext(r.Context())
-		default:
-			out, err = res.DOTContext(r.Context(), queryvis.DOTOptions{})
-		}
-		if err != nil {
-			// In degrade mode a broken renderer drops the response to the TRC
-			// rung rather than erroring; limit and context errors stay errors
-			// (a policy bound or a dead client, not a degradable fault).
-			var le *queryvis.LimitError
-			if mode != queryvis.VerifyDegrade ||
-				errors.As(err, &le) || r.Context().Err() != nil || res.TRC == nil {
-				return err
-			}
-			format, out = "trc", res.TRC.String()
-			res.Degraded = queryvis.RungTRC
-			res.Diagram = nil
-		}
-	}
-
-	resp := diagramResponse{
-		Format:         format,
-		Diagram:        out,
-		Interpretation: res.Interpretation,
-		ElapsedMS:      time.Since(started).Milliseconds(),
-		VerifyStatus:   res.VerifyStatus,
-		Degraded:       res.Degraded,
-	}
-	if res.VerifyStatus == queryvis.VerifyStatusOff {
-		resp.VerifyStatus = "" // keep the historical wire shape for verify=off
-	}
-	if res.Diagram != nil {
-		resp.ReadingOrder = res.ReadingOrder()
-		resp.Tables = len(res.Diagram.Tables)
-		resp.Edges = len(res.Diagram.Edges)
-	}
-	setVerifyHeaders(w, res)
-	writeJSON(w, http.StatusOK, resp)
+	sv.writeHeaders(w)
+	writeJSON(w, http.StatusOK, sv.resp)
 	return nil
 }
 
@@ -581,7 +582,7 @@ func (s *Server) handleInterpret(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return s.fail(w, err)
 	}
-	res, _, err := s.runVerified(r, &req, sch)
+	res, _, err := s.runVerified(r.Context(), &req, sch)
 	if err != nil {
 		return s.fail(w, err)
 	}
@@ -622,6 +623,10 @@ type healthzResponse struct {
 	BreakerStreak int    `json:"breaker_streak"`
 	// Quarantine summarizes the failure corpus when one is attached.
 	Quarantine *quarantine.Stats `json:"quarantine,omitempty"`
+	// Cache summarizes the pattern-keyed diagram cache when one is
+	// enabled: occupancy against its bounds plus lifetime hit/miss/evict
+	// counts.
+	Cache *diagcache.Stats `json:"cache,omitempty"`
 	// Pool reports the worker pool's supervision state when requests are
 	// dispatched to child processes (-isolation=process).
 	Pool *workerpool.State `json:"pool,omitempty"`
@@ -658,6 +663,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			st.Bytes = int64(reg.Value(mQuarBytes))
 			resp.Quarantine = &st
 		}
+	}
+	if s.cache != nil {
+		st := s.cache.Stats()
+		resp.Cache = &st
 	}
 	if s.cfg.Pool != nil {
 		st := s.cfg.Pool.State()

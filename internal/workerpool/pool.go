@@ -219,9 +219,16 @@ func (w *worker) kill() {
 // Pool is the supervisor.
 type Pool struct {
 	cfg    Config
-	idle   chan *worker
 	closed chan struct{}
 	once   sync.Once
+
+	// parkMu guards the idle set and the waiter queue. Workers park by
+	// slot so DoAffinity can prefer the slot that last built a pattern;
+	// hand-off to a waiter happens under the lock, so a worker is never
+	// both parked and promised.
+	parkMu  sync.Mutex
+	parked  map[int]*worker
+	waiters []*waiter
 
 	// closeMu makes "not closed, register in-flight" atomic against
 	// Close: Do holds it shared around the closed-check + inflight.Add
@@ -250,8 +257,8 @@ func New(cfg Config) (*Pool, error) {
 	cfg = cfg.withDefaults()
 	p := &Pool{
 		cfg:    cfg,
-		idle:   make(chan *worker, cfg.Workers),
 		closed: make(chan struct{}),
+		parked: make(map[int]*worker, cfg.Workers),
 		live:   make(map[int]*worker, cfg.Workers),
 		reg:    cfg.Metrics,
 	}
@@ -268,7 +275,11 @@ func New(cfg Config) (*Pool, error) {
 		defer p.mu.Unlock()
 		return float64(len(p.live))
 	})
-	p.reg.GaugeFunc(mIdle, "Workers parked idle.", func() float64 { return float64(len(p.idle)) })
+	p.reg.GaugeFunc(mIdle, "Workers parked idle.", func() float64 {
+		p.parkMu.Lock()
+		defer p.parkMu.Unlock()
+		return float64(len(p.parked))
+	})
 	p.reg.GaugeFunc(mBusy, "Requests currently dispatched or awaiting a worker.",
 		func() float64 { return float64(p.busy.Load()) })
 
@@ -324,10 +335,13 @@ func (p *Pool) State() State {
 	p.mu.Lock()
 	live := len(p.live)
 	p.mu.Unlock()
+	p.parkMu.Lock()
+	idle := len(p.parked)
+	p.parkMu.Unlock()
 	st := State{
 		Workers:  p.cfg.Workers,
 		Live:     live,
-		Idle:     len(p.idle),
+		Idle:     idle,
 		Busy:     int(p.busy.Load()),
 		Spawns:   p.spawns.Value(),
 		Retries:  p.retries.Value(),
@@ -347,6 +361,16 @@ func (p *Pool) State() State {
 // corrupts the pipe. After the retry budget it returns the typed
 // *WorkerError; context errors pass through untouched.
 func (p *Pool) Do(ctx context.Context, req Request) (*Response, error) {
+	return p.DoAffinity(ctx, req, "")
+}
+
+// DoAffinity is Do with a soft placement preference: requests sharing
+// a non-empty key are steered toward the same worker slot, so a worker
+// whose in-process diagram cache just built a pattern serves that
+// pattern's isomorphs warm. The preference is strictly work-conserving
+// — if the preferred slot is busy, any idle worker serves the request —
+// so affinity can shift load but never queue it.
+func (p *Pool) DoAffinity(ctx context.Context, req Request, key string) (*Response, error) {
 	p.closeMu.RLock()
 	if p.isClosed() {
 		p.closeMu.RUnlock()
@@ -358,9 +382,13 @@ func (p *Pool) Do(ctx context.Context, req Request) (*Response, error) {
 	p.busy.Add(1)
 	defer p.busy.Add(-1)
 
+	aff := -1
+	if key != "" {
+		aff = int(fnv32a(key) % uint32(p.cfg.Workers))
+	}
 	var lastErr error
 	for attempt := 1; attempt <= 2; attempt++ {
-		w, err := p.acquire(ctx)
+		w, err := p.acquire(ctx, aff)
 		if err != nil {
 			if lastErr != nil {
 				return nil, annotate(lastErr, attempt)
@@ -404,22 +432,131 @@ func killReasonFor(err error) string {
 	return "canceled"
 }
 
-// acquire pulls an idle worker, preferring an immediately available one
-// before blocking on the context or shutdown.
-func (p *Pool) acquire(ctx context.Context) (*worker, error) {
-	select {
-	case w := <-p.idle:
-		return w, nil
-	default:
+// waiter is one dispatcher blocked in acquire: park hands it a worker
+// under parkMu, so removal from the queue and the buffered send are one
+// atomic step.
+type waiter struct {
+	slot int // preferred slot; -1 for no preference
+	ch   chan *worker
+}
+
+// fnv32a hashes an affinity key onto the slot space.
+func fnv32a(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
 	}
-	select {
-	case w := <-p.idle:
+	return h
+}
+
+// takeParkedLocked pops an idle worker, preferring the affinity slot
+// but settling for any — a preference must never idle a worker while a
+// request waits. Caller holds parkMu.
+func (p *Pool) takeParkedLocked(aff int) *worker {
+	if aff >= 0 {
+		if w, ok := p.parked[aff]; ok {
+			delete(p.parked, aff)
+			return w
+		}
+	}
+	for slot, w := range p.parked {
+		delete(p.parked, slot)
+		return w
+	}
+	return nil
+}
+
+// acquire pulls an idle worker, preferring an immediately available one
+// (on the preferred slot when possible) before queueing as a waiter on
+// the context or shutdown.
+func (p *Pool) acquire(ctx context.Context, aff int) (*worker, error) {
+	p.parkMu.Lock()
+	if w := p.takeParkedLocked(aff); w != nil {
+		p.parkMu.Unlock()
 		return w, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	case <-p.closed:
+	}
+	if p.isClosed() {
+		p.parkMu.Unlock()
 		return nil, ErrPoolClosed
 	}
+	wt := &waiter{slot: aff, ch: make(chan *worker, 1)}
+	p.waiters = append(p.waiters, wt)
+	p.parkMu.Unlock()
+
+	select {
+	case w := <-wt.ch:
+		return w, nil
+	case <-ctx.Done():
+		if w := p.abandon(wt); w != nil {
+			// Lost the race: park already handed us a worker. Put it back
+			// for the next dispatcher; this request's context is dead.
+			p.park(w)
+		}
+		return nil, ctx.Err()
+	case <-p.closed:
+		if w := p.abandon(wt); w != nil {
+			p.destroy(w, "drain")
+		}
+		return nil, ErrPoolClosed
+	}
+}
+
+// abandon withdraws a waiter. If the hand-off already happened (the
+// waiter is gone from the queue), the promised worker is returned so
+// the caller can repark or retire it.
+func (p *Pool) abandon(wt *waiter) *worker {
+	p.parkMu.Lock()
+	for i, x := range p.waiters {
+		if x == wt {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			p.parkMu.Unlock()
+			return nil
+		}
+	}
+	p.parkMu.Unlock()
+	select {
+	case w := <-wt.ch:
+		return w
+	default:
+		return nil
+	}
+}
+
+// park returns a worker to the idle set: straight to a waiter when one
+// is queued — preferring a waiter whose affinity matches this slot,
+// else the oldest — or into the parked map. During shutdown the worker
+// is retired instead.
+func (p *Pool) park(w *worker) {
+	p.parkMu.Lock()
+	if p.isClosed() {
+		p.parkMu.Unlock()
+		p.destroy(w, "drain")
+		return
+	}
+	idx := -1
+	for i, wt := range p.waiters {
+		if wt.slot == w.slot {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 && len(p.waiters) > 0 {
+		idx = 0
+	}
+	if idx >= 0 {
+		wt := p.waiters[idx]
+		p.waiters = append(p.waiters[:idx], p.waiters[idx+1:]...)
+		wt.ch <- w
+		p.parkMu.Unlock()
+		return
+	}
+	p.parked[w.slot] = w
+	p.parkMu.Unlock()
 }
 
 // release returns a healthy worker to the idle set — unless policy says
@@ -446,13 +583,7 @@ func (p *Pool) release(w *worker) {
 			return
 		}
 	}
-	select {
-	case p.idle <- w:
-	default:
-		// Cannot happen (cap == Workers, one worker per slot), but a full
-		// channel must never block the serving path.
-		p.destroy(w, "drain")
-	}
+	p.park(w)
 }
 
 // roundTrip performs one framed request/response exchange with a hard
@@ -615,12 +746,7 @@ func (p *Pool) slotLoop(slot int) {
 		p.mu.Unlock()
 		p.log("worker spawned", "slot", slot, "pid", w.pid)
 
-		select {
-		case p.idle <- w:
-		case <-p.closed:
-			p.destroy(w, "drain")
-			return
-		}
+		p.park(w)
 		select {
 		case <-w.retired:
 		case <-p.closed:
@@ -749,16 +875,18 @@ func (p *Pool) Close(ctx context.Context) error {
 		<-done
 	}
 	p.loops.Wait()
-	// Only now is the idle channel quiescent: slot loops can no longer
-	// push, dispatchers can no longer pull.
-	for {
-		select {
-		case w := <-p.idle:
-			p.destroy(w, "drain")
-			continue
-		default:
-		}
-		break
+	// Only now is the idle set quiescent: slot loops can no longer park,
+	// dispatchers can no longer take (acquire fails closed), and every
+	// waiter has withdrawn via the closed channel.
+	p.parkMu.Lock()
+	parked := make([]*worker, 0, len(p.parked))
+	for slot, w := range p.parked {
+		delete(p.parked, slot)
+		parked = append(parked, w)
+	}
+	p.parkMu.Unlock()
+	for _, w := range parked {
+		p.destroy(w, "drain")
 	}
 	return err
 }

@@ -94,6 +94,10 @@ type Options struct {
 	// verification annotated by outcome, ladder rung, and inverse-search
 	// budget spent. Nil disables tracing at near-zero cost.
 	Tracer *telemetry.Tracer
+	// Cache, when non-nil, is the pattern-keyed diagram cache consulted
+	// by FromSQLCached / FromSQLCachedContext (see cached.go). The plain
+	// FromSQL entry points never touch it.
+	Cache *DiagramCache
 }
 
 // Result bundles every pipeline stage for one query.

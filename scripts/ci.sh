@@ -19,6 +19,15 @@
 #              diagram, and require /v1/metrics to expose the metric
 #              families with a non-zero stage histogram; also proves the
 #              /debug/pprof surface is 404 unless -pprof is set
+#   cache      pattern-cache smoke: the daemon serves the Fig. 1 query
+#              twice — the second response must carry
+#              X-QueryVis-Cache: hit with verify_status=verified, and
+#              the hit counter on /v1/metrics must read exactly 1
+#   cache-race singleflight collapse and eviction-churn batteries under
+#              the race detector: N goroutines of isomorphic spellings
+#              collapse to one build with byte-identical bodies, and a
+#              two-entry cache under six-pattern pressure never serves
+#              bytes that diverge from the uncached baseline
 #   oracle     30-second differential-oracle smoke run (seeded, so any
 #              counterexample it prints is reproducible with cmd/oracle)
 #   replay     the checked-in quarantine corpus must replay with zero
@@ -48,6 +57,12 @@ go test -count=1 -run 'TestServeHealthzShutdown|TestProcessIsolationServeDrain' 
 
 echo "== metrics smoke + pprof gate"
 go test -count=1 -run 'TestMetricsSmoke|TestPprofGate' ./cmd/queryvisd
+
+echo "== cache smoke"
+go test -count=1 -run TestCacheSmoke ./cmd/queryvisd
+
+echo "== cache race battery (race)"
+go test -count=1 -race -run 'TestCacheRaceSingleflight|TestCacheEvictionChurn' ./internal/server
 
 echo "== oracle smoke (30s)"
 go run ./cmd/oracle -n 100000 -seed 1 -timeout 30s
