@@ -1,0 +1,289 @@
+// Command loadgen drives a queryvisd instance or router with an
+// open-loop workload: requests depart on a fixed arrival schedule
+// (-rate per second for -duration), never gated by completions, so a
+// slow or degraded target accumulates genuine queueing instead of the
+// closed-loop coordinated omission that flatters it. The query mix is
+// generated up front from the oracle's seeded generator (-seed, -mix
+// distinct queries over -schemas), so a run is reproducible
+// byte-for-byte and cache-warm behavior is controllable: a small -mix
+// concentrates repeats, -mix 0 makes every request distinct
+// (cache-cold).
+//
+// Usage:
+//
+//	loadgen -target http://host:port [-rate 100] [-duration 10s] \
+//	        [-seed 1] [-mix 32] [-schemas beers,sailors] \
+//	        [-max-tables 3] [-max-neg-depth 2] [-attempts 1] \
+//	        [-timeout 5s]
+//
+// Every response is audited for well-formedness: a 200 must carry a
+// diagram, anything else must carry the categorized JSON error shape.
+// Transport errors (connection reset mid-kill) are counted but are not
+// malformed — they are what a murdered instance looks like. The run
+// report (JSON on stdout) includes exact latency percentiles, outcome
+// counts by status, and achieved throughput. Exit status: 0 on a clean
+// audit, 1 if any response was malformed or nothing completed, 2 on
+// usage errors. Chaos scenarios — overload, instance kill, cache-cold —
+// are composed externally: crank -rate, SIGKILL an instance mid-run,
+// or set -mix 0; loadgen's job is the honest arrival process and the
+// honest audit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/oracle"
+	"repro/internal/schema"
+	"repro/internal/sqlparse"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// Report is the run summary printed as JSON on stdout.
+type Report struct {
+	Target     string  `json:"target"`
+	Seed       int64   `json:"seed"`
+	RatePerSec int     `json:"rate_per_sec"`
+	DurationMS int64   `json:"duration_ms"`
+	MixSize    int     `json:"mix_size"`
+	Launched   int64   `json:"launched"`
+	Completed  int64   `json:"completed"`
+	OK         int64   `json:"ok"`
+	// ByStatus counts completed responses per HTTP status.
+	ByStatus map[string]int64 `json:"by_status"`
+	// TransportErrors are attempts that died below HTTP (connection
+	// refused/reset) — expected collateral of killing an instance,
+	// counted apart from malformed.
+	TransportErrors int64 `json:"transport_errors"`
+	// Malformed counts responses violating the wire contract: a 200
+	// without a diagram, or an error status without the categorized JSON
+	// error body. Any nonzero fails the run.
+	Malformed       int64    `json:"malformed"`
+	MalformedSample []string `json:"malformed_sample,omitempty"`
+	// Latency percentiles over completed requests, milliseconds.
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+	// AchievedPerSec is completions divided by wall clock — under
+	// overload it honestly lags rate_per_sec.
+	AchievedPerSec float64 `json:"achieved_per_sec"`
+}
+
+type query struct {
+	SQL    string `json:"sql"`
+	Schema string `json:"schema"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target      = fs.String("target", "", "base URL of the queryvisd instance or router to load (required)")
+		rate        = fs.Int("rate", 100, "arrival rate, requests per second (open loop)")
+		duration    = fs.Duration("duration", 10*time.Second, "how long to keep launching arrivals")
+		seed        = fs.Int64("seed", 1, "RNG seed for the query mix; same seed, same workload")
+		mix         = fs.Int("mix", 32, "distinct queries in the mix, cycled round-robin; 0 = every arrival unique (cache-cold)")
+		schemas     = fs.String("schemas", "beers", "comma-separated built-in schemas to generate over")
+		maxTables   = fs.Int("max-tables", 3, "max table instances per generated query")
+		maxNegDepth = fs.Int("max-neg-depth", 2, "max negated-subquery nesting in generated queries")
+		attempts    = fs.Int("attempts", 1, "client attempts per request; 1 measures the target raw, >1 lets retries ride out an instance kill")
+		timeout     = fs.Duration("timeout", 5*time.Second, "per-attempt HTTP timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *target == "" {
+		fmt.Fprintln(stderr, "loadgen: -target is required")
+		fs.Usage()
+		return 2
+	}
+	if *rate <= 0 || *duration <= 0 {
+		fmt.Fprintln(stderr, "loadgen: -rate and -duration must be positive")
+		return 2
+	}
+
+	names := strings.Split(*schemas, ",")
+	tables := make([]*schema.Schema, len(names))
+	for i, n := range names {
+		s, ok := schema.ByName(strings.TrimSpace(n))
+		if !ok {
+			fmt.Fprintf(stderr, "loadgen: unknown schema %q (have %s)\n",
+				n, strings.Join(schema.BuiltinNames(), ", "))
+			return 2
+		}
+		tables[i] = s
+	}
+
+	// Pre-generate the mix so generation cost never perturbs the arrival
+	// schedule. mix 0 pre-generates one query per planned arrival.
+	gcfg := oracle.Config{MaxTables: *maxTables, MaxNegDepth: *maxNegDepth, Skew: 1}
+	planned := int(float64(*rate) * duration.Seconds())
+	nmix := *mix
+	if nmix <= 0 || nmix > planned {
+		nmix = planned
+	}
+	if nmix < 1 {
+		nmix = 1
+	}
+	master := rand.New(rand.NewSource(*seed))
+	queries := make([]query, nmix)
+	for i := range queries {
+		rng := rand.New(rand.NewSource(master.Int63()))
+		si := rng.Intn(len(tables))
+		queries[i] = query{
+			SQL:    sqlparse.Format(oracle.Generate(rng, tables[si], gcfg)),
+			Schema: names[si],
+		}
+	}
+
+	rep := loadRun(*target, *rate, *duration, queries, client.Config{
+		HTTPClient:  &http.Client{Timeout: *timeout},
+		MaxAttempts: *attempts,
+		BaseBackoff: 20 * time.Millisecond,
+		MaxBackoff:  500 * time.Millisecond,
+		Seed:        *seed,
+	})
+	rep.Seed = *seed
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(stderr, "loadgen:", err)
+		return 1
+	}
+	if rep.Malformed > 0 {
+		fmt.Fprintf(stderr, "loadgen: %d malformed responses — wire contract violated\n", rep.Malformed)
+		return 1
+	}
+	if rep.Completed == 0 {
+		fmt.Fprintln(stderr, "loadgen: nothing completed — target unreachable?")
+		return 1
+	}
+	return 0
+}
+
+// loadRun executes the open-loop schedule and audits every outcome.
+func loadRun(target string, rate int, duration time.Duration, queries []query, ccfg client.Config) *Report {
+	rep := &Report{
+		Target:     target,
+		RatePerSec: rate,
+		DurationMS: duration.Milliseconds(),
+		MixSize:    len(queries),
+		ByStatus:   map[string]int64{},
+	}
+	var (
+		completed, transport, malformed atomic.Int64
+		mu                              sync.Mutex
+		byStatus                        = map[int]int64{}
+		latencies                       []float64
+		samples                         []string
+	)
+	record := func(status int, lat time.Duration, bad string) {
+		completed.Add(1)
+		mu.Lock()
+		defer mu.Unlock()
+		byStatus[status]++
+		latencies = append(latencies, float64(lat.Microseconds())/1000)
+		if bad != "" {
+			malformed.Add(1)
+			if len(samples) < 8 {
+				samples = append(samples, bad)
+			}
+		}
+	}
+
+	cl := client.New(ccfg)
+	interval := time.Second / time.Duration(rate)
+	var wg sync.WaitGroup
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; time.Since(start) < duration; i++ {
+		q := queries[i%len(queries)]
+		wg.Add(1)
+		rep.Launched++
+		go func(i int, q query) {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := cl.PostJSON(context.Background(), target+"/v1/diagram",
+				map[string]any{"sql": q.SQL, "schema": q.Schema})
+			if err != nil {
+				transport.Add(1)
+				return
+			}
+			raw, rerr := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+			resp.Body.Close()
+			if rerr != nil {
+				transport.Add(1)
+				return
+			}
+			record(resp.StatusCode, time.Since(t0), audit(resp.StatusCode, raw))
+		}(i, q)
+		<-tick.C
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep.Completed = completed.Load()
+	rep.TransportErrors = transport.Load()
+	rep.Malformed = malformed.Load()
+	rep.MalformedSample = samples
+	for st, n := range byStatus {
+		rep.ByStatus[fmt.Sprint(st)] = n
+		if st == http.StatusOK {
+			rep.OK = n
+		}
+	}
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	rep.P50MS, rep.P90MS, rep.P99MS, rep.MaxMS = pct(0.50), pct(0.90), pct(0.99), pct(1)
+	if s := elapsed.Seconds(); s > 0 {
+		rep.AchievedPerSec = float64(rep.Completed) / s
+	}
+	return rep
+}
+
+// audit checks one response against the wire contract; it returns a
+// non-empty description when malformed.
+func audit(status int, raw []byte) string {
+	if status == http.StatusOK {
+		var body struct {
+			Diagram string `json:"diagram"`
+		}
+		if json.Unmarshal(raw, &body) != nil || body.Diagram == "" {
+			return fmt.Sprintf("200 without diagram: %.120s", raw)
+		}
+		return ""
+	}
+	var eb struct {
+		Error struct {
+			Category string `json:"category"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(raw, &eb) != nil || eb.Error.Category == "" {
+		return fmt.Sprintf("status %d without categorized error: %.120s", status, raw)
+	}
+	return ""
+}

@@ -1,0 +1,271 @@
+// The CI scale-out smoke lives here as a real test: two queryvisd-shaped
+// instance processes behind the consistent-hash router, loadgen's
+// open-loop schedule driving them, and one instance SIGKILLed mid-run.
+// The audit that gates CI is loadgen's own: zero malformed responses,
+// a majority of successes, and a clean exit code.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/leak"
+	"repro/internal/router"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+const envInstance = "QUERYVIS_LOADGEN_TEST_INSTANCE"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(envInstance) == "1" {
+		runTestInstance()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runTestInstance() {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("addr=%s\n", ln.Addr())
+	h := server.New(server.Config{
+		RequestTimeout: 5 * time.Second,
+		MaxConcurrent:  128,
+		CacheEntries:   512,
+	})
+	if err := http.Serve(ln, h); err != nil {
+		os.Exit(1)
+	}
+}
+
+// startInstance re-executes the test binary as a live instance.
+func startInstance(t *testing.T) (*exec.Cmd, string, chan struct{}) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), envInstance+"=1")
+	cmd.Stderr = io.Discard
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		_ = cmd.Wait()
+		close(done)
+	}()
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		<-done
+	})
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "addr="); ok {
+				addrc <- a
+				break
+			}
+		}
+		_, _ = io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case addr := <-addrc:
+		return cmd, "http://" + addr, done
+	case <-time.After(10 * time.Second):
+		t.Fatal("instance never printed its address")
+	case <-done:
+		t.Fatal("instance died before printing its address")
+	}
+	panic("unreachable")
+}
+
+// TestLoadgenSmokeInstanceKill is the scenario ci.sh runs: a short
+// open-loop burst through the router while one of two instances is
+// SIGKILLed mid-run. loadgen must exit 0 — every completed response
+// well-formed — with the majority succeeding via failover and retries.
+func TestLoadgenSmokeInstanceKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real instance processes")
+	}
+	t.Cleanup(leak.Check(t))
+	t.Cleanup(leak.CheckChildren(t))
+
+	i1, u1, done1 := startInstance(t)
+	_, u2, _ := startInstance(t)
+
+	rt, err := router.New(router.Config{
+		Backends:           []string{u1, u2},
+		HealthInterval:     50 * time.Millisecond,
+		BreakerThreshold:   2,
+		BreakerCooldown:    250 * time.Millisecond,
+		InstanceAttempts:   2,
+		InstanceMaxElapsed: 500 * time.Millisecond,
+		Metrics:            telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt)
+	t.Cleanup(front.Close)
+
+	// The chaos move: murder instance 1 partway through the run.
+	const runFor = 2 * time.Second
+	go func() {
+		time.Sleep(runFor * 2 / 5)
+		_ = i1.Process.Kill()
+		<-done1
+	}()
+
+	var stdout, stderrBuf bytes.Buffer
+	code := run([]string{
+		"-target", front.URL,
+		"-rate", "100",
+		"-duration", runFor.String(),
+		"-seed", "42",
+		"-mix", "16",
+		"-attempts", "3",
+	}, &stdout, &stderrBuf)
+
+	var rep Report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("loadgen stdout is not a report: %v\n%s", err, stdout.String())
+	}
+	t.Logf("report: %+v", rep)
+	if code != 0 {
+		t.Fatalf("loadgen exit %d, want 0; stderr: %s", code, stderrBuf.String())
+	}
+	if rep.Malformed != 0 {
+		t.Fatalf("%d malformed responses: %v", rep.Malformed, rep.MalformedSample)
+	}
+	if rep.Completed == 0 || rep.OK < rep.Launched/2 {
+		t.Fatalf("only %d/%d launched requests succeeded", rep.OK, rep.Launched)
+	}
+	if rep.P50MS <= 0 || rep.MaxMS < rep.P50MS {
+		t.Fatalf("nonsense latency stats: %+v", rep)
+	}
+}
+
+// TestLoadgenAgainstHealthyServer: a plain run against one in-process
+// server exits clean with every launched request completed and OK
+// (valid generated SQL, no chaos) and a faithful by_status map.
+func TestLoadgenAgainstHealthyServer(t *testing.T) {
+	t.Cleanup(leak.Check(t))
+	backend := httptest.NewServer(server.New(server.Config{CacheEntries: 128}))
+	t.Cleanup(backend.Close)
+
+	var stdout, stderrBuf bytes.Buffer
+	code := run([]string{
+		"-target", backend.URL,
+		"-rate", "200",
+		"-duration", "500ms",
+		"-seed", "7",
+		"-mix", "8",
+	}, &stdout, &stderrBuf)
+	if code != 0 {
+		t.Fatalf("loadgen exit %d; stderr: %s", code, stderrBuf.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("bad report: %v\n%s", err, stdout.String())
+	}
+	if rep.Launched == 0 || rep.Completed != rep.Launched || rep.OK != rep.Completed {
+		t.Fatalf("healthy run not all-OK: %+v", rep)
+	}
+	if rep.Malformed != 0 || rep.TransportErrors != 0 {
+		t.Fatalf("healthy run saw failures: %+v", rep)
+	}
+}
+
+// TestLoadgenUsage: missing -target and bad flags exit 2 without
+// touching the network.
+func TestLoadgenUsage(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(nil, &out, &errBuf); code != 2 {
+		t.Fatalf("no -target: exit %d, want 2", code)
+	}
+	if code := run([]string{"-target", "http://x", "-rate", "0"}, &out, &errBuf); code != 2 {
+		t.Fatalf("zero rate: exit %d, want 2", code)
+	}
+	if code := run([]string{"-target", "http://x", "-schemas", "nope"}, &out, &errBuf); code != 2 {
+		t.Fatalf("unknown schema: exit %d, want 2", code)
+	}
+}
+
+// TestLoadgenMixIsSeededAndReproducible: two runs with the same seed
+// against a recording backend send identical SQL sequences; a different
+// seed diverges.
+func TestLoadgenMixIsSeededAndReproducible(t *testing.T) {
+	t.Cleanup(leak.Check(t))
+	capture := func(seed string) []string {
+		var mu sync.Mutex
+		var got []string
+		backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			raw, _ := io.ReadAll(r.Body)
+			var req struct {
+				SQL string `json:"sql"`
+			}
+			_ = json.Unmarshal(raw, &req)
+			mu.Lock()
+			got = append(got, req.SQL)
+			mu.Unlock()
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"diagram":"digraph {}"}`))
+		}))
+		defer backend.Close()
+		var out, errBuf bytes.Buffer
+		// rate 10 over 400ms with mix 4: arrivals are sequential (each
+		// waits for the tick), so the recorded order is deterministic.
+		if code := run([]string{
+			"-target", backend.URL, "-rate", "10", "-duration", "400ms",
+			"-seed", seed, "-mix", "4",
+		}, &out, &errBuf); code != 0 {
+			t.Fatalf("capture run exit %d: %s", code, errBuf.String())
+		}
+		return got
+	}
+	a, b, c := capture("5"), capture("5"), capture("6")
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("capture sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d:\n%s\nvs\n%s", i, a[i], b[i])
+		}
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical mix")
+	}
+}

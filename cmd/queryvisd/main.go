@@ -17,6 +17,9 @@
 //	          [-cache-entries N] [-cache-bytes N] [-max-batch-items N] \
 //	          [-isolation none|process] [-workers N] \
 //	          [-worker-max-requests N] [-worker-max-rss BYTES] \
+//	          [-worker-batch N] [-standby-workers N] \
+//	          [-route URL,URL,...] [-route-replicas N] \
+//	          [-route-health-interval 250ms] \
 //	          [-metrics] [-pprof] [-slow-query-ms N]
 //
 // With -isolation=process the pipeline runs in a supervised pool of
@@ -25,7 +28,20 @@
 // is SIGKILLed, respawned with backoff, and its request retried once —
 // never the daemon. See internal/workerpool and the README's "Process
 // isolation" section. The default, -isolation=none, keeps the historical
-// in-process pipeline.
+// in-process pipeline. -worker-batch coalesces queued dispatches into
+// one protocol frame per worker round-trip and -standby-workers keeps
+// pre-warmed spares so a crash respawn costs a handoff, not a cold
+// start.
+//
+// With -route the binary is a scale-out router instead of a server: it
+// shards /v1/diagram bodies across the listed queryvisd instances on a
+// consistent-hash ring (pattern-affine once instances stamp
+// X-Queryvis-Pattern), health-checks each instance's /v1/healthz,
+// circuit-breaks the failing, retries elsewhere on the ring, and sheds
+// an honest 503 + Retry-After only when no instance is eligible. Its
+// own /v1/healthz reports per-instance ring state; /v1/metrics the
+// router registry. See internal/router and the README's "Scale-out"
+// section.
 //
 // Observability: GET /v1/metrics serves a Prometheus text exposition
 // (disable with -metrics=false), every response carries an X-Request-ID
@@ -60,12 +76,14 @@ import (
 	"os"
 	"os/exec"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	queryvis "repro"
 	"repro/internal/leak"
 	"repro/internal/quarantine"
+	"repro/internal/router"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 	"repro/internal/workerpool"
@@ -105,8 +123,14 @@ func run(args []string, stdout, stderr *os.File) int {
 		workers        = fs.Int("workers", 4, "worker processes in the pool (with -isolation=process)")
 		workerMaxReqs  = fs.Int("worker-max-requests", 512, "recycle a worker after this many requests (with -isolation=process)")
 		workerMaxRSS   = fs.Int64("worker-max-rss", 512<<20, "SIGKILL a worker whose resident set exceeds this many bytes (with -isolation=process; no-op off Linux)")
+		workerBatch    = fs.Int("worker-batch", 8, "max queued dispatches coalesced into one worker frame; 1 disables batching (with -isolation=process)")
+		standbyWorkers = fs.Int("standby-workers", 0, "pre-warmed spare workers kept ready to adopt a crashed slot (with -isolation=process)")
 		workerMode     = fs.Bool("worker", false, "run as a pool worker speaking the frame protocol on stdin/stdout (internal; spawned by -isolation=process)")
 		allowFaults    = fs.Bool("allow-fault-injection", false, "honor the X-Fault-Seed and X-Worker-Fault chaos headers (tests only; never in production)")
+
+		route          = fs.String("route", "", "comma-separated queryvisd base URLs; run as a consistent-hash router over them instead of a server")
+		routeReplicas  = fs.Int("route-replicas", 64, "virtual nodes per instance on the routing ring (with -route)")
+		routeHealthInt = fs.Duration("route-health-interval", 250*time.Millisecond, "active /v1/healthz probe interval per instance (with -route)")
 
 		cacheEntries  = fs.Int("cache-entries", 4096, "pattern-keyed diagram cache capacity in entries (0 disables caching)")
 		cacheBytes    = fs.Int64("cache-bytes", 64<<20, "pattern-keyed diagram cache payload bound in bytes")
@@ -180,6 +204,39 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 0
 	}
 
+	if *route != "" {
+		// Router mode: no pipeline of its own — just the ring. The server
+		// flags above are ignored; instances bring their own limits.
+		rt, err := router.New(router.Config{
+			Backends:       strings.Split(*route, ","),
+			Replicas:       *routeReplicas,
+			HealthInterval: *routeHealthInt,
+			MaxBodyBytes:   *maxBody,
+			Metrics:        telemetry.NewRegistry(),
+			Logger:         logger,
+		})
+		if err != nil {
+			logger.Error("starting router", "err", err)
+			return 2
+		}
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			rt.Close()
+			logger.Error("listen failed", "addr", *addr, "err", err)
+			return 2
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		logger.Info("routing", "instances", len(rt.State().Instances))
+		serveErr := serveWith(ctx, ln, rt, *grace, logger)
+		rt.Close()
+		if serveErr != nil {
+			logger.Error("serve failed", "err", serveErr)
+			return 2
+		}
+		return 0
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		logger.Error("listen failed", "addr", *addr, "err", err)
@@ -195,6 +252,8 @@ func run(args []string, stdout, stderr *os.File) int {
 			Workers:              *workers,
 			MaxRequestsPerWorker: *workerMaxReqs,
 			MaxWorkerRSS:         *workerMaxRSS,
+			MaxBatch:             *workerBatch,
+			StandbyWorkers:       *standbyWorkers,
 			// The pool's SIGKILL deadline sits above the worker's own
 			// pipeline deadline, so a slow-but-cooperative worker answers
 			// with a categorized timeout; SIGKILL is for the wedged.
@@ -208,7 +267,8 @@ func run(args []string, stdout, stderr *os.File) int {
 			return 2
 		}
 		cfg.Pool = pool
-		logger.Info("process isolation enabled", "workers", *workers)
+		logger.Info("process isolation enabled", "workers", *workers,
+			"batch", *workerBatch, "standbys", *standbyWorkers)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -10,6 +10,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/signal"
 	"strings"
@@ -369,6 +370,7 @@ func TestProcessIsolationServeDrain(t *testing.T) {
 		code <- run([]string{
 			"-addr", "127.0.0.1:0",
 			"-isolation=process", "-workers", "2",
+			"-worker-batch", "4", "-standby-workers", "1",
 			"-allow-fault-injection",
 			"-shutdown-grace", "15s",
 		}, devnull, pw)
@@ -393,8 +395,10 @@ func TestProcessIsolationServeDrain(t *testing.T) {
 	var hz struct {
 		Status string `json:"status"`
 		Pool   *struct {
-			Workers int `json:"workers"`
-			Live    int `json:"live"`
+			Workers        int `json:"workers"`
+			Live           int `json:"live"`
+			StandbyWorkers int `json:"standby_workers"`
+			BatchDepth     int `json:"batch_depth"`
 		} `json:"pool"`
 	}
 	if err := json.NewDecoder(hresp.Body).Decode(&hz); err != nil {
@@ -403,6 +407,26 @@ func TestProcessIsolationServeDrain(t *testing.T) {
 	hresp.Body.Close()
 	if hresp.StatusCode != http.StatusOK || hz.Status != "ok" || hz.Pool == nil || hz.Pool.Workers != 2 {
 		t.Fatalf("healthz = %d %+v", hresp.StatusCode, hz)
+	}
+	// The -standby-workers flag reached the pool: a spare warms up and
+	// shows in healthz (async spawn, so poll briefly).
+	standbyDeadline := time.Now().Add(10 * time.Second)
+	for {
+		sresp, err := hc.Get(ctx, base+"/v1/healthz")
+		if err != nil {
+			t.Fatalf("healthz poll: %v", err)
+		}
+		if err := json.NewDecoder(sresp.Body).Decode(&hz); err != nil {
+			t.Fatalf("decode healthz poll: %v", err)
+		}
+		sresp.Body.Close()
+		if hz.Pool != nil && hz.Pool.StandbyWorkers == 1 {
+			break
+		}
+		if time.Now().After(standbyDeadline) {
+			t.Fatalf("standby worker never warmed: %+v", hz.Pool)
+		}
+		time.Sleep(25 * time.Millisecond)
 	}
 
 	// A diagram request actually crosses the process boundary.
@@ -465,6 +489,122 @@ func TestProcessIsolationServeDrain(t *testing.T) {
 	// Fully down: no listener, no workers (the child-leak cleanup checks).
 	if _, err := http.Get(base + "/v1/healthz"); err == nil {
 		t.Fatal("server still answering after SIGTERM drain")
+	}
+	http.DefaultClient.CloseIdleConnections()
+}
+
+// TestRouteMode boots run() as a router (-route) over two real server
+// handlers, proxies a diagram through the ring, reads per-instance
+// state from the router's healthz, and exits clean on SIGTERM.
+func TestRouteMode(t *testing.T) {
+	sigWarm := make(chan os.Signal, 1)
+	signal.Notify(sigWarm, syscall.SIGHUP)
+	signal.Stop(sigWarm)
+	t.Cleanup(leak.Check(t))
+
+	b1 := httptest.NewServer(server.New(server.Config{CacheEntries: 64}))
+	defer b1.Close()
+	b2 := httptest.NewServer(server.New(server.Config{CacheEntries: 64}))
+	defer b2.Close()
+
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrc := make(chan string, 1)
+	var drainWG sync.WaitGroup
+	drainWG.Add(1)
+	go func() {
+		defer drainWG.Done()
+		sc := bufio.NewScanner(pr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "msg=listening addr="); i >= 0 {
+				select {
+				case addrc <- strings.TrimSpace(line[i+len("msg=listening addr="):]):
+				default:
+				}
+			}
+		}
+	}()
+
+	code := make(chan int, 1)
+	go func() {
+		code <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-route", b1.URL + "," + b2.URL,
+			"-shutdown-grace", "5s",
+		}, devnull, pw)
+	}()
+	var base string
+	select {
+	case addr := <-addrc:
+		base = "http://" + addr
+	case <-time.After(15 * time.Second):
+		t.Fatal("router never logged its listen address")
+	}
+
+	hc := client.New(client.Config{})
+	ctx := context.Background()
+
+	// Router healthz: both ring members visible and healthy.
+	hresp, err := hc.Get(ctx, base+"/v1/healthz")
+	if err != nil {
+		t.Fatalf("router healthz: %v", err)
+	}
+	var hz struct {
+		Status    string `json:"status"`
+		Instances []struct {
+			URL     string `json:"url"`
+			Healthy bool   `json:"healthy"`
+		} `json:"instances"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&hz); err != nil {
+		t.Fatalf("decode router healthz: %v", err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || hz.Status != "ok" || len(hz.Instances) != 2 {
+		t.Fatalf("router healthz = %d %+v", hresp.StatusCode, hz)
+	}
+
+	// A diagram proxied through the ring.
+	dresp, err := hc.PostJSON(ctx, base+"/v1/diagram",
+		map[string]any{"sql": corpus.Fig1UniqueSet, "schema": "beers"})
+	if err != nil {
+		t.Fatalf("diagram via router: %v", err)
+	}
+	var dr struct {
+		Diagram string `json:"diagram"`
+	}
+	if err := json.NewDecoder(dresp.Body).Decode(&dr); err != nil {
+		t.Fatalf("decode diagram: %v", err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK || !strings.Contains(dr.Diagram, "digraph") {
+		t.Fatalf("diagram via router = %d %.80q", dresp.StatusCode, dr.Diagram)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	select {
+	case got := <-code:
+		if got != 0 {
+			t.Fatalf("router run exited %d, want 0", got)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("router did not exit after SIGTERM")
+	}
+	pw.Close()
+	drainWG.Wait()
+	pr.Close()
+	if _, err := http.Get(base + "/v1/healthz"); err == nil {
+		t.Fatal("router still answering after SIGTERM")
 	}
 	http.DefaultClient.CloseIdleConnections()
 }

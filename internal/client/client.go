@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -37,6 +38,13 @@ type Config struct {
 	// Retry-After — a harness must never be parked for minutes by a
 	// misconfigured header (default 2s).
 	MaxBackoff time.Duration
+	// MaxElapsed caps the total wall-clock time Do spends on one request
+	// across every attempt and backoff wait (0 = no cap). Callers with
+	// somewhere else to go — the router failing over across ring nodes —
+	// set this well below the full retry schedule: burning the whole
+	// backoff ladder against one endpoint is time stolen from a healthy
+	// neighbor.
+	MaxElapsed time.Duration
 	// Seed fixes the jitter stream for deterministic tests (0 seeds from
 	// the backoff parameters; determinism, not entropy, is the point).
 	Seed int64
@@ -62,8 +70,34 @@ func (c Config) withDefaults() Config {
 type Client struct {
 	cfg Config
 
+	requests atomic.Int64
+	attempts atomic.Int64
+	retries  atomic.Int64
+
 	mu  sync.Mutex
 	rng *rand.Rand
+}
+
+// Stats is a point-in-time snapshot of a Client's lifetime counters —
+// the honest record a chaos harness or the router reads back to prove
+// how much retrying actually happened.
+type Stats struct {
+	// Requests counts Do invocations.
+	Requests int64 `json:"requests"`
+	// Attempts counts individual HTTP sends, first tries included.
+	Attempts int64 `json:"attempts"`
+	// Retries counts attempts beyond each request's first — zero on a
+	// healthy endpoint.
+	Retries int64 `json:"retries"`
+}
+
+// Stats snapshots the client's counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Requests: c.requests.Load(),
+		Attempts: c.attempts.Load(),
+		Retries:  c.retries.Load(),
+	}
 }
 
 // New builds a Client from the config.
@@ -83,11 +117,20 @@ func New(cfg Config) *Client {
 // be replayed (no GetBody) are sent exactly once, and a dead request
 // context is never retried — the caller canceled, and that decision
 // stands.
+// A MaxElapsed budget that a retry's wait would overrun stops the
+// schedule early: the last response (or error) is returned as-is, so
+// the caller can fail over instead of waiting out the ladder.
 func (c *Client) Do(req *http.Request) (*http.Response, error) {
+	c.requests.Add(1)
+	start := time.Now()
+	overBudget := func(wait time.Duration) bool {
+		return c.cfg.MaxElapsed > 0 && time.Since(start)+wait > c.cfg.MaxElapsed
+	}
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		areq := req
 		if attempt > 1 {
+			c.retries.Add(1)
 			areq = req.Clone(req.Context())
 			// Bodyless requests (GET) have no GetBody rewinder and need
 			// none; replayable() already refused retries for everything
@@ -100,6 +143,7 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 				areq.Body = body
 			}
 		}
+		c.attempts.Add(1)
 		resp, err := c.cfg.HTTPClient.Do(areq)
 		if err != nil {
 			lastErr = err
@@ -114,16 +158,24 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 			if ra := retryAfter(resp); ra > wait {
 				wait = ra
 			}
+			wait = min(wait, c.cfg.MaxBackoff)
+			if overBudget(wait) {
+				return resp, nil
+			}
 			// The response will be replaced; drain it so the transport can
 			// reuse the connection.
 			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 			_ = resp.Body.Close()
-			if err := sleep(req.Context(), min(wait, c.cfg.MaxBackoff)); err != nil {
+			if err := sleep(req.Context(), wait); err != nil {
 				return nil, err
 			}
 			continue
 		}
-		if err := sleep(req.Context(), c.backoff(attempt)); err != nil {
+		wait := c.backoff(attempt)
+		if overBudget(wait) {
+			return nil, lastErr
+		}
+		if err := sleep(req.Context(), wait); err != nil {
 			return nil, lastErr
 		}
 	}

@@ -153,3 +153,73 @@ func TestBackoffJitterBounds(t *testing.T) {
 		}
 	}
 }
+
+// TestMaxElapsedStopsRetrySchedule: a budget smaller than the next wait
+// ends the schedule early — the caller gets the last shed response to
+// fail over with, instead of being parked for the full ladder.
+func TestMaxElapsedStopsRetrySchedule(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1") // asks for a 1s wait every time
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := New(Config{
+		MaxAttempts: 10,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Second,
+		MaxElapsed:  50 * time.Millisecond,
+	})
+	start := time.Now()
+	resp, err := c.Get(context.Background(), ts.URL)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want the shed 503 back", resp.StatusCode)
+	}
+	// The 1s Retry-After would blow the 50ms budget on the very first
+	// retry, so exactly one attempt happens and Do returns promptly.
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1 (budget forbids the wait)", calls.Load())
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("Do took %v despite a 50ms budget", elapsed)
+	}
+}
+
+// TestStatsCountsAttemptsAndRetries: the counters record what actually
+// went over the wire.
+func TestStatsCountsAttemptsAndRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	c := New(Config{MaxAttempts: 5, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond})
+	resp, err := c.Get(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = c.Get(context.Background(), ts.URL) // healthy now: no retry
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	want := Stats{Requests: 2, Attempts: 4, Retries: 2}
+	if got := c.Stats(); got != want {
+		t.Fatalf("Stats() = %+v, want %+v", got, want)
+	}
+}

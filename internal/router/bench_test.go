@@ -1,0 +1,117 @@
+package router_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/router"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// BenchmarkRouterAddedLatency prices the routing hop: POST /v1/diagram
+// against one in-process instance directly ("direct"), then through the
+// consistent-hash router over 1, 2, and 4 identical instances. The p50
+// delta between a router column and "direct" is the fabric's added
+// latency — one extra HTTP hop, the body hash, the ring walk — and is
+// recorded in BENCH_server.json. All instances are in-process handlers,
+// so the columns isolate the router's own cost, not instance load.
+func BenchmarkRouterAddedLatency(b *testing.B) {
+	body, err := json.Marshal(diagramReq(qSome))
+	if err != nil {
+		b.Fatal(err)
+	}
+	newInstance := func() *httptest.Server {
+		return httptest.NewServer(server.New(server.Config{CacheEntries: 0}))
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		ts := newInstance()
+		defer ts.Close()
+		benchFront(b, ts.URL, body)
+	})
+
+	for _, n := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "router-1", 2: "router-2", 4: "router-4"}[n], func(b *testing.B) {
+			urls := make([]string, n)
+			for i := range urls {
+				ts := newInstance()
+				defer ts.Close()
+				urls[i] = ts.URL
+			}
+			rt, err := router.New(router.Config{
+				Backends: urls,
+				Metrics:  telemetry.NewRegistry(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Close()
+			front := httptest.NewServer(rt)
+			defer front.Close()
+			benchFront(b, front.URL, body)
+		})
+	}
+}
+
+// benchFront hammers url's /v1/diagram from 8 parallel workers and
+// reports throughput plus p50/p99 — the same shape as the server and
+// workerpool endpoint benchmarks, so columns compare.
+func benchFront(b *testing.B, url string, body []byte) {
+	b.Helper()
+	const workers = 8
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+	)
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	defer client.CloseIdleConnections()
+	b.ResetTimer()
+	start := time.Now()
+	b.SetParallelism(workers)
+	b.RunParallel(func(pb *testing.PB) {
+		var local []time.Duration
+		for pb.Next() {
+			t0 := time.Now()
+			resp, err := client.Post(url+"/v1/diagram", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status = %d", resp.StatusCode)
+				return
+			}
+			local = append(local, time.Since(t0))
+		}
+		mu.Lock()
+		latencies = append(latencies, local...)
+		mu.Unlock()
+	})
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	if len(latencies) == 0 {
+		return
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p int) time.Duration {
+		i := len(latencies) * p / 100
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return latencies[i]
+	}
+	b.ReportMetric(float64(len(latencies))/elapsed.Seconds(), "req/s")
+	b.ReportMetric(float64(pct(50).Microseconds())/1000, "p50-ms")
+	b.ReportMetric(float64(pct(99).Microseconds())/1000, "p99-ms")
+}

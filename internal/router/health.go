@@ -1,0 +1,101 @@
+package router
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// instance is one routed-to backend plus its health bookkeeping. Two
+// independent signals gate traffic: the active prober's verdict
+// (healthy) and the request-path circuit breaker (openUntil). Either
+// alone can take the instance out of rotation; both must agree it is
+// fine before the ring hands it a key again.
+type instance struct {
+	url string
+
+	// healthy is the prober's last verdict against /v1/healthz.
+	// Instances start optimistic — a router booting ahead of its
+	// backends must not shed its first requests; a dead backend costs
+	// one failover, not an outage.
+	healthy atomic.Bool
+	// consecFails counts request-path failures (transport errors,
+	// 502/503) since the last success; reaching the breaker threshold
+	// opens the breaker for the cooldown.
+	consecFails atomic.Int64
+	// openUntil is the breaker deadline in unix nanos; 0 means closed.
+	openUntil atomic.Int64
+}
+
+// eligible reports whether the ring may hand this instance a request.
+func (in *instance) eligible(now time.Time) bool {
+	return in.healthy.Load() && now.UnixNano() >= in.openUntil.Load()
+}
+
+func (in *instance) breakerOpen(now time.Time) bool {
+	return now.UnixNano() < in.openUntil.Load()
+}
+
+// recordSuccess closes the breaker — any proxied success proves the
+// instance serves again.
+func (in *instance) recordSuccess() {
+	in.consecFails.Store(0)
+	in.openUntil.Store(0)
+}
+
+// recordFailure counts one request-path failure and opens the breaker
+// once the run reaches threshold.
+func (in *instance) recordFailure(threshold int, cooldown time.Duration) {
+	if in.consecFails.Add(1) >= int64(threshold) {
+		in.openUntil.Store(time.Now().Add(cooldown).UnixNano())
+	}
+}
+
+// probe runs one active health check: a GET against /v1/healthz with a
+// hard timeout. Any 200 is healthy; anything else — including a healthz
+// that answers 503 because the backend is draining — is not.
+func (rt *Router) probe(in *instance) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, in.url+"/v1/healthz", nil)
+	if err != nil {
+		in.healthy.Store(false)
+		return
+	}
+	resp, err := rt.probeClient.Do(req)
+	if err != nil {
+		in.healthy.Store(false)
+		return
+	}
+	drain(resp)
+	ok := resp.StatusCode == http.StatusOK
+	was := in.healthy.Swap(ok)
+	if ok && !was {
+		// Recovery observed by the prober also closes the breaker: the
+		// cooldown exists to stop hammering a struggling instance, and a
+		// passing health check is better evidence than an expired timer.
+		in.recordSuccess()
+		rt.log("instance recovered", "instance", in.url)
+	}
+	if !ok && was {
+		rt.log("instance unhealthy", "instance", in.url)
+	}
+}
+
+// prober polls every instance on the configured interval until Close.
+func (rt *Router) prober() {
+	defer rt.loops.Done()
+	t := time.NewTicker(rt.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		for _, in := range rt.insts {
+			rt.probe(in)
+		}
+		select {
+		case <-rt.closed:
+			return
+		case <-t.C:
+		}
+	}
+}

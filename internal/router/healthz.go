@@ -1,0 +1,117 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// InstanceState is one ring member's health as the router sees it,
+// embedded in the router's /v1/healthz.
+type InstanceState struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// BreakerOpen means the request-path circuit is holding the
+	// instance out of rotation right now.
+	BreakerOpen bool `json:"breaker_open"`
+	// ConsecutiveFailures is the current request-path failure run.
+	ConsecutiveFailures int64 `json:"consecutive_failures"`
+	// Requests/Failures are lifetime proxied-attempt totals, read from
+	// the same registry /v1/metrics exposes.
+	Requests int64 `json:"requests"`
+	Failures int64 `json:"failures"`
+}
+
+// State is the router's health snapshot.
+type State struct {
+	// Status is "ok" (whole ring eligible), "degraded" (partially), or
+	// "unhealthy" (no instance eligible; healthz also answers 503).
+	Status    string          `json:"status"`
+	Instances []InstanceState `json:"instances"`
+	Failovers int64           `json:"failovers"`
+	Shed      int64           `json:"shed"`
+	// PatternKeys is the learned body-hash→pattern table size.
+	PatternKeys int `json:"pattern_keys"`
+}
+
+// State reads the snapshot; every number comes from the router's
+// registry or the same atomics its routing decisions use, so healthz,
+// metrics, and behavior can never disagree.
+func (rt *Router) State() State {
+	now := time.Now()
+	st := State{
+		Instances:   make([]InstanceState, 0, len(rt.insts)),
+		Failovers:   rt.failovers.Value(),
+		Shed:        rt.noHealthy.Value(),
+		PatternKeys: rt.keys.len(),
+	}
+	eligible := 0
+	for _, in := range rt.insts {
+		if in.eligible(now) {
+			eligible++
+		}
+		st.Instances = append(st.Instances, InstanceState{
+			URL:                 in.url,
+			Healthy:             in.healthy.Load(),
+			BreakerOpen:         in.breakerOpen(now),
+			ConsecutiveFailures: in.consecFails.Load(),
+			Requests:            int64(rt.reg.Value(mInstReqs, "instance", in.url)),
+			Failures:            int64(rt.reg.Value(mInstFails, "instance", in.url)),
+		})
+	}
+	switch eligible {
+	case len(rt.insts):
+		st.Status = "ok"
+	case 0:
+		st.Status = "unhealthy"
+	default:
+		st.Status = "degraded"
+	}
+	return st
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := rt.State()
+	w.Header().Set("Content-Type", "application/json")
+	if st.Status == "unhealthy" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(st)
+}
+
+// keytab remembers which canonical pattern a request body hashes to,
+// learned from backend response headers, so isomorphic queries shard
+// together. Bounded the same way the pool's affinity index is: at the
+// cap the whole table resets — losing learned affinity costs a few
+// cache-cold requests, never correctness.
+type keytab struct {
+	mu  sync.RWMutex
+	m   map[uint64]string
+	cap int
+}
+
+func newKeytab() *keytab {
+	return &keytab{m: make(map[uint64]string), cap: 4096}
+}
+
+func (k *keytab) get(h uint64) string {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.m[h]
+}
+
+func (k *keytab) put(h uint64, pattern string) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if len(k.m) >= k.cap {
+		k.m = make(map[uint64]string, k.cap/4)
+	}
+	k.m[h] = pattern
+}
+
+func (k *keytab) len() int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return len(k.m)
+}

@@ -1,0 +1,88 @@
+// Consistent-hash ring. Each backend instance owns Replicas virtual
+// points on a uint32 circle; a key routes to the first point at or
+// clockwise of its hash, and the ring's walk order from that point
+// (deduplicated by instance) is the key's failover preference list.
+// Virtual points keep the load split even when instances join or leave,
+// and make a key's preference list stable: killing one instance moves
+// only that instance's keys, everyone else's cache affinity survives.
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+type ringPoint struct {
+	hash uint32
+	idx  int // instance index
+}
+
+type ring struct {
+	points []ringPoint
+	n      int // distinct instances
+}
+
+// newRing places replicas points per instance, sorted by hash. Ties are
+// broken by instance index so construction is deterministic.
+func newRing(instances, replicas int) *ring {
+	r := &ring{points: make([]ringPoint, 0, instances*replicas), n: instances}
+	for i := 0; i < instances; i++ {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: hash32(fmt.Sprintf("%d#%d", i, v)), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].idx < r.points[b].idx
+	})
+	return r
+}
+
+// order returns the key's instance preference: the owner first, then
+// each distinct instance met walking clockwise. Every instance appears
+// exactly once, so the list is also the failover schedule.
+func (r *ring) order(key string) []int {
+	h := hash32(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	for i := 0; i < len(r.points) && len(out) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			out = append(out, p.idx)
+		}
+	}
+	return out
+}
+
+func hash32(s string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(s))
+	return mix32(h.Sum32())
+}
+
+// mix32 is a bijective finalizer (Prospecting-for-Hash-Functions
+// constants) applied on top of FNV-1a. Raw FNV of short keys like
+// "2#13" keeps additive structure — instance i's vnode hashes land at
+// near-constant offsets from instance 0's — which lines the ring up so
+// one survivor inherits nearly all of a dead instance's keys. The
+// finalizer destroys that correlation so failover load actually
+// spreads.
+func mix32(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+func hash64(b []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return h.Sum64()
+}

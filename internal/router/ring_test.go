@@ -1,0 +1,87 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingOrderIsDeterministicAndComplete: a key's preference list is
+// stable across calls and across ring rebuilds, and names every
+// instance exactly once — it must double as the failover schedule.
+func TestRingOrderIsDeterministicAndComplete(t *testing.T) {
+	r1 := newRing(5, 64)
+	r2 := newRing(5, 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("pattern-%d", i)
+		a, b := r1.order(key), r2.order(key)
+		if len(a) != 5 {
+			t.Fatalf("key %q: order has %d entries, want 5", key, len(a))
+		}
+		seen := map[int]bool{}
+		for j, idx := range a {
+			if idx < 0 || idx >= 5 || seen[idx] {
+				t.Fatalf("key %q: bad or repeated instance %d in %v", key, idx, a)
+			}
+			seen[idx] = true
+			if b[j] != idx {
+				t.Fatalf("key %q: rebuild changed order %v vs %v", key, a, b)
+			}
+		}
+	}
+}
+
+// TestRingSpreadsKeys: with virtual nodes, no instance owns a wildly
+// disproportionate share of random keys.
+func TestRingSpreadsKeys(t *testing.T) {
+	const instances, keys = 4, 4000
+	r := newRing(instances, 64)
+	owners := make([]int, instances)
+	for i := 0; i < keys; i++ {
+		owners[r.order(fmt.Sprintf("k-%d", i))[0]]++
+	}
+	for idx, n := range owners {
+		// Perfect balance is 1000 each; 64 vnodes keeps every instance
+		// within a loose 2.5x band. The assertion guards against gross
+		// placement bugs (all keys on one instance), not statistics.
+		if n < keys/instances/4 || n > keys*5/instances/2 {
+			t.Fatalf("instance %d owns %d of %d keys: %v", idx, n, keys, owners)
+		}
+	}
+}
+
+// TestRingFailoverSpreads: when an instance dies, its keys must not
+// all dump onto one successor — virtual nodes scatter each dead
+// instance's keyspace across the survivors, which is the property that
+// keeps a one-instance kill from cascading into a two-instance
+// overload.
+func TestRingFailoverSpreads(t *testing.T) {
+	const instances, keys = 4, 4000
+	r := newRing(instances, 64)
+	const down = 2
+	successors := make([]int, instances)
+	orphans := 0
+	for i := 0; i < keys; i++ {
+		order := r.order(fmt.Sprintf("k-%d", i))
+		if order[0] != down {
+			continue
+		}
+		orphans++
+		successors[order[1]]++
+	}
+	if orphans < keys/instances/4 {
+		t.Fatalf("instance %d owned only %d keys; spread test has no power", down, orphans)
+	}
+	for idx, n := range successors {
+		if idx == down {
+			continue
+		}
+		if n == 0 {
+			t.Fatalf("survivor %d inherited none of instance %d's %d keys: %v",
+				idx, down, orphans, successors)
+		}
+		if n > orphans*3/4 {
+			t.Fatalf("survivor %d inherited %d of %d orphaned keys — failover is not spreading: %v",
+				idx, n, orphans, successors)
+		}
+	}
+}

@@ -1,0 +1,423 @@
+// Package router is the scale-out front door: a stdlib-only
+// consistent-hash router that shards QueryVis requests across N
+// queryvisd instances by canonical pattern key, with active health
+// checking, per-instance circuit breaking, and bounded failover along
+// the ring. Its one hard promise is the same one the daemon makes —
+// every request ends in a well-formed response: a proxied answer, a
+// backend's own categorized error, or the router's honest 503 with
+// Retry-After when the whole ring is unhealthy. Never a hang, never a
+// silent drop.
+//
+// Sharding key: the router cannot parse SQL (that is what the backends'
+// sacrificial workers are for), so it learns the canonical pattern key
+// the same way the pool's affinity does — from the X-Queryvis-Pattern
+// header backends stamp on diagram responses, remembered per body hash
+// in a bounded table. A body seen before routes by its pattern, so
+// isomorphic queries (same pattern, different literals) land on the
+// instance whose diagram cache is warm; a cold body routes by its own
+// hash, which is still deterministic and evenly spread.
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/telemetry"
+)
+
+// Metric families exported by the router; healthz reads these same
+// series back, so the two endpoints can never disagree.
+const (
+	mRequests  = "queryvis_router_requests_total"
+	mProxyDur  = "queryvis_router_request_duration_seconds"
+	mFailovers = "queryvis_router_failovers_total"
+	mNoHealthy = "queryvis_router_no_healthy_total"
+	mInstReqs  = "queryvis_router_instance_requests_total"
+	mInstFails = "queryvis_router_instance_failures_total"
+	mInstUp    = "queryvis_router_instance_healthy"
+	mInstOpen  = "queryvis_router_breaker_open"
+	mKeytab    = "queryvis_router_pattern_keys"
+)
+
+// outcome labels for mRequests.
+var outcomes = []string{"proxied", "shed", "error"}
+
+// Config tunes the router. Zero fields take the documented defaults.
+type Config struct {
+	// Backends are the instance base URLs (e.g. "http://127.0.0.1:8081").
+	// Required, at least one.
+	Backends []string
+	// Replicas is the number of virtual ring points per instance
+	// (default 64).
+	Replicas int
+	// HealthInterval is the active health-check period (default 250ms).
+	HealthInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 1s).
+	ProbeTimeout time.Duration
+	// BreakerThreshold opens an instance's circuit after this many
+	// consecutive request-path failures (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an opened circuit keeps the instance
+	// out of rotation before the timer alone re-admits it; a passing
+	// health probe re-admits it sooner (default 1s).
+	BreakerCooldown time.Duration
+	// InstanceAttempts is the retrying client's per-instance attempt
+	// budget (default 2: the backend already retried its own worker
+	// once; the ring is the real retry).
+	InstanceAttempts int
+	// InstanceMaxElapsed caps the total time spent retrying one
+	// instance before failing over (default 500ms) — time burned on a
+	// sick instance is stolen from its healthy ring successor.
+	InstanceMaxElapsed time.Duration
+	// InstanceTimeout bounds one proxied attempt end-to-end
+	// (default 30s).
+	InstanceTimeout time.Duration
+	// RetryAfter is the hint stamped on the router's own 503 when the
+	// ring is fully unhealthy (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes caps a routed request body; bigger bodies get a 413
+	// without touching a backend (default 4 MiB).
+	MaxBodyBytes int64
+	// Metrics receives the router's series; nil creates a private
+	// registry.
+	Metrics *telemetry.Registry
+	// Logger, when non-nil, receives routing events.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 64
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 250 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.InstanceAttempts <= 0 {
+		c.InstanceAttempts = 2
+	}
+	if c.InstanceMaxElapsed <= 0 {
+		c.InstanceMaxElapsed = 500 * time.Millisecond
+	}
+	if c.InstanceTimeout <= 0 {
+		c.InstanceTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	return c
+}
+
+// Router is the handler. It proxies POST API calls by pattern key and
+// serves its own /v1/healthz and /v1/metrics (the router's, not a
+// backend's — a load balancer's health is a different fact from any
+// instance's health).
+type Router struct {
+	cfg   Config
+	ring  *ring
+	insts []*instance
+	keys  *keytab
+
+	hc          *client.Client  // proxy path: retries + MaxElapsed cap
+	probeClient *http.Client    // health path: no retries, short timeout
+	transport   *http.Transport // owned by the router; idle conns die at Close
+
+	reg       *telemetry.Registry
+	requests  map[string]*telemetry.Counter
+	proxyDur  *telemetry.Histogram
+	failovers *telemetry.Counter
+	noHealthy *telemetry.Counter
+
+	closed chan struct{}
+	once   sync.Once
+	loops  sync.WaitGroup
+}
+
+// New builds the router and starts its health prober.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("router: Config.Backends is required")
+	}
+	cfg = cfg.withDefaults()
+	rt := &Router{
+		cfg:    cfg,
+		ring:   newRing(len(cfg.Backends), cfg.Replicas),
+		keys:   newKeytab(),
+		closed: make(chan struct{}),
+		reg:    cfg.Metrics,
+	}
+	if rt.reg == nil {
+		rt.reg = telemetry.NewRegistry()
+	}
+	rt.transport = &http.Transport{MaxIdleConnsPerHost: 32}
+	rt.hc = client.New(client.Config{
+		HTTPClient:  &http.Client{Timeout: cfg.InstanceTimeout, Transport: rt.transport},
+		MaxAttempts: cfg.InstanceAttempts,
+		BaseBackoff: 25 * time.Millisecond,
+		MaxBackoff:  250 * time.Millisecond,
+		MaxElapsed:  cfg.InstanceMaxElapsed,
+	})
+	rt.probeClient = &http.Client{Timeout: cfg.ProbeTimeout, Transport: rt.transport}
+
+	rt.requests = make(map[string]*telemetry.Counter, len(outcomes))
+	for _, o := range outcomes {
+		rt.requests[o] = rt.reg.Counter(mRequests, "Routed requests by outcome.", "outcome", o)
+	}
+	rt.proxyDur = rt.reg.Histogram(mProxyDur, "Routed request latency, failovers included.",
+		[]float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10})
+	rt.failovers = rt.reg.Counter(mFailovers, "Requests moved to the next ring instance after a failure.")
+	rt.noHealthy = rt.reg.Counter(mNoHealthy, "Requests shed because no ring instance was eligible.")
+	rt.reg.GaugeFunc(mKeytab, "Learned body-hash→pattern routing keys.",
+		func() float64 { return float64(rt.keys.len()) })
+
+	for _, url := range cfg.Backends {
+		in := &instance{url: url}
+		in.healthy.Store(true) // optimistic: see instance.healthy
+		rt.insts = append(rt.insts, in)
+		rt.reg.Counter(mInstReqs, "Proxied attempts per instance.", "instance", in.url)
+		rt.reg.Counter(mInstFails, "Failed attempts per instance.", "instance", in.url)
+		rt.reg.GaugeFunc(mInstUp, "Prober verdict per instance (1 healthy).", func() float64 {
+			if in.healthy.Load() {
+				return 1
+			}
+			return 0
+		}, "instance", in.url)
+		rt.reg.GaugeFunc(mInstOpen, "Circuit breaker state per instance (1 open).", func() float64 {
+			if in.breakerOpen(time.Now()) {
+				return 1
+			}
+			return 0
+		}, "instance", in.url)
+	}
+
+	rt.loops.Add(1)
+	go rt.prober()
+	return rt, nil
+}
+
+// Registry exposes the router's metrics registry.
+func (rt *Router) Registry() *telemetry.Registry { return rt.reg }
+
+// Close stops the health prober and releases idle connections. Safe to
+// call more than once.
+func (rt *Router) Close() {
+	rt.once.Do(func() { close(rt.closed) })
+	rt.loops.Wait()
+	rt.transport.CloseIdleConnections()
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/v1/healthz":
+		rt.handleHealthz(w, r)
+	case "/v1/metrics":
+		rt.reg.WritePrometheus(w)
+	default:
+		rt.route(w, r)
+	}
+}
+
+// route proxies one API request along its key's ring order.
+func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	body, err := io.ReadAll(io.LimitReader(r.Body, rt.cfg.MaxBodyBytes+1))
+	if err != nil {
+		rt.fail(w, http.StatusBadRequest, "bad_request", "reading request body failed")
+		return
+	}
+	if int64(len(body)) > rt.cfg.MaxBodyBytes {
+		rt.fail(w, http.StatusRequestEntityTooLarge, "too_large",
+			fmt.Sprintf("request body exceeds the router's %d-byte cap", rt.cfg.MaxBodyBytes))
+		return
+	}
+
+	bodyHash := hash64(body)
+	key := rt.keys.get(bodyHash)
+	if key == "" {
+		key = strconv.FormatUint(bodyHash, 16)
+	}
+	order := rt.ring.order(key)
+
+	// The failover schedule: the key's eligible instances in ring order.
+	// When the breaker and prober have disqualified everyone, that is
+	// the fully-unhealthy case — shed honestly rather than queue blind.
+	now := time.Now()
+	candidates := order[:0:0]
+	for _, idx := range order {
+		if rt.insts[idx].eligible(now) {
+			candidates = append(candidates, idx)
+		}
+	}
+	if len(candidates) == 0 {
+		rt.noHealthy.Inc()
+		rt.requests["shed"].Inc()
+		rt.shed(w)
+		return
+	}
+
+	var lastErr error
+	for i, idx := range candidates {
+		in := rt.insts[idx]
+		last := i == len(candidates)-1
+		rt.reg.Counter(mInstReqs, "Proxied attempts per instance.", "instance", in.url).Inc()
+		resp, err := rt.forward(r, in, body)
+		if err != nil {
+			lastErr = err
+			rt.reg.Counter(mInstFails, "Failed attempts per instance.", "instance", in.url).Inc()
+			in.recordFailure(rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown)
+			rt.log("instance attempt failed", "instance", in.url, "err", err, "failover", !last)
+			if !last {
+				rt.failovers.Inc()
+			}
+			continue
+		}
+		if retryElsewhere(resp.StatusCode) && !last {
+			// The instance shed or is failing; its ring successor gets the
+			// request. Only transport errors and 5xx count against the
+			// breaker — a 429 is the load shedder doing its job, not a
+			// fault.
+			if resp.StatusCode != http.StatusTooManyRequests {
+				rt.reg.Counter(mInstFails, "Failed attempts per instance.", "instance", in.url).Inc()
+				in.recordFailure(rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown)
+			}
+			drain(resp)
+			rt.failovers.Inc()
+			rt.log("instance shed, failing over", "instance", in.url, "status", resp.StatusCode)
+			continue
+		}
+		// A response to deliver — a success, a categorized client error,
+		// or (on the last candidate) the backend's own shed response,
+		// passed through verbatim: it is well-formed and honest, and the
+		// backend's Retry-After is better informed than ours.
+		if resp.StatusCode < http.StatusInternalServerError && resp.StatusCode != http.StatusTooManyRequests {
+			in.recordSuccess()
+		}
+		if pat := resp.Header.Get("X-Queryvis-Pattern"); pat != "" {
+			rt.keys.put(bodyHash, pat)
+		}
+		rt.requests["proxied"].Inc()
+		rt.proxyDur.Observe(time.Since(start).Seconds())
+		copyResponse(w, resp)
+		return
+	}
+	// Every candidate failed at the transport level: nothing well-formed
+	// to pass through, so answer with the router's own typed 503.
+	rt.requests["error"].Inc()
+	rt.proxyDur.Observe(time.Since(start).Seconds())
+	rt.log("all candidates failed", "err", lastErr)
+	rt.shed(w)
+}
+
+// forward sends the request to one instance through the shared retrying
+// client (which retries 429/503 briefly and honors Retry-After, capped
+// by InstanceMaxElapsed so a sick instance cannot monopolize the
+// failover budget).
+func (rt *Router) forward(r *http.Request, in *instance, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, in.url+r.URL.Path, readerFor(body))
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range r.Header {
+		if isHopByHop(k) {
+			continue
+		}
+		req.Header[k] = vs
+	}
+	return rt.hc.Do(req)
+}
+
+// retryElsewhere reports whether a response status means the next ring
+// instance should get the request instead: the instance is shedding
+// (429), draining or crashed (503), or behind a broken gateway (502).
+func retryElsewhere(code int) bool {
+	return code == http.StatusTooManyRequests ||
+		code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable
+}
+
+// shed writes the router's own honest 503: a categorized error body in
+// the service's wire shape plus Retry-After, so a well-behaved client
+// (internal/client) backs off and retries instead of seeing a blank
+// failure.
+func (rt *Router) shed(w http.ResponseWriter) {
+	w.Header().Set("Retry-After",
+		strconv.Itoa(int(math.Ceil(rt.cfg.RetryAfter.Seconds()))))
+	rt.fail(w, http.StatusServiceUnavailable, "overloaded",
+		"no healthy instance in the ring; retry shortly")
+}
+
+// fail writes a categorized error in the same wire shape the backends
+// use, so router-origin and instance-origin failures are
+// indistinguishable to clients.
+func (rt *Router) fail(w http.ResponseWriter, status int, category, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]any{"category": category, "message": msg},
+	})
+}
+
+// copyResponse streams an upstream response through untouched.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		if isHopByHop(k) {
+			continue
+		}
+		w.Header()[k] = vs
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+func isHopByHop(k string) bool {
+	switch http.CanonicalHeaderKey(k) {
+	case "Connection", "Keep-Alive", "Proxy-Connection", "Te", "Trailer",
+		"Transfer-Encoding", "Upgrade":
+		return true
+	}
+	return false
+}
+
+// drain discards a response that will not be delivered so the transport
+// can reuse the connection.
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	_ = resp.Body.Close()
+}
+
+// readerFor wraps a body for http.NewRequest — a *bytes.Reader, so the
+// request gets a GetBody rewinder and the shared client may retry it;
+// nil for empty keeps bodyless semantics for GETs.
+func readerFor(body []byte) io.Reader {
+	if len(body) == 0 {
+		return nil
+	}
+	return bytes.NewReader(body)
+}
+
+func (rt *Router) log(msg string, args ...any) {
+	if rt.cfg.Logger != nil {
+		rt.cfg.Logger.Info(msg, args...)
+	}
+}

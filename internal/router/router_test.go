@@ -1,0 +1,358 @@
+// Black-box router behavior against controllable httptest backends:
+// sticky sharding, pattern-affinity learning, failover, circuit
+// breaking, and the honest fully-unhealthy 503.
+package router_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/leak"
+	"repro/internal/router"
+	"repro/internal/telemetry"
+)
+
+// fakeRing builds n httptest backends whose handler is hf(i), plus a
+// router over them; both are torn down with the test.
+func fakeRing(t *testing.T, n int, hf func(i int) http.HandlerFunc, tune func(*router.Config)) (*router.Router, *httptest.Server, []*httptest.Server) {
+	t.Helper()
+	backends := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		backends[i] = httptest.NewServer(hf(i))
+		t.Cleanup(backends[i].Close)
+		urls[i] = backends[i].URL
+	}
+	cfg := router.Config{
+		Backends:           urls,
+		HealthInterval:     25 * time.Millisecond,
+		BreakerThreshold:   3,
+		BreakerCooldown:    200 * time.Millisecond,
+		InstanceAttempts:   1,
+		InstanceMaxElapsed: 100 * time.Millisecond,
+		RetryAfter:         time.Second,
+		Metrics:            telemetry.NewRegistry(),
+	}
+	if tune != nil {
+		tune(&cfg)
+	}
+	rt, err := router.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt)
+	t.Cleanup(front.Close)
+	return rt, front, backends
+}
+
+// okBackend answers every POST with a 200 JSON body naming itself and a
+// healthz with 200.
+func okBackend(hits *[8]atomic.Int64) func(i int) http.HandlerFunc {
+	return func(i int) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/healthz" {
+				w.WriteHeader(http.StatusOK)
+				return
+			}
+			hits[i].Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{"diagram": "digraph {}", "instance": i})
+		}
+	}
+}
+
+// TestStickySharding: one body always lands on one backend; distinct
+// bodies use more than one backend.
+func TestStickySharding(t *testing.T) {
+	t.Cleanup(leak.Check(t))
+	var hits [8]atomic.Int64
+	_, front, _ := fakeRing(t, 3, okBackend(&hits), nil)
+
+	for i := 0; i < 10; i++ {
+		if st, _, _ := postJSON(t, front.URL+"/v1/diagram", diagramReq(qSome)); st != 200 {
+			t.Fatalf("request %d: status %d", i, st)
+		}
+	}
+	owners := 0
+	for i := range hits {
+		if n := hits[i].Load(); n > 0 {
+			owners++
+			if n != 10 {
+				t.Fatalf("backend %d saw %d of 10 identical requests", i, n)
+			}
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("identical body spread across %d backends, want 1", owners)
+	}
+
+	for i := range hits {
+		hits[i].Store(0)
+	}
+	for i := 0; i < 40; i++ {
+		sql := strings.Replace(qSome, "F.person", "F.person /*"+strings.Repeat("x", i)+"*/", 1)
+		if st, _, _ := postJSON(t, front.URL+"/v1/diagram", diagramReq(sql)); st != 200 {
+			t.Fatalf("distinct request %d: status %d", i, st)
+		}
+	}
+	owners = 0
+	for i := range hits {
+		if hits[i].Load() > 0 {
+			owners++
+		}
+	}
+	if owners < 2 {
+		t.Fatalf("40 distinct bodies all hit %d backend(s); hashing is not spreading", owners)
+	}
+}
+
+// TestPatternAffinityLearning: once backends stamp X-Queryvis-Pattern,
+// bodies with the same pattern converge onto the same instance even
+// though their body hashes differ.
+func TestPatternAffinityLearning(t *testing.T) {
+	t.Cleanup(leak.Check(t))
+	var hits [8]atomic.Int64
+	hf := func(i int) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/healthz" {
+				w.WriteHeader(http.StatusOK)
+				return
+			}
+			hits[i].Add(1)
+			w.Header().Set("X-Queryvis-Pattern", "shared-pattern-key")
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{"diagram": "digraph {}"})
+		}
+	}
+	rt, front, _ := fakeRing(t, 4, hf, nil)
+
+	// Teach the router both bodies' pattern, then route each again: the
+	// replays must land on one shared instance (the pattern's owner).
+	bodyA, bodyB := diagramReq(qSome), diagramReq(qSome+" -- isomorph")
+	postJSON(t, front.URL+"/v1/diagram", bodyA)
+	postJSON(t, front.URL+"/v1/diagram", bodyB)
+	for i := range hits {
+		hits[i].Store(0)
+	}
+	for i := 0; i < 5; i++ {
+		postJSON(t, front.URL+"/v1/diagram", bodyA)
+		postJSON(t, front.URL+"/v1/diagram", bodyB)
+	}
+	owners := 0
+	for i := range hits {
+		if n := hits[i].Load(); n > 0 {
+			owners++
+			if n != 10 {
+				t.Fatalf("pattern owner %d saw %d of 10 requests", i, n)
+			}
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("learned pattern routed to %d instances, want 1", owners)
+	}
+	if st := rt.State(); st.PatternKeys < 2 {
+		t.Fatalf("keytab learned %d keys, want >= 2", st.PatternKeys)
+	}
+}
+
+// TestFailoverOnSheddingInstance: an instance answering 503 loses the
+// request to its ring successor; the client sees only 200s.
+func TestFailoverOnSheddingInstance(t *testing.T) {
+	t.Cleanup(leak.Check(t))
+	const sick = 0
+	var hits [8]atomic.Int64
+	hf := func(i int) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/healthz" {
+				w.WriteHeader(http.StatusOK) // healthz lies; the breaker learns anyway
+				return
+			}
+			if i == sick {
+				w.Header().Set("Retry-After", "0")
+				http.Error(w, `{"error":{"category":"overloaded","message":"shedding"}}`,
+					http.StatusServiceUnavailable)
+				return
+			}
+			hits[i].Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{"diagram": "digraph {}"})
+		}
+	}
+	rt, front, _ := fakeRing(t, 2, hf, nil)
+
+	for i := 0; i < 20; i++ {
+		sql := qSome + strings.Repeat(" ", i+1) // distinct keys: some own the sick instance
+		if st, _, raw := postJSON(t, front.URL+"/v1/diagram", diagramReq(sql)); st != 200 {
+			t.Fatalf("request %d: status %d body %.120s", i, st, raw)
+		}
+	}
+	st := rt.State()
+	if st.Failovers == 0 {
+		t.Fatalf("no failover recorded despite a shedding instance: %+v", st)
+	}
+	if rt.Registry().Value("queryvis_router_failovers_total") != float64(st.Failovers) {
+		t.Fatal("healthz and registry disagree on failovers")
+	}
+}
+
+// TestBreakerOpensAndRecovers: repeated request-path failures open the
+// instance's circuit (visible in healthz); after the backend heals and
+// the cooldown passes, traffic returns.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	t.Cleanup(leak.Check(t))
+	var sick atomic.Bool
+	sick.Store(true)
+	hf := func(i int) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/healthz" {
+				w.WriteHeader(http.StatusOK)
+				return
+			}
+			if i == 0 && sick.Load() {
+				http.Error(w, `{"error":{"category":"overloaded","message":"x"}}`,
+					http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{"diagram": "digraph {}"})
+		}
+	}
+	rt, front, _ := fakeRing(t, 2, hf, func(c *router.Config) {
+		c.BreakerThreshold = 2
+		c.BreakerCooldown = 150 * time.Millisecond
+	})
+
+	// Hammer with distinct keys — some must be owned by the sick
+	// instance — until its breaker opens.
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; ; i++ {
+		postJSON(t, front.URL+"/v1/diagram", diagramReq(qSome+strings.Repeat(" ", i%64)))
+		opened := false
+		for _, in := range rt.State().Instances {
+			if in.BreakerOpen {
+				opened = true
+			}
+		}
+		if opened {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never opened: %+v", rt.State())
+		}
+	}
+	if s := rt.State().Status; s != "degraded" {
+		t.Fatalf("status %q with one breaker open, want degraded", s)
+	}
+
+	// Heal the backend; the breaker cooldown expires and traffic flows.
+	sick.Store(false)
+	time.Sleep(200 * time.Millisecond)
+	if st, _, raw := postJSON(t, front.URL+"/v1/diagram", diagramReq(qSome)); st != 200 {
+		t.Fatalf("after recovery: status %d body %.120s", st, raw)
+	}
+	waitUntil(t, 5*time.Second, func() bool { return rt.State().Status == "ok" })
+}
+
+// TestHonest503WhenRingFullyUnhealthy: with every instance down, the
+// router answers its own categorized 503 with Retry-After — and its
+// healthz goes unhealthy/503 — rather than hanging or dropping.
+func TestHonest503WhenRingFullyUnhealthy(t *testing.T) {
+	t.Cleanup(leak.Check(t))
+	var hits [8]atomic.Int64
+	rt, front, backends := fakeRing(t, 2, okBackend(&hits), nil)
+	for _, b := range backends {
+		b.Close() // the whole ring goes away
+	}
+	// Wait for the prober to notice both instances are gone.
+	waitUntil(t, 5*time.Second, func() bool { return rt.State().Status == "unhealthy" })
+
+	st, hdr, raw := postJSON(t, front.URL+"/v1/diagram", diagramReq(qSome))
+	if st != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", st)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After — clients cannot back off honestly")
+	}
+	var eb struct {
+		Error struct {
+			Category string `json:"category"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &eb); err != nil || eb.Error.Category != "overloaded" {
+		t.Fatalf("malformed shed body %.200s (err %v)", raw, err)
+	}
+
+	hst, _, hraw := getJSON(t, front.URL+"/v1/healthz")
+	if hst != http.StatusServiceUnavailable {
+		t.Fatalf("healthz status %d for a dead ring, want 503", hst)
+	}
+	var hz router.State
+	if err := json.Unmarshal(hraw, &hz); err != nil || hz.Status != "unhealthy" {
+		t.Fatalf("healthz %.200s (err %v)", hraw, err)
+	}
+	for _, in := range hz.Instances {
+		if in.Healthy {
+			t.Fatalf("healthz claims %s healthy after its death", in.URL)
+		}
+	}
+	if rt.Registry().Value("queryvis_router_no_healthy_total") == 0 {
+		t.Fatal("shed request not counted in the registry")
+	}
+}
+
+// TestRouterRejectsOversizedBody: the router's own body cap answers 413
+// without consuming a backend.
+func TestRouterRejectsOversizedBody(t *testing.T) {
+	t.Cleanup(leak.Check(t))
+	var hits [8]atomic.Int64
+	_, front, _ := fakeRing(t, 1, okBackend(&hits), func(c *router.Config) {
+		c.MaxBodyBytes = 128
+	})
+	st, _, raw := postJSON(t, front.URL+"/v1/diagram", diagramReq(qSome+strings.Repeat(" ", 4096)))
+	if st != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d body %.120s, want 413", st, raw)
+	}
+	var eb struct {
+		Error struct {
+			Category string `json:"category"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &eb); err != nil || eb.Error.Category != "too_large" {
+		t.Fatalf("malformed 413 body %.200s", raw)
+	}
+	if hits[0].Load() != 0 {
+		t.Fatal("oversized body reached a backend")
+	}
+}
+
+func waitUntil(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func getJSON(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, raw
+}

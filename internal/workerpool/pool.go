@@ -22,14 +22,20 @@ import (
 // as the server's families (share one via Config.Metrics) so /v1/metrics
 // and /v1/healthz read identical numbers.
 const (
-	mSpawns    = "queryvis_worker_spawns_total"
-	mExits     = "queryvis_worker_exits_total"
-	mRetries   = "queryvis_worker_retries_total"
-	mWorkerDur = "queryvis_worker_request_duration_seconds"
-	mBackoffMS = "queryvis_worker_backoff_ms"
-	mLive      = "queryvis_worker_live"
-	mIdle      = "queryvis_worker_idle"
-	mBusy      = "queryvis_worker_busy"
+	mSpawns     = "queryvis_worker_spawns_total"
+	mExits      = "queryvis_worker_exits_total"
+	mRetries    = "queryvis_worker_retries_total"
+	mWorkerDur  = "queryvis_worker_request_duration_seconds"
+	mBackoffMS  = "queryvis_worker_backoff_ms"
+	mLive       = "queryvis_worker_live"
+	mIdle       = "queryvis_worker_idle"
+	mBusy       = "queryvis_worker_busy"
+	mBatches    = "queryvis_worker_batches_total"
+	mBatchItems = "queryvis_worker_batch_items_total"
+	mBatchSize  = "queryvis_worker_batch_size"
+	mBatchDepth = "queryvis_worker_batch_depth"
+	mStandby    = "queryvis_worker_standby"
+	mAdoptions  = "queryvis_worker_standby_adoptions_total"
 )
 
 // exitReasons is the worker-retirement taxonomy; every reason is
@@ -98,6 +104,22 @@ type Config struct {
 	Spawn func() (*exec.Cmd, error)
 	// Workers is the pool size (default 4).
 	Workers int
+	// MaxBatch is the most queued dispatches coalesced into one protocol
+	// frame when a worker frees up (default 8; 1 disables coalescing).
+	// Batching only forms under queueing — an idle pool serves every
+	// request as a batch of one — so it costs nothing at low load and
+	// amortizes pipe syscalls, frame encoding, and scheduler wakeups
+	// exactly when the pool is saturated. A batch is all-or-nothing: the
+	// worker buffers its answers until every item is served, so a crash
+	// mid-batch delivers nothing and every item is safely re-dispatched
+	// (never answered twice).
+	MaxBatch int
+	// StandbyWorkers keeps this many pre-warmed spare workers spawned and
+	// ready (default 0 = none). When a worker dies — crash, OOM kill, or
+	// planned recycling — its slot adopts a standby instantly instead of
+	// blocking dispatch behind a fresh process spawn; a filler goroutine
+	// replenishes the spares in the background.
+	StandbyWorkers int
 	// MaxRequestsPerWorker recycles a worker after this many served
 	// requests (default 512; negative disables).
 	MaxRequestsPerWorker int
@@ -139,6 +161,15 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 4
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 1
+	}
+	if c.StandbyWorkers < 0 {
+		c.StandbyWorkers = 0
 	}
 	if c.MaxRequestsPerWorker == 0 {
 		c.MaxRequestsPerWorker = 512
@@ -242,9 +273,19 @@ type Pool struct {
 	mu   sync.Mutex
 	live map[int]*worker
 
-	reg     *telemetry.Registry
-	spawns  *telemetry.Counter
-	retries *telemetry.Counter
+	// standbyMu guards the pre-warmed spare workers; standbyKick pokes
+	// the filler after an adoption so it replenishes promptly.
+	standbyMu   sync.Mutex
+	standbys    []*worker
+	standbyKick chan struct{}
+
+	reg        *telemetry.Registry
+	spawns     *telemetry.Counter
+	retries    *telemetry.Counter
+	batches    *telemetry.Counter
+	batchItems *telemetry.Counter
+	batchSize  *telemetry.Histogram
+	adoptions  *telemetry.Counter
 }
 
 // New starts the pool: one supervision loop per slot plus the RSS
@@ -267,9 +308,24 @@ func New(cfg Config) (*Pool, error) {
 	}
 	p.spawns = p.reg.Counter(mSpawns, "Worker processes started.")
 	p.retries = p.reg.Counter(mRetries, "Requests transparently retried on a fresh worker.")
+	p.batches = p.reg.Counter(mBatches, "Coalesced dispatch frames sent to workers.")
+	p.batchItems = p.reg.Counter(mBatchItems, "Requests answered through coalesced frames.")
+	p.batchSize = p.reg.Histogram(mBatchSize, "Requests coalesced per dispatch frame.",
+		[]float64{1, 2, 4, 8, 16, 32})
+	p.adoptions = p.reg.Counter(mAdoptions, "Worker slots refilled from the pre-warmed standby set.")
 	for _, r := range exitReasons {
 		p.reg.Counter(mExits, "Worker retirements by reason.", "reason", r)
 	}
+	p.reg.GaugeFunc(mBatchDepth, "Dispatches queued for a free worker.", func() float64 {
+		p.parkMu.Lock()
+		defer p.parkMu.Unlock()
+		return float64(len(p.waiters))
+	})
+	p.reg.GaugeFunc(mStandby, "Pre-warmed standby workers ready for adoption.", func() float64 {
+		p.standbyMu.Lock()
+		defer p.standbyMu.Unlock()
+		return float64(len(p.standbys))
+	})
 	p.reg.GaugeFunc(mLive, "Live worker processes.", func() float64 {
 		p.mu.Lock()
 		defer p.mu.Unlock()
@@ -289,6 +345,11 @@ func New(cfg Config) (*Pool, error) {
 	}
 	p.loops.Add(1)
 	go p.watchdog()
+	if cfg.StandbyWorkers > 0 {
+		p.standbyKick = make(chan struct{}, 1)
+		p.loops.Add(1)
+		go p.standbyFiller()
+	}
 	return p, nil
 }
 
@@ -304,8 +365,9 @@ func (p *Pool) isClosed() bool {
 	}
 }
 
-// Pids snapshots the live workers' process IDs, sorted — the hook the
-// kill-storm chaos test uses to SIGKILL real children mid-load.
+// Pids snapshots the live workers' process IDs — standbys included, so
+// a chaos storm can kill a spare in the warming rack too — sorted; the
+// hook the kill-storm chaos test uses to SIGKILL real children mid-load.
 func (p *Pool) Pids() []int {
 	p.mu.Lock()
 	pids := make([]int, 0, len(p.live))
@@ -313,20 +375,35 @@ func (p *Pool) Pids() []int {
 		pids = append(pids, w.pid)
 	}
 	p.mu.Unlock()
+	p.standbyMu.Lock()
+	for _, w := range p.standbys {
+		pids = append(pids, w.pid)
+	}
+	p.standbyMu.Unlock()
 	sort.Ints(pids)
 	return pids
 }
 
 // State is the pool's health snapshot, embedded in /v1/healthz.
 type State struct {
-	Workers  int              `json:"workers"`
-	Live     int              `json:"live"`
-	Idle     int              `json:"idle"`
-	Busy     int              `json:"busy"`
-	Spawns   int64            `json:"spawns"`
-	Retries  int64            `json:"retries"`
-	Exits    map[string]int64 `json:"exits,omitempty"`
-	Draining bool             `json:"draining"`
+	Workers int   `json:"workers"`
+	Live    int   `json:"live"`
+	Idle    int   `json:"idle"`
+	Busy    int   `json:"busy"`
+	Spawns  int64 `json:"spawns"`
+	Retries int64 `json:"retries"`
+	// StandbyWorkers is how many pre-warmed spares sit ready for adoption
+	// right now; Adoptions counts slots refilled from the standby set.
+	StandbyWorkers int   `json:"standby_workers"`
+	Adoptions      int64 `json:"adoptions,omitempty"`
+	// BatchDepth is the number of dispatches currently queued for a free
+	// worker — the population the next freed worker will coalesce from.
+	// Batches/BatchItems are the lifetime coalescing totals.
+	BatchDepth int              `json:"batch_depth"`
+	Batches    int64            `json:"batches,omitempty"`
+	BatchItems int64            `json:"batch_items,omitempty"`
+	Exits      map[string]int64 `json:"exits,omitempty"`
+	Draining   bool             `json:"draining"`
 }
 
 // State reads the snapshot; every number comes from the same registry
@@ -337,16 +414,25 @@ func (p *Pool) State() State {
 	p.mu.Unlock()
 	p.parkMu.Lock()
 	idle := len(p.parked)
+	depth := len(p.waiters)
 	p.parkMu.Unlock()
+	p.standbyMu.Lock()
+	standby := len(p.standbys)
+	p.standbyMu.Unlock()
 	st := State{
-		Workers:  p.cfg.Workers,
-		Live:     live,
-		Idle:     idle,
-		Busy:     int(p.busy.Load()),
-		Spawns:   p.spawns.Value(),
-		Retries:  p.retries.Value(),
-		Exits:    make(map[string]int64, len(exitReasons)),
-		Draining: p.isClosed(),
+		Workers:        p.cfg.Workers,
+		Live:           live,
+		Idle:           idle,
+		Busy:           int(p.busy.Load()),
+		Spawns:         p.spawns.Value(),
+		Retries:        p.retries.Value(),
+		StandbyWorkers: standby,
+		Adoptions:      p.adoptions.Value(),
+		BatchDepth:     depth,
+		Batches:        p.batches.Value(),
+		BatchItems:     p.batchItems.Value(),
+		Exits:          make(map[string]int64, len(exitReasons)),
+		Draining:       p.isClosed(),
 	}
 	for _, r := range exitReasons {
 		if n := int64(p.reg.Value(mExits, "reason", r)); n > 0 {
@@ -370,6 +456,15 @@ func (p *Pool) Do(ctx context.Context, req Request) (*Response, error) {
 // pattern's isomorphs warm. The preference is strictly work-conserving
 // — if the preferred slot is busy, any idle worker serves the request —
 // so affinity can shift load but never queue it.
+//
+// Under saturation, dispatches coalesce: a caller that wins a worker
+// (the leader) drains up to MaxBatch-1 queued dispatches from the
+// waiter queue and ships the whole batch as one protocol frame; the
+// recruited callers (followers) receive their individual responses from
+// the leader. A failed batch fails every item with its own typed error
+// — the worker buffered its answers, so nothing was delivered and every
+// item re-dispatches exactly once under the same retry budget a single
+// dispatch gets.
 func (p *Pool) DoAffinity(ctx context.Context, req Request, key string) (*Response, error) {
 	p.closeMu.RLock()
 	if p.isClosed() {
@@ -388,19 +483,30 @@ func (p *Pool) DoAffinity(ctx context.Context, req Request, key string) (*Respon
 	}
 	var lastErr error
 	for attempt := 1; attempt <= 2; attempt++ {
-		w, err := p.acquire(ctx, aff)
+		w, fr, err := p.acquire(ctx, aff, &req)
 		if err != nil {
 			if lastErr != nil {
 				return nil, annotate(lastErr, attempt)
 			}
 			return nil, err
 		}
-		resp, err := p.roundTrip(ctx, w, &req)
-		if err == nil {
-			p.release(w)
-			return resp, nil
+		if fr != nil {
+			// A batch leader carried this request and handed back its
+			// individual outcome; the leader already retired the worker on
+			// failure.
+			if fr.err == nil {
+				return fr.resp, nil
+			}
+			err = fr.err
+		} else {
+			var resp *Response
+			resp, err = p.lead(ctx, w, &req)
+			if err == nil {
+				p.release(w)
+				return resp, nil
+			}
+			p.destroy(w, killReasonFor(err))
 		}
-		p.destroy(w, killReasonFor(err))
 		lastErr = err
 		var we *WorkerError
 		if !errors.As(err, &we) || ctx.Err() != nil {
@@ -432,12 +538,23 @@ func killReasonFor(err error) string {
 	return "canceled"
 }
 
-// waiter is one dispatcher blocked in acquire: park hands it a worker
-// under parkMu, so removal from the queue and the buffered send are one
-// atomic step.
+// waiter is one dispatcher blocked in acquire. It leaves the queue in
+// exactly one of three ways, each atomic under parkMu: park hands it a
+// worker (it becomes a batch leader), a leader recruits it into a batch
+// (its request rides along and its result arrives on resc), or it
+// withdraws itself (context death or shutdown).
 type waiter struct {
-	slot int // preferred slot; -1 for no preference
+	slot int      // preferred slot; -1 for no preference
+	req  *Request // payload, so a leader can recruit it into a batch
 	ch   chan *worker
+	resc chan waiterResult
+}
+
+// waiterResult is a recruited waiter's individual outcome, delivered by
+// its batch leader.
+type waiterResult struct {
+	resp *Response
+	err  error
 }
 
 // fnv32a hashes an affinity key onto the slot space.
@@ -473,42 +590,50 @@ func (p *Pool) takeParkedLocked(aff int) *worker {
 
 // acquire pulls an idle worker, preferring an immediately available one
 // (on the preferred slot when possible) before queueing as a waiter on
-// the context or shutdown.
-func (p *Pool) acquire(ctx context.Context, aff int) (*worker, error) {
+// the context or shutdown. It returns either a worker (the caller leads
+// its own dispatch) or a waiterResult (a batch leader already carried
+// the request), never both.
+func (p *Pool) acquire(ctx context.Context, aff int, req *Request) (*worker, *waiterResult, error) {
 	p.parkMu.Lock()
 	if w := p.takeParkedLocked(aff); w != nil {
 		p.parkMu.Unlock()
-		return w, nil
+		return w, nil, nil
 	}
 	if p.isClosed() {
 		p.parkMu.Unlock()
-		return nil, ErrPoolClosed
+		return nil, nil, ErrPoolClosed
 	}
-	wt := &waiter{slot: aff, ch: make(chan *worker, 1)}
+	wt := &waiter{slot: aff, req: req, ch: make(chan *worker, 1), resc: make(chan waiterResult, 1)}
 	p.waiters = append(p.waiters, wt)
 	p.parkMu.Unlock()
 
 	select {
 	case w := <-wt.ch:
-		return w, nil
+		return w, nil, nil
+	case r := <-wt.resc:
+		return nil, &r, nil
 	case <-ctx.Done():
 		if w := p.abandon(wt); w != nil {
 			// Lost the race: park already handed us a worker. Put it back
 			// for the next dispatcher; this request's context is dead.
 			p.park(w)
 		}
-		return nil, ctx.Err()
+		// If a leader recruited us instead, the result lands in the
+		// buffered resc and is discarded — the client is gone either way.
+		return nil, nil, ctx.Err()
 	case <-p.closed:
 		if w := p.abandon(wt); w != nil {
 			p.destroy(w, "drain")
 		}
-		return nil, ErrPoolClosed
+		return nil, nil, ErrPoolClosed
 	}
 }
 
-// abandon withdraws a waiter. If the hand-off already happened (the
-// waiter is gone from the queue), the promised worker is returned so
-// the caller can repark or retire it.
+// abandon withdraws a waiter. If a worker hand-off already happened (the
+// waiter is gone from the queue with a worker promised), the worker is
+// returned so the caller can repark or retire it; a waiter that was
+// recruited into a batch instead returns nil — its result, if one ever
+// arrives, parks harmlessly in the buffered resc.
 func (p *Pool) abandon(wt *waiter) *worker {
 	p.parkMu.Lock()
 	for i, x := range p.waiters {
@@ -525,6 +650,48 @@ func (p *Pool) abandon(wt *waiter) *worker {
 	default:
 		return nil
 	}
+}
+
+// recruit drains up to max waiters from the queue to ride in a batch on
+// the given slot's worker, preferring waiters whose affinity matches the
+// slot (their isomorphs are warm in that worker's cache), then the
+// oldest. Caller must currently hold the worker, not parkMu.
+func (p *Pool) recruit(slot, max int) []*waiter {
+	if max <= 0 {
+		return nil
+	}
+	p.parkMu.Lock()
+	defer p.parkMu.Unlock()
+	if len(p.waiters) == 0 {
+		return nil
+	}
+	take := make([]*waiter, 0, min(max, len(p.waiters)))
+	rest := p.waiters[:0]
+	for _, wt := range p.waiters {
+		if len(take) < max && wt.slot == slot {
+			take = append(take, wt)
+		} else {
+			rest = append(rest, wt)
+		}
+	}
+	if len(take) < max {
+		n := 0
+		for _, wt := range rest {
+			if len(take) < max {
+				take = append(take, wt)
+			} else {
+				rest[n] = wt
+				n++
+			}
+		}
+		rest = rest[:n]
+	}
+	// Zero the tail so dropped waiter pointers don't pin their requests.
+	for i := len(rest); i < len(p.waiters); i++ {
+		p.waiters[i] = nil
+	}
+	p.waiters = rest
+	return take
 }
 
 // park returns a worker to the idle set: straight to a waiter when one
@@ -586,40 +753,66 @@ func (p *Pool) release(w *worker) {
 	p.park(w)
 }
 
-// roundTrip performs one framed request/response exchange with a hard
-// wall-clock deadline: a worker that has not answered in time, or whose
-// client has gone away, is SIGKILLed — the pipe's state is unknowable
-// after either, and killing is the one recovery path that always works.
-func (p *Pool) roundTrip(ctx context.Context, w *worker, req *Request) (*Response, error) {
-	deadline := p.cfg.RequestTimeout
-	if dl, ok := ctx.Deadline(); ok {
-		if rem := time.Until(dl); rem < deadline {
-			deadline = rem
+// lead runs one dispatch as a batch leader: it recruits up to
+// MaxBatch-1 queued waiters onto its worker, ships everything as one
+// frame, and delivers each follower its individual outcome. With nobody
+// queued it degenerates to a plain single-request round trip — batching
+// only ever forms under saturation.
+func (p *Pool) lead(ctx context.Context, w *worker, req *Request) (*Response, error) {
+	followers := p.recruit(w.slot, p.cfg.MaxBatch-1)
+	if len(followers) == 0 {
+		p.batchSize.Observe(1)
+		return p.roundTrip(ctx, w, req)
+	}
+	reqs := make([]*Request, 0, len(followers)+1)
+	reqs = append(reqs, req)
+	for _, wt := range followers {
+		reqs = append(reqs, wt.req)
+	}
+	resps, err := p.roundTripBatch(ctx, w, reqs)
+	if err != nil {
+		// The worker buffered its answers until the whole batch was done,
+		// so a failure here means nothing was delivered: every item fails
+		// with its own typed error and re-dispatches under its own retry
+		// budget — never answered twice. Each follower gets a fresh error
+		// value; a shared pointer would race when each dispatcher stamps
+		// its own attempt count.
+		for _, wt := range followers {
+			wt.resc <- waiterResult{err: followerErr(err, w.slot)}
 		}
+		return nil, err
 	}
-	if deadline <= 0 {
-		return nil, ctx.Err()
+	for i, wt := range followers {
+		wt.resc <- waiterResult{resp: resps[i+1]}
 	}
+	return resps[0], nil
+}
 
-	// Give the worker a slightly earlier deadline than the kill timer, so
-	// a slow-but-cooperative pipeline answers with a categorized timeout
-	// instead of dying: SIGKILL is for the uncooperative.
-	workerDeadline := deadline - deadline/10
-	wireReq := *req
-	wireReq.Header = make(map[string]string, len(req.Header)+1)
-	for k, v := range req.Header {
-		wireReq.Header[k] = v
+// followerErr builds one recruited follower's typed error from the
+// batch failure. A leader-side context error means the worker was
+// killed for the *leader's* cancellation — to an innocent follower that
+// is indistinguishable from a crash, and must stay retryable.
+func followerErr(err error, slot int) error {
+	var we *WorkerError
+	if errors.As(err, &we) {
+		return &WorkerError{Kind: we.Kind, Slot: we.Slot, Attempts: 1, Err: we.Err}
 	}
-	wireReq.Header[headerDeadlineMS] = strconv.FormatInt(max64(1, workerDeadline.Milliseconds()), 10)
+	return &WorkerError{Kind: KindCrash, Slot: slot, Attempts: 1,
+		Err: fmt.Errorf("batch leader failed: %w", err)}
+}
 
+// guardDispatch arms the two safety nets around an exchange: the hard
+// deadline (SIGKILL a worker that has not answered in time) and the
+// client-cancellation watcher (SIGKILL when the caller goes away — the
+// pipe's state is unknowable mid-exchange, and killing is the one
+// recovery path that always works). The returned func disarms both.
+func (p *Pool) guardDispatch(ctx context.Context, w *worker, deadline time.Duration) func() {
 	killTimer := time.AfterFunc(deadline, func() {
 		if w.markKill("timeout") {
 			w.kill()
 		}
 	})
-	defer killTimer.Stop()
 	watchDone := make(chan struct{})
-	defer close(watchDone)
 	go func() {
 		select {
 		case <-ctx.Done():
@@ -637,11 +830,55 @@ func (p *Pool) roundTrip(ctx context.Context, w *worker, req *Request) (*Respons
 		case <-watchDone:
 		}
 	}()
+	return func() {
+		killTimer.Stop()
+		close(watchDone)
+	}
+}
+
+// dispatchDeadline is the wall-clock budget for one exchange: the
+// configured timeout, shrunk to the context's remaining time. A batch
+// shares one budget — the worst case is a KindTimeout every item
+// retries from, never a partial delivery.
+func (p *Pool) dispatchDeadline(ctx context.Context) time.Duration {
+	deadline := p.cfg.RequestTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < deadline {
+			deadline = rem
+		}
+	}
+	return deadline
+}
+
+// stampDeadline copies a request with the worker-side deadline header
+// set. The worker gets a slightly earlier deadline than the kill timer,
+// so a slow-but-cooperative pipeline answers with a categorized timeout
+// instead of dying: SIGKILL is for the uncooperative.
+func stampDeadline(req *Request, deadline time.Duration) *Request {
+	workerDeadline := deadline - deadline/10
+	wr := *req
+	wr.Header = make(map[string]string, len(req.Header)+1)
+	for k, v := range req.Header {
+		wr.Header[k] = v
+	}
+	wr.Header[headerDeadlineMS] = strconv.FormatInt(max64(1, workerDeadline.Milliseconds()), 10)
+	return &wr
+}
+
+// roundTrip performs one single-request framed exchange under the
+// dispatch deadline.
+func (p *Pool) roundTrip(ctx context.Context, w *worker, req *Request) (*Response, error) {
+	deadline := p.dispatchDeadline(ctx)
+	if deadline <= 0 {
+		return nil, ctx.Err()
+	}
+	done := p.guardDispatch(ctx, w, deadline)
+	defer done()
 
 	w.nextID++
 	id := w.nextID
 	start := time.Now()
-	if err := writeFrame(w.bw, &frame{ID: id, Req: &wireReq}); err != nil {
+	if err := writeFrame(w.bw, &frame{ID: id, Req: stampDeadline(req, deadline)}); err != nil {
 		return nil, p.dispatchError(ctx, w, err)
 	}
 	f, err := readFrame(w.br)
@@ -657,6 +894,55 @@ func (p *Pool) roundTrip(ctx context.Context, w *worker, req *Request) (*Respons
 	p.reg.Histogram(mWorkerDur, "Per-worker dispatch latency.", nil,
 		"slot", strconv.Itoa(w.slot)).Observe(time.Since(start).Seconds())
 	return f.Resp, nil
+}
+
+// roundTripBatch ships a coalesced batch as one frame and reads one
+// aligned response frame back. All-or-nothing: any failure — crash,
+// timeout, garbage, a response array that doesn't align — retires the
+// worker and reports the whole batch failed, which is safe precisely
+// because the worker delivers nothing until everything is served.
+func (p *Pool) roundTripBatch(ctx context.Context, w *worker, reqs []*Request) ([]*Response, error) {
+	deadline := p.dispatchDeadline(ctx)
+	if deadline <= 0 {
+		return nil, ctx.Err()
+	}
+	wire := make([]*Request, len(reqs))
+	for i, r := range reqs {
+		wire[i] = stampDeadline(r, deadline)
+	}
+	done := p.guardDispatch(ctx, w, deadline)
+	defer done()
+
+	w.nextID++
+	id := w.nextID
+	start := time.Now()
+	if err := writeFrame(w.bw, &frame{ID: id, Reqs: wire}); err != nil {
+		return nil, p.dispatchError(ctx, w, err)
+	}
+	f, err := readFrame(w.br)
+	if err != nil {
+		return nil, p.dispatchError(ctx, w, err)
+	}
+	if f.ID != id || len(f.Resps) != len(wire) {
+		w.markKill("protocol")
+		return nil, &WorkerError{Kind: KindProtocol, Slot: w.slot, Attempts: 1,
+			Err: fmt.Errorf("batch frame id %d (want %d) with %d responses for %d requests: %w",
+				f.ID, id, len(f.Resps), len(wire), errMalformed)}
+	}
+	for i, r := range f.Resps {
+		if r == nil {
+			w.markKill("protocol")
+			return nil, &WorkerError{Kind: KindProtocol, Slot: w.slot, Attempts: 1,
+				Err: fmt.Errorf("batch response %d missing: %w", i, errMalformed)}
+		}
+	}
+	w.served.Add(int64(len(wire)))
+	p.reg.Histogram(mWorkerDur, "Per-worker dispatch latency.", nil,
+		"slot", strconv.Itoa(w.slot)).Observe(time.Since(start).Seconds())
+	p.batches.Inc()
+	p.batchItems.Add(int64(len(wire)))
+	p.batchSize.Observe(float64(len(wire)))
+	return f.Resps, nil
 }
 
 // dispatchError classifies a failed exchange. A kill this supervisor
@@ -715,11 +1001,12 @@ func (p *Pool) destroy(w *worker, fallbackReason string) {
 	})
 }
 
-// slotLoop supervises one slot for the pool's lifetime: spawn a worker,
-// park it idle, wait for its retirement, respawn. A worker that dies
-// before serving anything escalates the slot's backoff (exponential,
-// jittered, capped); one that served at least a request respawns
-// immediately — a crash under real load should not idle the slot.
+// slotLoop supervises one slot for the pool's lifetime: adopt a
+// pre-warmed standby (or spawn a worker when the rack is empty), park
+// it idle, wait for its retirement, repeat. A worker that dies before
+// serving anything escalates the slot's backoff (exponential, jittered,
+// capped); one that served at least a request respawns immediately — a
+// crash under real load should not idle the slot.
 func (p *Pool) slotLoop(slot int) {
 	defer p.loops.Done()
 	backoffGauge := p.reg.Gauge(mBackoffMS, "Current respawn backoff per slot, in ms.",
@@ -733,18 +1020,25 @@ func (p *Pool) slotLoop(slot int) {
 		if backoff > 0 && !p.sleep(jitter(backoff)) {
 			return
 		}
-		w, err := p.spawnWorker(slot)
-		if err != nil {
-			p.reg.Counter(mExits, "Worker retirements by reason.", "reason", "spawn").Inc()
-			p.log("worker spawn failed", "slot", slot, "err", err)
-			backoff = p.nextBackoff(backoff)
-			continue
+		w := p.takeStandby(slot)
+		if w != nil {
+			p.adoptions.Inc()
+			p.log("standby adopted", "slot", slot, "pid", w.pid)
+		} else {
+			var err error
+			w, err = p.spawnWorker(slot)
+			if err != nil {
+				p.reg.Counter(mExits, "Worker retirements by reason.", "reason", "spawn").Inc()
+				p.log("worker spawn failed", "slot", slot, "err", err)
+				backoff = p.nextBackoff(backoff)
+				continue
+			}
+			p.spawns.Inc()
+			p.log("worker spawned", "slot", slot, "pid", w.pid)
 		}
-		p.spawns.Inc()
 		p.mu.Lock()
 		p.live[slot] = w
 		p.mu.Unlock()
-		p.log("worker spawned", "slot", slot, "pid", w.pid)
 
 		p.park(w)
 		select {
@@ -759,6 +1053,79 @@ func (p *Pool) slotLoop(slot int) {
 			backoff = p.nextBackoff(backoff)
 		}
 	}
+}
+
+// standbyFiller keeps the spare rack full: spawn workers unbound to any
+// slot (slot -1) until StandbyWorkers are warmed, then sleep until an
+// adoption kicks a refill or shutdown. Spawn failures back off the same
+// way a slot loop's do — a broken spawn path must not fork-bomb.
+func (p *Pool) standbyFiller() {
+	defer p.loops.Done()
+	backoff := time.Duration(0)
+	for {
+		if p.isClosed() {
+			return
+		}
+		p.standbyMu.Lock()
+		full := len(p.standbys) >= p.cfg.StandbyWorkers
+		p.standbyMu.Unlock()
+		if full {
+			select {
+			case <-p.standbyKick:
+			case <-p.closed:
+				return
+			}
+			continue
+		}
+		if backoff > 0 && !p.sleep(jitter(backoff)) {
+			return
+		}
+		w, err := p.spawnWorker(-1)
+		if err != nil {
+			p.log("standby spawn failed", "err", err)
+			backoff = p.nextBackoff(backoff)
+			continue
+		}
+		backoff = 0
+		p.spawns.Inc()
+		p.standbyMu.Lock()
+		if p.isClosed() {
+			p.standbyMu.Unlock()
+			p.destroy(w, "drain")
+			return
+		}
+		p.standbys = append(p.standbys, w)
+		p.standbyMu.Unlock()
+		p.log("standby worker warmed", "pid", w.pid)
+	}
+}
+
+// takeStandby pops the oldest pre-warmed spare, rebinds it to the slot,
+// and kicks the filler to replenish; nil when the rack is empty (or
+// standbys are disabled). Adoption is why a crashed slot comes back
+// instantly: the process is already spawned, handshaken, and warm.
+func (p *Pool) takeStandby(slot int) *worker {
+	if p.cfg.StandbyWorkers <= 0 {
+		return nil
+	}
+	p.standbyMu.Lock()
+	if len(p.standbys) == 0 {
+		p.standbyMu.Unlock()
+		return nil
+	}
+	w := p.standbys[0]
+	copy(p.standbys, p.standbys[1:])
+	p.standbys[len(p.standbys)-1] = nil
+	p.standbys = p.standbys[:len(p.standbys)-1]
+	p.standbyMu.Unlock()
+	// Nobody else can reach w until it lands in live/parked, so the slot
+	// rebind is unobserved.
+	w.slot = slot
+	select {
+	case p.standbyKick <- struct{}{}:
+	default:
+	}
+	return w
 }
 
 func (p *Pool) nextBackoff(cur time.Duration) time.Duration {
@@ -886,6 +1253,13 @@ func (p *Pool) Close(ctx context.Context) error {
 	}
 	p.parkMu.Unlock()
 	for _, w := range parked {
+		p.destroy(w, "drain")
+	}
+	p.standbyMu.Lock()
+	standbys := p.standbys
+	p.standbys = nil
+	p.standbyMu.Unlock()
+	for _, w := range standbys {
 		p.destroy(w, "drain")
 	}
 	return err

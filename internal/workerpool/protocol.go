@@ -20,6 +20,15 @@
 // live child from one that died during initialization. The frame size is
 // capped: a corrupt length prefix is detected as a protocol error, not
 // an attempted multi-gigabyte allocation.
+//
+// A request frame carries either one Request (Req) or a batch of them
+// (Reqs): the supervisor coalesces queued dispatches into one frame to
+// amortize pipe syscalls and scheduler wakeups across the batch. The
+// worker serves batch items sequentially and answers with a single
+// response frame whose Resps aligns index-for-index with Reqs — so a
+// worker that crashes mid-batch has answered nothing (the reply is
+// buffered until complete), and the supervisor can safely re-dispatch
+// every item without ever delivering a response twice.
 package workerpool
 
 import (
@@ -63,12 +72,17 @@ type Response struct {
 }
 
 // frame is the on-pipe envelope for both directions. Requests populate
-// Req; responses populate Resp. ID matches a response to its request —
-// a mismatch means the pipe carries garbage and the worker is retired.
+// Req (single) or Reqs (batch); responses populate Resp or Resps to
+// match. ID matches a response frame to its request frame — a mismatch
+// means the pipe carries garbage and the worker is retired.
 type frame struct {
 	ID   uint64    `json:"id"`
 	Req  *Request  `json:"req,omitempty"`
 	Resp *Response `json:"resp,omitempty"`
+	// Reqs is a coalesced batch; the response frame's Resps must align
+	// index-for-index.
+	Reqs  []*Request  `json:"reqs,omitempty"`
+	Resps []*Response `json:"resps,omitempty"`
 	// Ready marks the worker's startup frame (ID 0).
 	Ready bool `json:"ready,omitempty"`
 }

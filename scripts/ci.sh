@@ -28,6 +28,13 @@
 #              collapse to one build with byte-identical bodies, and a
 #              two-entry cache under six-pattern pressure never serves
 #              bytes that diverge from the uncached baseline
+#   scale-out  instance-level chaos through the consistent-hash router,
+#              under the race detector: three real instances, two
+#              SIGKILLed mid-run, 100% well-formed responses, no
+#              goroutine or child-process leaks; plus the loadgen smoke
+#              (open-loop burst through the router over two instances,
+#              one SIGKILLed mid-run, loadgen's audit must exit clean)
+#              and the queryvisd -route lifecycle check
 #   oracle     30-second differential-oracle smoke run (seeded, so any
 #              counterexample it prints is reproducible with cmd/oracle)
 #   replay     the checked-in quarantine corpus must replay with zero
@@ -63,6 +70,15 @@ go test -count=1 -run TestCacheSmoke ./cmd/queryvisd
 
 echo "== cache race battery (race)"
 go test -count=1 -race -run 'TestCacheRaceSingleflight|TestCacheEvictionChurn' ./internal/server
+
+echo "== scale-out router kill-storm (race)"
+go test -count=1 -race -run 'TestRouterKillStorm|TestRouterSurvivesColdStartAgainstDeadRing' ./internal/router
+
+echo "== loadgen scale-out smoke (router + instance kill)"
+go test -count=1 -run 'TestLoadgenSmokeInstanceKill' ./cmd/loadgen
+
+echo "== queryvisd route-mode lifecycle"
+go test -count=1 -run TestRouteMode ./cmd/queryvisd
 
 echo "== oracle smoke (30s)"
 go run ./cmd/oracle -n 100000 -seed 1 -timeout 30s
