@@ -12,9 +12,16 @@
 // Usage:
 //
 //	loadgen -target http://host:port [-rate 100] [-duration 10s] \
-//	        [-seed 1] [-mix 32] [-schemas beers,sailors] \
+//	        [-seed 1] [-mix 32] [-zipf 0] [-schemas beers,sailors] \
 //	        [-max-tables 3] [-max-neg-depth 2] [-attempts 1] \
 //	        [-timeout 5s]
+//
+// By default arrivals cycle the mix round-robin (uniform). -zipf s
+// (s > 1) draws each arrival's query from a seeded Zipf distribution
+// over the mix instead: rank 0 dominates, modelling the viral-pattern
+// skew the router's hot-pattern replication exists for. The draw
+// sequence is part of the seeded workload — same seed and flags, same
+// arrival-by-arrival queries.
 //
 // Every response is audited for well-formedness: a 200 must carry a
 // diagram, anything else must carry the categorized JSON error shape.
@@ -61,7 +68,12 @@ type Report struct {
 	RatePerSec int     `json:"rate_per_sec"`
 	DurationMS int64   `json:"duration_ms"`
 	MixSize    int     `json:"mix_size"`
-	Launched   int64   `json:"launched"`
+	// ZipfS is the Zipf exponent of the skewed mix (0 = uniform
+	// round-robin); HotShare is the fraction of launched arrivals that
+	// drew the rank-0 query — the workload's actual hot-key pressure.
+	ZipfS    float64 `json:"zipf_s,omitempty"`
+	HotShare float64 `json:"hot_share,omitempty"`
+	Launched int64   `json:"launched"`
 	Completed  int64   `json:"completed"`
 	OK         int64   `json:"ok"`
 	// ByStatus counts completed responses per HTTP status.
@@ -99,6 +111,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		duration    = fs.Duration("duration", 10*time.Second, "how long to keep launching arrivals")
 		seed        = fs.Int64("seed", 1, "RNG seed for the query mix; same seed, same workload")
 		mix         = fs.Int("mix", 32, "distinct queries in the mix, cycled round-robin; 0 = every arrival unique (cache-cold)")
+		zipfS       = fs.Float64("zipf", 0, "Zipf exponent for a skewed draw over the mix (must be > 1); 0 = uniform round-robin")
 		schemas     = fs.String("schemas", "beers", "comma-separated built-in schemas to generate over")
 		maxTables   = fs.Int("max-tables", 3, "max table instances per generated query")
 		maxNegDepth = fs.Int("max-neg-depth", 2, "max negated-subquery nesting in generated queries")
@@ -115,6 +128,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *rate <= 0 || *duration <= 0 {
 		fmt.Fprintln(stderr, "loadgen: -rate and -duration must be positive")
+		return 2
+	}
+	if *zipfS != 0 && *zipfS <= 1 {
+		fmt.Fprintln(stderr, "loadgen: -zipf must be > 1 (the Zipf exponent) or 0 to disable")
 		return 2
 	}
 
@@ -152,7 +169,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	rep := loadRun(*target, *rate, *duration, queries, client.Config{
+	// The arrival→query map: uniform round-robin by default, a seeded
+	// Zipf draw over mix ranks with -zipf. The picker runs on the
+	// launch goroutine only, so the plain counter is safe.
+	var rank0 int64
+	pick := func(i int) query { return queries[i%len(queries)] }
+	if *zipfS > 1 {
+		z := rand.NewZipf(rand.New(rand.NewSource(*seed+1)), *zipfS, 1, uint64(len(queries)-1))
+		pick = func(int) query {
+			r := int(z.Uint64())
+			if r == 0 {
+				rank0++
+			}
+			return queries[r]
+		}
+	}
+
+	rep := loadRun(*target, *rate, *duration, queries, pick, client.Config{
 		HTTPClient:  &http.Client{Timeout: *timeout},
 		MaxAttempts: *attempts,
 		BaseBackoff: 20 * time.Millisecond,
@@ -160,6 +193,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seed:        *seed,
 	})
 	rep.Seed = *seed
+	if *zipfS > 1 {
+		rep.ZipfS = *zipfS
+		if rep.Launched > 0 {
+			rep.HotShare = float64(rank0) / float64(rep.Launched)
+		}
+	}
 
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
@@ -179,7 +218,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // loadRun executes the open-loop schedule and audits every outcome.
-func loadRun(target string, rate int, duration time.Duration, queries []query, ccfg client.Config) *Report {
+func loadRun(target string, rate int, duration time.Duration, queries []query, pick func(i int) query, ccfg client.Config) *Report {
 	rep := &Report{
 		Target:     target,
 		RatePerSec: rate,
@@ -215,7 +254,7 @@ func loadRun(target string, rate int, duration time.Duration, queries []query, c
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	for i := 0; time.Since(start) < duration; i++ {
-		q := queries[i%len(queries)]
+		q := pick(i)
 		wg.Add(1)
 		rep.Launched++
 		go func(i int, q query) {

@@ -215,6 +215,88 @@ func TestLoadgenUsage(t *testing.T) {
 	}
 }
 
+// TestLoadgenZipfSkewsMix: -zipf draws arrivals Zipf-skewed — the
+// rank-0 query dominates the recorded traffic, the report carries the
+// exponent and the achieved hot share, the sequence is seeded, and a
+// sub-1 exponent is a usage error.
+func TestLoadgenZipfSkewsMix(t *testing.T) {
+	t.Cleanup(leak.Check(t))
+	capture := func(seed string) ([]string, Report) {
+		var mu sync.Mutex
+		var got []string
+		backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			raw, _ := io.ReadAll(r.Body)
+			var req struct {
+				SQL string `json:"sql"`
+			}
+			_ = json.Unmarshal(raw, &req)
+			mu.Lock()
+			got = append(got, req.SQL)
+			mu.Unlock()
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"diagram":"digraph {}"}`))
+		}))
+		defer backend.Close()
+		var out, errBuf bytes.Buffer
+		if code := run([]string{
+			"-target", backend.URL, "-rate", "50", "-duration", "600ms",
+			"-seed", seed, "-mix", "8", "-zipf", "1.4",
+		}, &out, &errBuf); code != 0 {
+			t.Fatalf("zipf run exit %d: %s", code, errBuf.String())
+		}
+		var rep Report
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+			t.Fatalf("bad report: %v\n%s", err, out.String())
+		}
+		return got, rep
+	}
+
+	a, repA := capture("11")
+	if len(a) < 16 {
+		t.Fatalf("captured only %d arrivals", len(a))
+	}
+	if repA.ZipfS != 1.4 {
+		t.Fatalf("report zipf_s = %v, want 1.4", repA.ZipfS)
+	}
+
+	// Zipf with s=1.4 over 8 ranks gives rank 0 well over a uniform
+	// 1/8 share; the hottest query must dominate and the report's
+	// hot_share must agree with the recorded traffic.
+	freq := map[string]int{}
+	for _, sql := range a {
+		freq[sql]++
+	}
+	top := 0
+	for _, n := range freq {
+		if n > top {
+			top = n
+		}
+	}
+	if share := float64(top) / float64(len(a)); share < 0.30 {
+		t.Fatalf("hottest query got %.0f%% of a zipf(1.4) mix, want ≥ 30%%", share*100)
+	}
+	if repA.HotShare <= 0.25 || repA.HotShare > 1 {
+		t.Fatalf("report hot_share = %v, want a dominant rank-0 share", repA.HotShare)
+	}
+
+	// Seeded: same seed, same arrival-by-arrival sequence.
+	b, _ := capture("11")
+	if len(a) != len(b) {
+		t.Fatalf("same seed launched %d vs %d arrivals", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at arrival %d", i)
+		}
+	}
+
+	// Exponent validation: Zipf needs s > 1.
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-target", "http://x", "-zipf", "0.9"}, &out, &errBuf); code != 2 {
+		t.Fatalf("-zipf 0.9: exit %d, want 2", code)
+	}
+}
+
 // TestLoadgenMixIsSeededAndReproducible: two runs with the same seed
 // against a recording backend send identical SQL sequences; a different
 // seed diverges.

@@ -19,7 +19,9 @@
 //	          [-worker-max-requests N] [-worker-max-rss BYTES] \
 //	          [-worker-batch N] [-standby-workers N] \
 //	          [-route URL,URL,...] [-route-replicas N] \
-//	          [-route-health-interval 250ms] \
+//	          [-route-health-interval 250ms] [-route-admin-token TOKEN] \
+//	          [-route-hot-rps N] [-route-hot-replicas N] \
+//	          [-route-stampede-ttl 2s] \
 //	          [-metrics] [-pprof] [-slow-query-ms N]
 //
 // With -isolation=process the pipeline runs in a supervised pool of
@@ -40,8 +42,13 @@
 // circuit-breaks the failing, retries elsewhere on the ring, and sheds
 // an honest 503 + Retry-After only when no instance is eligible. Its
 // own /v1/healthz reports per-instance ring state; /v1/metrics the
-// router registry. See internal/router and the README's "Scale-out"
-// section.
+// router registry. With -route-admin-token the /v1/ring admin surface
+// joins, drains, and ejects instances at runtime without a restart;
+// -route-hot-rps promotes viral patterns to replicated reads across
+// -route-hot-replicas ring candidates; -route-stampede-ttl collapses
+// identical concurrent requests during failover into one upstream call
+// plus a short-TTL verified-response cache. See internal/router and
+// the README's "Scale-out" section.
 //
 // Observability: GET /v1/metrics serves a Prometheus text exposition
 // (disable with -metrics=false), every response carries an X-Request-ID
@@ -128,9 +135,13 @@ func run(args []string, stdout, stderr *os.File) int {
 		workerMode     = fs.Bool("worker", false, "run as a pool worker speaking the frame protocol on stdin/stdout (internal; spawned by -isolation=process)")
 		allowFaults    = fs.Bool("allow-fault-injection", false, "honor the X-Fault-Seed and X-Worker-Fault chaos headers (tests only; never in production)")
 
-		route          = fs.String("route", "", "comma-separated queryvisd base URLs; run as a consistent-hash router over them instead of a server")
-		routeReplicas  = fs.Int("route-replicas", 64, "virtual nodes per instance on the routing ring (with -route)")
-		routeHealthInt = fs.Duration("route-health-interval", 250*time.Millisecond, "active /v1/healthz probe interval per instance (with -route)")
+		route            = fs.String("route", "", "comma-separated queryvisd base URLs; run as a consistent-hash router over them instead of a server")
+		routeReplicas    = fs.Int("route-replicas", 64, "virtual nodes per instance on the routing ring (with -route)")
+		routeHealthInt   = fs.Duration("route-health-interval", 250*time.Millisecond, "active /v1/healthz probe interval per instance (with -route)")
+		routeAdminToken  = fs.String("route-admin-token", "", "bearer token for the /v1/ring live-membership admin surface; empty disables it (with -route)")
+		routeHotRPS      = fs.Float64("route-hot-rps", 50, "per-pattern request rate that promotes a pattern to replicated reads; 0 disables hot replication (with -route)")
+		routeHotReplicas = fs.Int("route-hot-replicas", 2, "ring candidates sharing a promoted hot pattern (with -route)")
+		routeStampedeTTL = fs.Duration("route-stampede-ttl", 2*time.Second, "TTL of the router's verified-response cache collapsing failover stampedes; 0 disables it (with -route)")
 
 		cacheEntries  = fs.Int("cache-entries", 4096, "pattern-keyed diagram cache capacity in entries (0 disables caching)")
 		cacheBytes    = fs.Int64("cache-bytes", 64<<20, "pattern-keyed diagram cache payload bound in bytes")
@@ -208,12 +219,16 @@ func run(args []string, stdout, stderr *os.File) int {
 		// Router mode: no pipeline of its own — just the ring. The server
 		// flags above are ignored; instances bring their own limits.
 		rt, err := router.New(router.Config{
-			Backends:       strings.Split(*route, ","),
-			Replicas:       *routeReplicas,
-			HealthInterval: *routeHealthInt,
-			MaxBodyBytes:   *maxBody,
-			Metrics:        telemetry.NewRegistry(),
-			Logger:         logger,
+			Backends:        strings.Split(*route, ","),
+			Replicas:        *routeReplicas,
+			HealthInterval:  *routeHealthInt,
+			MaxBodyBytes:    *maxBody,
+			AdminToken:      *routeAdminToken,
+			HotThresholdRPS: *routeHotRPS,
+			HotReplicas:     *routeHotReplicas,
+			StampedeTTL:     *routeStampedeTTL,
+			Metrics:         telemetry.NewRegistry(),
+			Logger:          logger,
 		})
 		if err != nil {
 			logger.Error("starting router", "err", err)

@@ -48,6 +48,12 @@ type Config struct {
 	// Seed fixes the jitter stream for deterministic tests (0 seeds from
 	// the backoff parameters; determinism, not entropy, is the point).
 	Seed int64
+	// Headers are stamped on every outgoing request (each attempt
+	// included) unless the request already carries the header — a set
+	// X-Request-Id, an Authorization bearer for the ring admin surface —
+	// so a harness threads its identity through retries without wrapping
+	// every call site.
+	Headers map[string]string
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +131,11 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 	start := time.Now()
 	overBudget := func(wait time.Duration) bool {
 		return c.cfg.MaxElapsed > 0 && time.Since(start)+wait > c.cfg.MaxElapsed
+	}
+	for k, v := range c.cfg.Headers {
+		if req.Header.Get(k) == "" {
+			req.Header.Set(k, v)
+		}
 	}
 	var lastErr error
 	for attempt := 1; ; attempt++ {

@@ -223,3 +223,43 @@ func TestStatsCountsAttemptsAndRetries(t *testing.T) {
 		t.Fatalf("Stats() = %+v, want %+v", got, want)
 	}
 }
+
+// TestConfiguredHeadersStampEveryAttempt: Config.Headers land on the
+// first try and every retry, but never clobber a header the caller set
+// on the request itself.
+func TestConfiguredHeadersStampEveryAttempt(t *testing.T) {
+	var calls atomic.Int64
+	seen := make(chan [2]string, 4)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen <- [2]string{r.Header.Get("X-Request-Id"), r.Header.Get("Authorization")}
+		if calls.Add(1) < 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+	}))
+	defer ts.Close()
+
+	c := New(Config{
+		MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+		Headers: map[string]string{
+			"X-Request-Id":  "cfg-id",
+			"Authorization": "Bearer cfg-token",
+		},
+	})
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "caller-id") // caller wins over config
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for i := 0; i < 2; i++ {
+		got := <-seen
+		if got[0] != "caller-id" || got[1] != "Bearer cfg-token" {
+			t.Fatalf("attempt %d saw headers %q", i+1, got)
+		}
+	}
+}

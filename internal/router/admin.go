@@ -1,0 +1,162 @@
+// The ring's admin surface: live membership over HTTP, gated by a
+// bearer token. Three operations — join, drain, eject — cover the
+// whole operational lifecycle of an instance without restarting the
+// router:
+//
+//	POST   /v1/ring/instances  {"url": "http://host:port"}   join / readmit
+//	POST   /v1/ring/drain      {"url": "http://host:port"}   graceful retire
+//	DELETE /v1/ring/instances?url=http://host:port           immediate eject
+//
+// Every response is the service's categorized JSON wire shape with an
+// X-Request-ID, so admin failures are as diagnosable as routed ones.
+// Without a configured AdminToken the surface answers 403 for every
+// call — a router that was not told to accept membership changes
+// accepts none.
+package router
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// ringChange is the admin request body for join and drain.
+type ringChange struct {
+	URL string `json:"url"`
+}
+
+// RingStatus is the admin surface's success response: what happened,
+// the resulting epoch, and the membership after the change.
+type RingStatus struct {
+	Status  string   `json:"status"`
+	URL     string   `json:"url"`
+	Epoch   uint64   `json:"epoch"`
+	Members []string `json:"members"`
+}
+
+// authorized checks the bearer token in constant time. An empty
+// configured token disables the surface outright.
+func (rt *Router) authorized(r *http.Request) bool {
+	if rt.cfg.AdminToken == "" {
+		return false
+	}
+	tok, _ := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if tok == "" {
+		tok = r.Header.Get("X-Admin-Token")
+	}
+	return subtle.ConstantTimeCompare([]byte(tok), []byte(rt.cfg.AdminToken)) == 1
+}
+
+// handleAdmin dispatches the /v1/ring/* surface.
+func (rt *Router) handleAdmin(w http.ResponseWriter, r *http.Request) {
+	if rt.cfg.AdminToken == "" {
+		rt.fail(w, r, http.StatusForbidden, "admin_disabled",
+			"ring admin is disabled: the router was started without an admin token")
+		return
+	}
+	if !rt.authorized(r) {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="queryvis-ring"`)
+		rt.fail(w, r, http.StatusUnauthorized, "unauthorized",
+			"ring admin requires the configured bearer token")
+		return
+	}
+	switch {
+	case r.URL.Path == "/v1/ring/instances" && r.Method == http.MethodPost:
+		rt.adminJoin(w, r)
+	case r.URL.Path == "/v1/ring/instances" && r.Method == http.MethodDelete:
+		rt.adminEject(w, r)
+	case r.URL.Path == "/v1/ring/drain" && r.Method == http.MethodPost:
+		rt.adminDrain(w, r)
+	default:
+		rt.fail(w, r, http.StatusMethodNotAllowed, "bad_request",
+			"unsupported ring admin method or path")
+	}
+}
+
+// adminURL extracts the target instance URL from the JSON body, with
+// the ?url= query as a curl-friendly fallback.
+func (rt *Router) adminURL(r *http.Request) (string, bool) {
+	if q := r.URL.Query().Get("url"); q != "" {
+		return q, true
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		return "", false
+	}
+	var c ringChange
+	if json.Unmarshal(raw, &c) != nil || c.URL == "" {
+		return "", false
+	}
+	return c.URL, true
+}
+
+func (rt *Router) adminJoin(w http.ResponseWriter, r *http.Request) {
+	u, ok := rt.adminURL(r)
+	if !ok {
+		rt.fail(w, r, http.StatusBadRequest, "bad_request", `join wants {"url": "http://host:port"}`)
+		return
+	}
+	epoch, status, err := rt.Join(u)
+	if err != nil {
+		rt.fail(w, r, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	rt.ringStatus(w, r, http.StatusOK, status, u, epoch)
+}
+
+func (rt *Router) adminDrain(w http.ResponseWriter, r *http.Request) {
+	u, ok := rt.adminURL(r)
+	if !ok {
+		rt.fail(w, r, http.StatusBadRequest, "bad_request", `drain wants {"url": "http://host:port"}`)
+		return
+	}
+	epoch, err := rt.Drain(u)
+	switch {
+	case errors.Is(err, ErrUnknownMember):
+		rt.fail(w, r, http.StatusNotFound, "not_found", "no such ring member: "+u)
+		return
+	case err != nil:
+		rt.fail(w, r, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	// 202: the retirement is underway — removal lands when in-flight
+	// requests finish, observable via /v1/healthz epoch and member list.
+	rt.ringStatus(w, r, http.StatusAccepted, "draining", u, epoch)
+}
+
+func (rt *Router) adminEject(w http.ResponseWriter, r *http.Request) {
+	u, ok := rt.adminURL(r)
+	if !ok {
+		rt.fail(w, r, http.StatusBadRequest, "bad_request", "eject wants ?url= or a JSON body")
+		return
+	}
+	epoch, err := rt.Eject(u)
+	switch {
+	case errors.Is(err, ErrUnknownMember):
+		rt.fail(w, r, http.StatusNotFound, "not_found", "no such ring member: "+u)
+		return
+	case errors.Is(err, ErrLastMember):
+		rt.fail(w, r, http.StatusConflict, "conflict", "refusing to remove the last ring member; drain it instead")
+		return
+	case err != nil:
+		rt.fail(w, r, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	rt.ringStatus(w, r, http.StatusOK, "ejected", u, epoch)
+}
+
+// ringStatus writes the admin success envelope from a fresh topology
+// snapshot.
+func (rt *Router) ringStatus(w http.ResponseWriter, r *http.Request, code int, status, u string, epoch uint64) {
+	tp := rt.topo.Load()
+	members := append([]string{}, tp.members...)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Request-Id", rt.requestID(r))
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(RingStatus{
+		Status: status, URL: u, Epoch: max(epoch, tp.epoch), Members: members,
+	})
+}

@@ -1,0 +1,256 @@
+// Membership-churn chaos: a rolling restart of real instance
+// processes under open-loop, Zipf-skewed load, driven entirely through
+// the /v1/ring admin surface. Two instances are replaced mid-storm —
+// join the replacement, drain the old member, wait for the drain
+// waiter to remove it, then SIGKILL the process — while 16 workers
+// hammer the router with a hot-pattern-heavy query mix and the full
+// fabric (hot replication + stampede control) is enabled. The contract:
+// every response is well-formed, nothing is shed or 503'd (at least
+// one instance was healthy at every instant), the epoch ledger shows
+// every membership change, and the router leaks neither goroutines nor
+// child processes.
+package router_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/leak"
+	"repro/internal/router"
+	"repro/internal/telemetry"
+)
+
+// churnAdmin issues one admin call against the live router; safe from
+// the chaos goroutine (no t.Fatal).
+func churnAdmin(front, method, path, token, url string) (int, error) {
+	raw, _ := json.Marshal(map[string]string{"url": url})
+	req, err := http.NewRequest(method, front+path, bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func TestRouterMembershipChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real instance processes")
+	}
+	t.Cleanup(leak.Check(t))
+	t.Cleanup(leak.CheckChildren(t))
+
+	const token = "churn-secret"
+	a, b, c := startInstance(t), startInstance(t), startInstance(t)
+
+	rt, err := router.New(router.Config{
+		Backends:          []string{a.URL, b.URL, c.URL},
+		HealthInterval:    50 * time.Millisecond,
+		BreakerThreshold:  2,
+		BreakerCooldown:   250 * time.Millisecond,
+		InstanceAttempts:  2,
+		DrainPollInterval: 20 * time.Millisecond,
+		AdminToken:        token,
+		HotThresholdRPS:   5,
+		HotHalfLife:       time.Second,
+		StampedeTTL:       300 * time.Millisecond,
+		Metrics:           telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt)
+	t.Cleanup(front.Close)
+
+	// Zipf-skewed mix (seeded): rank 0 dominates, exercising the hot
+	// path; each rank cycles through a few literal variants so the hot
+	// pattern arrives as distinct bodies that converge onto one learned
+	// pattern key rather than one byte-identical body.
+	const ranks, variants = 12, 6
+	zipf := rand.NewZipf(rand.New(rand.NewSource(42)), 1.4, 1, ranks-1)
+	sqlFor := func(rank, variant int) string {
+		return fmt.Sprintf("%s -- rank %d variant %d", qSome, rank, variant)
+	}
+
+	const (
+		total       = 480
+		concurrency = 16
+		mJoinD      = 120
+		mDrainA     = 200
+		mJoinE      = 280
+		mDrainB     = 360
+	)
+	var (
+		started atomic.Int64
+		byCode  [600]atomic.Int64
+		mu      sync.Mutex
+		bad     []string
+	)
+	malformed := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(bad) < 10 {
+			bad = append(bad, fmt.Sprintf(format, args...))
+		}
+	}
+
+	waitStarted := func(n int64) {
+		for started.Load() < n {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// replace drains old, waits for the drain waiter to remove it from
+	// the membership, then kills the process — the rolling-restart move.
+	replace := func(old *testInstance, label string) {
+		if st, err := churnAdmin(front.URL, http.MethodPost, "/v1/ring/drain", token, old.URL); err != nil || st != http.StatusAccepted {
+			t.Errorf("drain %s: status %d err %v", label, st, err)
+			return
+		}
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			gone := true
+			for _, in := range rt.State().Instances {
+				if in.URL == old.URL {
+					gone = false
+				}
+			}
+			if gone {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("drain of %s never completed: %+v", label, rt.State())
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		old.Kill()
+		t.Logf("replaced instance %s (drained, removed, killed)", label)
+	}
+
+	churned := make(chan struct{})
+	go func() {
+		defer close(churned)
+		waitStarted(mJoinD)
+		d := startInstance(t)
+		if st, err := churnAdmin(front.URL, http.MethodPost, "/v1/ring/instances", token, d.URL); err != nil || st != http.StatusOK {
+			t.Errorf("join d: status %d err %v", st, err)
+		}
+		waitStarted(mDrainA)
+		replace(a, "a")
+		waitStarted(mJoinE)
+		e := startInstance(t)
+		if st, err := churnAdmin(front.URL, http.MethodPost, "/v1/ring/instances", token, e.URL); err != nil || st != http.StatusOK {
+			t.Errorf("join e: status %d err %v", st, err)
+		}
+		waitStarted(mDrainB)
+		replace(b, "b")
+	}()
+
+	// The load: open-loop-ish worker pool, plain one-shot requests — no
+	// client retries, so any router miss is visible in the accounting.
+	type job struct{ rank, variant int }
+	var wg sync.WaitGroup
+	work := make(chan job)
+	for g := 0; g < concurrency; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				st, _, raw := postJSON(t, front.URL+"/v1/diagram",
+					diagramReq(sqlFor(j.rank, j.variant)))
+				byCode[st].Add(1)
+				switch {
+				case st == http.StatusOK:
+					var body struct {
+						Diagram string `json:"diagram"`
+					}
+					if json.Unmarshal(raw, &body) != nil || body.Diagram == "" {
+						malformed("rank %d: 200 with bad body %.120s", j.rank, raw)
+					}
+				default:
+					var eb struct {
+						Error struct {
+							Category string `json:"category"`
+						} `json:"error"`
+					}
+					if json.Unmarshal(raw, &eb) != nil || eb.Error.Category == "" {
+						malformed("rank %d: status %d with non-error body %.120s", j.rank, st, raw)
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		started.Add(1)
+		work <- job{rank: int(zipf.Uint64()), variant: i % variants}
+	}
+	close(work)
+	wg.Wait()
+	<-churned
+
+	var sum, oks int64
+	counts := map[int]int64{}
+	for code := range byCode {
+		if n := byCode[code].Load(); n > 0 {
+			counts[code] = n
+			sum += n
+			if code == http.StatusOK {
+				oks = n
+			}
+		}
+	}
+	st := rt.State()
+	t.Logf("outcomes by status: %v", counts)
+	t.Logf("final state: epoch=%d members=%d shed=%d failovers=%d hot=%d stampede=%+v",
+		st.Epoch, len(st.Instances), st.Shed, st.Failovers, st.HotPatterns, st.Stampede)
+
+	for _, m := range bad {
+		t.Error(m)
+	}
+	if sum != total {
+		t.Fatalf("accounted for %d of %d requests", sum, total)
+	}
+	// At least one instance was healthy at every instant of the rolling
+	// restart: nothing may be shed, nothing may 503, and with drains
+	// (not kills) removing live members, nothing should fail at all.
+	if oks != total {
+		t.Fatalf("%d/%d requests succeeded during a drain-first rolling restart; the rest: %v",
+			oks, total, counts)
+	}
+	if st.Shed != 0 {
+		t.Fatalf("router shed %d requests with a healthy instance always present", st.Shed)
+	}
+	if byCode[http.StatusServiceUnavailable].Load() != 0 {
+		t.Fatal("router answered 503 during the rolling restart")
+	}
+	// The epoch ledger: initial(1) + join d + eject a + join e + eject b.
+	if st.Epoch < 5 {
+		t.Fatalf("epoch %d after two joins and two drain-removals, want ≥ 5", st.Epoch)
+	}
+	if len(st.Instances) != 3 {
+		t.Fatalf("%d members after the rolling restart, want 3", len(st.Instances))
+	}
+	for _, in := range st.Instances {
+		if in.URL == a.URL || in.URL == b.URL {
+			t.Fatalf("replaced instance %s still on the ring", in.URL)
+		}
+	}
+	// The Zipf-hot pattern crossed the promotion threshold somewhere in
+	// the storm.
+	if v := rt.Registry().Value("queryvis_router_hot_promotions_total"); v < 1 {
+		t.Errorf("hot pattern never promoted under Zipf load (promotions=%v)", v)
+	}
+}

@@ -7,19 +7,35 @@ import (
 	"time"
 )
 
-// instance is one routed-to backend plus its health bookkeeping. Two
+// instance is one routed-to backend plus its health bookkeeping. Three
 // independent signals gate traffic: the active prober's verdict
-// (healthy) and the request-path circuit breaker (openUntil). Either
-// alone can take the instance out of rotation; both must agree it is
-// fine before the ring hands it a key again.
+// (healthy), the request-path circuit breaker (openUntil), and the
+// operator's drain flag. Any of them alone can take the instance out of
+// rotation; all must agree it is fine before the ring hands it a key
+// again.
 type instance struct {
 	url string
 
-	// healthy is the prober's last verdict against /v1/healthz.
-	// Instances start optimistic — a router booting ahead of its
-	// backends must not shed its first requests; a dead backend costs
-	// one failover, not an outage.
+	// healthy is the prober's hysteresis-filtered verdict against
+	// /v1/healthz. Instances start optimistic — a router booting ahead
+	// of its backends must not shed its first requests; a dead backend
+	// costs one failover, not an outage.
 	healthy atomic.Bool
+	// probeFails / probeOKs are the prober's consecutive-verdict
+	// streaks. A single blown probe must not eject an instance that is
+	// merely busy, and a single lucky probe must not readmit one that is
+	// flapping — the verdict flips only after ProbeDownAfter consecutive
+	// failures or ProbeUpAfter consecutive passes. Only the prober
+	// goroutine writes these; atomics keep healthz reads clean.
+	probeFails atomic.Int32
+	probeOKs   atomic.Int32
+	// draining marks an instance the admin surface is retiring: it
+	// receives no new assignments, finishes what it has, and is removed
+	// from the ring once its in-flight count reaches zero.
+	draining atomic.Bool
+	// inflight counts requests currently proxied to this instance; the
+	// drain waiter removes the member only once this holds at zero.
+	inflight atomic.Int64
 	// consecFails counts request-path failures (transport errors,
 	// 502/503) since the last success; reaching the breaker threshold
 	// opens the breaker for the cooldown.
@@ -30,7 +46,7 @@ type instance struct {
 
 // eligible reports whether the ring may hand this instance a request.
 func (in *instance) eligible(now time.Time) bool {
-	return in.healthy.Load() && now.UnixNano() >= in.openUntil.Load()
+	return in.healthy.Load() && !in.draining.Load() && now.UnixNano() >= in.openUntil.Load()
 }
 
 func (in *instance) breakerOpen(now time.Time) bool {
@@ -53,43 +69,64 @@ func (in *instance) recordFailure(threshold int, cooldown time.Duration) {
 }
 
 // probe runs one active health check: a GET against /v1/healthz with a
-// hard timeout. Any 200 is healthy; anything else — including a healthz
-// that answers 503 because the backend is draining — is not.
+// hard timeout. Any 200 is a pass; anything else — including a healthz
+// that answers 503 because the backend is draining — is a fail. The
+// pass/fail stream feeds the hysteresis counters; the healthy verdict
+// flips only on a full streak, so a flapping instance cannot thrash
+// the ring's eligibility set probe by probe.
 func (rt *Router) probe(in *instance) {
+	ok := false
 	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, in.url+"/v1/healthz", nil)
-	if err != nil {
-		in.healthy.Store(false)
-		return
+	if err == nil {
+		if resp, perr := rt.probeClient.Do(req); perr == nil {
+			drain(resp)
+			ok = resp.StatusCode == http.StatusOK
+		}
 	}
-	resp, err := rt.probeClient.Do(req)
-	if err != nil {
-		in.healthy.Store(false)
-		return
-	}
-	drain(resp)
-	ok := resp.StatusCode == http.StatusOK
-	was := in.healthy.Swap(ok)
-	if ok && !was {
+	if ok {
+		in.probeFails.Store(0)
+		if in.healthy.Load() {
+			in.probeOKs.Store(0)
+			return
+		}
+		if in.probeOKs.Add(1) < int32(rt.cfg.ProbeUpAfter) {
+			return
+		}
+		in.probeOKs.Store(0)
+		in.healthy.Store(true)
 		// Recovery observed by the prober also closes the breaker: the
 		// cooldown exists to stop hammering a struggling instance, and a
-		// passing health check is better evidence than an expired timer.
+		// passing health-check streak is better evidence than an expired
+		// timer.
 		in.recordSuccess()
 		rt.log("instance recovered", "instance", in.url)
+		return
 	}
-	if !ok && was {
-		rt.log("instance unhealthy", "instance", in.url)
+	in.probeOKs.Store(0)
+	if !in.healthy.Load() {
+		in.probeFails.Store(0)
+		return
 	}
+	if in.probeFails.Add(1) < int32(rt.cfg.ProbeDownAfter) {
+		return
+	}
+	in.probeFails.Store(0)
+	in.healthy.Store(false)
+	rt.log("instance unhealthy", "instance", in.url)
 }
 
-// prober polls every instance on the configured interval until Close.
+// prober polls every current ring member on the configured interval
+// until Close. Membership is read fresh each round, so joined
+// instances are probed from their next cycle and ejected ones are
+// forgotten.
 func (rt *Router) prober() {
 	defer rt.loops.Done()
 	t := time.NewTicker(rt.cfg.HealthInterval)
 	defer t.Stop()
 	for {
-		for _, in := range rt.insts {
+		for _, in := range rt.topo.Load().insts {
 			rt.probe(in)
 		}
 		select {

@@ -12,56 +12,92 @@ import (
 type InstanceState struct {
 	URL     string `json:"url"`
 	Healthy bool   `json:"healthy"`
+	// Draining means the admin surface is retiring this member: no new
+	// assignments; removal lands when Inflight holds at zero.
+	Draining bool `json:"draining"`
 	// BreakerOpen means the request-path circuit is holding the
 	// instance out of rotation right now.
 	BreakerOpen bool `json:"breaker_open"`
 	// ConsecutiveFailures is the current request-path failure run.
 	ConsecutiveFailures int64 `json:"consecutive_failures"`
+	// Inflight counts requests currently proxied to this instance.
+	Inflight int64 `json:"inflight"`
 	// Requests/Failures are lifetime proxied-attempt totals, read from
 	// the same registry /v1/metrics exposes.
 	Requests int64 `json:"requests"`
 	Failures int64 `json:"failures"`
 }
 
+// StampedeState summarizes the stampede-control layer, present in the
+// snapshot only when the layer is enabled.
+type StampedeState struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Coalesced int64 `json:"coalesced"`
+	Inserts   int64 `json:"inserts"`
+}
+
 // State is the router's health snapshot.
 type State struct {
 	// Status is "ok" (whole ring eligible), "degraded" (partially), or
 	// "unhealthy" (no instance eligible; healthz also answers 503).
-	Status    string          `json:"status"`
+	Status string `json:"status"`
+	// Epoch is the topology version; it bumps on every join/eject.
+	Epoch     uint64          `json:"epoch"`
 	Instances []InstanceState `json:"instances"`
 	Failovers int64           `json:"failovers"`
 	Shed      int64           `json:"shed"`
 	// PatternKeys is the learned body-hash→pattern table size.
 	PatternKeys int `json:"pattern_keys"`
+	// HotPatterns counts patterns currently promoted to replicated
+	// reads (always 0 when hot replication is disabled).
+	HotPatterns int `json:"hot_patterns"`
+	// Stampede is the stampede-control summary, nil when disabled.
+	Stampede *StampedeState `json:"stampede,omitempty"`
 }
 
-// State reads the snapshot; every number comes from the router's
-// registry or the same atomics its routing decisions use, so healthz,
-// metrics, and behavior can never disagree.
+// State reads the snapshot against one topology load; every number
+// comes from the router's registry or the same atomics its routing
+// decisions use, so healthz, metrics, and behavior can never disagree.
 func (rt *Router) State() State {
 	now := time.Now()
+	tp := rt.topo.Load()
 	st := State{
-		Instances:   make([]InstanceState, 0, len(rt.insts)),
+		Epoch:       tp.epoch,
+		Instances:   make([]InstanceState, 0, len(tp.insts)),
 		Failovers:   rt.failovers.Value(),
 		Shed:        rt.noHealthy.Value(),
 		PatternKeys: rt.keys.len(),
 	}
+	if rt.hot != nil {
+		st.HotPatterns = rt.hot.promotedCount()
+	}
+	if rt.stampede != nil {
+		st.Stampede = &StampedeState{
+			Entries:   rt.stampede.size(),
+			Hits:      int64(rt.stampedeCount("hit").Value()),
+			Coalesced: int64(rt.stampedeCount("coalesced").Value()),
+			Inserts:   int64(rt.stampedeCount("insert").Value()),
+		}
+	}
 	eligible := 0
-	for _, in := range rt.insts {
+	for _, in := range tp.insts {
 		if in.eligible(now) {
 			eligible++
 		}
 		st.Instances = append(st.Instances, InstanceState{
 			URL:                 in.url,
 			Healthy:             in.healthy.Load(),
+			Draining:            in.draining.Load(),
 			BreakerOpen:         in.breakerOpen(now),
 			ConsecutiveFailures: in.consecFails.Load(),
+			Inflight:            in.inflight.Load(),
 			Requests:            int64(rt.reg.Value(mInstReqs, "instance", in.url)),
 			Failures:            int64(rt.reg.Value(mInstFails, "instance", in.url)),
 		})
 	}
 	switch eligible {
-	case len(rt.insts):
+	case len(tp.insts):
 		st.Status = "ok"
 	case 0:
 		st.Status = "unhealthy"

@@ -1,0 +1,105 @@
+// White-box tests for the decaying-counter hot-pattern tracker:
+// promotion after sustained load, demotion after the spike subsides,
+// rotation of the replica cursor, and the bounded-table sweep. Time is
+// passed explicitly, so decay behavior is exact — no sleeps.
+package router
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestHottabPromotesOnSustainedRate(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := newHottab(64, time.Second, 100, reg) // promoteCount ≈ 144.3
+
+	// 50 req/s for one second: decayed count stays well under the
+	// 100 rps threshold's equivalent — never promoted.
+	base := time.Unix(1000, 0)
+	for i := 0; i < 50; i++ {
+		if p, _ := h.touch("mild", base.Add(time.Duration(i)*20*time.Millisecond)); p {
+			t.Fatalf("touch %d at 50 rps promoted (threshold 100 rps)", i)
+		}
+	}
+
+	// 500 req/s: crosses within well under a second.
+	promoted := false
+	for i := 0; i < 500; i++ {
+		if p, _ := h.touch("viral", base.Add(time.Duration(i)*2*time.Millisecond)); p {
+			promoted = true
+			break
+		}
+	}
+	if !promoted {
+		t.Fatal("500 rps never promoted against a 100 rps threshold")
+	}
+	if h.promotedCount() != 1 {
+		t.Fatalf("promotedCount = %d, want 1", h.promotedCount())
+	}
+	if reg.Value(mHotPromotions) != 1 {
+		t.Fatalf("promotion counter = %v, want 1", reg.Value(mHotPromotions))
+	}
+}
+
+func TestHottabDemotesAfterSpikeSubsides(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := newHottab(64, 100*time.Millisecond, 50, reg)
+
+	base := time.Unix(2000, 0)
+	now := base
+	for i := 0; i < 200; i++ {
+		now = base.Add(time.Duration(i) * time.Millisecond) // 1000 rps
+		h.touch("spike", now)
+	}
+	if h.promotedCount() != 1 {
+		t.Fatal("spike never promoted")
+	}
+	// The spike ends; ten half-lives later one stray request arrives and
+	// must route plain (hysteresis floor is promote/2).
+	p, _ := h.touch("spike", now.Add(time.Second))
+	if p {
+		t.Fatal("still promoted ten half-lives after the spike ended")
+	}
+	if h.promotedCount() != 0 {
+		t.Fatalf("promotedCount = %d after demotion, want 0", h.promotedCount())
+	}
+	if reg.Value(mHotDemotions) != 1 {
+		t.Fatalf("demotion counter = %v, want 1", reg.Value(mHotDemotions))
+	}
+}
+
+func TestHottabRotatesPromotedCursor(t *testing.T) {
+	h := newHottab(64, time.Second, 1, telemetry.NewRegistry())
+	base := time.Unix(3000, 0)
+	var rots []uint32
+	for i := 0; i < 10; i++ {
+		p, rot := h.touch("hot", base.Add(time.Duration(i)*time.Millisecond))
+		if p {
+			rots = append(rots, rot)
+		}
+	}
+	if len(rots) < 4 {
+		t.Fatalf("pattern promoted for only %d touches", len(rots))
+	}
+	for i := 1; i < len(rots); i++ {
+		if rots[i] != rots[i-1]+1 {
+			t.Fatalf("rotation cursor not advancing: %v", rots)
+		}
+	}
+}
+
+func TestHottabStaysBounded(t *testing.T) {
+	h := newHottab(8, 10*time.Millisecond, 1000, telemetry.NewRegistry())
+	base := time.Unix(4000, 0)
+	// 1000 distinct cold keys spread over time: the sweep keeps the
+	// table at its cap no matter how many keys pass through.
+	for i := 0; i < 1000; i++ {
+		h.touch(fmt.Sprintf("key-%d", i), base.Add(time.Duration(i)*time.Millisecond))
+	}
+	if n := h.tracked(); n > 8 {
+		t.Fatalf("hottab tracked %d keys past its cap of 8", n)
+	}
+}

@@ -1,0 +1,253 @@
+// Live ring membership. The router's view of its backends is one
+// immutable topology value — the member list, their instance state, and
+// the consistent-hash ring built over them — behind an atomic pointer.
+// Requests load the pointer once and route against a self-consistent
+// snapshot; membership changes build a fresh topology under a mutex and
+// swap it in with a bumped epoch, so a join or eject lands between two
+// requests, never inside one. Instance state (health verdicts, breaker,
+// in-flight counts) is carried by pointer from the old topology to the
+// new, so surviving members keep their history across every swap.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// topology is one immutable membership snapshot.
+type topology struct {
+	epoch   uint64
+	members []string // instance URLs, the ring's member-id basis
+	insts   []*instance
+	ring    *ring
+}
+
+// find returns the member instance for url, nil when absent.
+func (tp *topology) find(url string) *instance {
+	for _, in := range tp.insts {
+		if in.url == url {
+			return in
+		}
+	}
+	return nil
+}
+
+// ErrLastMember is returned when an eject (explicit or drain-driven)
+// would leave the ring empty. The last member can be drained — it stops
+// taking traffic and the router sheds honestly — but never removed:
+// a ring with zero members cannot be grown back by a failing router.
+var ErrLastMember = errors.New("router: cannot remove the last ring member")
+
+// ErrUnknownMember is returned for operations naming a URL that is not
+// on the ring.
+var ErrUnknownMember = errors.New("router: no such ring member")
+
+// normalizeMember validates and canonicalizes an instance base URL.
+func normalizeMember(raw string) (string, error) {
+	s := strings.TrimRight(strings.TrimSpace(raw), "/")
+	u, err := url.Parse(s)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("router: %q is not an http(s) base URL", raw)
+	}
+	return s, nil
+}
+
+// swap installs a new topology built from members, carrying over the
+// instance state of every retained member. Caller holds memberMu.
+func (rt *Router) swap(members []string) *topology {
+	old := rt.topo.Load()
+	nt := &topology{
+		epoch:   old.epoch + 1,
+		members: members,
+		insts:   make([]*instance, len(members)),
+		ring:    newRing(members, rt.cfg.Replicas),
+	}
+	for i, m := range members {
+		if in := old.find(m); in != nil {
+			nt.insts[i] = in
+			continue
+		}
+		in := &instance{url: m}
+		in.healthy.Store(true) // optimistic: see instance.healthy
+		nt.insts[i] = in
+	}
+	rt.topo.Store(nt)
+	return nt
+}
+
+// Join adds url to the ring (or readmits a draining member) and
+// returns the resulting epoch. Joining an existing active member is a
+// no-op reporting the current epoch. The joined instance starts
+// optimistically healthy and is probed from the next prober cycle; by
+// the minimal-movement property of the identity-keyed ring, only the
+// ~K/(N+1) keys the newcomer wins move to it.
+func (rt *Router) Join(rawURL string) (epoch uint64, status string, err error) {
+	u, err := normalizeMember(rawURL)
+	if err != nil {
+		return 0, "", err
+	}
+	rt.memberMu.Lock()
+	defer rt.memberMu.Unlock()
+	cur := rt.topo.Load()
+	if in := cur.find(u); in != nil {
+		if in.draining.CompareAndSwap(true, false) {
+			// Readmission cancels the pending drain; the waiter sees the
+			// cleared flag and stands down. The ring never dropped the
+			// member, so no keys move.
+			rt.countMembership("readmit")
+			rt.log("ring member readmitted", "instance", u, "epoch", cur.epoch)
+			return cur.epoch, "readmitted", nil
+		}
+		return cur.epoch, "already_member", nil
+	}
+	members := append(append([]string{}, cur.members...), u)
+	rt.registerInstanceSeries(u)
+	nt := rt.swap(members)
+	rt.countMembership("join")
+	rt.log("ring member joined", "instance", u, "epoch", nt.epoch, "members", len(members))
+	return nt.epoch, "joined", nil
+}
+
+// Eject removes url from the ring immediately, moving its keys to the
+// survivors. In-flight requests already proxied to it finish on their
+// own; new assignments stop with the swap. The last member cannot be
+// ejected.
+func (rt *Router) Eject(rawURL string) (epoch uint64, err error) {
+	u, err := normalizeMember(rawURL)
+	if err != nil {
+		return 0, err
+	}
+	rt.memberMu.Lock()
+	defer rt.memberMu.Unlock()
+	cur := rt.topo.Load()
+	if cur.find(u) == nil {
+		return cur.epoch, ErrUnknownMember
+	}
+	if len(cur.members) == 1 {
+		return cur.epoch, ErrLastMember
+	}
+	members := make([]string, 0, len(cur.members)-1)
+	for _, m := range cur.members {
+		if m != u {
+			members = append(members, m)
+		}
+	}
+	nt := rt.swap(members)
+	rt.countMembership("eject")
+	rt.log("ring member ejected", "instance", u, "epoch", nt.epoch, "members", len(members))
+	return nt.epoch, nil
+}
+
+// Drain begins retiring url: the member stops receiving new
+// assignments at once (the ring itself is untouched, so no other key
+// moves), in-flight requests finish, and a background waiter ejects the
+// member once its in-flight count holds at zero. Draining the last
+// member parks it — the waiter retries until another instance joins or
+// the router closes. Idempotent while a drain is pending.
+func (rt *Router) Drain(rawURL string) (epoch uint64, err error) {
+	u, err := normalizeMember(rawURL)
+	if err != nil {
+		return 0, err
+	}
+	rt.memberMu.Lock()
+	defer rt.memberMu.Unlock()
+	cur := rt.topo.Load()
+	in := cur.find(u)
+	if in == nil {
+		return cur.epoch, ErrUnknownMember
+	}
+	if !in.draining.CompareAndSwap(false, true) {
+		return cur.epoch, nil // drain already pending
+	}
+	rt.countMembership("drain")
+	rt.log("ring member draining", "instance", u, "inflight", in.inflight.Load())
+	rt.loops.Add(1)
+	go rt.awaitDrain(in)
+	return cur.epoch, nil
+}
+
+// awaitDrain watches a draining member and ejects it once idle. Two
+// consecutive zero-in-flight observations are required so a request
+// assigned just before the drain flag landed is not raced out of its
+// instance.
+func (rt *Router) awaitDrain(in *instance) {
+	defer rt.loops.Done()
+	t := time.NewTicker(rt.cfg.DrainPollInterval)
+	defer t.Stop()
+	clear := 0
+	for {
+		select {
+		case <-rt.closed:
+			return
+		case <-t.C:
+		}
+		if !in.draining.Load() {
+			return // readmitted by Join
+		}
+		if rt.topo.Load().find(in.url) != in {
+			return // already ejected (operator DELETE won the race)
+		}
+		if in.inflight.Load() != 0 {
+			clear = 0
+			continue
+		}
+		if clear++; clear < 2 {
+			continue
+		}
+		switch _, err := rt.Eject(in.url); {
+		case err == nil:
+			rt.log("drain complete, member removed", "instance", in.url)
+			return
+		case errors.Is(err, ErrLastMember):
+			clear = 0 // park: keep waiting for a join or Close
+		default:
+			return
+		}
+	}
+}
+
+// findInstance resolves a member URL against the current topology.
+func (rt *Router) findInstance(url string) *instance {
+	return rt.topo.Load().find(url)
+}
+
+// registerInstanceSeries creates the per-instance metric series for a
+// member URL, once per URL for the router's lifetime. The gauges
+// resolve through the current topology at scrape time, so a member that
+// leaves reads 0/absent-shaped values and one that rejoins under the
+// same URL lights the same series back up — no duplicate families, no
+// stale closures over dead instances. Caller holds memberMu (or is
+// New, before the router is shared).
+func (rt *Router) registerInstanceSeries(url string) {
+	if rt.seenURLs[url] {
+		return
+	}
+	rt.seenURLs[url] = true
+	rt.reg.Counter(mInstReqs, "Proxied attempts per instance.", "instance", url)
+	rt.reg.Counter(mInstFails, "Failed attempts per instance.", "instance", url)
+	rt.reg.GaugeFunc(mInstUp, "Prober verdict per instance (1 healthy).", func() float64 {
+		if in := rt.findInstance(url); in != nil && in.healthy.Load() {
+			return 1
+		}
+		return 0
+	}, "instance", url)
+	rt.reg.GaugeFunc(mInstOpen, "Circuit breaker state per instance (1 open).", func() float64 {
+		if in := rt.findInstance(url); in != nil && in.breakerOpen(time.Now()) {
+			return 1
+		}
+		return 0
+	}, "instance", url)
+	rt.reg.GaugeFunc(mInstDraining, "Drain state per instance (1 draining).", func() float64 {
+		if in := rt.findInstance(url); in != nil && in.draining.Load() {
+			return 1
+		}
+		return 0
+	}, "instance", url)
+}
+
+func (rt *Router) countMembership(op string) {
+	rt.reg.Counter(mMembership, "Ring membership changes by operation.", "op", op).Inc()
+}

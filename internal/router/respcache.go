@@ -1,0 +1,169 @@
+// Failover stampede control. The moment an instance dies or drains,
+// every key it owned reroutes to ring successors whose diagram caches
+// have never seen those patterns — and a popular pattern arrives as N
+// simultaneous identical requests against a cold cache. Left alone,
+// all N run the full build-and-verify pipeline; the failover window
+// becomes a self-inflicted load spike exactly when capacity dropped.
+// The stampede layer collapses it twice over, reusing the semantics of
+// internal/diagcache at the router tier:
+//
+//   - singleflight: concurrent identical request bodies share one
+//     upstream call; followers wait for the leader and replay its
+//     response — but only when that response is shareable (a 200 whose
+//     verify status is "verified" or absent/off, never a degraded
+//     artifact or an error). An unshareable leader result sends each
+//     follower on its own upstream call, so failures are never
+//     amplified by replay.
+//   - a short-TTL response cache with verified-only inserts: the
+//     seconds after a kill are the only window where the router
+//     answers from its own memory; once the survivors' pattern caches
+//     are warm the TTL lapses the router back to pure proxying.
+//
+// Requests carrying chaos fault headers bypass the layer entirely —
+// an injected fault must reach its backend and must never be replayed
+// onto an innocent caller.
+package router
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Bounds keeping the stampede layer's memory honest: requests larger
+// than stampedeMaxKeyBytes or responses larger than
+// stampedeMaxBodyBytes are proxied straight through (the hot-query
+// stampede this layer exists for is small-bodied by nature).
+const (
+	stampedeMaxKeyBytes  = 64 << 10
+	stampedeMaxBodyBytes = 1 << 20
+)
+
+// sharedResp is one buffered upstream response, immutable once stored.
+type sharedResp struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// shareable reports whether a response may be served to a caller other
+// than the one whose request produced it — the router-tier restatement
+// of diagcache's verified-only insert rule: status 200, never a
+// degraded artifact, and a verify status of "verified" or absent
+// (verification off).
+func (sr *sharedResp) shareable() bool {
+	if sr == nil || sr.status != http.StatusOK {
+		return false
+	}
+	if sr.header.Get("X-Queryvis-Degraded") != "" {
+		return false
+	}
+	switch sr.header.Get("X-Queryvis-Verify-Status") {
+	case "", "off", "verified":
+		return true
+	}
+	return false
+}
+
+type stampedeEntry struct {
+	sr      *sharedResp
+	expires time.Time
+}
+
+// stampedeFlight is one in-progress leader call; followers wait on
+// done and read sr (nil when the leader's result was unshareable).
+type stampedeFlight struct {
+	done chan struct{}
+	sr   *sharedResp
+}
+
+// stampede is the router-side singleflight plus TTL response cache.
+type stampede struct {
+	mu      sync.Mutex
+	entries map[string]*stampedeEntry
+	flights map[string]*stampedeFlight
+
+	ttl        time.Duration
+	maxEntries int
+}
+
+func newStampede(ttl time.Duration, maxEntries int) *stampede {
+	return &stampede{
+		entries:    make(map[string]*stampedeEntry),
+		flights:    make(map[string]*stampedeFlight),
+		ttl:        ttl,
+		maxEntries: maxEntries,
+	}
+}
+
+// get returns a fresh cached response for key, nil on miss or expiry.
+func (s *stampede) get(key string, now time.Time) *sharedResp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[key]
+	if e == nil {
+		return nil
+	}
+	if now.After(e.expires) {
+		delete(s.entries, key)
+		return nil
+	}
+	return e.sr
+}
+
+// join enters the singleflight for key: the first caller becomes the
+// leader (and MUST call complete exactly once); later callers get the
+// existing flight to wait on.
+func (s *stampede) join(key string) (*stampedeFlight, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.flights[key]; ok {
+		return f, false
+	}
+	f := &stampedeFlight{done: make(chan struct{})}
+	s.flights[key] = f
+	return f, true
+}
+
+// complete resolves a leader's flight: followers wake with sr (nil when
+// the outcome was unshareable), and a shareable response is inserted
+// into the TTL cache. Reports whether the insert happened.
+func (s *stampede) complete(key string, f *stampedeFlight, sr *sharedResp, now time.Time) bool {
+	if sr != nil && (!sr.shareable() || len(sr.body) > stampedeMaxBodyBytes) {
+		sr = nil
+	}
+	inserted := false
+	s.mu.Lock()
+	delete(s.flights, key)
+	if sr != nil {
+		if len(s.entries) >= s.maxEntries {
+			s.pruneLocked(now)
+		}
+		if len(s.entries) < s.maxEntries {
+			s.entries[key] = &stampedeEntry{sr: sr, expires: now.Add(s.ttl)}
+			inserted = true
+		}
+	}
+	s.mu.Unlock()
+	f.sr = sr
+	close(f.done)
+	return inserted
+}
+
+// pruneLocked drops expired entries; if none have expired the cache is
+// genuinely full of live entries and the insert is skipped — with a
+// TTL this short, "full" resolves itself within seconds.
+func (s *stampede) pruneLocked(now time.Time) {
+	for k, e := range s.entries {
+		if now.After(e.expires) {
+			delete(s.entries, k)
+		}
+	}
+}
+
+// size reports resident cache entries (expired-but-unswept included).
+func (s *stampede) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}

@@ -1,0 +1,122 @@
+// White-box tests for the stampede layer: the verified-only
+// shareability rule, singleflight leader/follower resolution, TTL
+// expiry, and the bounded cache. Time is passed explicitly.
+package router
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func respWith(status int, hdr map[string]string) *sharedResp {
+	h := http.Header{}
+	for k, v := range hdr {
+		h.Set(k, v)
+	}
+	return &sharedResp{status: status, header: h, body: []byte(`{"diagram":"digraph {}"}`)}
+}
+
+func TestShareableFollowsVerifiedOnlyRule(t *testing.T) {
+	cases := []struct {
+		name string
+		sr   *sharedResp
+		want bool
+	}{
+		{"plain 200", respWith(200, nil), true},
+		{"verified", respWith(200, map[string]string{"X-QueryVis-Verify-Status": "verified"}), true},
+		{"verify off", respWith(200, map[string]string{"X-QueryVis-Verify-Status": "off"}), true},
+		{"failed verify", respWith(200, map[string]string{"X-QueryVis-Verify-Status": "failed"}), false},
+		{"timeout verify", respWith(200, map[string]string{"X-QueryVis-Verify-Status": "timeout"}), false},
+		{"degraded", respWith(200, map[string]string{"X-QueryVis-Degraded": "worker_crash"}), false},
+		{"shed 503", respWith(503, nil), false},
+		{"client error", respWith(400, nil), false},
+		{"nil", nil, false},
+	}
+	for _, c := range cases {
+		if got := c.sr.shareable(); got != c.want {
+			t.Errorf("%s: shareable() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestStampedeSingleflightResolution(t *testing.T) {
+	s := newStampede(time.Second, 16)
+	now := time.Unix(5000, 0)
+
+	f1, leader := s.join("k")
+	if !leader {
+		t.Fatal("first join must lead")
+	}
+	f2, leader2 := s.join("k")
+	if leader2 || f2 != f1 {
+		t.Fatal("second join must follow the existing flight")
+	}
+
+	sr := respWith(200, nil)
+	if !s.complete("k", f1, sr, now) {
+		t.Fatal("shareable 200 must be inserted")
+	}
+	select {
+	case <-f2.done:
+	default:
+		t.Fatal("followers not woken by complete")
+	}
+	if f2.sr != sr {
+		t.Fatal("follower did not receive the leader's response")
+	}
+	if got := s.get("k", now.Add(500*time.Millisecond)); got != sr {
+		t.Fatal("shareable response not served from the TTL cache")
+	}
+	if got := s.get("k", now.Add(2*time.Second)); got != nil {
+		t.Fatal("entry survived past its TTL")
+	}
+
+	// A fresh flight for the same key leads again once resolved.
+	if _, leader := s.join("k"); !leader {
+		t.Fatal("key not released after complete")
+	}
+}
+
+func TestStampedeUnshareableResolvesNilAndCachesNothing(t *testing.T) {
+	s := newStampede(time.Second, 16)
+	now := time.Unix(6000, 0)
+	f, _ := s.join("k")
+	if s.complete("k", f, respWith(503, nil), now) {
+		t.Fatal("a 503 must not be inserted")
+	}
+	if f.sr != nil {
+		t.Fatal("followers must see nil for an unshareable outcome")
+	}
+	if s.get("k", now) != nil || s.size() != 0 {
+		t.Fatal("unshareable outcome leaked into the cache")
+	}
+}
+
+func TestStampedeCacheStaysBounded(t *testing.T) {
+	s := newStampede(time.Hour, 8) // nothing expires during the test
+	now := time.Unix(7000, 0)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k-%d", i)
+		f, _ := s.join(k)
+		s.complete(k, f, respWith(200, nil), now)
+	}
+	if n := s.size(); n > 8 {
+		t.Fatalf("stampede cache holds %d entries past its cap of 8", n)
+	}
+}
+
+func TestStampedeOversizedBodyNotShared(t *testing.T) {
+	s := newStampede(time.Second, 16)
+	now := time.Unix(8000, 0)
+	sr := respWith(200, nil)
+	sr.body = make([]byte, stampedeMaxBodyBytes+1)
+	f, _ := s.join("k")
+	if s.complete("k", f, sr, now) {
+		t.Fatal("oversized body must not be inserted")
+	}
+	if f.sr != nil {
+		t.Fatal("oversized body must not be replayed to followers")
+	}
+}

@@ -5,17 +5,26 @@
 // Virtual points keep the load split even when instances join or leave,
 // and make a key's preference list stable: killing one instance moves
 // only that instance's keys, everyone else's cache affinity survives.
+//
+// Vnode placement is keyed by the member's stable identity (its URL),
+// never its slice position: live membership rebuilds the ring with a
+// different member list, and an index-keyed ring would re-place every
+// surviving instance's points on removal — moving nearly every key for
+// a one-instance change. Identity-keyed points guarantee the minimal-
+// movement property the membership tests pin down: a join moves only
+// the ~K/(N+1) keys the newcomer wins, a removal only the departed
+// instance's own keys.
 package router
 
 import (
-	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 )
 
 type ringPoint struct {
 	hash uint32
-	idx  int // instance index
+	idx  int // index into the member list the ring was built from
 }
 
 type ring struct {
@@ -23,13 +32,15 @@ type ring struct {
 	n      int // distinct instances
 }
 
-// newRing places replicas points per instance, sorted by hash. Ties are
-// broken by instance index so construction is deterministic.
-func newRing(instances, replicas int) *ring {
-	r := &ring{points: make([]ringPoint, 0, instances*replicas), n: instances}
-	for i := 0; i < instances; i++ {
+// newRing places replicas points per member, sorted by hash. Point
+// hashes depend only on the member id, so a member's placement is
+// identical in every ring that contains it. Ties are broken by member
+// index so construction is deterministic.
+func newRing(members []string, replicas int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(members)*replicas), n: len(members)}
+	for i, id := range members {
 		for v := 0; v < replicas; v++ {
-			r.points = append(r.points, ringPoint{hash: hash32(fmt.Sprintf("%d#%d", i, v)), idx: i})
+			r.points = append(r.points, ringPoint{hash: hash32(id + "#" + strconv.Itoa(v)), idx: i})
 		}
 	}
 	sort.Slice(r.points, func(a, b int) bool {
@@ -43,8 +54,12 @@ func newRing(instances, replicas int) *ring {
 
 // order returns the key's instance preference: the owner first, then
 // each distinct instance met walking clockwise. Every instance appears
-// exactly once, so the list is also the failover schedule.
+// exactly once, so the list is also the failover schedule. An empty
+// ring (every member drained away) yields nil.
 func (r *ring) order(key string) []int {
+	if len(r.points) == 0 {
+		return nil
+	}
 	h := hash32(key)
 	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	out := make([]int, 0, r.n)
@@ -67,9 +82,9 @@ func hash32(s string) uint32 {
 
 // mix32 is a bijective finalizer (Prospecting-for-Hash-Functions
 // constants) applied on top of FNV-1a. Raw FNV of short keys like
-// "2#13" keeps additive structure — instance i's vnode hashes land at
-// near-constant offsets from instance 0's — which lines the ring up so
-// one survivor inherits nearly all of a dead instance's keys. The
+// "host#13" keeps additive structure — instance i's vnode hashes land
+// at near-constant offsets from instance 0's — which lines the ring up
+// so one survivor inherits nearly all of a dead instance's keys. The
 // finalizer destroys that correlation so failover load actually
 // spreads.
 func mix32(x uint32) uint32 {

@@ -1,12 +1,13 @@
 // Package router is the scale-out front door: a stdlib-only
 // consistent-hash router that shards QueryVis requests across N
-// queryvisd instances by canonical pattern key, with active health
-// checking, per-instance circuit breaking, and bounded failover along
-// the ring. Its one hard promise is the same one the daemon makes —
-// every request ends in a well-formed response: a proxied answer, a
-// backend's own categorized error, or the router's honest 503 with
-// Retry-After when the whole ring is unhealthy. Never a hang, never a
-// silent drop.
+// queryvisd instances by canonical pattern key, with live ring
+// membership, active health checking with hysteresis, per-instance
+// circuit breaking, hot-pattern replication, failover stampede
+// control, and bounded failover along the ring. Its one hard promise
+// is the same one the daemon makes — every request ends in a
+// well-formed response: a proxied answer, a backend's own categorized
+// error, or the router's honest 503 with Retry-After when the whole
+// ring is unhealthy. Never a hang, never a silent drop.
 //
 // Sharding key: the router cannot parse SQL (that is what the backends'
 // sacrificial workers are for), so it learns the canonical pattern key
@@ -16,6 +17,14 @@
 // isomorphic queries (same pattern, different literals) land on the
 // instance whose diagram cache is warm; a cold body routes by its own
 // hash, which is still deterministic and evenly spread.
+//
+// Topology is live: the /v1/ring admin surface (see admin.go) joins,
+// drains, and ejects members at runtime against an epoch-versioned
+// immutable snapshot (see membership.go), hot patterns spread across
+// replicas when one key's load would otherwise saturate its owner (see
+// hotspot.go), and the cache-cold window after a kill or drain is
+// collapsed by router-side singleflight plus a short-TTL verified-only
+// response cache (see respcache.go).
 package router
 
 import (
@@ -27,7 +36,9 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/client"
@@ -37,24 +48,39 @@ import (
 // Metric families exported by the router; healthz reads these same
 // series back, so the two endpoints can never disagree.
 const (
-	mRequests  = "queryvis_router_requests_total"
-	mProxyDur  = "queryvis_router_request_duration_seconds"
-	mFailovers = "queryvis_router_failovers_total"
-	mNoHealthy = "queryvis_router_no_healthy_total"
-	mInstReqs  = "queryvis_router_instance_requests_total"
-	mInstFails = "queryvis_router_instance_failures_total"
-	mInstUp    = "queryvis_router_instance_healthy"
-	mInstOpen  = "queryvis_router_breaker_open"
-	mKeytab    = "queryvis_router_pattern_keys"
+	mRequests        = "queryvis_router_requests_total"
+	mProxyDur        = "queryvis_router_request_duration_seconds"
+	mFailovers       = "queryvis_router_failovers_total"
+	mNoHealthy       = "queryvis_router_no_healthy_total"
+	mInstReqs        = "queryvis_router_instance_requests_total"
+	mInstFails       = "queryvis_router_instance_failures_total"
+	mInstUp          = "queryvis_router_instance_healthy"
+	mInstOpen        = "queryvis_router_breaker_open"
+	mInstDraining    = "queryvis_router_instance_draining"
+	mKeytab          = "queryvis_router_pattern_keys"
+	mEpoch           = "queryvis_router_ring_epoch"
+	mMembers         = "queryvis_router_ring_members"
+	mMembership      = "queryvis_router_membership_changes_total"
+	mHotPromotions   = "queryvis_router_hot_promotions_total"
+	mHotDemotions    = "queryvis_router_hot_demotions_total"
+	mHotGauge        = "queryvis_router_hot_patterns"
+	mStampede        = "queryvis_router_stampede_total"
+	mStampedeEntries = "queryvis_router_stampede_entries"
+	mOrigin          = "queryvis_router_origin_responses_total"
 )
 
 // outcome labels for mRequests.
 var outcomes = []string{"proxied", "shed", "error"}
 
+// stampedeOutcomes labels mStampede: a served cache "hit", a follower
+// "coalesced" onto a leader's flight, a shareable response "insert".
+var stampedeOutcomes = []string{"hit", "coalesced", "insert"}
+
 // Config tunes the router. Zero fields take the documented defaults.
 type Config struct {
 	// Backends are the instance base URLs (e.g. "http://127.0.0.1:8081").
-	// Required, at least one.
+	// Required, at least one. This is only the *initial* membership; the
+	// /v1/ring admin surface grows and shrinks it at runtime.
 	Backends []string
 	// Replicas is the number of virtual ring points per instance
 	// (default 64).
@@ -63,6 +89,14 @@ type Config struct {
 	HealthInterval time.Duration
 	// ProbeTimeout bounds one health probe (default 1s).
 	ProbeTimeout time.Duration
+	// ProbeDownAfter is how many consecutive failed probes mark a
+	// healthy instance unhealthy (default 2). Hysteresis: one blown
+	// probe against a busy instance must not eject it.
+	ProbeDownAfter int
+	// ProbeUpAfter is how many consecutive passing probes readmit an
+	// unhealthy instance (default 2). A flapping instance has to prove a
+	// streak before the ring trusts it with keys again.
+	ProbeUpAfter int
 	// BreakerThreshold opens an instance's circuit after this many
 	// consecutive request-path failures (default 3).
 	BreakerThreshold int
@@ -87,6 +121,37 @@ type Config struct {
 	// MaxBodyBytes caps a routed request body; bigger bodies get a 413
 	// without touching a backend (default 4 MiB).
 	MaxBodyBytes int64
+	// AdminToken is the bearer token guarding the /v1/ring membership
+	// surface. Empty disables the surface: every admin call answers 403.
+	AdminToken string
+	// DrainPollInterval is how often a drain waiter re-checks a draining
+	// member's in-flight count (default 50ms).
+	DrainPollInterval time.Duration
+	// HotThresholdRPS is the per-pattern request rate above which a
+	// pattern is promoted to replicated reads across its first
+	// HotReplicas ring candidates. Zero disables hot-pattern
+	// replication.
+	HotThresholdRPS float64
+	// HotReplicas is how many ring candidates share a promoted pattern
+	// (default 2).
+	HotReplicas int
+	// HotHalfLife is the decay half-life of the per-pattern rate
+	// estimator (default 1s): the promotion threshold is crossed after
+	// roughly one half-life of sustained above-threshold load, and a
+	// subsided spike demotes within a few half-lives.
+	HotHalfLife time.Duration
+	// MaxHotPatterns bounds the rate-tracker table (default 1024).
+	MaxHotPatterns int
+	// StampedeTTL enables failover stampede control when positive:
+	// concurrent identical requests collapse into one upstream call
+	// (singleflight) and shareable responses are served from a
+	// router-side cache for this long. Zero disables the layer — the
+	// default, because a TTL cache changes single-client visible
+	// behavior (repeated requests stop reaching a backend).
+	StampedeTTL time.Duration
+	// StampedeMaxEntries bounds the stampede response cache
+	// (default 1024).
+	StampedeMaxEntries int
 	// Metrics receives the router's series; nil creates a private
 	// registry.
 	Metrics *telemetry.Registry
@@ -103,6 +168,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeTimeout <= 0 {
 		c.ProbeTimeout = time.Second
+	}
+	if c.ProbeDownAfter <= 0 {
+		c.ProbeDownAfter = 2
+	}
+	if c.ProbeUpAfter <= 0 {
+		c.ProbeUpAfter = 2
 	}
 	if c.BreakerThreshold <= 0 {
 		c.BreakerThreshold = 3
@@ -125,18 +196,43 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 4 << 20
 	}
+	if c.DrainPollInterval <= 0 {
+		c.DrainPollInterval = 50 * time.Millisecond
+	}
+	if c.HotReplicas <= 0 {
+		c.HotReplicas = 2
+	}
+	if c.HotHalfLife <= 0 {
+		c.HotHalfLife = time.Second
+	}
+	if c.MaxHotPatterns <= 0 {
+		c.MaxHotPatterns = 1024
+	}
+	if c.StampedeMaxEntries <= 0 {
+		c.StampedeMaxEntries = 1024
+	}
 	return c
 }
 
 // Router is the handler. It proxies POST API calls by pattern key and
-// serves its own /v1/healthz and /v1/metrics (the router's, not a
-// backend's — a load balancer's health is a different fact from any
-// instance's health).
+// serves its own /v1/healthz, /v1/metrics, and /v1/ring admin surface
+// (the router's, not a backend's — a load balancer's health is a
+// different fact from any instance's health).
 type Router struct {
-	cfg   Config
-	ring  *ring
-	insts []*instance
-	keys  *keytab
+	cfg  Config
+	keys *keytab
+
+	// topo is the live membership snapshot; see membership.go. Writers
+	// serialize on memberMu and swap whole immutable values.
+	topo     atomic.Pointer[topology]
+	memberMu sync.Mutex
+	// seenURLs records which member URLs already own metric series, so
+	// a leave/rejoin cycle reuses one series instead of panicking on
+	// re-registration. Guarded by memberMu after New.
+	seenURLs map[string]bool
+
+	hot      *hottab   // nil ⇒ hot-pattern replication disabled
+	stampede *stampede // nil ⇒ stampede control disabled
 
 	hc          *client.Client  // proxy path: retries + MaxElapsed cap
 	probeClient *http.Client    // health path: no retries, short timeout
@@ -160,15 +256,30 @@ func New(cfg Config) (*Router, error) {
 	}
 	cfg = cfg.withDefaults()
 	rt := &Router{
-		cfg:    cfg,
-		ring:   newRing(len(cfg.Backends), cfg.Replicas),
-		keys:   newKeytab(),
-		closed: make(chan struct{}),
-		reg:    cfg.Metrics,
+		cfg:      cfg,
+		keys:     newKeytab(),
+		seenURLs: make(map[string]bool),
+		closed:   make(chan struct{}),
+		reg:      cfg.Metrics,
 	}
 	if rt.reg == nil {
 		rt.reg = telemetry.NewRegistry()
 	}
+
+	members := make([]string, 0, len(cfg.Backends))
+	for _, b := range cfg.Backends {
+		u, err := normalizeMember(b)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range members {
+			if m == u {
+				return nil, fmt.Errorf("router: duplicate backend %q", u)
+			}
+		}
+		members = append(members, u)
+	}
+
 	rt.transport = &http.Transport{MaxIdleConnsPerHost: 32}
 	rt.hc = client.New(client.Config{
 		HTTPClient:  &http.Client{Timeout: cfg.InstanceTimeout, Transport: rt.transport},
@@ -189,26 +300,38 @@ func New(cfg Config) (*Router, error) {
 	rt.noHealthy = rt.reg.Counter(mNoHealthy, "Requests shed because no ring instance was eligible.")
 	rt.reg.GaugeFunc(mKeytab, "Learned body-hash→pattern routing keys.",
 		func() float64 { return float64(rt.keys.len()) })
+	rt.reg.GaugeFunc(mEpoch, "Ring topology epoch; bumps on every membership change.",
+		func() float64 { return float64(rt.topo.Load().epoch) })
+	rt.reg.GaugeFunc(mMembers, "Current ring member count.",
+		func() float64 { return float64(len(rt.topo.Load().members)) })
 
-	for _, url := range cfg.Backends {
-		in := &instance{url: url}
-		in.healthy.Store(true) // optimistic: see instance.healthy
-		rt.insts = append(rt.insts, in)
-		rt.reg.Counter(mInstReqs, "Proxied attempts per instance.", "instance", in.url)
-		rt.reg.Counter(mInstFails, "Failed attempts per instance.", "instance", in.url)
-		rt.reg.GaugeFunc(mInstUp, "Prober verdict per instance (1 healthy).", func() float64 {
-			if in.healthy.Load() {
-				return 1
-			}
-			return 0
-		}, "instance", in.url)
-		rt.reg.GaugeFunc(mInstOpen, "Circuit breaker state per instance (1 open).", func() float64 {
-			if in.breakerOpen(time.Now()) {
-				return 1
-			}
-			return 0
-		}, "instance", in.url)
+	if cfg.HotThresholdRPS > 0 {
+		rt.hot = newHottab(cfg.MaxHotPatterns, cfg.HotHalfLife, cfg.HotThresholdRPS, rt.reg)
+		rt.reg.GaugeFunc(mHotGauge, "Patterns currently promoted to replicated reads.",
+			func() float64 { return float64(rt.hot.promotedCount()) })
 	}
+	if cfg.StampedeTTL > 0 {
+		rt.stampede = newStampede(cfg.StampedeTTL, cfg.StampedeMaxEntries)
+		rt.reg.GaugeFunc(mStampedeEntries, "Resident stampede response-cache entries.",
+			func() float64 { return float64(rt.stampede.size()) })
+		for _, o := range stampedeOutcomes {
+			rt.stampedeCount(o) // pre-register so healthz reads never miss
+		}
+	}
+
+	insts := make([]*instance, len(members))
+	for i, m := range members {
+		in := &instance{url: m}
+		in.healthy.Store(true) // optimistic: see instance.healthy
+		insts[i] = in
+		rt.registerInstanceSeries(m)
+	}
+	rt.topo.Store(&topology{
+		epoch:   1,
+		members: members,
+		insts:   insts,
+		ring:    newRing(members, cfg.Replicas),
+	})
 
 	rt.loops.Add(1)
 	go rt.prober()
@@ -218,8 +341,8 @@ func New(cfg Config) (*Router, error) {
 // Registry exposes the router's metrics registry.
 func (rt *Router) Registry() *telemetry.Registry { return rt.reg }
 
-// Close stops the health prober and releases idle connections. Safe to
-// call more than once.
+// Close stops the health prober and drain waiters and releases idle
+// connections. Safe to call more than once.
 func (rt *Router) Close() {
 	rt.once.Do(func() { close(rt.closed) })
 	rt.loops.Wait()
@@ -227,14 +350,24 @@ func (rt *Router) Close() {
 }
 
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	switch r.URL.Path {
-	case "/v1/healthz":
+	switch {
+	case r.URL.Path == "/v1/healthz":
 		rt.handleHealthz(w, r)
-	case "/v1/metrics":
+	case r.URL.Path == "/v1/metrics":
 		rt.reg.WritePrometheus(w)
+	case strings.HasPrefix(r.URL.Path, "/v1/ring/"):
+		rt.handleAdmin(w, r)
 	default:
 		rt.route(w, r)
 	}
+}
+
+// carriesFaultHeaders reports whether the request injects chaos faults
+// (X-Fault-Seed / X-Worker-Fault, honored by backends in test mode).
+// Such requests must reach a real backend and must never be answered
+// from — or inserted into — any shared cache.
+func carriesFaultHeaders(r *http.Request) bool {
+	return r.Header.Get("X-Fault-Seed") != "" || r.Header.Get("X-Worker-Fault") != ""
 }
 
 // route proxies one API request along its key's ring order.
@@ -242,45 +375,121 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	body, err := io.ReadAll(io.LimitReader(r.Body, rt.cfg.MaxBodyBytes+1))
 	if err != nil {
-		rt.fail(w, http.StatusBadRequest, "bad_request", "reading request body failed")
+		rt.fail(w, r, http.StatusBadRequest, "bad_request", "reading request body failed")
 		return
 	}
 	if int64(len(body)) > rt.cfg.MaxBodyBytes {
-		rt.fail(w, http.StatusRequestEntityTooLarge, "too_large",
+		rt.fail(w, r, http.StatusRequestEntityTooLarge, "too_large",
 			fmt.Sprintf("request body exceeds the router's %d-byte cap", rt.cfg.MaxBodyBytes))
 		return
 	}
 
+	// The routing key — and the hot tracker's demand signal — are
+	// computed before the stampede gate: a request served from the
+	// router's own cache is still client demand for its pattern, and
+	// promotion must track what clients ask for, not the residual that
+	// happens to reach a backend.
 	bodyHash := hash64(body)
 	key := rt.keys.get(bodyHash)
 	if key == "" {
 		key = strconv.FormatUint(bodyHash, 16)
 	}
-	order := rt.ring.order(key)
+	promoted, rot := false, uint32(0)
+	if rt.hot != nil {
+		promoted, rot = rt.hot.touch(key, time.Now())
+	}
+
+	// Stampede control (opt-in): collapse the N identical requests of a
+	// cache-cold failover window into one upstream call. The leader
+	// registers a flight here and resolves it at every exit below via
+	// the deferred complete; followers wait and replay a shareable
+	// result, or make their own trip when the leader's wasn't.
+	var (
+		flight    *stampedeFlight
+		skey      string
+		delivered *sharedResp
+	)
+	if rt.stampede != nil && !carriesFaultHeaders(r) && len(body)+len(r.URL.Path) < stampedeMaxKeyBytes {
+		skey = r.Method + " " + r.URL.Path + "\x00" + string(body)
+		if sr := rt.stampede.get(skey, time.Now()); sr != nil {
+			rt.stampedeCount("hit").Inc()
+			rt.requests["proxied"].Inc()
+			rt.proxyDur.Observe(time.Since(start).Seconds())
+			writeShared(w, sr, "hit")
+			return
+		}
+		fl, leader := rt.stampede.join(skey)
+		if leader {
+			flight = fl
+			defer func() {
+				if rt.stampede.complete(skey, flight, delivered, time.Now()) {
+					rt.stampedeCount("insert").Inc()
+				}
+			}()
+		} else {
+			select {
+			case <-fl.done:
+				if fl.sr != nil {
+					rt.stampedeCount("coalesced").Inc()
+					rt.requests["proxied"].Inc()
+					rt.proxyDur.Observe(time.Since(start).Seconds())
+					writeShared(w, fl.sr, "coalesced")
+					return
+				}
+				// The leader's outcome wasn't shareable (an error or a
+				// degraded artifact): fall through to our own upstream
+				// call — failures are never amplified by replay.
+			case <-r.Context().Done():
+				rt.requests["error"].Inc()
+				rt.fail(w, r, http.StatusServiceUnavailable, "canceled",
+					"request canceled while waiting on a coalesced upstream call")
+				return
+			}
+		}
+	}
+
+	// One topology snapshot per request: the candidate list, the
+	// instance pointers, and the ring agree with each other even if a
+	// membership change lands mid-request.
+	tp := rt.topo.Load()
+	order := tp.ring.order(key)
 
 	// The failover schedule: the key's eligible instances in ring order.
-	// When the breaker and prober have disqualified everyone, that is
-	// the fully-unhealthy case — shed honestly rather than queue blind.
+	// When the breaker, prober, and drain flags have disqualified
+	// everyone, that is the fully-unhealthy case — shed honestly rather
+	// than queue blind.
 	now := time.Now()
-	candidates := order[:0:0]
+	candidates := make([]*instance, 0, len(order))
 	for _, idx := range order {
-		if rt.insts[idx].eligible(now) {
-			candidates = append(candidates, idx)
+		if tp.insts[idx].eligible(now) {
+			candidates = append(candidates, tp.insts[idx])
 		}
 	}
 	if len(candidates) == 0 {
 		rt.noHealthy.Inc()
 		rt.requests["shed"].Inc()
-		rt.shed(w)
+		rt.shed(w, r)
 		return
 	}
 
+	// Hot-pattern replication: a promoted key rotates across its first
+	// HotReplicas candidates instead of hammering the owner alone. The
+	// rotation only reorders — the full candidate list is still the
+	// failover schedule, so replication never costs availability.
+	if promoted && len(candidates) > 1 {
+		n := min(rt.cfg.HotReplicas, len(candidates))
+		if i := int(rot % uint32(n)); i != 0 {
+			c := append(make([]*instance, 0, len(candidates)), candidates...)
+			c[0], c[i] = c[i], c[0]
+			candidates = c
+		}
+	}
+
 	var lastErr error
-	for i, idx := range candidates {
-		in := rt.insts[idx]
+	for i, in := range candidates {
 		last := i == len(candidates)-1
 		rt.reg.Counter(mInstReqs, "Proxied attempts per instance.", "instance", in.url).Inc()
-		resp, err := rt.forward(r, in, body)
+		sr, err := rt.forward(r, in, body)
 		if err != nil {
 			lastErr = err
 			rt.reg.Counter(mInstFails, "Failed attempts per instance.", "instance", in.url).Inc()
@@ -291,33 +500,33 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
-		if retryElsewhere(resp.StatusCode) && !last {
+		if retryElsewhere(sr.status) && !last {
 			// The instance shed or is failing; its ring successor gets the
 			// request. Only transport errors and 5xx count against the
 			// breaker — a 429 is the load shedder doing its job, not a
 			// fault.
-			if resp.StatusCode != http.StatusTooManyRequests {
+			if sr.status != http.StatusTooManyRequests {
 				rt.reg.Counter(mInstFails, "Failed attempts per instance.", "instance", in.url).Inc()
 				in.recordFailure(rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown)
 			}
-			drain(resp)
 			rt.failovers.Inc()
-			rt.log("instance shed, failing over", "instance", in.url, "status", resp.StatusCode)
+			rt.log("instance shed, failing over", "instance", in.url, "status", sr.status)
 			continue
 		}
 		// A response to deliver — a success, a categorized client error,
 		// or (on the last candidate) the backend's own shed response,
 		// passed through verbatim: it is well-formed and honest, and the
 		// backend's Retry-After is better informed than ours.
-		if resp.StatusCode < http.StatusInternalServerError && resp.StatusCode != http.StatusTooManyRequests {
+		if sr.status < http.StatusInternalServerError && sr.status != http.StatusTooManyRequests {
 			in.recordSuccess()
 		}
-		if pat := resp.Header.Get("X-Queryvis-Pattern"); pat != "" {
+		if pat := sr.header.Get("X-Queryvis-Pattern"); pat != "" {
 			rt.keys.put(bodyHash, pat)
 		}
 		rt.requests["proxied"].Inc()
 		rt.proxyDur.Observe(time.Since(start).Seconds())
-		copyResponse(w, resp)
+		delivered = sr // deferred stampede complete decides shareability
+		writeShared(w, sr, "")
 		return
 	}
 	// Every candidate failed at the transport level: nothing well-formed
@@ -325,14 +534,26 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
 	rt.requests["error"].Inc()
 	rt.proxyDur.Observe(time.Since(start).Seconds())
 	rt.log("all candidates failed", "err", lastErr)
-	rt.shed(w)
+	rt.shed(w, r)
 }
+
+// maxBufferedResponse caps a buffered upstream response. Diagram
+// payloads are a few KiB; anything past this cap is a wire-contract
+// violation by the backend and is treated as an instance failure.
+const maxBufferedResponse = 64 << 20
 
 // forward sends the request to one instance through the shared retrying
 // client (which retries 429/503 briefly and honors Retry-After, capped
 // by InstanceMaxElapsed so a sick instance cannot monopolize the
-// failover budget).
-func (rt *Router) forward(r *http.Request, in *instance, body []byte) (*http.Response, error) {
+// failover budget) and buffers the full response. Buffering is what
+// makes failover and stampede sharing honest: a connection that dies
+// mid-body is discovered here — and failed over — instead of after the
+// response status has already been committed to the client. The
+// instance's in-flight count covers the whole exchange; the drain
+// waiter trusts it.
+func (rt *Router) forward(r *http.Request, in *instance, body []byte) (*sharedResp, error) {
+	in.inflight.Add(1)
+	defer in.inflight.Add(-1)
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, in.url+r.URL.Path, readerFor(body))
 	if err != nil {
 		return nil, err
@@ -343,7 +564,39 @@ func (rt *Router) forward(r *http.Request, in *instance, body []byte) (*http.Res
 		}
 		req.Header[k] = vs
 	}
-	return rt.hc.Do(req)
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(io.LimitReader(resp.Body, maxBufferedResponse+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(rb) > maxBufferedResponse {
+		return nil, fmt.Errorf("router: response from %s exceeds the %d-byte buffer cap",
+			in.url, maxBufferedResponse)
+	}
+	return &sharedResp{status: resp.StatusCode, header: resp.Header.Clone(), body: rb}, nil
+}
+
+// writeShared delivers a buffered response. via tags replayed
+// responses ("hit", "coalesced") with X-Queryvis-Router-Cache so a
+// client can tell router-served from instance-served answers; a live
+// proxied response passes empty via and gets no marker.
+func writeShared(w http.ResponseWriter, sr *sharedResp, via string) {
+	h := w.Header()
+	for k, vs := range sr.header {
+		if isHopByHop(k) {
+			continue
+		}
+		h[k] = append([]string(nil), vs...)
+	}
+	if via != "" {
+		h.Set("X-Queryvis-Router-Cache", via)
+	}
+	w.WriteHeader(sr.status)
+	_, _ = w.Write(sr.body)
 }
 
 // retryElsewhere reports whether a response status means the next ring
@@ -359,35 +612,43 @@ func retryElsewhere(code int) bool {
 // the service's wire shape plus Retry-After, so a well-behaved client
 // (internal/client) backs off and retries instead of seeing a blank
 // failure.
-func (rt *Router) shed(w http.ResponseWriter) {
+func (rt *Router) shed(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Retry-After",
 		strconv.Itoa(int(math.Ceil(rt.cfg.RetryAfter.Seconds()))))
-	rt.fail(w, http.StatusServiceUnavailable, "overloaded",
+	rt.fail(w, r, http.StatusServiceUnavailable, "overloaded",
 		"no healthy instance in the ring; retry shortly")
 }
 
+// requestID echoes the caller's X-Request-Id or mints one, so every
+// router-originated response is traceable even when the client sent
+// nothing to correlate by.
+func (rt *Router) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" {
+		return id
+	}
+	return telemetry.NewRequestID()
+}
+
 // fail writes a categorized error in the same wire shape the backends
-// use, so router-origin and instance-origin failures are
-// indistinguishable to clients.
-func (rt *Router) fail(w http.ResponseWriter, status int, category, msg string) {
+// use, so router-origin and instance-origin failures are structurally
+// indistinguishable to clients — except for the X-Request-Id the
+// router stamps (and echoes) on its own responses, which is exactly
+// what lets an operator attribute a 503 to the router rather than an
+// instance. Every router-originated response is counted by category.
+func (rt *Router) fail(w http.ResponseWriter, r *http.Request, status int, category, msg string) {
+	id := rt.requestID(r)
+	rt.reg.Counter(mOrigin, "Router-originated responses by category.", "category", category).Inc()
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Request-Id", id)
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(map[string]any{
-		"error": map[string]any{"category": category, "message": msg},
+		"error": map[string]any{"category": category, "message": msg, "request_id": id},
 	})
 }
 
-// copyResponse streams an upstream response through untouched.
-func copyResponse(w http.ResponseWriter, resp *http.Response) {
-	defer resp.Body.Close()
-	for k, vs := range resp.Header {
-		if isHopByHop(k) {
-			continue
-		}
-		w.Header()[k] = vs
-	}
-	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
+// stampedeCount returns the outcome-labeled stampede counter.
+func (rt *Router) stampedeCount(outcome string) *telemetry.Counter {
+	return rt.reg.Counter(mStampede, "Stampede-control events by outcome.", "outcome", outcome)
 }
 
 func isHopByHop(k string) bool {

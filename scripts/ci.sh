@@ -35,6 +35,15 @@
 #              (open-loop burst through the router over two instances,
 #              one SIGKILLed mid-run, loadgen's audit must exit clean)
 #              and the queryvisd -route lifecycle check
+#   churn      rolling-restart membership chaos under the race detector:
+#              three real instances behind the live router, two replaced
+#              mid-storm through the /v1/ring admin surface (join the
+#              replacement, drain the old member, kill it once removed)
+#              while 16 workers drive a Zipf-skewed mix with hot-pattern
+#              replication and stampede control enabled — every response
+#              well-formed, zero shed, zero 503s, zero leaks; plus the
+#              loadgen -zipf smoke (seeded skewed mix, report must carry
+#              the exponent and a dominant hot share)
 #   oracle     30-second differential-oracle smoke run (seeded, so any
 #              counterexample it prints is reproducible with cmd/oracle)
 #   replay     the checked-in quarantine corpus must replay with zero
@@ -79,6 +88,12 @@ go test -count=1 -run 'TestLoadgenSmokeInstanceKill' ./cmd/loadgen
 
 echo "== queryvisd route-mode lifecycle"
 go test -count=1 -run TestRouteMode ./cmd/queryvisd
+
+echo "== rolling-restart membership churn (race)"
+go test -count=1 -race -run 'TestRouterMembershipChurn|TestHotPatternReplicationSpreadsViralKey|TestStampedeCollapsesColdWindow' ./internal/router
+
+echo "== loadgen zipf smoke"
+go test -count=1 -run TestLoadgenZipfSkewsMix ./cmd/loadgen
 
 echo "== oracle smoke (30s)"
 go run ./cmd/oracle -n 100000 -seed 1 -timeout 30s
