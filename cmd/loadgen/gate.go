@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The SLO gate: -gate BENCH_server.json replays the benchmark mix
+// against the target and fails the run (exit 1) when measured p50 — or
+// allocs/op from a -gate-bench file — regresses more than
+// -gate-threshold against the recorded baseline. CI wires this through
+// scripts/slogate so a latency or allocation win, once recorded, stays
+// won.
+
+// gateBaselineP50Key and gateBaselineAllocsKey name the BENCH cells the
+// gate reads. p50 comes from the endpoint benchmark (full round trips,
+// the same shape loadgen measures); allocs/op from the serial handler
+// benchmark — exact and stable run-to-run, the strong leg of the gate
+// on a noisy shared host.
+const (
+	gateBaselineP50Key    = "BenchmarkDiagramEndpoint/telemetry-on"
+	gateBaselineAllocsKey = "BenchmarkDiagramHandler/telemetry-on"
+)
+
+// gateBaseline is the recorded SLO the gate enforces.
+type gateBaseline struct {
+	P50MS       float64
+	AllocsPerOp float64
+}
+
+// GateResult is the gate's verdict, attached to the run report.
+type GateResult struct {
+	Baseline    string  `json:"baseline"`
+	ThresholdPC float64 `json:"threshold_pct"`
+	BaselineP50 float64 `json:"baseline_p50_ms"`
+	MeasuredP50 float64 `json:"measured_p50_ms"`
+	// RunP50s are every gate run's p50; MeasuredP50 is their minimum
+	// (best-of-N, the same discipline BENCH_server.json records).
+	RunP50s        []float64 `json:"run_p50s_ms"`
+	BaselineAllocs float64   `json:"baseline_allocs_per_op,omitempty"`
+	MeasuredAllocs float64   `json:"measured_allocs_per_op,omitempty"`
+	Violations     []string  `json:"violations,omitempty"`
+	Pass           bool      `json:"pass"`
+}
+
+// loadGateBaseline reads the two gate cells out of a BENCH_server.json.
+func loadGateBaseline(path string) (gateBaseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return gateBaseline{}, err
+	}
+	var doc struct {
+		Results map[string]struct {
+			P50MS       float64 `json:"p50_ms"`
+			AllocsPerOp float64 `json:"allocs_per_op"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return gateBaseline{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	b := gateBaseline{
+		P50MS:       doc.Results[gateBaselineP50Key].P50MS,
+		AllocsPerOp: doc.Results[gateBaselineAllocsKey].AllocsPerOp,
+	}
+	if b.P50MS <= 0 {
+		return gateBaseline{}, fmt.Errorf("%s: no p50_ms under %q", path, gateBaselineP50Key)
+	}
+	if b.AllocsPerOp <= 0 {
+		return gateBaseline{}, fmt.Errorf("%s: no allocs_per_op under %q", path, gateBaselineAllocsKey)
+	}
+	return b, nil
+}
+
+// parseBenchAllocs extracts allocs/op for the gate's handler benchmark
+// from `go test -bench -benchmem` output. With -count>1 the minimum
+// across lines is returned (allocation counts are exact; the minimum
+// only guards against a line mangled by interleaved output).
+func parseBenchAllocs(r io.Reader) (float64, error) {
+	sc := bufio.NewScanner(r)
+	best := -1.0
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, gateBaselineAllocsKey) {
+			continue
+		}
+		fields := strings.Fields(line)
+		for i, f := range fields {
+			if f == "allocs/op" && i > 0 {
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err == nil && (best < 0 || v < best) {
+					best = v
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("no %q allocs/op line found in bench output", gateBaselineAllocsKey)
+	}
+	return best, nil
+}
+
+// gateViolations compares measurements against the baseline. allocs < 0
+// means "not measured this run" (no -gate-bench file) and skips the
+// allocation leg.
+func gateViolations(b gateBaseline, p50, allocs, threshold float64) []string {
+	var v []string
+	if limit := b.P50MS * (1 + threshold); p50 > limit {
+		v = append(v, fmt.Sprintf(
+			"p50 %.3fms exceeds baseline %.3fms by more than %.0f%% (limit %.3fms)",
+			p50, b.P50MS, threshold*100, limit))
+	}
+	if allocs >= 0 {
+		if limit := b.AllocsPerOp * (1 + threshold); allocs > limit {
+			v = append(v, fmt.Sprintf(
+				"allocs/op %.0f exceeds baseline %.0f by more than %.0f%% (limit %.0f)",
+				allocs, b.AllocsPerOp, threshold*100, limit))
+		}
+	}
+	return v
+}

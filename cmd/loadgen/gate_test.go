@@ -1,0 +1,76 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadGateBaseline(t *testing.T) {
+	// The checked-in baseline is the gate's production input; loading it
+	// here means a malformed BENCH_server.json fails in test, not in CI's
+	// gate step.
+	b, err := loadGateBaseline(filepath.Join("..", "..", "BENCH_server.json"))
+	if err != nil {
+		t.Fatalf("loadGateBaseline: %v", err)
+	}
+	if b.P50MS <= 0 || b.AllocsPerOp <= 0 {
+		t.Fatalf("baseline not populated: %+v", b)
+	}
+}
+
+func TestLoadGateBaselineMissing(t *testing.T) {
+	if _, err := loadGateBaseline(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestParseBenchAllocs(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+BenchmarkDiagramHandler/telemetry-off-8   	   10000	    145131 ns/op	  178124 B/op	     788 allocs/op
+BenchmarkDiagramHandler/telemetry-on-8    	   10000	    150000 ns/op	  181908 B/op	     870 allocs/op
+BenchmarkDiagramHandler/telemetry-on-8    	   10000	    143352 ns/op	  181908 B/op	     868 allocs/op
+PASS
+`
+	got, err := parseBenchAllocs(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("parseBenchAllocs: %v", err)
+	}
+	if got != 868 {
+		t.Fatalf("allocs = %v, want 868 (minimum across -count lines)", got)
+	}
+	if _, err := parseBenchAllocs(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}
+
+// TestGateComparator is the acceptance check in miniature: the gate must
+// pass at the recorded baseline and demonstrably fail on a synthetic 25%
+// regression against the 20% threshold, on both legs independently.
+func TestGateComparator(t *testing.T) {
+	b := gateBaseline{P50MS: 1.69, AllocsPerOp: 868}
+	const threshold = 0.20
+
+	if v := gateViolations(b, b.P50MS, b.AllocsPerOp, threshold); len(v) != 0 {
+		t.Fatalf("baseline itself violates the gate: %v", v)
+	}
+	if v := gateViolations(b, b.P50MS*1.19, b.AllocsPerOp*1.19, threshold); len(v) != 0 {
+		t.Fatalf("19%% regression (inside threshold) violates: %v", v)
+	}
+	if v := gateViolations(b, b.P50MS*1.25, b.AllocsPerOp, threshold); len(v) != 1 ||
+		!strings.Contains(v[0], "p50") {
+		t.Fatalf("25%% p50 regression not caught: %v", v)
+	}
+	if v := gateViolations(b, b.P50MS, b.AllocsPerOp*1.25, threshold); len(v) != 1 ||
+		!strings.Contains(v[0], "allocs/op") {
+		t.Fatalf("25%% allocs regression not caught: %v", v)
+	}
+	if v := gateViolations(b, b.P50MS*1.25, b.AllocsPerOp*1.25, threshold); len(v) != 2 {
+		t.Fatalf("double regression should report both legs: %v", v)
+	}
+	// allocs < 0 = not measured: the allocation leg is skipped, not failed.
+	if v := gateViolations(b, b.P50MS, -1, threshold); len(v) != 0 {
+		t.Fatalf("unmeasured allocs leg violated: %v", v)
+	}
+}

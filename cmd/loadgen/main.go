@@ -14,7 +14,20 @@
 //	loadgen -target http://host:port [-rate 100] [-duration 10s] \
 //	        [-seed 1] [-mix 32] [-zipf 0] [-schemas beers,sailors] \
 //	        [-max-tables 3] [-max-neg-depth 2] [-attempts 1] \
-//	        [-timeout 5s]
+//	        [-timeout 5s] [-slowest 5] \
+//	        [-gate BENCH_server.json] [-gate-threshold 0.20] \
+//	        [-gate-runs 3] [-gate-bench bench.txt]
+//
+// The report includes server-side latency percentiles (from each
+// response's elapsed_ms) and hop-overhead percentiles (client total
+// minus server elapsed), plus the -slowest N slowest requests with
+// their trace IDs for /v1/traces lookup. With -gate the run is an SLO
+// regression gate: the load is replayed -gate-runs times, the minimum
+// p50 is compared against the BENCH_server.json baseline cell, and —
+// when -gate-bench points at `go test -bench -benchmem` output — the
+// handler benchmark's allocs/op against its recorded cell; exceeding
+// either by more than -gate-threshold exits nonzero. See
+// scripts/slogate for the CI wiring.
 //
 // By default arrivals cycle the mix round-robin (uniform). -zipf s
 // (s > 1) draws each arrival's query from a seeded Zipf distribution
@@ -63,19 +76,19 @@ func main() {
 
 // Report is the run summary printed as JSON on stdout.
 type Report struct {
-	Target     string  `json:"target"`
-	Seed       int64   `json:"seed"`
-	RatePerSec int     `json:"rate_per_sec"`
-	DurationMS int64   `json:"duration_ms"`
-	MixSize    int     `json:"mix_size"`
+	Target     string `json:"target"`
+	Seed       int64  `json:"seed"`
+	RatePerSec int    `json:"rate_per_sec"`
+	DurationMS int64  `json:"duration_ms"`
+	MixSize    int    `json:"mix_size"`
 	// ZipfS is the Zipf exponent of the skewed mix (0 = uniform
 	// round-robin); HotShare is the fraction of launched arrivals that
 	// drew the rank-0 query — the workload's actual hot-key pressure.
-	ZipfS    float64 `json:"zipf_s,omitempty"`
-	HotShare float64 `json:"hot_share,omitempty"`
-	Launched int64   `json:"launched"`
-	Completed  int64   `json:"completed"`
-	OK         int64   `json:"ok"`
+	ZipfS     float64 `json:"zipf_s,omitempty"`
+	HotShare  float64 `json:"hot_share,omitempty"`
+	Launched  int64   `json:"launched"`
+	Completed int64   `json:"completed"`
+	OK        int64   `json:"ok"`
 	// ByStatus counts completed responses per HTTP status.
 	ByStatus map[string]int64 `json:"by_status"`
 	// TransportErrors are attempts that died below HTTP (connection
@@ -92,9 +105,34 @@ type Report struct {
 	P90MS float64 `json:"p90_ms"`
 	P99MS float64 `json:"p99_ms"`
 	MaxMS float64 `json:"max_ms"`
+	// Server-side percentiles from each 200 body's elapsed_ms (integer
+	// milliseconds on the wire, so sub-ms handlers round to 0), and the
+	// hop overhead — client total minus server elapsed: transport, the
+	// router hop when targeting one, and client scheduling.
+	ServerP50MS float64 `json:"server_p50_ms"`
+	ServerP90MS float64 `json:"server_p90_ms"`
+	ServerP99MS float64 `json:"server_p99_ms"`
+	HopP50MS    float64 `json:"hop_p50_ms"`
+	HopP90MS    float64 `json:"hop_p90_ms"`
+	HopP99MS    float64 `json:"hop_p99_ms"`
+	// Slowest lists the N slowest completed requests with the trace and
+	// request IDs to look them up in /v1/traces — a failed gate names
+	// its own suspects.
+	Slowest []slowReq `json:"slowest,omitempty"`
 	// AchievedPerSec is completions divided by wall clock — under
 	// overload it honestly lags rate_per_sec.
 	AchievedPerSec float64 `json:"achieved_per_sec"`
+	// Gate is the SLO verdict, present with -gate.
+	Gate *GateResult `json:"gate,omitempty"`
+}
+
+// slowReq identifies one slow request for trace lookup.
+type slowReq struct {
+	TraceID   string  `json:"trace_id,omitempty"`
+	RequestID string  `json:"request_id,omitempty"`
+	Status    int     `json:"status"`
+	TotalMS   float64 `json:"total_ms"`
+	ServerMS  float64 `json:"server_ms"`
 }
 
 type query struct {
@@ -117,6 +155,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxNegDepth = fs.Int("max-neg-depth", 2, "max negated-subquery nesting in generated queries")
 		attempts    = fs.Int("attempts", 1, "client attempts per request; 1 measures the target raw, >1 lets retries ride out an instance kill")
 		timeout     = fs.Duration("timeout", 5*time.Second, "per-attempt HTTP timeout")
+		slowestN    = fs.Int("slowest", 5, "report the N slowest requests with their trace IDs (0 disables)")
+
+		gate          = fs.String("gate", "", "SLO-gate mode: path to a BENCH_server.json baseline; exit 1 when p50 or allocs/op regress past -gate-threshold")
+		gateThreshold = fs.Float64("gate-threshold", 0.20, "allowed fractional regression against the -gate baseline")
+		gateRuns      = fs.Int("gate-runs", 3, "load runs per gate verdict; the minimum p50 is compared (best-of-N, matching the baseline's discipline)")
+		gateBench     = fs.String("gate-bench", "", "path to `go test -bench -benchmem` output for the allocs/op leg of the gate (optional)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -185,19 +229,81 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	rep := loadRun(*target, *rate, *duration, queries, pick, client.Config{
+	var baseline gateBaseline
+	runs := 1
+	if *gate != "" {
+		var err error
+		if baseline, err = loadGateBaseline(*gate); err != nil {
+			fmt.Fprintln(stderr, "loadgen:", err)
+			return 2
+		}
+		if runs = *gateRuns; runs < 1 {
+			runs = 1
+		}
+	}
+
+	ccfg := client.Config{
 		HTTPClient:  &http.Client{Timeout: *timeout},
 		MaxAttempts: *attempts,
 		BaseBackoff: 20 * time.Millisecond,
 		MaxBackoff:  500 * time.Millisecond,
 		Seed:        *seed,
-	})
+	}
+	var rep *Report
+	var runP50s []float64
+	var totalMalformed int64
+	for n := 0; n < runs; n++ {
+		r := loadRun(*target, *rate, *duration, queries, pick, ccfg, *slowestN)
+		runP50s = append(runP50s, r.P50MS)
+		totalMalformed += r.Malformed
+		// Keep the best-of-N run: the minimum-p50 report is what the gate
+		// judges and what gets printed, matching the baseline's best-of
+		// methodology. Malformed counts accumulate across runs — any
+		// malformed response fails the audit regardless of latency.
+		if rep == nil || r.P50MS < rep.P50MS {
+			rep = r
+		}
+	}
+	rep.Malformed = totalMalformed
 	rep.Seed = *seed
 	if *zipfS > 1 {
 		rep.ZipfS = *zipfS
 		if rep.Launched > 0 {
-			rep.HotShare = float64(rank0) / float64(rep.Launched)
+			rep.HotShare = float64(rank0) / float64(rep.Launched*int64(runs))
 		}
+	}
+
+	gateFailed := false
+	if *gate != "" {
+		measuredAllocs := -1.0
+		if *gateBench != "" {
+			f, err := os.Open(*gateBench)
+			if err != nil {
+				fmt.Fprintln(stderr, "loadgen:", err)
+				return 2
+			}
+			measuredAllocs, err = parseBenchAllocs(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(stderr, "loadgen:", err)
+				return 2
+			}
+		}
+		violations := gateViolations(baseline, rep.P50MS, measuredAllocs, *gateThreshold)
+		rep.Gate = &GateResult{
+			Baseline:    *gate,
+			ThresholdPC: *gateThreshold * 100,
+			BaselineP50: baseline.P50MS,
+			MeasuredP50: rep.P50MS,
+			RunP50s:     runP50s,
+			Violations:  violations,
+			Pass:        len(violations) == 0,
+		}
+		if measuredAllocs >= 0 {
+			rep.Gate.BaselineAllocs = baseline.AllocsPerOp
+			rep.Gate.MeasuredAllocs = measuredAllocs
+		}
+		gateFailed = !rep.Gate.Pass
 	}
 
 	enc := json.NewEncoder(stdout)
@@ -214,11 +320,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "loadgen: nothing completed — target unreachable?")
 		return 1
 	}
+	if gateFailed {
+		for _, v := range rep.Gate.Violations {
+			fmt.Fprintln(stderr, "loadgen: SLO gate:", v)
+		}
+		return 1
+	}
 	return 0
 }
 
 // loadRun executes the open-loop schedule and audits every outcome.
-func loadRun(target string, rate int, duration time.Duration, queries []query, pick func(i int) query, ccfg client.Config) *Report {
+// slowestN > 0 keeps that many slowest requests in the report.
+func loadRun(target string, rate int, duration time.Duration, queries []query, pick func(i int) query, ccfg client.Config, slowestN int) *Report {
 	rep := &Report{
 		Target:     target,
 		RatePerSec: rate,
@@ -231,14 +344,22 @@ func loadRun(target string, rate int, duration time.Duration, queries []query, p
 		mu                              sync.Mutex
 		byStatus                        = map[int]int64{}
 		latencies                       []float64
+		serverMS                        []float64
+		hopMS                           []float64
+		slow                            []slowReq
 		samples                         []string
 	)
-	record := func(status int, lat time.Duration, bad string) {
+	record := func(sr slowReq, bad string) {
 		completed.Add(1)
 		mu.Lock()
 		defer mu.Unlock()
-		byStatus[status]++
-		latencies = append(latencies, float64(lat.Microseconds())/1000)
+		byStatus[sr.Status]++
+		latencies = append(latencies, sr.TotalMS)
+		if sr.Status == http.StatusOK {
+			serverMS = append(serverMS, sr.ServerMS)
+			hopMS = append(hopMS, max(sr.TotalMS-sr.ServerMS, 0))
+		}
+		slow = append(slow, sr)
 		if bad != "" {
 			malformed.Add(1)
 			if len(samples) < 8 {
@@ -272,7 +393,21 @@ func loadRun(target string, rate int, duration time.Duration, queries []query, p
 				transport.Add(1)
 				return
 			}
-			record(resp.StatusCode, time.Since(t0), audit(resp.StatusCode, raw))
+			sr := slowReq{
+				TraceID:   resp.Header.Get("X-Queryvis-Trace-Id"),
+				RequestID: resp.Header.Get("X-Request-Id"),
+				Status:    resp.StatusCode,
+				TotalMS:   float64(time.Since(t0).Microseconds()) / 1000,
+			}
+			if resp.StatusCode == http.StatusOK {
+				var body struct {
+					ElapsedMS int64 `json:"elapsed_ms"`
+				}
+				if json.Unmarshal(raw, &body) == nil {
+					sr.ServerMS = float64(body.ElapsedMS)
+				}
+			}
+			record(sr, audit(resp.StatusCode, raw))
 		}(i, q)
 		<-tick.C
 	}
@@ -289,15 +424,28 @@ func loadRun(target string, rate int, duration time.Duration, queries []query, p
 			rep.OK = n
 		}
 	}
-	sort.Float64s(latencies)
-	pct := func(p float64) float64 {
-		if len(latencies) == 0 {
+	pctOf := func(vals []float64, p float64) float64 {
+		if len(vals) == 0 {
 			return 0
 		}
-		i := int(p * float64(len(latencies)-1))
-		return latencies[i]
+		return vals[int(p*float64(len(vals)-1))]
 	}
-	rep.P50MS, rep.P90MS, rep.P99MS, rep.MaxMS = pct(0.50), pct(0.90), pct(0.99), pct(1)
+	sort.Float64s(latencies)
+	rep.P50MS, rep.P90MS, rep.P99MS, rep.MaxMS =
+		pctOf(latencies, 0.50), pctOf(latencies, 0.90), pctOf(latencies, 0.99), pctOf(latencies, 1)
+	sort.Float64s(serverMS)
+	rep.ServerP50MS, rep.ServerP90MS, rep.ServerP99MS =
+		pctOf(serverMS, 0.50), pctOf(serverMS, 0.90), pctOf(serverMS, 0.99)
+	sort.Float64s(hopMS)
+	rep.HopP50MS, rep.HopP90MS, rep.HopP99MS =
+		pctOf(hopMS, 0.50), pctOf(hopMS, 0.90), pctOf(hopMS, 0.99)
+	if slowestN > 0 {
+		sort.Slice(slow, func(i, j int) bool { return slow[i].TotalMS > slow[j].TotalMS })
+		if len(slow) > slowestN {
+			slow = slow[:slowestN]
+		}
+		rep.Slowest = slow
+	}
 	if s := elapsed.Seconds(); s > 0 {
 		rep.AchievedPerSec = float64(rep.Completed) / s
 	}

@@ -51,11 +51,18 @@
 // the README's "Scale-out" section.
 //
 // Observability: GET /v1/metrics serves a Prometheus text exposition
-// (disable with -metrics=false), every response carries an X-Request-ID
-// header, and requests slower than -slow-query-ms land in the slow-query
-// log with their string literals scrubbed. -pprof additionally mounts
-// net/http/pprof under /debug/pprof/ and a goroutine dump at
-// /debug/goroutines — off by default; never expose those publicly.
+// (disable with -metrics=false), every response carries X-Request-ID
+// and X-Queryvis-Trace-Id headers, and requests slower than
+// -slow-query-ms land in the slow-query log with their string literals
+// scrubbed and their trace tree attached. Every request is traced
+// end-to-end across the fleet — router hop, instance handler, pool
+// dispatch, and worker-side pipeline stages form one trace tree —
+// retrievable from GET /v1/traces (filter by request_id, trace_id,
+// pattern, min_ms); in router mode GET /v1/fleet additionally
+// aggregates every ring member's healthz into one scrape. -pprof
+// mounts net/http/pprof under /debug/pprof/ and a goroutine dump at
+// /debug/goroutines in both server and router modes — off by default;
+// never expose those publicly.
 //
 // By default every response is self-verified: the served diagram is
 // mapped back to a logic tree (Proposition 5.1) and required to match
@@ -243,7 +250,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		logger.Info("routing", "instances", len(rt.State().Instances))
-		serveErr := serveWith(ctx, ln, rt, *grace, logger)
+		serveErr := serveWith(ctx, ln, withDebug(rt, *enablePprof), *grace, logger)
 		rt.Close()
 		if serveErr != nil {
 			logger.Error("serve failed", "err", serveErr)
@@ -350,16 +357,22 @@ func workerSpawner(fs *flag.FlagSet, allowFaults bool) func() (*exec.Cmd, error)
 }
 
 // newHandler assembles the daemon's full handler: the hardened API
-// server, plus — only when enablePprof — the net/http/pprof endpoints
-// and a plain-text goroutine dump. Without the flag the debug paths
-// don't exist (404), so a production listener can't leak stacks.
+// server plus the gated debug surface.
 func newHandler(cfg server.Config, enablePprof bool) http.Handler {
-	api := server.New(cfg)
+	return withDebug(server.New(cfg), enablePprof)
+}
+
+// withDebug wraps any mode's handler — the API server or the router —
+// with the net/http/pprof endpoints and a plain-text goroutine dump,
+// only when enablePprof. Without the flag the handler is returned
+// unwrapped and the debug paths don't exist (404), so a production
+// listener can't leak stacks regardless of mode.
+func withDebug(h http.Handler, enablePprof bool) http.Handler {
 	if !enablePprof {
-		return api
+		return h
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/", api)
+	mux.Handle("/", h)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

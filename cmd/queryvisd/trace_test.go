@@ -1,0 +1,282 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/leak"
+	"repro/internal/router"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+	"repro/internal/workerpool"
+)
+
+// tracedDiagram posts one diagram with a caller-chosen request ID and
+// returns the response's trace ID.
+func tracedDiagram(t *testing.T, base, requestID string) string {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"sql": corpus.Fig1UniqueSet, "schema": "beers"})
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/diagram", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", requestID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("diagram: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diagram = %d\n%.300s", resp.StatusCode, raw)
+	}
+	traceID := resp.Header.Get(telemetry.TraceIDHeader)
+	if len(traceID) != 16 {
+		t.Fatalf("%s = %q, want a 16-hex trace id", telemetry.TraceIDHeader, traceID)
+	}
+	return traceID
+}
+
+// fetchTrace looks a single trace up by request ID on any process's
+// /v1/traces and returns its spans and rendered tree.
+func fetchTrace(t *testing.T, base, requestID string) (string, []telemetry.Span, string) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/traces?request_id=" + requestID)
+	if err != nil {
+		t.Fatalf("GET /v1/traces: %v", err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Traces []struct {
+			TraceID    string           `json:"trace_id"`
+			Spans      []telemetry.Span `json:"spans"`
+			Tree       string           `json:"tree"`
+			MergeError string           `json:"merge_error"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode /v1/traces: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || len(body.Traces) != 1 {
+		t.Fatalf("/v1/traces?request_id=%s = %d with %d traces, want 200 with exactly 1",
+			requestID, resp.StatusCode, len(body.Traces))
+	}
+	if me := body.Traces[0].MergeError; me != "" {
+		t.Fatalf("trace assembly failed: %s", me)
+	}
+	return body.Traces[0].TraceID, body.Traces[0].Spans, body.Traces[0].Tree
+}
+
+// countSpans tallies spans by name.
+func countSpans(spans []telemetry.Span) map[string]int {
+	m := make(map[string]int)
+	for _, sp := range spans {
+		m[sp.Name]++
+	}
+	return m
+}
+
+// spanByName returns the first span with the given name.
+func spanByName(t *testing.T, spans []telemetry.Span, name string) telemetry.Span {
+	t.Helper()
+	for _, sp := range spans {
+		if sp.Name == name {
+			return sp
+		}
+	}
+	t.Fatalf("trace has no %q span: %v", name, countSpans(spans))
+	return telemetry.Span{}
+}
+
+// TestTraceSmoke is the CI tracing check for a standalone daemon: one
+// request produces one retrievable trace whose hop count matches the
+// hops actually taken — an instance root with the pipeline stages under
+// it, and no router or worker hops because none were involved.
+func TestTraceSmoke(t *testing.T) {
+	base := startDaemon(t, newHandler(server.Config{}, false))
+	traceID := tracedDiagram(t, base, "trace-smoke-1")
+
+	gotID, spans, tree := fetchTrace(t, base, "trace-smoke-1")
+	if gotID != traceID {
+		t.Fatalf("trace id %q in ring, %q on the response header", gotID, traceID)
+	}
+	names := countSpans(spans)
+	if names["instance"] != 1 {
+		t.Fatalf("instance spans = %d, want 1 (%v)", names["instance"], names)
+	}
+	for _, absent := range []string{"router", "dispatch", "worker"} {
+		if names[absent] != 0 {
+			t.Errorf("standalone request grew a %q hop: %v", absent, names)
+		}
+	}
+	for _, stage := range []string{"parse", "resolve", "convert", "logictree", "build", "render"} {
+		if names[stage] != 1 {
+			t.Errorf("stage %q spans = %d, want 1", stage, names[stage])
+		}
+	}
+	if !strings.HasPrefix(tree, "instance ") {
+		t.Errorf("tree root is not the instance span:\n%s", tree)
+	}
+}
+
+// TestTraceThroughFleet is the tentpole's acceptance criterion end to
+// end: a single request enters a router, is proxied to an instance
+// running with a process-isolated worker pool, and the fleet's
+// /v1/traces assembles ONE merged trace tree spanning every hop —
+// router span, instance handler span, pool dispatch span, the worker's
+// span, and the worker-side pipeline stage spans — stitched across
+// three processes by the propagated trace context.
+func TestTraceThroughFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	t.Cleanup(leak.CheckChildren(t))
+	t.Cleanup(leak.Check(t))
+	t.Cleanup(http.DefaultClient.CloseIdleConnections)
+
+	// Tier 3: real worker processes (this test binary re-executed via
+	// TestMain's QUERYVISD_WORKER hook).
+	pool, err := workerpool.New(workerpool.Config{
+		Spawn: func() (*exec.Cmd, error) {
+			exe, err := os.Executable()
+			if err != nil {
+				return nil, err
+			}
+			cmd := exec.Command(exe, "-worker")
+			cmd.Env = append(os.Environ(), "QUERYVISD_WORKER=1")
+			return cmd, nil
+		},
+		Workers:        1,
+		RequestTimeout: 15 * time.Second,
+		Logger:         testLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := pool.Close(ctx); err != nil {
+			t.Errorf("pool close: %v", err)
+		}
+	})
+
+	// Tier 2: the hardened instance dispatching into the pool.
+	inst := httptest.NewServer(server.New(server.Config{Pool: pool}))
+	t.Cleanup(inst.Close)
+
+	// Tier 1: the router fronting the one-instance ring.
+	rt, err := router.New(router.Config{
+		Backends: []string{inst.URL},
+		Metrics:  telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt)
+	t.Cleanup(front.Close)
+
+	traceID := tracedDiagram(t, front.URL, "fleet-trace-1")
+
+	gotID, spans, tree := fetchTrace(t, front.URL, "fleet-trace-1")
+	if gotID != traceID {
+		t.Fatalf("trace id %q in ring, %q on the response header", gotID, traceID)
+	}
+	names := countSpans(spans)
+	// Hop count equals hops taken: one of each tier, exactly.
+	for _, hop := range []string{"router", "instance", "dispatch", "worker"} {
+		if names[hop] != 1 {
+			t.Fatalf("%q spans = %d, want exactly 1 (%v)", hop, names[hop], names)
+		}
+	}
+	// Presence, not exact counts: the worker's default verify mode may
+	// legitimately render more than one artifact per request.
+	for _, stage := range []string{"parse", "resolve", "convert", "logictree", "build", "render"} {
+		if names[stage] == 0 {
+			t.Errorf("worker-side stage %q missing from the merged trace (%v)", stage, names)
+		}
+	}
+
+	// The tree is stitched, not merely concatenated: each tier's root is
+	// parented on the span ID the previous tier propagated.
+	routerSpan := spanByName(t, spans, "router")
+	instSpan := spanByName(t, spans, "instance")
+	dispatch := spanByName(t, spans, "dispatch")
+	worker := spanByName(t, spans, "worker")
+	parse := spanByName(t, spans, "parse")
+	if instSpan.Parent != routerSpan.ID {
+		t.Errorf("instance span parent = %q, want the router span %q", instSpan.Parent, routerSpan.ID)
+	}
+	if dispatch.Parent != instSpan.ID {
+		t.Errorf("dispatch span parent = %q, want the instance span %q", dispatch.Parent, instSpan.ID)
+	}
+	if worker.Parent != dispatch.ID {
+		t.Errorf("worker span parent = %q, want the dispatch span %q", worker.Parent, dispatch.ID)
+	}
+	if parse.Parent != worker.ID {
+		t.Errorf("parse span parent = %q, want the worker span %q", parse.Parent, worker.ID)
+	}
+	if !strings.HasPrefix(tree, "router ") {
+		t.Errorf("merged tree does not root at the router hop:\n%s", tree)
+	}
+	if got := spanByName(t, spans, "router").Attr("instance"); got != inst.URL {
+		t.Errorf("router span instance attr = %q, want %q", got, inst.URL)
+	}
+}
+
+// TestRouterPprofGate: route mode shares the instance-mode debug
+// surface — /debug/pprof exists behind -pprof and nowhere else, and the
+// router's API keeps working through the debug mux.
+func TestRouterPprofGate(t *testing.T) {
+	t.Cleanup(leak.Check(t))
+	t.Cleanup(http.DefaultClient.CloseIdleConnections)
+
+	inst := httptest.NewServer(server.New(server.Config{}))
+	t.Cleanup(inst.Close)
+	rt, err := router.New(router.Config{
+		Backends: []string{inst.URL},
+		Metrics:  telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+
+	get := func(base, path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(raw)
+	}
+
+	gated := httptest.NewServer(withDebug(rt, false))
+	t.Cleanup(gated.Close)
+	if st, _ := get(gated.URL, "/debug/pprof/"); st != http.StatusNotFound {
+		t.Fatalf("router /debug/pprof/ without -pprof = %d, want 404", st)
+	}
+
+	open := httptest.NewServer(withDebug(rt, true))
+	t.Cleanup(open.Close)
+	if st, body := get(open.URL, "/debug/pprof/"); st != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("router /debug/pprof/ with -pprof = %d", st)
+	}
+	if st, _ := get(open.URL, "/v1/healthz"); st != http.StatusOK {
+		t.Fatalf("router /v1/healthz through debug mux = %d", st)
+	}
+}

@@ -212,7 +212,7 @@ type Cache struct {
 	flightMu sync.Mutex
 	flights  map[string]*flight
 
-	bindMu sync.Mutex
+	bindMu  sync.Mutex
 	boundFP string
 
 	entries atomic.Int64

@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -169,7 +170,7 @@ func TestRouterMembershipChurn(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := range work {
-				st, _, raw := postJSON(t, front.URL+"/v1/diagram",
+				st, hdr, raw := postJSON(t, front.URL+"/v1/diagram",
 					diagramReq(sqlFor(j.rank, j.variant)))
 				byCode[st].Add(1)
 				switch {
@@ -179,6 +180,10 @@ func TestRouterMembershipChurn(t *testing.T) {
 					}
 					if json.Unmarshal(raw, &body) != nil || body.Diagram == "" {
 						malformed("rank %d: 200 with bad body %.120s", j.rank, raw)
+					}
+					// Every successful response is traced, even mid-churn.
+					if hdr.Get(telemetry.TraceIDHeader) == "" {
+						malformed("rank %d: 200 without a %s header", j.rank, telemetry.TraceIDHeader)
 					}
 				default:
 					var eb struct {
@@ -252,5 +257,76 @@ func TestRouterMembershipChurn(t *testing.T) {
 	// the storm.
 	if v := rt.Registry().Value("queryvis_router_hot_promotions_total"); v < 1 {
 		t.Errorf("hot pattern never promoted under Zipf load (promotions=%v)", v)
+	}
+
+	// Hop accounting on the post-storm ring: a fresh proxied request's
+	// assembled trace carries exactly the hops it took — the router's
+	// span plus the serving instance's in-process pipeline, and no
+	// worker hop because these instances run without a process pool.
+	const probeID = "churn-trace-probe"
+	probeBody, _ := json.Marshal(diagramReq(qSome + " -- post-churn trace probe"))
+	preq, err := http.NewRequest(http.MethodPost, front.URL+"/v1/diagram", bytes.NewReader(probeBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	preq.Header.Set("X-Request-ID", probeID)
+	presp, err := http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatalf("trace probe: %v", err)
+	}
+	io.Copy(io.Discard, presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("trace probe = %d, want 200", presp.StatusCode)
+	}
+	traceID := presp.Header.Get(telemetry.TraceIDHeader)
+	if traceID == "" {
+		t.Fatalf("trace probe response missing %s", telemetry.TraceIDHeader)
+	}
+
+	tresp, err := http.Get(front.URL + "/v1/traces?request_id=" + probeID)
+	if err != nil {
+		t.Fatalf("GET /v1/traces: %v", err)
+	}
+	var traces struct {
+		Traces []struct {
+			TraceID    string           `json:"trace_id"`
+			Spans      []telemetry.Span `json:"spans"`
+			MergeError string           `json:"merge_error"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&traces); err != nil {
+		t.Fatalf("decode /v1/traces: %v", err)
+	}
+	tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK || len(traces.Traces) != 1 {
+		t.Fatalf("/v1/traces?request_id=%s = %d with %d traces, want 200 with 1",
+			probeID, tresp.StatusCode, len(traces.Traces))
+	}
+	tr := traces.Traces[0]
+	if tr.TraceID != traceID {
+		t.Errorf("assembled trace id %q, response header said %q", tr.TraceID, traceID)
+	}
+	if tr.MergeError != "" {
+		t.Errorf("instance spans failed to merge: %s", tr.MergeError)
+	}
+	hops := map[string]int{}
+	for _, sp := range tr.Spans {
+		hops[sp.Name]++
+	}
+	if hops["router"] != 1 || hops["instance"] != 1 {
+		t.Errorf("hop spans = %v, want exactly one router and one instance hop", hops)
+	}
+	// The probe shares the storm's pattern, so the instance may serve
+	// the render from its warm diagram cache — the key-computing stages
+	// (parse through build) always run and must appear.
+	for _, stage := range []string{"parse", "resolve", "convert", "logictree", "build"} {
+		if hops[stage] == 0 {
+			t.Errorf("instance stage %q missing from the merged trace: %v", stage, hops)
+		}
+	}
+	if hops["dispatch"] != 0 || hops["worker"] != 0 {
+		t.Errorf("in-process instances grew pool hops: %v", hops)
 	}
 }

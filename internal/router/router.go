@@ -67,6 +67,8 @@ const (
 	mStampede        = "queryvis_router_stampede_total"
 	mStampedeEntries = "queryvis_router_stampede_entries"
 	mOrigin          = "queryvis_router_origin_responses_total"
+	mTraces          = "queryvis_router_traces_total"
+	mTraceRing       = "queryvis_router_trace_ring_entries"
 )
 
 // outcome labels for mRequests.
@@ -238,11 +240,13 @@ type Router struct {
 	probeClient *http.Client    // health path: no retries, short timeout
 	transport   *http.Transport // owned by the router; idle conns die at Close
 
-	reg       *telemetry.Registry
-	requests  map[string]*telemetry.Counter
-	proxyDur  *telemetry.Histogram
-	failovers *telemetry.Counter
-	noHealthy *telemetry.Counter
+	reg         *telemetry.Registry
+	requests    map[string]*telemetry.Counter
+	proxyDur    *telemetry.Histogram
+	failovers   *telemetry.Counter
+	noHealthy   *telemetry.Counter
+	traces      *telemetry.TraceRing
+	tracesTotal *telemetry.Counter
 
 	closed chan struct{}
 	once   sync.Once
@@ -298,6 +302,10 @@ func New(cfg Config) (*Router, error) {
 		[]float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10})
 	rt.failovers = rt.reg.Counter(mFailovers, "Requests moved to the next ring instance after a failure.")
 	rt.noHealthy = rt.reg.Counter(mNoHealthy, "Requests shed because no ring instance was eligible.")
+	rt.traces = telemetry.NewTraceRing(0)
+	rt.tracesTotal = rt.reg.Counter(mTraces, "Router hop spans recorded to the trace ring.")
+	rt.reg.GaugeFunc(mTraceRing, "Traces currently held in the router's bounded trace ring.",
+		func() float64 { return float64(rt.traces.Len()) })
 	rt.reg.GaugeFunc(mKeytab, "Learned body-hash→pattern routing keys.",
 		func() float64 { return float64(rt.keys.len()) })
 	rt.reg.GaugeFunc(mEpoch, "Ring topology epoch; bumps on every membership change.",
@@ -355,6 +363,10 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		rt.handleHealthz(w, r)
 	case r.URL.Path == "/v1/metrics":
 		rt.reg.WritePrometheus(w)
+	case r.URL.Path == "/v1/traces":
+		rt.handleTraces(w, r)
+	case r.URL.Path == "/v1/fleet":
+		rt.handleFleet(w, r)
 	case strings.HasPrefix(r.URL.Path, "/v1/ring/"):
 		rt.handleAdmin(w, r)
 	default:
@@ -373,6 +385,52 @@ func carriesFaultHeaders(r *http.Request) bool {
 // route proxies one API request along its key's ring order.
 func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+
+	// Open this hop's slice of the distributed trace: adopt the caller's
+	// trace context or start a fresh trace, then stamp the router's span
+	// as the parent on the forwarded headers (forward copies r.Header).
+	// The span itself is recorded into the router's ring by the deferred
+	// finish, annotated with where the request actually went — the
+	// read-time /v1/traces merge joins it with the instance's subtree.
+	rid := r.Header.Get("X-Request-Id")
+	if rid == "" {
+		rid = telemetry.NewRequestID()
+		r.Header.Set("X-Request-Id", rid)
+	}
+	traceID, parentSpan, sampled := "", "", true
+	if tc, ok := telemetry.ParseTraceHeader(r.Header.Get(telemetry.TraceHeader)); ok {
+		traceID, parentSpan, sampled = tc.TraceID, tc.SpanID, tc.Sampled
+	} else {
+		traceID = telemetry.NewTraceID()
+	}
+	spanID := telemetry.NewSpanID()
+	r.Header.Set(telemetry.TraceHeader,
+		telemetry.TraceContext{TraceID: traceID, SpanID: spanID, Sampled: sampled}.Header())
+	w.Header().Set(telemetry.TraceIDHeader, traceID)
+	var traceOutcome, traceInstance, traceVia, traceKey string
+	defer func() {
+		if !sampled {
+			return
+		}
+		sp := telemetry.Span{
+			Name: "router", ID: spanID, Parent: parentSpan,
+			Start: start, Duration: time.Since(start), Done: true,
+			Attrs: []telemetry.Attr{{Key: "outcome", Value: traceOutcome}},
+		}
+		if traceInstance != "" {
+			sp.Attrs = append(sp.Attrs, telemetry.Attr{Key: "instance", Value: traceInstance})
+		}
+		if traceVia != "" {
+			sp.Attrs = append(sp.Attrs, telemetry.Attr{Key: "shared", Value: traceVia})
+		}
+		rt.traces.Put(telemetry.TraceRecord{
+			TraceID: traceID, RequestID: rid, Pattern: traceKey,
+			Start: start, Duration: sp.Duration, Spans: []telemetry.Span{sp},
+		})
+		rt.tracesTotal.Inc()
+	}()
+	traceOutcome = "error"
+
 	body, err := io.ReadAll(io.LimitReader(r.Body, rt.cfg.MaxBodyBytes+1))
 	if err != nil {
 		rt.fail(w, r, http.StatusBadRequest, "bad_request", "reading request body failed")
@@ -394,6 +452,7 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
 	if key == "" {
 		key = strconv.FormatUint(bodyHash, 16)
 	}
+	traceKey = key
 	promoted, rot := false, uint32(0)
 	if rt.hot != nil {
 		promoted, rot = rt.hot.touch(key, time.Now())
@@ -415,6 +474,7 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
 			rt.stampedeCount("hit").Inc()
 			rt.requests["proxied"].Inc()
 			rt.proxyDur.Observe(time.Since(start).Seconds())
+			traceOutcome, traceVia = "proxied", "hit"
 			writeShared(w, sr, "hit")
 			return
 		}
@@ -433,6 +493,7 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
 					rt.stampedeCount("coalesced").Inc()
 					rt.requests["proxied"].Inc()
 					rt.proxyDur.Observe(time.Since(start).Seconds())
+					traceOutcome, traceVia = "proxied", "coalesced"
 					writeShared(w, fl.sr, "coalesced")
 					return
 				}
@@ -468,6 +529,7 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
 	if len(candidates) == 0 {
 		rt.noHealthy.Inc()
 		rt.requests["shed"].Inc()
+		traceOutcome = "shed"
 		rt.shed(w, r)
 		return
 	}
@@ -525,6 +587,7 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
 		}
 		rt.requests["proxied"].Inc()
 		rt.proxyDur.Observe(time.Since(start).Seconds())
+		traceOutcome, traceInstance = "proxied", in.url
 		delivered = sr // deferred stampede complete decides shareability
 		writeShared(w, sr, "")
 		return
@@ -534,6 +597,7 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
 	rt.requests["error"].Inc()
 	rt.proxyDur.Observe(time.Since(start).Seconds())
 	rt.log("all candidates failed", "err", lastErr)
+	traceOutcome = "shed"
 	rt.shed(w, r)
 }
 

@@ -4,7 +4,10 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // POST /v1/diagrams:batch renders many queries in one round trip with
@@ -73,11 +76,37 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 	for i := range breq.Items {
 		// Items run sequentially under the request's single deadline; the
 		// shared semaphore slot is the unit of admission, not the item.
-		resp.Items[i] = s.serveBatchItem(r.Context(), &breq, &breq.Items[i])
+		ctx, finish := itemContext(r.Context(), i)
+		resp.Items[i] = s.serveBatchItem(ctx, &breq, &breq.Items[i])
+		finish()
 	}
 	resp.ElapsedMS = time.Since(started).Milliseconds()
 	writeJSON(w, http.StatusOK, resp)
 	return nil
+}
+
+// itemContext derives the per-item observability identity: request ID
+// "<batch-rid>#<index>" so each item logs and traces under its own ID
+// (not just the envelope's), and an "item" span anchoring the item's
+// stage spans as a distinct subtree of the batch trace. The items run
+// sequentially, so re-anchoring the tracer's parent for the item's
+// duration is race-free; finish ends the span and restores the parent.
+func itemContext(ctx context.Context, i int) (context.Context, func()) {
+	if rid := telemetry.RequestIDFrom(ctx); rid != "" {
+		ctx = telemetry.WithRequestID(ctx, fmt.Sprintf("%s#%d", rid, i))
+	}
+	tr := telemetry.TracerFrom(ctx)
+	if tr == nil {
+		return ctx, func() {}
+	}
+	old := tr.Parent()
+	sp := tr.Start(spanItem)
+	sp.Annotate("index", strconv.Itoa(i))
+	tr.SetParent(sp.ID())
+	return ctx, func() {
+		sp.End()
+		tr.SetParent(old)
+	}
 }
 
 // serveBatchItem resolves one item, folding every failure — envelope

@@ -243,11 +243,11 @@ func TestCacheMetricsGolden(t *testing.T) {
 		hdr  map[string]string
 		want int
 	}{
-		{corpus.Fig1UniqueSet, nil, http.StatusOK},             // miss
-		{corpus.Fig1UniqueSet, nil, http.StatusOK},             // hit
-		{fig1Isomorph("g"), nil, http.StatusOK},                // hit_pattern
-		{fig1Isomorph("g"), nil, http.StatusOK},                // hit (alias learned)
-		{"SELECT FROM WHERE", nil, http.StatusUnprocessableEntity}, // uncacheable
+		{corpus.Fig1UniqueSet, nil, http.StatusOK},                    // miss
+		{corpus.Fig1UniqueSet, nil, http.StatusOK},                    // hit
+		{fig1Isomorph("g"), nil, http.StatusOK},                       // hit_pattern
+		{fig1Isomorph("g"), nil, http.StatusOK},                       // hit (alias learned)
+		{"SELECT FROM WHERE", nil, http.StatusUnprocessableEntity},    // uncacheable
 		{corpus.Fig3QSome, map[string]string{"X-Fault-Seed": "4"}, 0}, // bypass (status seed-dependent)
 	} {
 		st, _, raw := postFull(t, ts.Client(), url, diagramReq(step.sql, ""), step.hdr)

@@ -30,6 +30,9 @@ const (
 	mStageDur      = "queryvis_stage_duration_seconds"
 	mStageSpans    = "queryvis_stage_spans_total"
 	mSlowQueries   = "queryvis_slow_queries_total"
+	mHopDur        = "queryvis_hop_duration_seconds"
+	mTraces        = "queryvis_traces_total"
+	mTraceRing     = "queryvis_trace_ring_entries"
 )
 
 const (
@@ -39,6 +42,9 @@ const (
 	helpVerify   = "Verification verdicts by status."
 	helpStageDur = "Pipeline stage latency by stage."
 	helpSpans    = "Pipeline stage spans entered by stage."
+	helpHopDur   = "Per-hop latency by hop (instance handler, pool dispatch, worker)."
+	helpTraces   = "Completed request traces recorded to the trace ring."
+	helpTraceLen = "Traces currently held in the bounded trace ring."
 )
 
 // stageNames is the full pipeline taxonomy; every stage histogram is
@@ -49,6 +55,31 @@ var stageNames = []string{
 	queryvis.StageTree, queryvis.StageBuild, queryvis.StageVerify,
 	queryvis.StageRender,
 }
+
+// stageSet answers "is this span a pipeline stage?" — the trace also
+// carries hop spans (instance/dispatch/worker) and per-item batch spans,
+// which must not pollute the stage families.
+var stageSet = func() map[string]bool {
+	m := make(map[string]bool, len(stageNames))
+	for _, st := range stageNames {
+		m[st] = true
+	}
+	return m
+}()
+
+// hopNames are the hop spans this process's trace can carry; each gets a
+// pre-registered latency histogram so per-hop attribution appears in the
+// exposition from the first scrape. (The router's own hop is counted in
+// the router's registry, not here.)
+var hopNames = []string{spanInstance, spanDispatch, spanWorker}
+
+// Span names for the non-stage hops of a trace.
+const (
+	spanInstance = "instance"
+	spanDispatch = "dispatch"
+	spanWorker   = "worker"
+	spanItem     = "item"
+)
 
 // errorCategories mirrors the taxonomy in errors.go.
 var errorCategories = []Category{
@@ -98,6 +129,12 @@ func (s *Server) initMetrics(reg *telemetry.Registry) {
 		reg.Histogram(mStageDur, helpStageDur, nil, "stage", st)
 		reg.Counter(mStageSpans, helpSpans, "stage", st)
 	}
+	for _, hop := range hopNames {
+		reg.Histogram(mHopDur, helpHopDur, nil, "hop", hop)
+	}
+	reg.Counter(mTraces, helpTraces)
+	reg.GaugeFunc(mTraceRing, helpTraceLen,
+		func() float64 { return float64(s.traces.Len()) })
 	for _, cat := range errorCategories {
 		reg.Counter(mErrors, helpErrors, "category", string(cat))
 	}
@@ -214,12 +251,29 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			rid = telemetry.NewRequestID()
 		}
 		w.Header().Set("X-Request-ID", rid)
-		tr := telemetry.NewTracer()
+
+		// Join the distributed trace the upstream hop (router) started, or
+		// start a new one. An unsampled inbound context still runs under a
+		// tracer — the stage metrics need the spans — but stays out of the
+		// trace ring.
+		sampled := true
+		var tr *telemetry.Tracer
+		if tc, ok := telemetry.ParseTraceHeader(r.Header.Get(telemetry.TraceHeader)); ok {
+			sampled = tc.Sampled
+			tr = telemetry.NewTracerForTrace(tc.TraceID, tc.SpanID)
+		} else {
+			tr = telemetry.NewTracerForTrace(telemetry.NewTraceID(), "")
+		}
+		w.Header().Set(telemetry.TraceIDHeader, tr.TraceID())
+		root := tr.StartRoot(spanInstance)
+		root.Annotate("route", route)
+
 		ctx := telemetry.WithRequestID(telemetry.WithTracer(r.Context(), tr), rid)
 		rec := &statusRecorder{ResponseWriter: w}
 
 		h(rec, r.WithContext(ctx))
 
+		root.End()
 		elapsed := time.Since(started)
 		code := rec.status
 		if code == 0 {
@@ -233,10 +287,28 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		m.reg.Histogram(mDuration, helpDuration, nil, "route", route).
 			Observe(elapsed.Seconds())
-		for _, sp := range tr.Spans() {
-			m.reg.Counter(mStageSpans, helpSpans, "stage", sp.Name).Inc()
-			m.reg.Histogram(mStageDur, helpStageDur, nil, "stage", sp.Name).
-				Observe(sp.Duration.Seconds())
+		spans := tr.Spans()
+		for _, sp := range spans {
+			switch {
+			case stageSet[sp.Name]:
+				m.reg.Counter(mStageSpans, helpSpans, "stage", sp.Name).Inc()
+				m.reg.Histogram(mStageDur, helpStageDur, nil, "stage", sp.Name).
+					Observe(sp.Duration.Seconds())
+			case sp.Name == spanInstance || sp.Name == spanDispatch || sp.Name == spanWorker:
+				m.reg.Histogram(mHopDur, helpHopDur, nil, "hop", sp.Name).
+					Observe(sp.Duration.Seconds())
+			}
+		}
+		if sampled {
+			s.traces.Put(telemetry.TraceRecord{
+				TraceID:   tr.TraceID(),
+				RequestID: rid,
+				Pattern:   rec.Header().Get(headerPattern),
+				Start:     started,
+				Duration:  elapsed,
+				Spans:     spans,
+			})
+			m.reg.Counter(mTraces, helpTraces).Inc()
 		}
 
 		slow := s.cfg.SlowQueryThreshold > 0 && elapsed >= s.cfg.SlowQueryThreshold
@@ -246,6 +318,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		if log := s.cfg.Logger; log != nil {
 			attrs := []any{
 				"request_id", rid,
+				"trace_id", tr.TraceID(),
 				"route", route,
 				"code", code,
 				"elapsed_ms", elapsed.Milliseconds(),
@@ -260,6 +333,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 				if rec.sql != "" {
 					attrs = append(attrs, "sql", quarantine.ScrubSQL(rec.sql))
 				}
+				attrs = append(attrs, "trace", "\n"+telemetry.FormatTree(spans))
 				log.Warn("slow query", attrs...)
 			} else {
 				log.Info("request", attrs...)

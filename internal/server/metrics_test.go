@@ -62,7 +62,7 @@ func TestErrorCategoryCounters(t *testing.T) {
 		}},
 		{CatTooLarge, Config{MaxBodyBytes: 64}, func(t *testing.T, ts *httptest.Server) {
 			post(t, ts.Client(), ts.URL+"/v1/diagram", diagramRequest{
-				SQL: "SELECT x.a FROM T x WHERE " + strings.Repeat("x.a = 1 AND ", 50) + "x.a = 1",
+				SQL:    "SELECT x.a FROM T x WHERE " + strings.Repeat("x.a = 1 AND ", 50) + "x.a = 1",
 				Schema: "beers",
 			}, nil)
 		}},
@@ -287,6 +287,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		`queryvis_verify_total{status="verified"} 1`,
 		`queryvis_stage_duration_seconds_count{stage="parse"} 1`,
 		`queryvis_stage_spans_total{stage="parse"} 1`,
+		`queryvis_hop_duration_seconds_count{hop="instance"} 1`,
+		`queryvis_hop_duration_seconds_count{hop="dispatch"} 0`,
+		`queryvis_hop_duration_seconds_count{hop="worker"} 0`,
+		"queryvis_traces_total 1",
+		"queryvis_trace_ring_entries 1",
 		"queryvis_http_served_total 1",
 		"queryvis_http_in_flight 0",
 	} {

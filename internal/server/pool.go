@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"repro/internal/faults"
+	"repro/internal/telemetry"
 	"repro/internal/workerpool"
 )
 
@@ -40,8 +41,14 @@ func (s *Server) poolDispatch(endpoint string) func(http.ResponseWriter, *http.R
 		}
 		// Allow-listed header forwarding: the request ID for log
 		// correlation across the process boundary, and — only on listeners
-		// that opted into fault injection — the chaos headers.
-		if rid := r.Header.Get("X-Request-ID"); rid != "" {
+		// that opted into fault injection — the chaos headers. The ID comes
+		// from the context (instrument minted one when the client sent
+		// none), falling back to the raw header for untraced listeners.
+		rid := telemetry.RequestIDFrom(r.Context())
+		if rid == "" {
+			rid = r.Header.Get("X-Request-ID")
+		}
+		if rid != "" {
 			req.Header["X-Request-ID"] = rid
 		}
 		if s.cfg.AllowFaultInjection {
@@ -52,13 +59,29 @@ func (s *Server) poolDispatch(endpoint string) func(http.ResponseWriter, *http.R
 			}
 		}
 
+		// The dispatch span brackets queueing + the frame round trip; its
+		// ID rides to the worker in the trace header so the worker's span
+		// subtree parents under it. The pool stamps the same header map
+		// onto every passenger of a coalesced batch frame, so followers
+		// carry their own trace context, not the leader's.
+		tr := telemetry.TracerFrom(r.Context())
+		sp := tr.Start(spanDispatch)
+		if tr != nil {
+			tc := telemetry.TraceContext{TraceID: tr.TraceID(), SpanID: sp.ID(), Sampled: true}
+			req.Header[telemetry.TraceHeader] = tc.Header()
+		}
+
 		// Route by pattern affinity: isomorphic requests land on the same
 		// worker, concentrating its private diagram cache (see affinity.go).
 		bodyHash, affKey := s.aff.key(body)
 		resp, err := s.cfg.Pool.DoAffinity(r.Context(), req, affKey)
+		sp.End()
 		if err != nil {
 			return err
 		}
+		// Graft the worker-side spans (its "worker" root plus the pipeline
+		// stages) into this request's trace.
+		tr.Merge(resp.Spans)
 		s.aff.learn(bodyHash, resp.Header[headerPattern])
 		for k, v := range resp.Header {
 			// The recorder recomputes framing; a stale worker-side length

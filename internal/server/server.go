@@ -159,6 +159,10 @@ type Server struct {
 	metrics *serverMetrics
 	cache   *diagcache.Cache
 	aff     *affinityIndex
+	// traces retains the last completed request traces for /v1/traces.
+	// nil when telemetry is disabled — the ring is nil-safe, so the
+	// untraced path pays nothing.
+	traces *telemetry.TraceRing
 }
 
 // New builds a Server from the config.
@@ -170,6 +174,9 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+	}
+	if !cfg.DisableTelemetry {
+		s.traces = telemetry.NewTraceRing(0)
 	}
 	s.initMetrics(cfg.Metrics)
 	switch {
@@ -203,6 +210,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/interpret", s.instrument("/v1/interpret", s.guarded(interpret)))
 	s.mux.HandleFunc("/v1/healthz", s.instrument("/v1/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/traces", s.handleTraces)
 	return s
 }
 

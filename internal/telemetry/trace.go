@@ -17,25 +17,39 @@ import (
 // even under injected panics. The nil *Tracer records nothing and costs
 // one nil check per instrumented site.
 type Tracer struct {
-	mu    sync.Mutex
-	spans []Span
+	// traceID names the distributed trace this tracer contributes to.
+	// Immutable after construction; "" on tracers that never cross a
+	// process boundary (oracle per-query tracers, tests).
+	traceID string
+
+	mu     sync.Mutex
+	parent string // span ID new spans parent under; "" = root level
+	spans  []Span
 }
 
 // Span is one completed (or still-open) stage timing.
 type Span struct {
-	Name     string
-	Start    time.Time
-	Duration time.Duration
+	Name  string    `json:"name"`
+	ID    string    `json:"id,omitempty"`
+	Start time.Time `json:"start"`
+	// Parent is the ID of the enclosing span — possibly one recorded by
+	// another process in the same trace (the worker root parents under
+	// the instance's dispatch span, for example).
+	Parent   string        `json:"parent,omitempty"`
+	Duration time.Duration `json:"duration_ns"`
 	// Done marks a span whose End ran; an open span means the stage was
 	// entered but never finished (a contained panic, typically).
-	Done bool
+	Done bool `json:"done"`
 	// Attrs are stage annotations: the verify span carries the inverse
 	// search budget spent and the degradation rung served, for example.
-	Attrs []Attr
+	Attrs []Attr `json:"attrs,omitempty"`
 }
 
 // Attr is one span annotation.
-type Attr struct{ Key, Value string }
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
 
 // Attr returns the value of the named annotation, or "".
 func (s Span) Attr(key string) string {
@@ -50,17 +64,86 @@ func (s Span) Attr(key string) string {
 // NewTracer creates an empty tracer.
 func NewTracer() *Tracer { return &Tracer{} }
 
+// NewTracerForTrace creates a tracer that participates in an existing
+// distributed trace: spans it records carry IDs, and until a root span
+// is opened they parent under the remote span parentSpanID.
+func NewTracerForTrace(traceID, parentSpanID string) *Tracer {
+	return &Tracer{traceID: traceID, parent: parentSpanID}
+}
+
+// TraceID returns the distributed trace ID, or "" for a local tracer.
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
+}
+
+// Parent returns the span ID new spans currently parent under.
+func (t *Tracer) Parent() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.parent
+}
+
+// SetParent re-anchors subsequent spans under the given span ID. Used by
+// sequential sub-request loops (batch items) that want their stage spans
+// nested under a per-item span; concurrent stages of one request should
+// not re-anchor mid-flight.
+func (t *Tracer) SetParent(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.parent = id
+	t.mu.Unlock()
+}
+
 // Start opens a span. On a nil tracer it returns the zero SpanHandle —
 // a no-op — without reading the clock.
 func (t *Tracer) Start(name string) SpanHandle {
 	if t == nil {
 		return SpanHandle{}
 	}
+	id := NewSpanID()
 	t.mu.Lock()
-	t.spans = append(t.spans, Span{Name: name, Start: time.Now()})
+	t.spans = append(t.spans, Span{Name: name, ID: id, Parent: t.parent, Start: time.Now()})
 	h := SpanHandle{t: t, idx: len(t.spans) - 1}
 	t.mu.Unlock()
 	return h
+}
+
+// StartRoot opens this process's root span for the request and anchors
+// every subsequent Start under it, so the hop's stage spans form one
+// subtree. The root itself parents under whatever remote parent the
+// tracer was constructed with.
+func (t *Tracer) StartRoot(name string) SpanHandle {
+	if t == nil {
+		return SpanHandle{}
+	}
+	id := NewSpanID()
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, ID: id, Parent: t.parent, Start: time.Now()})
+	h := SpanHandle{t: t, idx: len(t.spans) - 1}
+	t.parent = id
+	t.mu.Unlock()
+	return h
+}
+
+// Merge appends spans recorded by another process (a worker's response
+// frame, a scraped peer ring) into this trace. The spans keep their own
+// IDs and parents — the caller is responsible for having stamped the
+// cross-process parent when it propagated the trace context.
+func (t *Tracer) Merge(spans []Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, spans...)
+	t.mu.Unlock()
 }
 
 // Spans returns a copy of the recorded spans in start order. Open spans
@@ -102,6 +185,16 @@ func (h SpanHandle) End() {
 		sp.Done = true
 	}
 	h.t.mu.Unlock()
+}
+
+// ID returns the span's identifier, or "" for the no-op handle.
+func (h SpanHandle) ID() string {
+	if h.t == nil {
+		return ""
+	}
+	h.t.mu.Lock()
+	defer h.t.mu.Unlock()
+	return h.t.spans[h.idx].ID
 }
 
 // Annotate attaches a key/value annotation to the span. Valid before or

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/hex"
+	"strings"
+	"sync/atomic"
+)
+
+// TraceHeader is the wire header carrying a TraceContext across process
+// boundaries: the router→instance proxy hop sets it on the forwarded
+// HTTP request, and the pool supervisor sets it in the worker frame's
+// header map. Format: "<trace-id>-<parent-span-id>-<sampled>", e.g.
+// "a3f09c1e4b77d210-9e02aa01000000c4-1".
+const TraceHeader = "X-Queryvis-Trace"
+
+// TraceIDHeader is the response header every instrumented response
+// carries, so a client (or loadgen) can name the trace to look up in
+// /v1/traces without parsing anything.
+const TraceIDHeader = "X-Queryvis-Trace-Id"
+
+// TraceContext is the serializable slice of a distributed trace that
+// crosses a process boundary: which trace the receiver joins, which
+// remote span is its parent, and whether the trace is being recorded.
+type TraceContext struct {
+	TraceID string
+	SpanID  string // the sender-side span the receiver parents under
+	Sampled bool
+}
+
+// Header renders the context in TraceHeader wire form.
+func (tc TraceContext) Header() string {
+	s := "0"
+	if tc.Sampled {
+		s = "1"
+	}
+	return tc.TraceID + "-" + tc.SpanID + "-" + s
+}
+
+// ParseTraceHeader decodes a TraceHeader value. Malformed input returns
+// ok=false — an upstream speaking garbage must degrade to "start a new
+// trace", never to an error on the request path.
+func ParseTraceHeader(v string) (TraceContext, bool) {
+	if v == "" {
+		return TraceContext{}, false
+	}
+	parts := strings.Split(v, "-")
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" {
+		return TraceContext{}, false
+	}
+	var sampled bool
+	switch parts[2] {
+	case "1":
+		sampled = true
+	case "0":
+	default:
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: parts[0], SpanID: parts[1], Sampled: sampled}, true
+}
+
+// NewTraceID mints a 16-hex trace identifier (the same shape as a
+// request ID, but a distinct namespace: one request ID may legitimately
+// appear under several trace IDs when a client retries).
+func NewTraceID() string { return NewRequestID() }
+
+// spanPrefix is this process's 8-hex span-ID prefix; combined with a
+// process-local counter it makes span IDs unique across every process
+// of a fleet without per-span calls into crypto/rand.
+var spanPrefix = func() string {
+	var b [4]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		b = [4]byte{'s', 'p', 'a', 'n'}
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var spanSeq atomic.Uint64
+
+// NewSpanID returns a 16-hex span identifier: the process prefix plus a
+// sequence number. One atomic add and one small allocation per span.
+func NewSpanID() string {
+	n := spanSeq.Add(1)
+	var b [16]byte
+	copy(b[:8], spanPrefix)
+	const hexdigits = "0123456789abcdef"
+	for i := 15; i >= 8; i-- {
+		b[i] = hexdigits[n&0xf]
+		n >>= 4
+	}
+	return string(b[:])
+}

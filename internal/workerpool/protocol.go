@@ -37,6 +37,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/telemetry"
 )
 
 // MaxFrameBytes caps a single protocol frame in either direction.
@@ -69,6 +71,12 @@ type Response struct {
 	Status int               `json:"status"`
 	Header map[string]string `json:"header,omitempty"`
 	Body   []byte            `json:"body"`
+	// Spans are the worker-side trace spans for this request, recorded
+	// when the request carried a sampled telemetry.TraceHeader. In a
+	// batch frame each Response carries its own passenger's spans. The
+	// parent merges them into the request's trace tree; they never reach
+	// the client body.
+	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
 // frame is the on-pipe envelope for both directions. Requests populate

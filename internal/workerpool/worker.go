@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/telemetry"
 )
 
 // RunOptions tunes the child-side loop.
@@ -114,6 +115,13 @@ func actWorkerFault(wf faults.WorkerFault, bw *bufio.Writer) {
 
 // serveOne runs one request through the handler with the supervisor's
 // deadline applied, collecting status, headers, and body.
+//
+// When the request carries a sampled trace context, the worker's
+// pipeline runs under a Tracer rooted at a "worker" span parented on the
+// supervisor's dispatch span, and the recorded spans ride back in the
+// response frame. The worker's own handler runs with telemetry disabled
+// (metrics/logging belong to the parent), but the pipeline stages read
+// the tracer straight off the context, so stage spans record regardless.
 func serveOne(h http.Handler, req *Request, defaultDeadline time.Duration) *Response {
 	deadline := defaultDeadline
 	if ms, err := strconv.Atoi(req.Header[headerDeadlineMS]); err == nil && ms > 0 {
@@ -121,6 +129,17 @@ func serveOne(h http.Handler, req *Request, defaultDeadline time.Duration) *Resp
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
+
+	var tr *telemetry.Tracer
+	var root telemetry.SpanHandle
+	if tc, ok := telemetry.ParseTraceHeader(req.Header[telemetry.TraceHeader]); ok && tc.Sampled {
+		tr = telemetry.NewTracerForTrace(tc.TraceID, tc.SpanID)
+		root = tr.StartRoot("worker")
+		ctx = telemetry.WithTracer(ctx, tr)
+		if rid := req.Header["X-Request-ID"]; rid != "" {
+			ctx = telemetry.WithRequestID(ctx, rid)
+		}
+	}
 
 	hr := (&http.Request{
 		Method: http.MethodPost,
@@ -138,6 +157,10 @@ func serveOne(h http.Handler, req *Request, defaultDeadline time.Duration) *Resp
 	resp := &Response{Status: rec.status, Body: rec.body, Header: map[string]string{}}
 	for k := range rec.header {
 		resp.Header[k] = rec.header.Get(k)
+	}
+	if tr != nil {
+		root.End()
+		resp.Spans = tr.Spans()
 	}
 	return resp
 }

@@ -18,7 +18,19 @@
 #   metrics    observability smoke: boot the daemon, serve one Fig. 1
 #              diagram, and require /v1/metrics to expose the metric
 #              families with a non-zero stage histogram; also proves the
-#              /debug/pprof surface is 404 unless -pprof is set
+#              /debug/pprof surface is 404 unless -pprof is set, in
+#              route mode as well as instance mode
+#   trace      distributed-tracing smoke: a standalone daemon's request
+#              yields a retrievable trace with exactly its hops, and a
+#              request through router → instance → worker process
+#              assembles ONE merged trace tree (router, instance,
+#              dispatch, worker, and worker-side stage spans) from
+#              /v1/traces; plus the /v1/traces filter surface and the
+#              per-item batch spans
+#   slo-gate   scripts/slogate: boot a real daemon, replay the benchmark
+#              mix with cmd/loadgen -gate, and fail the run when p50 or
+#              the handler benchmark's allocs/op regress more than 20%
+#              against the recorded BENCH_server.json baseline
 #   cache      pattern-cache smoke: the daemon serves the Fig. 1 query
 #              twice — the second response must carry
 #              X-QueryVis-Cache: hit with verify_status=verified, and
@@ -71,8 +83,13 @@ go test -count=1 -run 'TestKillStorm|TestCrashContainment' -race ./internal/work
 echo "== queryvisd serve/healthz/shutdown (in-process + -isolation=process)"
 go test -count=1 -run 'TestServeHealthzShutdown|TestProcessIsolationServeDrain' ./cmd/queryvisd
 
-echo "== metrics smoke + pprof gate"
-go test -count=1 -run 'TestMetricsSmoke|TestPprofGate' ./cmd/queryvisd
+echo "== metrics smoke + pprof gate (instance + route mode)"
+go test -count=1 -run 'TestMetricsSmoke|TestPprofGate|TestRouterPprofGate' ./cmd/queryvisd
+
+echo "== trace smoke (standalone + fleet-merged trace tree)"
+go test -count=1 -run 'TestTraceSmoke|TestTraceThroughFleet' ./cmd/queryvisd
+go test -count=1 -run 'TestTraces' ./internal/server
+go test -count=1 -run 'TestFleetObservability' ./internal/router
 
 echo "== cache smoke"
 go test -count=1 -run TestCacheSmoke ./cmd/queryvisd
@@ -94,6 +111,9 @@ go test -count=1 -race -run 'TestRouterMembershipChurn|TestHotPatternReplication
 
 echo "== loadgen zipf smoke"
 go test -count=1 -run TestLoadgenZipfSkewsMix ./cmd/loadgen
+
+echo "== slo gate (p50 + allocs/op vs BENCH_server.json)"
+scripts/slogate
 
 echo "== oracle smoke (30s)"
 go run ./cmd/oracle -n 100000 -seed 1 -timeout 30s
