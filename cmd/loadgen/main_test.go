@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/leak"
+	"repro/internal/netchaos"
 	"repro/internal/router"
 	"repro/internal/server"
 	"repro/internal/telemetry"
@@ -166,6 +167,85 @@ func TestLoadgenSmokeInstanceKill(t *testing.T) {
 	}
 	if rep.P50MS <= 0 || rep.MaxMS < rep.P50MS {
 		t.Fatalf("nonsense latency stats: %+v", rep)
+	}
+}
+
+// TestLoadgenSmokeNetchaos is the network-chaos CI smoke: both
+// instances sit behind netchaos proxies, one link degrades (latency)
+// and the other flaps between partitioned and healed on a seeded
+// schedule mid-run. loadgen's audit must stay clean — zero malformed
+// responses — with a majority of requests succeeding via retries and
+// router failover.
+func TestLoadgenSmokeNetchaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real instance processes")
+	}
+	t.Cleanup(leak.Check(t))
+	t.Cleanup(leak.CheckChildren(t))
+
+	_, u1, _ := startInstance(t)
+	_, u2, _ := startInstance(t)
+
+	p1, err := netchaos.New(netchaos.Config{Target: strings.TrimPrefix(u1, "http://"), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	p2, err := netchaos.New(netchaos.Config{Target: strings.TrimPrefix(u2, "http://"), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+
+	rt, err := router.New(router.Config{
+		Backends:           []string{p1.URL(), p2.URL()},
+		HealthInterval:     50 * time.Millisecond,
+		BreakerThreshold:   2,
+		BreakerCooldown:    250 * time.Millisecond,
+		InstanceAttempts:   2,
+		InstanceMaxElapsed: 500 * time.Millisecond,
+		InstanceTimeout:    time.Second,
+		Metrics:            telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt)
+	t.Cleanup(front.Close)
+
+	// The chaos: one degraded link, one flapping link.
+	p1.Set(netchaos.Faults{Latency: 5 * time.Millisecond})
+	p2.Flap(300*time.Millisecond, 200*time.Millisecond)
+	defer p2.StopFlap()
+
+	var stdout, stderrBuf bytes.Buffer
+	code := run([]string{
+		"-target", front.URL,
+		"-rate", "100",
+		"-duration", "2s",
+		"-seed", "42",
+		"-mix", "16",
+		"-attempts", "3",
+	}, &stdout, &stderrBuf)
+
+	var rep Report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("loadgen stdout is not a report: %v\n%s", err, stdout.String())
+	}
+	t.Logf("report: %+v", rep)
+	if code != 0 {
+		t.Fatalf("loadgen exit %d, want 0; stderr: %s", code, stderrBuf.String())
+	}
+	if rep.Malformed != 0 {
+		t.Fatalf("%d malformed responses under network chaos: %v", rep.Malformed, rep.MalformedSample)
+	}
+	if rep.Completed == 0 || rep.OK < rep.Launched/2 {
+		t.Fatalf("only %d/%d launched requests succeeded", rep.OK, rep.Launched)
+	}
+	st := p2.Stats()
+	if st.DroppedUp+st.DroppedDown == 0 {
+		t.Fatal("flap schedule never dropped a byte; the chaos was not exercised")
 	}
 }
 

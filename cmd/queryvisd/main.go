@@ -22,6 +22,10 @@
 //	          [-route-health-interval 250ms] [-route-admin-token TOKEN] \
 //	          [-route-hot-rps N] [-route-hot-replicas N] \
 //	          [-route-stampede-ttl 2s] \
+//	          [-fleet SPEC.json | -fleet-srv _svc._proto.name] \
+//	          [-fleet-spawn] [-fleet-interval 500ms] \
+//	          [-fleet-min-healthy N] [-fleet-down-after N] \
+//	          [-fleet-up-after N] \
 //	          [-metrics] [-pprof] [-slow-query-ms N]
 //
 // With -isolation=process the pipeline runs in a supervised pool of
@@ -49,6 +53,20 @@
 // identical concurrent requests during failover into one upstream call
 // plus a short-TTL verified-response cache. See internal/router and
 // the README's "Scale-out" section.
+//
+// With -fleet (a JSON spec file) or -fleet-srv (a DNS SRV name) the
+// router additionally runs the self-healing fleet supervisor: a
+// reconciliation loop that probes every desired member, joins newly
+// healthy instances, drain-then-ejects persistently unhealthy ones, and
+// rejoins the recovered — every removal gated by a disruption budget
+// (-fleet-min-healthy floor, one drain at a time, never the last
+// member). -fleet-spawn makes the supervisor also own the member
+// processes (this binary re-executed per member, respawned with
+// backoff), so `queryvisd -route URL -fleet fleet.json -fleet-spawn`
+// is a one-command self-healing deployment. SIGHUP triggers an
+// immediate spec re-read and reconcile; GET /v1/fleet reports every
+// action the supervisor took and why. See internal/fleet and the
+// README's "Self-healing fleet" section.
 //
 // Observability: GET /v1/metrics serves a Prometheus text exposition
 // (disable with -metrics=false), every response carries X-Request-ID
@@ -87,6 +105,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -95,6 +114,7 @@ import (
 	"time"
 
 	queryvis "repro"
+	"repro/internal/fleet"
 	"repro/internal/leak"
 	"repro/internal/quarantine"
 	"repro/internal/router"
@@ -150,6 +170,14 @@ func run(args []string, stdout, stderr *os.File) int {
 		routeHotReplicas = fs.Int("route-hot-replicas", 2, "ring candidates sharing a promoted hot pattern (with -route)")
 		routeStampedeTTL = fs.Duration("route-stampede-ttl", 2*time.Second, "TTL of the router's verified-response cache collapsing failover stampedes; 0 disables it (with -route)")
 
+		fleetSpec       = fs.String("fleet", "", "fleet spec JSON file; run the self-healing supervisor over its desired members (router mode)")
+		fleetSRV        = fs.String("fleet-srv", "", "DNS SRV name (_service._proto.name) to discover desired members from instead of a spec file (router mode)")
+		fleetSpawn      = fs.Bool("fleet-spawn", false, "supervise one local queryvisd process per desired member, respawning exits with backoff (with -fleet)")
+		fleetInterval   = fs.Duration("fleet-interval", 500*time.Millisecond, "fleet reconcile cadence (with -fleet/-fleet-srv)")
+		fleetMinHealthy = fs.Int("fleet-min-healthy", 1, "disruption-budget floor: refuse removals that would leave fewer healthy serving members (with -fleet)")
+		fleetDownAfter  = fs.Int("fleet-down-after", 3, "consecutive bad observations of a member before acting against it (with -fleet)")
+		fleetUpAfter    = fs.Int("fleet-up-after", 2, "consecutive good observations before (re)joining a member (with -fleet)")
+
 		cacheEntries  = fs.Int("cache-entries", 4096, "pattern-keyed diagram cache capacity in entries (0 disables caching)")
 		cacheBytes    = fs.Int64("cache-bytes", 64<<20, "pattern-keyed diagram cache payload bound in bytes")
 		maxBatchItems = fs.Int("max-batch-items", 64, "max items per /v1/diagrams:batch request")
@@ -178,6 +206,25 @@ func run(args []string, stdout, stderr *os.File) int {
 			logger.Error("opening quarantine", "err", err)
 			return 2
 		}
+	}
+	var fleetSrc fleet.Source
+	switch {
+	case *fleetSpec != "" && *fleetSRV != "":
+		logger.Error("-fleet and -fleet-srv are mutually exclusive; pick one desired-state source")
+		return 2
+	case *fleetSpec != "":
+		fleetSrc = &fleet.SpecSource{Path: *fleetSpec}
+	case *fleetSRV != "":
+		src, err := parseSRVName(*fleetSRV)
+		if err != nil {
+			logger.Error("bad -fleet-srv flag", "err", err)
+			return 2
+		}
+		fleetSrc = src
+	}
+	if *fleetSpawn && fleetSrc == nil {
+		logger.Error("-fleet-spawn requires -fleet or -fleet-srv")
+		return 2
 	}
 
 	cfg := server.Config{
@@ -222,11 +269,28 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 0
 	}
 
-	if *route != "" {
+	if *route != "" || fleetSrc != nil {
 		// Router mode: no pipeline of its own — just the ring. The server
-		// flags above are ignored; instances bring their own limits.
+		// flags above are ignored; instances bring their own limits. A
+		// fleet source alone also selects router mode, with the initial
+		// ring seeded from the desired set.
+		backends := []string{}
+		if *route != "" {
+			backends = strings.Split(*route, ",")
+		}
+		if len(backends) == 0 && fleetSrc != nil {
+			ms, err := fleetSrc.Desired(context.Background())
+			if err != nil {
+				logger.Error("reading initial fleet desired state", "err", err)
+				return 2
+			}
+			for _, m := range ms {
+				backends = append(backends, m.URL)
+			}
+		}
+		reg := telemetry.NewRegistry()
 		rt, err := router.New(router.Config{
-			Backends:        strings.Split(*route, ","),
+			Backends:        backends,
 			Replicas:        *routeReplicas,
 			HealthInterval:  *routeHealthInt,
 			MaxBodyBytes:    *maxBody,
@@ -234,7 +298,7 @@ func run(args []string, stdout, stderr *os.File) int {
 			HotThresholdRPS: *routeHotRPS,
 			HotReplicas:     *routeHotReplicas,
 			StampedeTTL:     *routeStampedeTTL,
-			Metrics:         telemetry.NewRegistry(),
+			Metrics:         reg,
 			Logger:          logger,
 		})
 		if err != nil {
@@ -249,8 +313,68 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
+
+		// The fleet supervisor shares the router's registry so one
+		// /v1/metrics scrape covers the queryvis_fleet_* families too.
+		var supDone chan struct{}
+		var supStop context.CancelFunc
+		if fleetSrc != nil {
+			fcfg := fleet.Config{
+				Ring:       rt,
+				Source:     fleetSrc,
+				Interval:   *fleetInterval,
+				DownAfter:  *fleetDownAfter,
+				UpAfter:    *fleetUpAfter,
+				MinHealthy: *fleetMinHealthy,
+				Metrics:    reg,
+				Logger:     logger,
+			}
+			if *fleetSpawn {
+				fcfg.Spawn = memberSpawner(fs, *allowFaults)
+			}
+			sup, err := fleet.New(fcfg)
+			if err != nil {
+				rt.Close()
+				_ = ln.Close()
+				logger.Error("starting fleet supervisor", "err", err)
+				return 2
+			}
+			rt.SetFleetStatus(func() any { return sup.Status() })
+			supCtx, cancel := context.WithCancel(context.Background())
+			supStop = cancel
+			supDone = make(chan struct{})
+			go func() {
+				defer close(supDone)
+				sup.Run(supCtx)
+			}()
+			// SIGHUP: re-read the spec and reconcile now, not a tick later.
+			hup := make(chan os.Signal, 1)
+			signal.Notify(hup, syscall.SIGHUP)
+			go func() {
+				defer signal.Stop(hup)
+				for {
+					select {
+					case <-supCtx.Done():
+						return
+					case <-hup:
+						logger.Info("SIGHUP: reloading fleet desired state")
+						sup.Poke()
+					}
+				}
+			}()
+			logger.Info("fleet supervisor running", "spawn", *fleetSpawn,
+				"interval", *fleetInterval, "min_healthy", *fleetMinHealthy)
+		}
+
 		logger.Info("routing", "instances", len(rt.State().Instances))
 		serveErr := serveWith(ctx, ln, withDebug(rt, *enablePprof), *grace, logger)
+		if supStop != nil {
+			// Stop reconciling (and tear down spawned members) only after
+			// the listener has drained, so in-flight proxied requests keep
+			// their instances.
+			supStop()
+			<-supDone
+		}
 		rt.Close()
 		if serveErr != nil {
 			logger.Error("serve failed", "err", serveErr)
@@ -321,9 +445,25 @@ func run(args []string, stdout, stderr *os.File) int {
 // binary acting as the daemon routes the child into worker mode before
 // the test framework takes over.
 func workerSpawner(fs *flag.FlagSet, allowFaults bool) func() (*exec.Cmd, error) {
-	args := []string{"-worker"}
-	// Forward exactly the flags the worker's pipeline reads; listener and
-	// pool flags stay parent-side.
+	args := append([]string{"-worker"}, forwardedPipelineFlags(fs)...)
+	if allowFaults {
+		args = append(args, "-allow-fault-injection")
+	}
+	return func() (*exec.Cmd, error) {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Env = append(os.Environ(), "QUERYVISD_WORKER=1")
+		return cmd, nil
+	}
+}
+
+// forwardedPipelineFlags lists the explicitly-set pipeline flags a
+// spawned child (pool worker or fleet member) inherits; listener, pool,
+// router, and fleet flags stay parent-side.
+func forwardedPipelineFlags(fs *flag.FlagSet) []string {
 	forward := map[string]bool{
 		"timeout": true, "max-body": true,
 		"max-query-bytes": true, "max-nesting-depth": true, "max-predicates": true,
@@ -337,23 +477,60 @@ func workerSpawner(fs *flag.FlagSet, allowFaults bool) func() (*exec.Cmd, error)
 		// concentrate (see internal/server/affinity.go).
 		"cache-entries": true, "cache-bytes": true,
 	}
+	var args []string
 	fs.Visit(func(f *flag.Flag) {
 		if forward[f.Name] {
 			args = append(args, "-"+f.Name+"="+f.Value.String())
 		}
 	})
+	return args
+}
+
+// memberSpawner builds the fleet supervisor's Spawn function: this same
+// binary re-executed as a full queryvisd server on the member's own
+// address, with the operator's pipeline flags forwarded and the
+// member's extra spec args appended last (so a member can override). The
+// QUERYVISD_MEMBER marker routes children of a test binary back into
+// run() before the test framework sees their flags.
+func memberSpawner(fs *flag.FlagSet, allowFaults bool) func(fleet.Member) (*exec.Cmd, error) {
+	shared := forwardedPipelineFlags(fs)
 	if allowFaults {
-		args = append(args, "-allow-fault-injection")
+		shared = append(shared, "-allow-fault-injection")
 	}
-	return func() (*exec.Cmd, error) {
+	return func(m fleet.Member) (*exec.Cmd, error) {
+		u, err := url.Parse(m.URL)
+		if err != nil {
+			return nil, fmt.Errorf("member url %q: %w", m.URL, err)
+		}
+		if u.Host == "" {
+			return nil, fmt.Errorf("member url %q has no host to listen on", m.URL)
+		}
 		exe, err := os.Executable()
 		if err != nil {
 			return nil, err
 		}
+		args := append([]string{"-addr", u.Host}, shared...)
+		args = append(args, m.Args...)
 		cmd := exec.Command(exe, args...)
-		cmd.Env = append(os.Environ(), "QUERYVISD_WORKER=1")
+		cmd.Env = append(os.Environ(), "QUERYVISD_MEMBER=1")
 		return cmd, nil
 	}
+}
+
+// parseSRVName splits an RFC 2782 "_service._proto.name" SRV owner name
+// into the SRVSource fields.
+func parseSRVName(s string) (*fleet.SRVSource, error) {
+	parts := strings.SplitN(s, ".", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[0], "_") || !strings.HasPrefix(parts[1], "_") ||
+		len(parts[0]) < 2 || len(parts[1]) < 2 || parts[2] == "" {
+		return nil, fmt.Errorf("SRV name %q: want _service._proto.name", s)
+	}
+	return &fleet.SRVSource{
+		Resolver: net.DefaultResolver,
+		Service:  parts[0][1:],
+		Proto:    parts[1][1:],
+		Name:     parts[2],
+	}, nil
 }
 
 // newHandler assembles the daemon's full handler: the hardened API

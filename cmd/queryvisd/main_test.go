@@ -33,7 +33,7 @@ import (
 // (set by workerSpawner) diverts them before the test framework parses
 // the -worker flag as its own.
 func TestMain(m *testing.M) {
-	if os.Getenv("QUERYVISD_WORKER") == "1" {
+	if os.Getenv("QUERYVISD_WORKER") == "1" || os.Getenv("QUERYVISD_MEMBER") == "1" {
 		os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 	}
 	os.Exit(m.Run())

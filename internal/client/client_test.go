@@ -263,3 +263,103 @@ func TestConfiguredHeadersStampEveryAttempt(t *testing.T) {
 		}
 	}
 }
+
+func TestRetryBudgetCapsStorm(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable) // total outage
+	}))
+	defer ts.Close()
+
+	c := New(Config{
+		MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+		RetryBudget: 2, RetryRefill: 1,
+	})
+	// Request 1: 3 attempts — 2 retries drain the whole budget.
+	resp, err := c.Do(mustGet(t, ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("first request: server saw %d calls, want 3", got)
+	}
+	// Requests 2..4: the bucket is dry; each sends exactly one attempt
+	// and returns the shed response as-is instead of amplifying.
+	for i := 0; i < 3; i++ {
+		resp, err := c.Do(mustGet(t, ts.URL))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("denied retry changed the response: %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if got := calls.Load(); got != 6 {
+		t.Fatalf("after denied retries: server saw %d calls, want 6 (3+1+1+1)", got)
+	}
+	st := c.Stats()
+	if st.BudgetSpent != 2 || st.BudgetDenied != 3 {
+		t.Fatalf("budget counters: %+v, want spent=2 denied=3", st)
+	}
+}
+
+func TestRetryBudgetRefillsOnSuccess(t *testing.T) {
+	var fail atomic.Bool
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if fail.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	defer ts.Close()
+
+	c := New(Config{
+		MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond,
+		RetryBudget: 1, RetryRefill: 1,
+	})
+	get := func() *http.Response {
+		t.Helper()
+		resp, err := c.Do(mustGet(t, ts.URL))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	// Drain the one-token budget during an outage.
+	fail.Store(true)
+	get()
+	if st := c.Stats(); st.BudgetSpent != 1 {
+		t.Fatalf("expected the single token spent: %+v", st)
+	}
+	get() // dry: single attempt, denied
+	if st := c.Stats(); st.BudgetDenied != 1 {
+		t.Fatalf("expected a denial while dry: %+v", st)
+	}
+	// One clean success refills a full token (refill=1)...
+	fail.Store(false)
+	get()
+	// ...so the next outage request may retry exactly once again.
+	fail.Store(true)
+	before := calls.Load()
+	get()
+	if got := calls.Load() - before; got != 2 {
+		t.Fatalf("refilled budget should allow one retry: saw %d attempts", got)
+	}
+	if st := c.Stats(); st.BudgetSpent != 2 {
+		t.Fatalf("refilled token not spent: %+v", st)
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}

@@ -1,0 +1,703 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/leak"
+	"repro/internal/router"
+	"repro/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fakeRing is an in-memory Ring with scriptable member health, so the
+// reconcile loop can be stepped deterministically without a router.
+type fakeRing struct {
+	mu      sync.Mutex
+	epoch   uint64
+	order   []string
+	members map[string]*router.InstanceState
+	ops     []string // "join URL", "drain URL", "eject URL"
+}
+
+func newFakeRing() *fakeRing {
+	return &fakeRing{members: make(map[string]*router.InstanceState)}
+}
+
+// add seeds a member directly, bypassing the op log — "the ring already
+// looked like this when the supervisor arrived".
+func (f *fakeRing) add(url string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.members[url] = &router.InstanceState{URL: url, Healthy: true}
+	f.order = append(f.order, url)
+}
+
+func (f *fakeRing) setHealthy(url string, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if in := f.members[url]; in != nil {
+		in.Healthy = ok
+	}
+}
+
+func (f *fakeRing) has(url string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.members[url] != nil
+}
+
+func (f *fakeRing) draining(url string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	in := f.members[url]
+	return in != nil && in.Draining
+}
+
+func (f *fakeRing) opCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.ops)
+}
+
+func (f *fakeRing) State() router.State {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := router.State{Status: "ok", Epoch: f.epoch}
+	for _, url := range f.order {
+		st.Instances = append(st.Instances, *f.members[url])
+	}
+	return st
+}
+
+func (f *fakeRing) Join(url string) (uint64, string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops = append(f.ops, "join "+url)
+	if in := f.members[url]; in != nil {
+		in.Draining = false
+		f.epoch++
+		return f.epoch, "rejoined", nil
+	}
+	f.members[url] = &router.InstanceState{URL: url, Healthy: true}
+	f.order = append(f.order, url)
+	f.epoch++
+	return f.epoch, "joined", nil
+}
+
+func (f *fakeRing) Drain(url string) (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops = append(f.ops, "drain "+url)
+	in := f.members[url]
+	if in == nil {
+		return f.epoch, errors.New("no such member")
+	}
+	in.Draining = true
+	return f.epoch, nil
+}
+
+func (f *fakeRing) Eject(url string) (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops = append(f.ops, "eject "+url)
+	if f.members[url] == nil {
+		return f.epoch, errors.New("no such member")
+	}
+	delete(f.members, url)
+	for i, u := range f.order {
+		if u == url {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+	f.epoch++
+	return f.epoch, nil
+}
+
+// fakeInstance is a healthz endpoint whose answer a test can flip.
+type fakeInstance struct {
+	srv *httptest.Server
+	ok  atomic.Bool
+}
+
+func newFakeInstance() *fakeInstance {
+	fi := &fakeInstance{}
+	fi.ok.Store(true)
+	fi.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/healthz" || !fi.ok.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	return fi
+}
+
+func (fi *fakeInstance) url() string { return fi.srv.URL }
+
+// fakeSource is a scriptable desired-state Source.
+type fakeSource struct {
+	mu      sync.Mutex
+	members []Member
+	err     error
+}
+
+func (f *fakeSource) set(urls ...string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.members = f.members[:0]
+	for _, u := range urls {
+		f.members = append(f.members, Member{URL: u})
+	}
+	f.err = nil
+}
+
+func (f *fakeSource) fail(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.err = err
+}
+
+func (f *fakeSource) Desired(context.Context) ([]Member, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return nil, f.err
+	}
+	return append([]Member(nil), f.members...), nil
+}
+
+// newTestSup builds a supervisor with fast, deterministic settings. The
+// probe client disables keep-alives so no idle-connection goroutines
+// survive into the leak check.
+func newTestSup(t *testing.T, fr *fakeRing, src Source, mut func(*Config)) *Supervisor {
+	t.Helper()
+	cfg := Config{
+		Ring:                fr,
+		Source:              src,
+		ProbeTimeout:        2 * time.Second,
+		DownAfter:           2,
+		UpAfter:             2,
+		MinHealthy:          1,
+		MaxConcurrentDrains: 1,
+		DrainTimeout:        time.Nanosecond,
+		Metrics:             telemetry.NewRegistry(),
+		HTTPClient: &http.Client{
+			Timeout:   2 * time.Second,
+			Transport: &http.Transport{DisableKeepAlives: true},
+		},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func tick(s *Supervisor, n int) {
+	for range n {
+		s.ReconcileOnce(context.Background())
+	}
+}
+
+func TestJoinRequiresUpStreak(t *testing.T) {
+	defer leak.Check(t)()
+	fi1, fi2 := newFakeInstance(), newFakeInstance()
+	defer fi1.srv.Close()
+	defer fi2.srv.Close()
+	fr := newFakeRing()
+	src := &fakeSource{}
+	src.set(fi1.url(), fi2.url())
+	s := newTestSup(t, fr, src, nil)
+
+	tick(s, 1)
+	if fr.has(fi1.url()) || fr.has(fi2.url()) {
+		t.Fatalf("joined after one good observation; UpAfter=2 hysteresis violated")
+	}
+	tick(s, 1)
+	if !fr.has(fi1.url()) || !fr.has(fi2.url()) {
+		t.Fatalf("both members should be on the ring after two good observations")
+	}
+	if got := s.reg.Value(mActions, "action", "join"); got != 2 {
+		t.Fatalf("join actions = %v, want 2", got)
+	}
+	st := s.Status()
+	if st.ActionCounts["join"] != 2 || len(st.Desired) != 2 {
+		t.Fatalf("status = %+v, want 2 joins and 2 desired", st)
+	}
+}
+
+func TestDrainEjectRejoinHeal(t *testing.T) {
+	defer leak.Check(t)()
+	fi1, fi2 := newFakeInstance(), newFakeInstance()
+	defer fi1.srv.Close()
+	defer fi2.srv.Close()
+	fr := newFakeRing()
+	src := &fakeSource{}
+	src.set(fi1.url(), fi2.url())
+	s := newTestSup(t, fr, src, func(c *Config) { c.UpAfter = 1 })
+
+	tick(s, 1) // both join immediately (UpAfter=1)
+	if !fr.has(fi1.url()) || !fr.has(fi2.url()) {
+		t.Fatal("setup: both members should be on the ring")
+	}
+
+	fi2.ok.Store(false)
+	tick(s, 1) // failStreak 1 < DownAfter
+	if fr.draining(fi2.url()) {
+		t.Fatal("drained after a single bad observation; DownAfter=2 hysteresis violated")
+	}
+	tick(s, 1) // failStreak 2 → drain
+	if !fr.draining(fi2.url()) {
+		t.Fatal("member should be draining after DownAfter bad observations")
+	}
+	tick(s, 1) // drain outlives DrainTimeout → eject
+	if fr.has(fi2.url()) {
+		t.Fatal("stuck drain should have escalated to eject")
+	}
+	if !fr.has(fi1.url()) {
+		t.Fatal("healthy member must be untouched throughout")
+	}
+
+	fi2.ok.Store(true)
+	tick(s, 1) // recovery → rejoin, heal duration observed
+	if !fr.has(fi2.url()) {
+		t.Fatal("recovered member should have rejoined")
+	}
+	st := s.Status()
+	want := map[string]int64{"join": 2, "drain": 1, "eject": 1, "rejoin": 1}
+	for action, n := range want {
+		if st.ActionCounts[action] != n {
+			t.Fatalf("action %q count = %d, want %d (all: %v)", action, st.ActionCounts[action], n, st.ActionCounts)
+		}
+	}
+	var buf bytes.Buffer
+	s.reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), mHealDur+"_count 1") {
+		t.Fatalf("heal-duration histogram should record exactly one heal:\n%s", buf.String())
+	}
+}
+
+func TestBudgetLastMember(t *testing.T) {
+	defer leak.Check(t)()
+	fi := newFakeInstance()
+	defer fi.srv.Close()
+	fi.ok.Store(false)
+	fr := newFakeRing()
+	fr.add(fi.url())
+	src := &fakeSource{}
+	src.set(fi.url())
+	s := newTestSup(t, fr, src, func(c *Config) { c.DownAfter = 1 })
+
+	tick(s, 3)
+	if !fr.has(fi.url()) || fr.draining(fi.url()) {
+		t.Fatal("the last ring member must never be drained, however unhealthy")
+	}
+	if got := s.reg.Value(mDenied, "reason", "last_member"); got < 1 {
+		t.Fatalf("last_member denials = %v, want >= 1", got)
+	}
+	if s.Status().BudgetDenied["last_member"] < 1 {
+		t.Fatal("status should surface the last_member denial")
+	}
+}
+
+func TestBudgetDrainConcurrency(t *testing.T) {
+	defer leak.Check(t)()
+	fis := []*fakeInstance{newFakeInstance(), newFakeInstance(), newFakeInstance()}
+	for _, fi := range fis {
+		defer fi.srv.Close()
+	}
+	fr := newFakeRing()
+	var urls []string
+	for _, fi := range fis {
+		fr.add(fi.url())
+		urls = append(urls, fi.url())
+	}
+	src := &fakeSource{}
+	src.set(urls...)
+	fis[1].ok.Store(false)
+	fis[2].ok.Store(false)
+	s := newTestSup(t, fr, src, func(c *Config) {
+		c.DownAfter = 1
+		c.DrainTimeout = time.Hour // keep the first drain pending
+	})
+
+	tick(s, 1)
+	d1, d2 := fr.draining(urls[1]), fr.draining(urls[2])
+	if !d1 || d2 {
+		t.Fatalf("exactly the first unhealthy member should drain (got %v, %v); MaxConcurrentDrains=1", d1, d2)
+	}
+	if got := s.reg.Value(mDenied, "reason", "drain_concurrency"); got != 1 {
+		t.Fatalf("drain_concurrency denials = %v, want 1", got)
+	}
+}
+
+func TestBudgetMinHealthy(t *testing.T) {
+	defer leak.Check(t)()
+	fi1, fi2 := newFakeInstance(), newFakeInstance()
+	defer fi1.srv.Close()
+	defer fi2.srv.Close()
+	fr := newFakeRing()
+	fr.add(fi1.url())
+	fr.add(fi2.url())
+	src := &fakeSource{}
+	src.set(fi1.url(), fi2.url())
+	fi2.ok.Store(false) // probe says down, but the ring still counts it healthy
+	s := newTestSup(t, fr, src, func(c *Config) {
+		c.DownAfter = 1
+		c.MinHealthy = 2
+		c.DrainTimeout = time.Hour
+	})
+
+	tick(s, 2)
+	if fr.draining(fi2.url()) {
+		t.Fatal("draining a ring-healthy member below the MinHealthy floor must be refused")
+	}
+	if got := s.reg.Value(mDenied, "reason", "min_healthy"); got < 1 {
+		t.Fatalf("min_healthy denials = %v, want >= 1", got)
+	}
+
+	// Once the ring itself marks the member unhealthy, removing it costs
+	// no serving capacity — it must be removable even below the floor.
+	fr.setHealthy(fi2.url(), false)
+	tick(s, 1)
+	if !fr.draining(fi2.url()) {
+		t.Fatal("a ring-unhealthy member must be removable below the MinHealthy floor")
+	}
+}
+
+func TestFlappingNeverOscillatesRing(t *testing.T) {
+	defer leak.Check(t)()
+	off, on := newFakeInstance(), newFakeInstance()
+	defer off.srv.Close()
+	defer on.srv.Close()
+	fr := newFakeRing()
+	fr.add(on.url()) // the on-ring flapper
+	src := &fakeSource{}
+	src.set(off.url(), on.url())
+	s := newTestSup(t, fr, src, nil) // DownAfter=2, UpAfter=2
+
+	// Strict alternation: no streak ever reaches 2, so neither the
+	// off-ring member joining nor the on-ring member draining may fire.
+	for i := range 8 {
+		good := i%2 == 0
+		off.ok.Store(good)
+		on.ok.Store(good)
+		tick(s, 1)
+	}
+	if n := fr.opCount(); n != 0 {
+		t.Fatalf("flapping members caused %d ring operations, want 0 (hysteresis failed)", n)
+	}
+}
+
+func TestRemoveUndesiredMember(t *testing.T) {
+	defer leak.Check(t)()
+	keep, extra := newFakeInstance(), newFakeInstance()
+	defer keep.srv.Close()
+	defer extra.srv.Close()
+	fr := newFakeRing()
+	fr.add(keep.url())
+	fr.add(extra.url())
+	src := &fakeSource{}
+	src.set(keep.url()) // extra is on the ring but not desired
+	s := newTestSup(t, fr, src, nil)
+
+	tick(s, 1)
+	if !fr.draining(extra.url()) {
+		t.Fatal("undesired member should be draining after the first reconcile")
+	}
+	tick(s, 1) // escalation past DrainTimeout
+	if fr.has(extra.url()) {
+		t.Fatal("undesired member should be ejected once its drain escalates")
+	}
+	if !fr.has(keep.url()) {
+		t.Fatal("desired member must survive")
+	}
+	st := s.Status()
+	if st.ActionCounts["remove"] != 1 || st.ActionCounts["eject"] != 1 {
+		t.Fatalf("action counts = %v, want remove=1 eject=1", st.ActionCounts)
+	}
+}
+
+func TestSourceErrorKeepsLastGoodSet(t *testing.T) {
+	defer leak.Check(t)()
+	fi := newFakeInstance()
+	defer fi.srv.Close()
+	fr := newFakeRing()
+	src := &fakeSource{}
+	src.set(fi.url())
+	s := newTestSup(t, fr, src, nil)
+
+	tick(s, 2)
+	if !fr.has(fi.url()) {
+		t.Fatal("setup: member should have joined")
+	}
+
+	src.fail(errors.New("torn spec file"))
+	tick(s, 3)
+	if !fr.has(fi.url()) || fr.draining(fi.url()) {
+		t.Fatal("a source error must not read as scale-to-zero; last good set should hold")
+	}
+	st := s.Status()
+	if len(st.Desired) != 1 || st.Desired[0] != fi.url() {
+		t.Fatalf("desired set = %v, want last good [%s]", st.Desired, fi.url())
+	}
+	if got := s.reg.Value(mReconcileErr, "kind", "source"); got != 3 {
+		t.Fatalf("source error counter = %v, want 3", got)
+	}
+}
+
+func TestSourceNeverGoodHoldsOff(t *testing.T) {
+	defer leak.Check(t)()
+	fi := newFakeInstance()
+	defer fi.srv.Close()
+	fi2 := newFakeInstance()
+	defer fi2.srv.Close()
+	// Two seeded members: with only one, the last-member budget rule
+	// would mask the regression this test exists to catch.
+	fr := newFakeRing()
+	fr.add(fi.url())
+	fr.add(fi2.url())
+	src := &fakeSource{}
+	src.fail(errors.New("spec missing at boot"))
+	s := newTestSup(t, fr, src, nil)
+
+	// The source has never succeeded: the ring members the router was
+	// seeded with must not be read as undesired and drained.
+	tick(s, 4)
+	if got := fr.opCount(); got != 0 {
+		t.Fatalf("ring ops before first good read = %d, want 0", got)
+	}
+	if !fr.has(fi.url()) || fr.draining(fi.url()) {
+		t.Fatal("seeded members must be untouched while the source has never succeeded")
+	}
+	if got := s.reg.Value(mReconciles); got != 4 {
+		t.Fatalf("reconcile ticks = %v, want 4 (held-off ticks still count)", got)
+	}
+
+	// First good read unfreezes the loop.
+	src.set(fi.url(), fi2.url())
+	tick(s, 2)
+	st := s.Status()
+	if len(st.Desired) != 2 {
+		t.Fatalf("desired set after recovery = %v, want both members", st.Desired)
+	}
+	if !fr.has(fi.url()) || !fr.has(fi2.url()) {
+		t.Fatal("members must stay on the ring after the source recovers")
+	}
+}
+
+func TestSpecSource(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	good := write("good.json", `{"instances": [
+		{"url": "http://127.0.0.1:8081"},
+		{"url": "http://127.0.0.1:8082", "args": ["-cache-entries", "512"]}
+	]}`)
+	ms, err := (&SpecSource{Path: good}).Desired(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[1].URL != "http://127.0.0.1:8082" || len(ms[1].Args) != 2 {
+		t.Fatalf("parsed spec = %+v", ms)
+	}
+
+	for name, body := range map[string]string{
+		"nourl.json": `{"instances": [{"args": ["-x"]}]}`,
+		"dup.json":   `{"instances": [{"url": "http://a:1"}, {"url": "http://a:1"}]}`,
+		"torn.json":  `{"instances": [{"url": "http://a`,
+	} {
+		if _, err := (&SpecSource{Path: write(name, body)}).Desired(context.Background()); err == nil {
+			t.Errorf("%s: want error, got none", name)
+		}
+	}
+	if _, err := (&SpecSource{Path: filepath.Join(dir, "absent.json")}).Desired(context.Background()); err == nil {
+		t.Error("absent file: want error, got none")
+	}
+}
+
+// fakeResolver scripts SRV answers.
+type fakeResolver struct {
+	addrs []*net.SRV
+	err   error
+}
+
+func (f *fakeResolver) LookupSRV(context.Context, string, string, string) (string, []*net.SRV, error) {
+	return "", f.addrs, f.err
+}
+
+func TestSRVSource(t *testing.T) {
+	src := &SRVSource{
+		Resolver: &fakeResolver{addrs: []*net.SRV{
+			{Target: "b.fleet.internal.", Port: 8082},
+			{Target: "a.fleet.internal.", Port: 8081},
+			{Target: "b.fleet.internal.", Port: 8082}, // duplicate answer
+		}},
+		Service: "queryvis", Proto: "tcp", Name: "fleet.internal",
+	}
+	ms, err := src.Desired(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a.fleet.internal:8081", "http://b.fleet.internal:8082"}
+	if len(ms) != len(want) {
+		t.Fatalf("members = %+v, want %v", ms, want)
+	}
+	for i, w := range want {
+		if ms[i].URL != w {
+			t.Fatalf("members[%d] = %q, want %q (sorted, deduped, root dot trimmed)", i, ms[i].URL, w)
+		}
+	}
+
+	src.Resolver = &fakeResolver{err: errors.New("SERVFAIL")}
+	if _, err := src.Desired(context.Background()); err == nil {
+		t.Fatal("resolver error should propagate")
+	}
+}
+
+func TestSpawnRespawnWithBackoff(t *testing.T) {
+	defer leak.Check(t)()
+	defer leak.CheckChildren(t)()
+	fi := newFakeInstance()
+	defer fi.srv.Close()
+	fr := newFakeRing()
+	src := &fakeSource{}
+	src.set(fi.url())
+	s := newTestSup(t, fr, src, func(c *Config) {
+		c.RespawnBase = 20 * time.Millisecond
+		c.RespawnMax = 50 * time.Millisecond
+		c.Spawn = func(m Member) (*exec.Cmd, error) {
+			return exec.Command("true"), nil // exits immediately: a crash loop
+		}
+	})
+	defer s.shutdown()
+
+	tick(s, 1)
+	if got := s.reg.Value(mActions, "action", "spawn"); got != 1 {
+		t.Fatalf("spawn actions = %v, want 1", got)
+	}
+
+	// Each respawn waits out the jittered backoff first; ticking again
+	// immediately must not relaunch.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.reg.Value(mRespawns) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("respawns = %v, want >= 2 before deadline", s.reg.Value(mRespawns))
+		}
+		tick(s, 1)
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := s.Status()
+	var mv *memberView
+	for i := range st.Members {
+		if st.Members[i].URL == fi.url() {
+			mv = &st.Members[i]
+		}
+	}
+	if mv == nil || !mv.Managed || mv.Respawns < 2 {
+		t.Fatalf("member view = %+v, want managed with >= 2 respawns", mv)
+	}
+}
+
+func TestSpawnStopsUndesiredAndShutsDown(t *testing.T) {
+	defer leak.Check(t)()
+	defer leak.CheckChildren(t)()
+	fi := newFakeInstance()
+	defer fi.srv.Close()
+	fr := newFakeRing()
+	src := &fakeSource{}
+	src.set(fi.url())
+	s := newTestSup(t, fr, src, func(c *Config) {
+		c.Spawn = func(m Member) (*exec.Cmd, error) {
+			return exec.Command("sleep", "60"), nil
+		}
+	})
+	defer s.shutdown()
+
+	tick(s, 1)
+	s.mu.Lock()
+	p := s.procs[fi.url()]
+	s.mu.Unlock()
+	if p == nil || !p.running() {
+		t.Fatal("desired member should have a live managed process")
+	}
+
+	// Dropping the member from desired state must terminate its process.
+	src.set()
+	tick(s, 1)
+	s.mu.Lock()
+	remaining := len(s.procs)
+	s.mu.Unlock()
+	if remaining != 0 {
+		t.Fatalf("%d managed processes remain for an empty desired set, want 0", remaining)
+	}
+	if p.running() {
+		t.Fatal("undesired member's process should have been stopped")
+	}
+}
+
+func TestFleetMetricsGolden(t *testing.T) {
+	defer leak.Check(t)()
+	fi1, fi2 := newFakeInstance(), newFakeInstance()
+	defer fi1.srv.Close()
+	defer fi2.srv.Close()
+	fr := newFakeRing()
+	src := &fakeSource{}
+	src.set(fi1.url(), fi2.url())
+	s := newTestSup(t, fr, src, nil)
+
+	// Three ticks: streaks build (1), both join (2), gauges settle (3).
+	tick(s, 3)
+
+	var buf bytes.Buffer
+	s.reg.WritePrometheus(&buf)
+	var lines []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, "queryvis_fleet_") {
+			lines = append(lines, line)
+		}
+	}
+	got := strings.Join(lines, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "fleet_metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("fleet metrics exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

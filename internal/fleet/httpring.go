@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/router"
+)
+
+// HTTPRing adapts a *remote* router's HTTP surface to the Ring
+// interface, so one supervisor process can heal a fleet it is not
+// co-resident with: State reads /v1/healthz, membership ops drive
+// /v1/ring with the admin bearer token. Errors are remembered (LastErr)
+// rather than woven into the interface — the supervisor treats an
+// unreachable router like an empty, unhealthy ring and simply cannot
+// act until the router answers again, which is the safe failure mode.
+type HTTPRing struct {
+	base string
+	hc   *client.Client
+
+	mu      sync.Mutex
+	lastErr error
+}
+
+// NewHTTPRing points a Ring at a remote router's base URL. The token is
+// the router's -route-admin-token; probes and admin calls share one
+// retrying client.
+func NewHTTPRing(baseURL, adminToken string) *HTTPRing {
+	return &HTTPRing{
+		base: baseURL,
+		hc: client.New(client.Config{
+			HTTPClient:  &http.Client{Timeout: 5 * time.Second},
+			MaxAttempts: 2,
+			MaxElapsed:  3 * time.Second,
+			Headers:     map[string]string{"Authorization": "Bearer " + adminToken},
+		}),
+	}
+}
+
+// LastErr returns the most recent transport/API error, nil when the
+// last call succeeded.
+func (h *HTTPRing) LastErr() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lastErr
+}
+
+func (h *HTTPRing) setErr(err error) {
+	h.mu.Lock()
+	h.lastErr = err
+	h.mu.Unlock()
+}
+
+// State scrapes the remote router's healthz. On failure it reports an
+// empty unreachable ring — no members means the supervisor takes no
+// removal action, which is exactly the paralysis you want while blind.
+func (h *HTTPRing) State() router.State {
+	resp, err := h.hc.Get(context.Background(), h.base+"/v1/healthz")
+	if err != nil {
+		h.setErr(err)
+		return router.State{Status: "unreachable"}
+	}
+	defer resp.Body.Close()
+	var st router.State
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		h.setErr(fmt.Errorf("fleet: decoding router healthz: %w", err))
+		return router.State{Status: "unreachable"}
+	}
+	h.setErr(nil)
+	return st
+}
+
+// admin performs one ring admin call and decodes the envelope.
+func (h *HTTPRing) admin(method, path, url string) (router.RingStatus, error) {
+	var rs router.RingStatus
+	var resp *http.Response
+	var err error
+	ctx := context.Background()
+	if method == http.MethodDelete {
+		req, rerr := http.NewRequestWithContext(ctx, http.MethodDelete,
+			h.base+path+"?url="+url, nil)
+		if rerr != nil {
+			return rs, rerr
+		}
+		resp, err = h.hc.Do(req)
+	} else {
+		resp, err = h.hc.PostJSON(ctx, h.base+path, map[string]string{"url": url})
+	}
+	if err != nil {
+		h.setErr(err)
+		return rs, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		err = fmt.Errorf("fleet: ring admin %s %s answered HTTP %d", method, path, resp.StatusCode)
+		h.setErr(err)
+		return rs, err
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {
+		h.setErr(err)
+		return rs, err
+	}
+	h.setErr(nil)
+	return rs, nil
+}
+
+// Join adds (or readmits) url on the remote ring.
+func (h *HTTPRing) Join(url string) (uint64, string, error) {
+	rs, err := h.admin(http.MethodPost, "/v1/ring/instances", url)
+	return rs.Epoch, rs.Status, err
+}
+
+// Drain begins retiring url on the remote ring.
+func (h *HTTPRing) Drain(url string) (uint64, error) {
+	rs, err := h.admin(http.MethodPost, "/v1/ring/drain", url)
+	return rs.Epoch, err
+}
+
+// Eject removes url from the remote ring immediately.
+func (h *HTTPRing) Eject(url string) (uint64, error) {
+	rs, err := h.admin(http.MethodDelete, "/v1/ring/instances", url)
+	return rs.Epoch, err
+}

@@ -1,0 +1,314 @@
+package netchaos
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/leak"
+)
+
+// echoServer accepts connections and echoes lines back prefixed with
+// "echo:". Returns the address and a stop func.
+func echoServer(t *testing.T) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("echo listen: %v", err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					if _, err := fmt.Fprintf(c, "echo:%s\n", sc.Text()); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() {
+		_ = ln.Close()
+		wg.Wait()
+	}
+}
+
+// dialLine sends one line through the proxy and returns the echoed
+// reply (or an error after the deadline).
+func dialLine(t *testing.T, addr, line string, timeout time.Duration) (string, error) {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(c, "%s\n", line); err != nil {
+		return "", err
+	}
+	reply, err := bufio.NewReader(c).ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSuffix(reply, "\n"), nil
+}
+
+// newProxy builds a proxy; callers must defer p.Close() themselves so
+// it runs before the deferred leak check (t.Cleanup would run after).
+func newProxy(t *testing.T, target string, seed int64) *Proxy {
+	t.Helper()
+	p, err := New(Config{Target: target, Seed: seed})
+	if err != nil {
+		t.Fatalf("netchaos.New: %v", err)
+	}
+	return p
+}
+
+func TestTransparentPassThrough(t *testing.T) {
+	defer leak.Check(t)()
+	addr, stop := echoServer(t)
+	defer stop()
+	p := newProxy(t, addr, 1)
+	defer p.Close()
+
+	got, err := dialLine(t, p.Addr(), "hello", time.Second)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if got != "echo:hello" {
+		t.Fatalf("got %q, want echo:hello", got)
+	}
+	st := p.Stats()
+	if st.Accepted != 1 || st.BytesUp == 0 || st.BytesDown == 0 {
+		t.Fatalf("stats don't reflect the exchange: %+v", st)
+	}
+}
+
+func TestLatencyAdds(t *testing.T) {
+	defer leak.Check(t)()
+	addr, stop := echoServer(t)
+	defer stop()
+	p := newProxy(t, addr, 1)
+	defer p.Close()
+
+	base := time.Now()
+	if _, err := dialLine(t, p.Addr(), "warm", time.Second); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	baseline := time.Since(base)
+
+	p.Set(Faults{Latency: 60 * time.Millisecond})
+	start := time.Now()
+	if _, err := dialLine(t, p.Addr(), "slow", 2*time.Second); err != nil {
+		t.Fatalf("latency round trip: %v", err)
+	}
+	elapsed := time.Since(start)
+	// One chunk each way ⇒ at least 2×60ms beyond noise; the baseline
+	// round trip is local-loopback fast, so 100ms is a safe floor.
+	if elapsed < baseline+100*time.Millisecond {
+		t.Fatalf("latency not applied: baseline %v, with fault %v", baseline, elapsed)
+	}
+}
+
+func TestPartitionBlackholesAndHeals(t *testing.T) {
+	defer leak.Check(t)()
+	addr, stop := echoServer(t)
+	defer stop()
+	p := newProxy(t, addr, 1)
+	defer p.Close()
+
+	p.Partition()
+	if got, err := dialLine(t, p.Addr(), "void", 150*time.Millisecond); err == nil {
+		t.Fatalf("partitioned link answered: %q", got)
+	}
+	st := p.Stats()
+	if st.DroppedUp == 0 {
+		t.Fatalf("no bytes dropped during partition: %+v", st)
+	}
+
+	p.Heal()
+	p.SeverAll() // partition poisoned the in-flight conn; kill it
+	got, err := dialLine(t, p.Addr(), "back", time.Second)
+	if err != nil {
+		t.Fatalf("healed link still dark: %v", err)
+	}
+	if got != "echo:back" {
+		t.Fatalf("got %q after heal", got)
+	}
+}
+
+func TestAsymmetricPartition(t *testing.T) {
+	defer leak.Check(t)()
+	addr, stop := echoServer(t)
+	defer stop()
+	p := newProxy(t, addr, 1)
+	defer p.Close()
+
+	// Down dropped: the request reaches the echo server (BytesUp moves)
+	// but the reply never returns.
+	p.PartitionDir(Down)
+	if _, err := dialLine(t, p.Addr(), "oneway", 150*time.Millisecond); err == nil {
+		t.Fatal("reply crossed a down-partitioned link")
+	}
+	st := p.Stats()
+	if st.BytesUp == 0 {
+		t.Fatalf("request should have crossed up: %+v", st)
+	}
+	if st.DroppedDown == 0 {
+		t.Fatalf("reply should have been dropped: %+v", st)
+	}
+	if st.DroppedUp != 0 {
+		t.Fatalf("up direction should be clean: %+v", st)
+	}
+}
+
+func TestRefuseNewResetsConnections(t *testing.T) {
+	defer leak.Check(t)()
+	addr, stop := echoServer(t)
+	defer stop()
+	p := newProxy(t, addr, 1)
+	defer p.Close()
+
+	p.Set(Faults{RefuseNew: true})
+	if _, err := dialLine(t, p.Addr(), "nope", 500*time.Millisecond); err == nil {
+		t.Fatal("refused link served a request")
+	}
+	if st := p.Stats(); st.Refused == 0 {
+		t.Fatalf("refusal not counted: %+v", st)
+	}
+}
+
+func TestSeededResetIsDeterministic(t *testing.T) {
+	defer leak.Check(t)()
+	addr, stop := echoServer(t)
+	defer stop()
+
+	// Same seed twice: the per-connection reset draws must agree.
+	pattern := func(seed int64) string {
+		p := newProxy(t, addr, seed)
+		p.Set(Faults{ResetProb: 0.5})
+		var b strings.Builder
+		for i := 0; i < 8; i++ {
+			_, err := dialLine(t, p.Addr(), "draw", 500*time.Millisecond)
+			if err != nil {
+				b.WriteByte('R')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		_ = p.Close()
+		return b.String()
+	}
+	a, b := pattern(42), pattern(42)
+	if a != b {
+		t.Fatalf("same seed, different reset pattern: %q vs %q", a, b)
+	}
+	if !strings.Contains(a, "R") || !strings.Contains(a, ".") {
+		t.Fatalf("seed 42 should mix resets and successes at p=0.5: %q", a)
+	}
+}
+
+func TestStallHoldsThenReleases(t *testing.T) {
+	defer leak.Check(t)()
+	addr, stop := echoServer(t)
+	defer stop()
+	p := newProxy(t, addr, 1)
+	defer p.Close()
+
+	p.Set(Faults{Stall: true})
+	done := make(chan string, 1)
+	go func() {
+		got, err := dialLine(t, p.Addr(), "held", 3*time.Second)
+		if err != nil {
+			done <- "err:" + err.Error()
+			return
+		}
+		done <- got
+	}()
+	select {
+	case got := <-done:
+		t.Fatalf("stalled link completed early: %q", got)
+	case <-time.After(150 * time.Millisecond):
+	}
+	p.Heal()
+	select {
+	case got := <-done:
+		if got != "echo:held" {
+			t.Fatalf("after release got %q", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("release after stall never completed")
+	}
+}
+
+func TestFlapTogglesPartition(t *testing.T) {
+	defer leak.Check(t)()
+	addr, stop := echoServer(t)
+	defer stop()
+	p := newProxy(t, addr, 7)
+	defer p.Close()
+
+	p.Flap(30*time.Millisecond, 30*time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	sawUp, sawDown := false, false
+	for time.Now().Before(deadline) && !(sawUp && sawDown) {
+		f := p.Get()
+		if f.DropUp && f.DropDown {
+			sawDown = true
+		} else if !f.DropUp && !f.DropDown {
+			sawUp = true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !sawUp || !sawDown {
+		t.Fatalf("flap never toggled: up=%v down=%v", sawUp, sawDown)
+	}
+	p.StopFlap()
+	p.Heal()
+	if st := p.Stats(); st.FlapsApplied == 0 {
+		t.Fatalf("flaps not counted: %+v", st)
+	}
+}
+
+func TestCloseSeversEverything(t *testing.T) {
+	defer leak.Check(t)()
+	addr, stop := echoServer(t)
+	defer stop()
+	p := newProxy(t, addr, 1)
+	defer p.Close()
+
+	// Park a connection mid-stall so Close has something live to sever.
+	p.Set(Faults{Stall: true})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := dialLine(t, p.Addr(), "doomed", 5*time.Second)
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("severed connection completed cleanly")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("severed connection never unblocked")
+	}
+}

@@ -1,0 +1,167 @@
+// Deadline-propagation regressions at the router tier: the caller's
+// X-Queryvis-Deadline-Ms budget must bound the whole routing attempt
+// and reach the instance, so a 5 ms budget can never burn a full
+// instance deadline — and a budget that dies mid-failover comes back
+// as a categorized 504, not a shed.
+package router_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/leak"
+	"repro/internal/netchaos"
+	"repro/internal/router"
+	"repro/internal/telemetry"
+)
+
+// slowSeed finds a fault seed whose plan delays the parse stage by at
+// least 40ms — far beyond the 5ms budgets these tests grant.
+func slowSeed(t *testing.T) int64 {
+	t.Helper()
+	for seed := int64(1); seed < 1_000_000; seed++ {
+		f := faults.NewPlan(seed).Faults[faults.StageParse]
+		if f.Action == faults.ActDelay && f.Delay >= 40*time.Millisecond {
+			return seed
+		}
+	}
+	t.Fatal("no slow seed found")
+	return 0
+}
+
+// postWithHeaders is postJSON plus caller-chosen request headers.
+func postWithHeaders(t *testing.T, url string, v any, hdr map[string]string) (int, http.Header, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw := make([]byte, 0, 1024)
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		raw = append(raw, buf[:n]...)
+		if rerr != nil {
+			break
+		}
+	}
+	return resp.StatusCode, resp.Header, raw
+}
+
+// TestDeadlineBudgetReachesInstance: a 5 ms budget against a pipeline
+// pinned ≥40 ms slow must come back as a 504 — the instance, whose own
+// deadline is 5 s, would otherwise finish the query and answer 200, so
+// the 504 is proof the shrunken budget crossed the router hop.
+func TestDeadlineBudgetReachesInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real instance process")
+	}
+	t.Cleanup(leak.Check(t))
+	t.Cleanup(leak.CheckChildren(t))
+	seed := slowSeed(t)
+
+	a := startInstance(t)
+	rt, err := router.New(router.Config{
+		Backends:       []string{a.URL},
+		HealthInterval: time.Hour,
+		Metrics:        telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt)
+	t.Cleanup(front.Close)
+
+	start := time.Now()
+	st, _, raw := postWithHeaders(t, front.URL+"/v1/diagram", diagramReq(qSome), map[string]string{
+		"X-Fault-Seed":           fmt.Sprint(seed),
+		telemetry.DeadlineHeader: "5",
+	})
+	elapsed := time.Since(start)
+	if st != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (5ms budget vs ≥40ms pipeline)\n%s", st, raw)
+	}
+	if !strings.Contains(string(raw), `"timeout"`) {
+		t.Fatalf("expected a categorized timeout body, got %s", raw)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("5ms budget burned %v end-to-end", elapsed)
+	}
+	// Control: the same slow request with no budget completes — the
+	// instance's own 5s deadline was never the binding constraint above.
+	st, _, raw = postWithHeaders(t, front.URL+"/v1/diagram", diagramReq(qSome), map[string]string{
+		"X-Fault-Seed": fmt.Sprint(seed),
+	})
+	if st != http.StatusOK {
+		t.Fatalf("control without budget: status = %d\n%s", st, raw)
+	}
+}
+
+// TestDeadlineBudgetExhaustedMidFailover: when the budget dies while
+// the only instance is blackholed behind a partition, the router must
+// answer its own categorized 504 — not park until InstanceTimeout and
+// not mint a 503 that invites an instant retry.
+func TestDeadlineBudgetExhaustedMidFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real instance process")
+	}
+	t.Cleanup(leak.Check(t))
+	t.Cleanup(leak.CheckChildren(t))
+
+	a := startInstance(t)
+	px, err := netchaos.New(netchaos.Config{Target: strings.TrimPrefix(a.URL, "http://"), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = px.Close() })
+
+	rt, err := router.New(router.Config{
+		Backends:       []string{px.URL()},
+		HealthInterval: time.Hour,
+		Metrics:        telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt)
+	t.Cleanup(front.Close)
+
+	px.Partition()
+	start := time.Now()
+	st, _, raw := postWithHeaders(t, front.URL+"/v1/diagram", diagramReq(qSome), map[string]string{
+		telemetry.DeadlineHeader: "100",
+	})
+	elapsed := time.Since(start)
+	if st != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want router-origin 504\n%s", st, raw)
+	}
+	if !strings.Contains(string(raw), `"timeout"`) {
+		t.Fatalf("expected a categorized timeout body, got %s", raw)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("100ms budget took %v against a partitioned instance", elapsed)
+	}
+	px.Heal()
+	px.SeverAll()
+}

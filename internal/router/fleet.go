@@ -162,10 +162,22 @@ type fleetMember struct {
 
 // fleetResponse is the /v1/fleet body: the router's own state plus
 // every member's healthz, so one endpoint answers "is the fleet healthy
-// and where is time going."
+// and where is time going." When a fleet supervisor is attached (see
+// SetFleetStatus), its reconciliation status — desired members, streaks,
+// the action log, budget denials — rides along, making this the one
+// endpoint that reflects every reconcile action taken.
 type fleetResponse struct {
-	Router  State         `json:"router"`
-	Members []fleetMember `json:"members"`
+	Router     State         `json:"router"`
+	Members    []fleetMember `json:"members"`
+	Supervisor any           `json:"supervisor,omitempty"`
+}
+
+// SetFleetStatus attaches a status callback — typically the fleet
+// supervisor's Status method — whose result is embedded in every
+// /v1/fleet response. The callback must be safe for concurrent use;
+// pass nil to detach.
+func (rt *Router) SetFleetStatus(fn func() any) {
+	rt.fleetStatus.Store(&fn)
 }
 
 // handleFleet aggregates the fleet: the router's State (ring health,
@@ -183,6 +195,9 @@ func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
 	resp := fleetResponse{
 		Router:  rt.State(),
 		Members: make([]fleetMember, len(tp.members)),
+	}
+	if fn := rt.fleetStatus.Load(); fn != nil && *fn != nil {
+		resp.Supervisor = (*fn)()
 	}
 	var wg sync.WaitGroup
 	for i, m := range tp.members {

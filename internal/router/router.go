@@ -29,6 +29,7 @@ package router
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -248,6 +249,10 @@ type Router struct {
 	traces      *telemetry.TraceRing
 	tracesTotal *telemetry.Counter
 
+	// fleetStatus, when set, contributes the fleet supervisor's
+	// reconciliation status to /v1/fleet responses.
+	fleetStatus atomic.Pointer[func() any]
+
 	closed chan struct{}
 	once   sync.Once
 	loops  sync.WaitGroup
@@ -431,6 +436,19 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
 	}()
 	traceOutcome = "error"
 
+	// Deadline propagation: a caller-advertised remaining budget bounds
+	// this whole routing attempt — failovers included — and forward
+	// re-stamps each outgoing hop with what's left, so an instance never
+	// burns its full local deadline on a request the caller has already
+	// written off.
+	hasBudget := false
+	if budget, ok := telemetry.ParseDeadlineMS(r.Header.Get(telemetry.DeadlineHeader)); ok {
+		hasBudget = true
+		ctx, cancel := context.WithTimeout(r.Context(), budget)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+
 	body, err := io.ReadAll(io.LimitReader(r.Body, rt.cfg.MaxBodyBytes+1))
 	if err != nil {
 		rt.fail(w, r, http.StatusBadRequest, "bad_request", "reading request body failed")
@@ -548,8 +566,14 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var lastErr error
+	var lastShed *sharedResp
 	for i, in := range candidates {
 		last := i == len(candidates)-1
+		if r.Context().Err() != nil {
+			// The caller's budget (or connection) died mid-schedule:
+			// further attempts serve nobody.
+			break
+		}
 		rt.reg.Counter(mInstReqs, "Proxied attempts per instance.", "instance", in.url).Inc()
 		sr, err := rt.forward(r, in, body)
 		if err != nil {
@@ -567,7 +591,13 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
 			// request. Only transport errors and 5xx count against the
 			// breaker — a 429 is the load shedder doing its job, not a
 			// fault.
-			if sr.status != http.StatusTooManyRequests {
+			if sr.status == http.StatusTooManyRequests {
+				// Keep the instance's own shed response: if every remaining
+				// candidate fails at the transport level, this — with its
+				// better-informed Retry-After — is what the client gets,
+				// not a router-minted 503 that masks the backpressure.
+				lastShed = sr
+			} else {
 				rt.reg.Counter(mInstFails, "Failed attempts per instance.", "instance", in.url).Inc()
 				in.recordFailure(rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown)
 			}
@@ -592,8 +622,33 @@ func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
 		writeShared(w, sr, "")
 		return
 	}
-	// Every candidate failed at the transport level: nothing well-formed
-	// to pass through, so answer with the router's own typed 503.
+	// A caller budget that ran out is a timeout, categorized as one —
+	// the caller gave us N ms and we spent them; a 503 here would invite
+	// an immediate (pointless) retry.
+	if hasBudget && r.Context().Err() == context.DeadlineExceeded {
+		rt.requests["error"].Inc()
+		rt.proxyDur.Observe(time.Since(start).Seconds())
+		rt.log("caller deadline budget exhausted", "err", lastErr)
+		traceOutcome = "timeout"
+		rt.fail(w, r, http.StatusGatewayTimeout, "timeout",
+			"caller deadline budget exhausted before any instance answered")
+		return
+	}
+	// Every remaining candidate failed at the transport level. If some
+	// instance shed with a 429 along the way, that response — Retry-After
+	// intact — is the honest answer: the fleet is saturated, and masking
+	// its backpressure behind a router-minted 503 misprices the retry.
+	if lastShed != nil {
+		rt.requests["proxied"].Inc()
+		rt.proxyDur.Observe(time.Since(start).Seconds())
+		rt.log("all failover candidates failed; passing through instance shed response")
+		traceOutcome = "proxied"
+		delivered = lastShed
+		writeShared(w, lastShed, "")
+		return
+	}
+	// Nothing well-formed to pass through, so answer with the router's
+	// own typed 503.
 	rt.requests["error"].Inc()
 	rt.proxyDur.Observe(time.Since(start).Seconds())
 	rt.log("all candidates failed", "err", lastErr)
@@ -627,6 +682,14 @@ func (rt *Router) forward(r *http.Request, in *instance, body []byte) (*sharedRe
 			continue
 		}
 		req.Header[k] = vs
+	}
+	// Re-stamp the caller's deadline budget with what this hop has left:
+	// the instance should see the remaining time, not the original grant
+	// — failovers have already spent part of it.
+	if _, ok := telemetry.ParseDeadlineMS(r.Header.Get(telemetry.DeadlineHeader)); ok {
+		if dl, hasDL := r.Context().Deadline(); hasDL {
+			req.Header.Set(telemetry.DeadlineHeader, telemetry.FormatDeadlineMS(time.Until(dl)))
+		}
 	}
 	resp, err := rt.hc.Do(req)
 	if err != nil {

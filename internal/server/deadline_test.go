@@ -1,0 +1,85 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/faults"
+	"repro/internal/telemetry"
+)
+
+// TestDeadlineHeaderCapsRequestTimeout is the deadline-propagation
+// regression: a caller advertising a 5 ms remaining budget must never
+// burn the instance's full RequestTimeout. The pipeline is pinned slow
+// (a ≥20 ms fault delay at parse) under a generous 10 s local deadline;
+// without propagation the request would hold a worker slot for the
+// whole delay — with it, the 5 ms budget wins and the categorized 504
+// comes back almost immediately.
+func TestDeadlineHeaderCapsRequestTimeout(t *testing.T) {
+	seed := findSeed(t, func(p *faults.Plan) bool {
+		f := p.Faults[faults.StageParse]
+		return f.Action == faults.ActDelay && f.Delay >= 20*time.Millisecond
+	})
+	ts := newTestServer(t, Config{RequestTimeout: 10 * time.Second})
+
+	start := time.Now()
+	st, raw := post(t, ts.Client(), ts.URL+"/v1/diagram", diagramRequest{
+		SQL: corpus.Fig1UniqueSet, Schema: "beers",
+	}, map[string]string{
+		"X-Fault-Seed":           fmt.Sprint(seed),
+		telemetry.DeadlineHeader: "5",
+	})
+	elapsed := time.Since(start)
+	if st != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504\n%s", st, raw)
+	}
+	wantError(t, raw, CatTimeout)
+	// Well under the fault delay floor of the no-propagation world; the
+	// 2 s bound leaves room for a loaded CI box while still proving the
+	// 10 s local deadline was never in play.
+	if elapsed > 2*time.Second {
+		t.Fatalf("5ms budget burned %v — deadline header not applied", elapsed)
+	}
+}
+
+// TestDeadlineHeaderNeverExtends pins the cap-only direction: a caller
+// advertising more budget than the local deadline must not loosen it.
+func TestDeadlineHeaderNeverExtends(t *testing.T) {
+	seed := findSeed(t, func(p *faults.Plan) bool {
+		f := p.Faults[faults.StageParse]
+		return f.Action == faults.ActDelay && f.Delay >= 20*time.Millisecond
+	})
+	ts := newTestServer(t, Config{RequestTimeout: 5 * time.Millisecond})
+
+	start := time.Now()
+	st, raw := post(t, ts.Client(), ts.URL+"/v1/diagram", diagramRequest{
+		SQL: corpus.Fig1UniqueSet, Schema: "beers",
+	}, map[string]string{
+		"X-Fault-Seed":           fmt.Sprint(seed),
+		telemetry.DeadlineHeader: "60000",
+	})
+	if st != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (local deadline must still bind)\n%s", st, raw)
+	}
+	wantError(t, raw, CatTimeout)
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("request took %v under a 5ms local deadline", el)
+	}
+}
+
+// TestDeadlineHeaderMalformedIgnored: garbage in the advisory header
+// must not fail the request — it is a hint, not an input.
+func TestDeadlineHeaderMalformedIgnored(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for _, v := range []string{"abc", "-5", "0", "9e9"} {
+		st, raw := post(t, ts.Client(), ts.URL+"/v1/diagram", diagramRequest{
+			SQL: corpus.Fig1UniqueSet, Schema: "beers",
+		}, map[string]string{telemetry.DeadlineHeader: v})
+		if st != http.StatusOK {
+			t.Fatalf("header %q: status = %d, want 200\n%s", v, st, raw)
+		}
+	}
+}

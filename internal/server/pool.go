@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/faults"
 	"repro/internal/telemetry"
@@ -56,6 +57,16 @@ func (s *Server) poolDispatch(endpoint string) func(http.ResponseWriter, *http.R
 				if v := r.Header.Get(h); v != "" {
 					req.Header[h] = v
 				}
+			}
+		}
+		// A caller-advertised deadline budget rides the frame re-stamped
+		// with what remains — guarded() already shrank this request's
+		// context to it, and dispatch derives the worker kill-timer from
+		// the context, so the header here is the honest audit trail of
+		// what the worker was given, not the enforcement mechanism.
+		if _, ok := telemetry.ParseDeadlineMS(r.Header.Get(telemetry.DeadlineHeader)); ok {
+			if dl, hasDL := r.Context().Deadline(); hasDL {
+				req.Header[telemetry.DeadlineHeader] = telemetry.FormatDeadlineMS(time.Until(dl))
 			}
 		}
 

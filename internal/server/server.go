@@ -263,7 +263,15 @@ func (s *Server) guarded(h func(http.ResponseWriter, *http.Request) error) http.
 		}()
 		s.metrics.served.Inc()
 
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		// Deadline propagation: a caller-advertised remaining budget caps
+		// the local deadline but never raises it — the tier above knows
+		// how much patience the original caller has left, and burning a
+		// full local timeout on work it has abandoned is pure waste.
+		timeout := s.cfg.RequestTimeout
+		if budget, ok := telemetry.ParseDeadlineMS(r.Header.Get(telemetry.DeadlineHeader)); ok && budget < timeout {
+			timeout = budget
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 		if s.cfg.AllowFaultInjection {
 			if hv := r.Header.Get("X-Fault-Seed"); hv != "" {

@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"strconv"
+	"time"
+)
+
+// DeadlineHeader is the wire header carrying the caller's remaining
+// time budget, in integer milliseconds, across process boundaries:
+// client → router → instance → worker frame. Each receiving tier caps
+// its own per-request deadline at the advertised budget (never raises
+// it), so work the caller has already abandoned is abandoned everywhere
+// downstream instead of burning a full local timeout per tier. Each
+// forwarding tier re-stamps the header with what's left after its own
+// elapsed time, so the budget shrinks monotonically down the stack.
+const DeadlineHeader = "X-Queryvis-Deadline-Ms"
+
+// ParseDeadlineMS decodes a DeadlineHeader value into a duration.
+// Returns (0, false) when the value is absent, malformed, or
+// non-positive — an unusable budget is treated as no budget, because
+// failing the request over a garbled advisory header would turn a
+// hint into an outage.
+func ParseDeadlineMS(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}
+
+// FormatDeadlineMS renders a remaining budget in DeadlineHeader wire
+// form, rounding up so a sub-millisecond remainder advertises 1ms
+// rather than an unusable 0.
+func FormatDeadlineMS(d time.Duration) string {
+	ms := (d + time.Millisecond - 1) / time.Millisecond
+	if ms < 1 {
+		ms = 1
+	}
+	return strconv.FormatInt(int64(ms), 10)
+}

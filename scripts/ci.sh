@@ -56,6 +56,19 @@
 #              well-formed, zero shed, zero 503s, zero leaks; plus the
 #              loadgen -zipf smoke (seeded skewed mix, report must carry
 #              the exponent and a dominant hot share)
+#   fleet      self-healing-fleet smokes: the queryvisd fleet-mode
+#              lifecycle (supervisor discovers and joins a member that
+#              was never on the -route list, SIGHUP re-reads the spec
+#              and removes a dropped member, fleet metric families ride
+#              /v1/metrics), then the partition-heal chaos battery under
+#              the race detector — three real instance processes behind
+#              netchaos proxies, one SIGKILLed and one fully partitioned
+#              mid-load; the supervisor must take both off the ring,
+#              respawn and rejoin them, never exceed the disruption
+#              budget, and report every action via GET /v1/fleet with
+#              zero goroutine or child-process leaks; plus the loadgen
+#              netchaos smoke (open-loop burst through the router over
+#              one latency-degraded and one flapping link, audit clean)
 #   oracle     30-second differential-oracle smoke run (seeded, so any
 #              counterexample it prints is reproducible with cmd/oracle)
 #   replay     the checked-in quarantine corpus must replay with zero
@@ -111,6 +124,15 @@ go test -count=1 -race -run 'TestRouterMembershipChurn|TestHotPatternReplication
 
 echo "== loadgen zipf smoke"
 go test -count=1 -run TestLoadgenZipfSkewsMix ./cmd/loadgen
+
+echo "== fleet smoke (supervisor discovery + SIGHUP reload)"
+go test -count=1 -run TestFleetMode ./cmd/queryvisd
+
+echo "== fleet partition-heal chaos battery (race)"
+go test -count=1 -race -run TestFleetPartitionHeal ./internal/fleet
+
+echo "== loadgen netchaos smoke (degraded + flapping links)"
+go test -count=1 -run TestLoadgenSmokeNetchaos ./cmd/loadgen
 
 echo "== slo gate (p50 + allocs/op vs BENCH_server.json)"
 scripts/slogate
